@@ -1,0 +1,55 @@
+//! Times the synthesis/locking flow per benchmark (one Criterion group per
+//! flow stage) — the engineering cost of TAO at design time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hls_core::HlsOptions;
+
+fn locking_key() -> hls_core::KeyBits {
+    let mut s = 0x5eedu64;
+    hls_core::KeyBits::from_fn(256, || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    })
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    for b in benchmarks::all() {
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| b.compile().expect("compiles"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_baseline_hls(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline-hls");
+    for b in benchmarks::all() {
+        let m = b.compile().unwrap();
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| hls_core::synthesize(&m, b.top, &HlsOptions::default()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_tao_lock(c: &mut Criterion) {
+    let lk = locking_key();
+    let mut g = c.benchmark_group("tao-lock");
+    for b in benchmarks::all() {
+        let m = b.compile().unwrap();
+        g.bench_function(b.name, |bench| {
+            bench.iter_batched(
+                || m.clone(),
+                |m| tao::lock(&m, b.top, &lk, &tao::TaoOptions::default()).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(flow, bench_frontend, bench_baseline_hls, bench_tao_lock);
+criterion_main!(flow);

@@ -1,0 +1,47 @@
+//! Times the cycle-accurate simulator and the AES key-management block —
+//! the per-run cost of the validation methodology (Sec. 4.1/4.3).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hls_core::KeyBits;
+use rtl::{rtl_outputs, SimOptions, TestCase};
+
+fn locking_key() -> KeyBits {
+    let mut s = 0x5eedu64;
+    KeyBits::from_fn(256, || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    })
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let lk = locking_key();
+    let mut g = c.benchmark_group("simulate-locked");
+    for b in benchmarks::all() {
+        let m = b.compile().unwrap();
+        let d = tao::lock(&m, b.top, &lk, &tao::TaoOptions::default()).unwrap();
+        let wk = d.working_key(&lk);
+        let stim = &b.stimuli(1, 1)[0];
+        let case = TestCase { args: stim.args.clone(), mem_inputs: stim.resolve(&d.module) };
+        let cycles =
+            rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap().1.cycles;
+        g.throughput(Throughput::Elements(cycles));
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_aes_power_up(c: &mut Criterion) {
+    let lk = locking_key();
+    let wk = KeyBits::from_fn(4145, || 0xfeed_beef_dead_c0de); // viterbi-sized W
+    let km = tao::KeyManagement::aes_nvm(&lk, &wk).unwrap();
+    c.bench_function("aes-power-up-4145-bits", |bench| {
+        bench.iter(|| km.power_up(&lk));
+    });
+}
+
+criterion_group!(simulation, bench_simulator, bench_aes_power_up);
+criterion_main!(simulation);

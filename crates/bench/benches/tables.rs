@@ -1,0 +1,38 @@
+//! Regenerates the paper's tables/figures as Criterion benchmarks so
+//! `cargo bench` exercises every experiment end to end (the heavyweight
+//! 100-key validation is sampled at reduced key count here; the full run
+//! lives in the `reproduce` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("experiment-table1", |b| b.iter(bench::table1));
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("experiment-fig6", |b| b.iter(bench::fig6));
+}
+
+fn bench_freq(c: &mut Criterion) {
+    c.bench_function("experiment-freq", |b| b.iter(bench::freq));
+}
+
+fn bench_cycles(c: &mut Criterion) {
+    c.bench_function("experiment-cycles", |b| b.iter(bench::cycles));
+}
+
+fn bench_validation_sample(c: &mut Criterion) {
+    c.bench_function("experiment-validate-8keys", |b| b.iter(|| bench::validate(8)));
+}
+
+fn bench_keymgmt(c: &mut Criterion) {
+    c.bench_function("experiment-keymgmt", |b| b.iter(bench::keymgmt));
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig6, bench_freq, bench_cycles,
+              bench_validation_sample, bench_keymgmt
+}
+criterion_main!(tables);

@@ -1,0 +1,69 @@
+//! `reproduce` — regenerates every table and figure of the TAO paper.
+//!
+//! ```text
+//! cargo run --release -p bench --bin reproduce -- all
+//! cargo run --release -p bench --bin reproduce -- table1 fig6 freq cycles \
+//!     validate keymgmt ablate-bi ablate-c ablate-swap
+//! ```
+
+use bench::format::*;
+use bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table1",
+            "fig6",
+            "freq",
+            "cycles",
+            "validate",
+            "keymgmt",
+            "ablate-bi",
+            "ablate-c",
+            "ablate-swap",
+            "ablate-alloc",
+            "attack",
+            "unroll",
+            "report",
+        ]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    for what in wanted {
+        match what {
+            "table1" => println!("{}", render_table1(&table1())),
+            "fig6" => println!("{}", render_fig6(&fig6())),
+            "freq" => println!("{}", render_freq(&freq())),
+            "cycles" => println!("{}", render_cycles(&cycles())),
+            "validate" => {
+                // The paper's protocol: 100 random 256-bit locking keys per
+                // benchmark, one of which is correct.
+                println!("{}", render_validation(&validate(100)));
+            }
+            "keymgmt" => println!("{}", render_keymgmt(&keymgmt())),
+            "ablate-bi" => println!("{}", render_ablate_bi(&ablate_bi())),
+            "ablate-c" => println!("{}", render_ablate_c(&ablate_c())),
+            "ablate-swap" => println!("{}", render_ablate_swap(&ablate_swap(40))),
+            "ablate-alloc" => println!("{}", render_ablate_alloc(&ablate_alloc())),
+            "attack" => println!("{}", render_attack(&attack())),
+            "report" => {
+                for r in reports() {
+                    println!("{r}");
+                }
+            }
+            "unroll" => {
+                let tables: Vec<_> = [1u32, 2, 4].iter().map(|&f| unroll_table(f)).collect();
+                println!("{}", render_unroll(&tables));
+            }
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                eprintln!(
+                    "known: table1 fig6 freq cycles validate keymgmt ablate-bi ablate-c ablate-swap ablate-alloc attack unroll report all"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # bench — experiment harness regenerating every table and figure
+//!
+//! Each public function reproduces one evaluation artifact of the TAO
+//! paper (see DESIGN.md §4 for the experiment index) and returns
+//! structured rows; the `reproduce` binary formats them next to the
+//! paper's reported values:
+//!
+//! ```text
+//! cargo run --release -p bench --bin reproduce -- all
+//! ```
+//!
+//! The Criterion benches in `benches/` time the flow stages and the
+//! simulator, and re-emit the table/figure data as benchmark outputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod format;
+
+pub use experiments::*;

@@ -1,0 +1,346 @@
+//! FSMD construction (paper Fig. 2: "Controller Synthesis" + "Code
+//! Generation" preparation).
+//!
+//! Combines the scheduled function and the register binding into the
+//! [`Fsmd`] structure: one controller state per (block, cycle), micro-ops
+//! for the operations issued in that cycle, and transitions derived from
+//! the block terminators.
+
+use crate::fsmd::*;
+use crate::regbind::RegAssign;
+use crate::resource::FuKind;
+use crate::schedule::FnSchedule;
+use hls_ir::{ArrayId, Function, Instr, Module, Operand, Terminator};
+use std::collections::BTreeMap;
+
+/// Builds the baseline (un-obfuscated) FSMD for `f`.
+///
+/// # Panics
+///
+/// Panics if the function still contains calls, or if an operand that must
+/// be in a register was not bound (both indicate pipeline misuse: run
+/// inlining, scheduling and binding first).
+pub fn build_fsmd(
+    module: &Module,
+    f: &Function,
+    sched: &FnSchedule,
+    ra: &RegAssign,
+) -> Fsmd {
+    // --- registers (binding result + a return register) ---
+    let mut reg_widths = ra.widths.clone();
+    let mut reg_names = ra.names.clone();
+    let ret_reg = f.ret_ty.map(|ty| {
+        let r = crate::regbind::RegId(reg_widths.len() as u32);
+        reg_widths.push(ty.width());
+        reg_names.push("ret".into());
+        r
+    });
+
+    // --- memories ---
+    let mut mems = Vec::new();
+    let mut mem_of_array: BTreeMap<ArrayId, MemIdx> = BTreeMap::new();
+    for (id, obj) in f.arrays.iter() {
+        mem_of_array.insert(*id, MemIdx(mems.len() as u32));
+        mems.push(MemDecl {
+            name: obj.name.clone(),
+            elem_ty: obj.elem_ty,
+            len: obj.len,
+            init: obj.init.clone(),
+            external: obj.external,
+        });
+    }
+    for (id, obj) in module.globals.iter() {
+        mem_of_array.insert(*id, MemIdx(mems.len() as u32));
+        mems.push(MemDecl {
+            name: obj.name.clone(),
+            elem_ty: obj.elem_ty,
+            len: obj.len,
+            init: obj.init.clone(),
+            external: obj.external,
+        });
+    }
+
+    // --- constants ---
+    let consts: Vec<ConstEntry> = f
+        .consts
+        .iter()
+        .map(|(_, c)| ConstEntry {
+            bits: c.bits,
+            ty: c.ty,
+            storage_width: c.ty.significant_bits(c.bits),
+            key_xor: None,
+        })
+        .collect();
+
+    // --- functional units ---
+    let mut fu_map: BTreeMap<(FuKind, u32), FuIdx> = BTreeMap::new();
+    let mut fus: Vec<FuDecl> = Vec::new();
+    let wire_fu = {
+        fus.push(FuDecl { kind: FuKind::Wire, width: 0 });
+        FuIdx(0)
+    };
+    let mut fu_for = |kind: FuKind, inst: u32, width: u8, fus: &mut Vec<FuDecl>| -> FuIdx {
+        if kind == FuKind::Wire {
+            if width > fus[0].width {
+                fus[0].width = width;
+            }
+            return FuIdx(0);
+        }
+        let idx = *fu_map.entry((kind, inst)).or_insert_with(|| {
+            fus.push(FuDecl { kind, width: 0 });
+            FuIdx(fus.len() as u32 - 1)
+        });
+        if width > fus[idx.0 as usize].width {
+            fus[idx.0 as usize].width = width;
+        }
+        idx
+    };
+
+    // --- states ---
+    let mut state_base = vec![0u32; f.blocks.len()];
+    let mut total = 0u32;
+    for b in f.block_ids() {
+        state_base[b.index()] = total;
+        total += sched.blocks[b.index()].num_cycles;
+    }
+
+    let src_of = |op: Operand| -> Src {
+        match op {
+            Operand::Value(v) => Src::Reg(ra.reg(v)),
+            Operand::Const(c) => Src::Const(ConstIdx(c.0)),
+        }
+    };
+
+    let mut states: Vec<State> = Vec::with_capacity(total as usize);
+    for b in f.block_ids() {
+        let blk = f.block(b);
+        let bs = &sched.blocks[b.index()];
+        for cycle in 0..bs.num_cycles {
+            let mut ops = Vec::new();
+            for (i, instr) in blk.instrs.iter().enumerate() {
+                if bs.cycle_of[i] != cycle {
+                    continue;
+                }
+                let (kind, inst) = bs.fu_of[i];
+                let micro = lower_instr(instr, kind, ra, &mem_of_array, &src_of);
+                if let Some((alt, dst, ty, width)) = micro {
+                    let fu = fu_for(kind, inst, width, &mut fus);
+                    ops.push(MicroOp { fu, ty, dst, alts: vec![alt] });
+                }
+            }
+            let is_last = cycle == bs.num_cycles - 1;
+            let next = if !is_last {
+                NextState::Goto(StateId(state_base[b.index()] + cycle + 1))
+            } else {
+                match &blk.terminator {
+                    Terminator::Jump(t) => NextState::Goto(StateId(state_base[t.index()])),
+                    Terminator::Branch { cond, then_to, else_to } => match cond {
+                        Operand::Const(c) => {
+                            let taken = if f.consts.get(*c).bits & 1 == 1 {
+                                *then_to
+                            } else {
+                                *else_to
+                            };
+                            NextState::Goto(StateId(state_base[taken.index()]))
+                        }
+                        Operand::Value(v) => NextState::Branch {
+                            test: ra.reg(*v),
+                            key_bit: None,
+                            then_s: StateId(state_base[then_to.index()]),
+                            else_s: StateId(state_base[else_to.index()]),
+                        },
+                    },
+                    Terminator::Return(val) => {
+                        if let (Some(v), Some(rr)) = (val, ret_reg) {
+                            let ty = f.ret_ty.expect("ret type");
+                            let width = ty.width();
+                            let fu = fu_for(FuKind::Wire, 0, width, &mut fus);
+                            ops.push(MicroOp {
+                                fu,
+                                ty,
+                                dst: Some(rr),
+                                alts: vec![OpAlt { op: FuOp::Pass, a: src_of(*v), b: None }],
+                            });
+                        }
+                        NextState::Done
+                    }
+                }
+            };
+            states.push(State { ops, next, block: b, variant_key: None });
+        }
+    }
+    let _ = wire_fu;
+
+    let fsmd = Fsmd {
+        name: f.name.clone(),
+        states,
+        entry: StateId(state_base[0]),
+        reg_widths,
+        reg_names,
+        fus,
+        consts,
+        mems,
+        mem_of_array,
+        params: f.params.iter().map(|&p| ra.reg(p)).collect(),
+        ret_reg,
+        key_width: 0,
+    };
+    debug_assert!(fsmd.validate().is_ok(), "{:?}", fsmd.validate());
+    fsmd
+}
+
+/// Lowers one scheduled IR instruction to `(alt, dst, ty, fu_width)`.
+/// Returns `None` for dead pure operations (result never read).
+fn lower_instr(
+    instr: &Instr,
+    kind: FuKind,
+    ra: &RegAssign,
+    mem_of_array: &BTreeMap<ArrayId, MemIdx>,
+    src_of: &impl Fn(Operand) -> Src,
+) -> Option<(OpAlt, Option<crate::regbind::RegId>, hls_ir::Type, u8)> {
+    let _ = kind;
+    match instr {
+        Instr::Binary { op, ty, lhs, rhs, dst } => {
+            let dst = ra.try_reg(*dst)?;
+            Some((
+                OpAlt { op: FuOp::Bin(*op), a: src_of(*lhs), b: Some(src_of(*rhs)) },
+                Some(dst),
+                *ty,
+                ty.width(),
+            ))
+        }
+        Instr::Unary { op, ty, src, dst } => {
+            let dst = ra.try_reg(*dst)?;
+            Some((
+                OpAlt { op: FuOp::Un(*op), a: src_of(*src), b: None },
+                Some(dst),
+                *ty,
+                ty.width(),
+            ))
+        }
+        Instr::Cmp { pred, ty, lhs, rhs, dst } => {
+            let dst = ra.try_reg(*dst)?;
+            Some((
+                OpAlt { op: FuOp::Cmp(*pred), a: src_of(*lhs), b: Some(src_of(*rhs)) },
+                Some(dst),
+                *ty, // operand type; the result is 1 bit by construction
+                ty.width(),
+            ))
+        }
+        Instr::Convert { from, to, src, dst } => {
+            let dst = ra.try_reg(*dst)?;
+            Some((
+                OpAlt { op: FuOp::Conv { from: *from, to: *to }, a: src_of(*src), b: None },
+                Some(dst),
+                *to,
+                from.width().max(to.width()),
+            ))
+        }
+        Instr::Copy { ty, src, dst } => {
+            let dst = ra.try_reg(*dst)?;
+            Some((
+                OpAlt { op: FuOp::Pass, a: src_of(*src), b: None },
+                Some(dst),
+                *ty,
+                ty.width(),
+            ))
+        }
+        Instr::Load { ty, array, index, dst } => {
+            let dst = ra.try_reg(*dst)?;
+            let mem = mem_of_array[array];
+            Some((
+                OpAlt { op: FuOp::Load { mem }, a: src_of(*index), b: None },
+                Some(dst),
+                *ty,
+                ty.width(),
+            ))
+        }
+        Instr::Store { ty, array, index, value } => {
+            let mem = mem_of_array[array];
+            Some((
+                OpAlt { op: FuOp::Store { mem }, a: src_of(*index), b: Some(src_of(*value)) },
+                None,
+                *ty,
+                ty.width(),
+            ))
+        }
+        Instr::Call { .. } => panic!("calls must be inlined before FSMD construction"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regbind::bind_registers;
+    use crate::resource::Allocation;
+    use crate::schedule::schedule_function;
+
+    fn synth(src: &str, top: &str) -> (Module, Fsmd) {
+        let mut m = hls_frontend::compile(src, "t").expect("compile");
+        let top_id = m.function_by_name(top).unwrap().0;
+        hls_ir::passes::inline_all_into(&mut m, top_id);
+        hls_ir::passes::optimize(&mut m);
+        let f = m.function_by_name(top).unwrap().1.clone();
+        let sched = schedule_function(&f, &Allocation::default());
+        let ra = bind_registers(&f, &sched);
+        let fsmd = build_fsmd(&m, &f, &sched, &ra);
+        (m, fsmd)
+    }
+
+    #[test]
+    fn builds_valid_fsmd_for_loop_kernel() {
+        let (_, fsmd) = synth(
+            "int sum(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
+            "sum",
+        );
+        fsmd.validate().unwrap();
+        assert!(fsmd.num_states() >= 3);
+        assert_eq!(fsmd.params.len(), 1);
+        assert!(fsmd.ret_reg.is_some());
+        assert_eq!(fsmd.key_width, 0);
+        // There is at least one conditional transition (the loop test).
+        assert!(fsmd
+            .states
+            .iter()
+            .any(|s| matches!(s.next, NextState::Branch { .. })));
+        // And one Done state.
+        assert!(fsmd.states.iter().any(|s| s.next == NextState::Done));
+    }
+
+    #[test]
+    fn memories_mapped_for_globals_and_locals() {
+        let (_, fsmd) = synth(
+            r#"
+            int gdata[8] = {1,2,3,4,5,6,7,8};
+            int acc() {
+                int tbl[2] = {10, 20};
+                int s = 0;
+                for (int i = 0; i < 8; i++) s += gdata[i];
+                return s + tbl[1];
+            }
+            "#,
+            "acc",
+        );
+        fsmd.validate().unwrap();
+        assert_eq!(fsmd.mems.len(), 2);
+        let ext: Vec<bool> = fsmd.mems.iter().map(|m| m.external).collect();
+        assert!(ext.contains(&true) && ext.contains(&false));
+    }
+
+    #[test]
+    fn constants_sized_by_significant_bits() {
+        let (_, fsmd) =
+            synth("int f(int x) { return x + 1000; }", "f");
+        let thousand = fsmd.consts.iter().find(|c| c.bits == 1000).expect("constant 1000");
+        // 1000 needs 11 bits signed.
+        assert_eq!(thousand.storage_width, 11);
+        assert!(thousand.key_xor.is_none());
+    }
+
+    #[test]
+    fn fu_widths_cover_bound_ops() {
+        let (_, fsmd) = synth("long f(long a, long b) { return a * b + 1; }", "f");
+        let mul = fsmd.fus.iter().find(|f| f.kind == FuKind::Mul).expect("multiplier");
+        assert_eq!(mul.width, 64);
+    }
+}

@@ -1,0 +1,227 @@
+//! Arbitrary-width key bit vectors.
+//!
+//! The paper distinguishes the *locking key* `K` (fixed size, e.g. 256
+//! bits, delivered through tamper-proof memory) from the *working key* `W`
+//! (sized by Eq. 1, wired to the obfuscation points). Both are just bit
+//! vectors; [`KeyBits`] serves for either.
+
+use crate::fsmd::KeyRange;
+use std::fmt;
+
+/// A little-endian bit vector (bit 0 = LSB of word 0).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KeyBits {
+    words: Vec<u64>,
+    width: u32,
+}
+
+impl KeyBits {
+    /// Creates an all-zero key of `width` bits.
+    pub fn zero(width: u32) -> KeyBits {
+        KeyBits { words: vec![0; width.div_ceil(64) as usize], width }
+    }
+
+    /// Creates a key from raw little-endian words, truncated to `width`.
+    pub fn from_words(words: &[u64], width: u32) -> KeyBits {
+        let mut k = KeyBits::zero(width);
+        for (i, w) in words.iter().enumerate().take(k.words.len()) {
+            k.words[i] = *w;
+        }
+        k.mask_top();
+        k
+    }
+
+    /// Creates a key from bytes (byte 0 = least significant).
+    pub fn from_bytes(bytes: &[u8], width: u32) -> KeyBits {
+        let mut k = KeyBits::zero(width);
+        for (i, b) in bytes.iter().enumerate() {
+            let (w, sh) = (i / 8, (i % 8) * 8);
+            if w < k.words.len() {
+                k.words[w] |= (*b as u64) << sh;
+            }
+        }
+        k.mask_top();
+        k
+    }
+
+    /// Generates a uniformly random key with the given RNG-like closure
+    /// producing `u64`s (keeps `rand` out of this crate's dependencies).
+    pub fn from_fn(width: u32, mut next_word: impl FnMut() -> u64) -> KeyBits {
+        let mut k = KeyBits::zero(width);
+        for w in &mut k.words {
+            *w = next_word();
+        }
+        k.mask_top();
+        k
+    }
+
+    fn mask_top(&mut self) {
+        let rem = self.width % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        if self.width == 0 {
+            self.words.clear();
+        }
+    }
+
+    /// Bit width of the key.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.width, "key bit {i} out of width {}", self.width);
+        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn set_bit(&mut self, i: u32, v: bool) {
+        assert!(i < self.width, "key bit {i} out of width {}", self.width);
+        let (w, sh) = ((i / 64) as usize, i % 64);
+        if v {
+            self.words[w] |= 1 << sh;
+        } else {
+            self.words[w] &= !(1 << sh);
+        }
+    }
+
+    /// Extracts up to 64 bits at `range` as a `u64` (LSB = `range.lo`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the key width or 64 bits.
+    pub fn range(&self, range: KeyRange) -> u64 {
+        assert!(range.width <= 64, "key range wider than 64 bits");
+        assert!(
+            range.lo + range.width <= self.width,
+            "key range [{}, {}) out of width {}",
+            range.lo,
+            range.lo + range.width,
+            self.width
+        );
+        let mut out = 0u64;
+        for i in 0..range.width {
+            if self.bit(range.lo + i) {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// Writes `value`'s low `range.width` bits into the key at `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the key width or 64 bits.
+    pub fn set_range(&mut self, range: KeyRange, value: u64) {
+        assert!(range.width <= 64);
+        for i in 0..range.width {
+            self.set_bit(range.lo + i, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// The raw words (little-endian).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Bytes, least significant first, `ceil(width/8)` long.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.width.div_ceil(8) as usize;
+        let mut out = vec![0u8; n];
+        for (i, b) in out.iter_mut().enumerate() {
+            let (w, sh) = (i / 8, (i % 8) * 8);
+            *b = (self.words.get(w).copied().unwrap_or(0) >> sh) as u8;
+        }
+        out
+    }
+
+    /// Hamming distance to another key of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn hamming_distance(&self, other: &KeyBits) -> u32 {
+        assert_eq!(self.width, other.width, "width mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+}
+
+impl fmt::Display for KeyBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h", self.width)?;
+        for w in self.words.iter().rev() {
+            write!(f, "{w:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut k = KeyBits::zero(100);
+        k.set_bit(0, true);
+        k.set_bit(63, true);
+        k.set_bit(64, true);
+        k.set_bit(99, true);
+        for i in 0..100 {
+            assert_eq!(k.bit(i), matches!(i, 0 | 63 | 64 | 99), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn range_extraction_across_words() {
+        let mut k = KeyBits::zero(128);
+        k.set_range(KeyRange { lo: 60, width: 8 }, 0b1010_1101);
+        assert_eq!(k.range(KeyRange { lo: 60, width: 8 }), 0b1010_1101);
+        assert_eq!(k.range(KeyRange { lo: 62, width: 4 }), 0b1011);
+    }
+
+    #[test]
+    fn width_is_masked() {
+        let k = KeyBits::from_words(&[u64::MAX], 10);
+        assert_eq!(k.words()[0], 0x3ff);
+        assert_eq!(k.width(), 10);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let k = KeyBits::from_bytes(&[0xde, 0xad, 0xbe, 0xef], 32);
+        assert_eq!(k.to_bytes(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(k.words()[0], 0xefbe_adde);
+    }
+
+    #[test]
+    fn hamming() {
+        let a = KeyBits::from_words(&[0b1111], 8);
+        let b = KeyBits::from_words(&[0b0101], 8);
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_bit_panics() {
+        KeyBits::zero(8).bit(8);
+    }
+}

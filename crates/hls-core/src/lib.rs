@@ -1,0 +1,41 @@
+//! # hls-core — scheduling, binding and FSMD synthesis
+//!
+//! The middle and back end of the reproduction's HLS flow (paper Fig. 2):
+//! resource [`Allocation`] and the [`CostModel`] library, list
+//! [`schedule_function`], left-edge register [`bind_registers`], and
+//! [`build_fsmd`] controller synthesis producing the [`Fsmd`] model that
+//! the `tao` crate obfuscates, the `rtl` crate simulates and measures, and
+//! [`verilog::emit`] prints.
+//!
+//! ## Example
+//!
+//! ```
+//! let m = hls_frontend::compile(
+//!     "int dot(int a, int b, int c, int d) { return a*b + c*d; }", "demo")?;
+//! let fsmd = hls_core::synthesize(&m, "dot", &hls_core::HlsOptions::default())?;
+//! fsmd.validate().map_err(|e| format!("invalid fsmd: {e}"))?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod flow;
+mod fsmd;
+mod key;
+mod regbind;
+mod resource;
+mod schedule;
+pub mod verilog;
+
+pub use build::build_fsmd;
+pub use flow::{prepare, schedule_and_bind, synthesize, HlsError, HlsOptions, Prepared};
+pub use fsmd::{
+    ConstEntry, ConstIdx, Fsmd, FuDecl, FuIdx, FuOp, KeyRange, MemDecl, MemIdx, MicroOp,
+    NextState, OpAlt, Src, State, StateId,
+};
+pub use key::KeyBits;
+pub use regbind::{bind_registers, validate_binding, RegAssign, RegId};
+pub use resource::{Allocation, CostModel, FuKind};
+pub use schedule::{alap_cycles, asap_cycles, schedule_block, schedule_function, BlockSchedule, FnSchedule};

@@ -1,0 +1,287 @@
+//! Lexer for the C subset.
+//!
+//! Supports decimal, hex and character literals, all the operators the
+//! grammar needs, and `//` and `/* */` comments.
+
+use crate::error::{FrontendError, Pos};
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// An integer literal (value already decoded).
+    Int(i64),
+    /// Punctuation or operator, e.g. `"+"`, `"<<="`, `"{"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Source position of the first character.
+    pub pos: Pos,
+}
+
+/// Multi-character punctuation, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "++", "--", "->", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+    "<", ">", "=", "?", ":", ";", ",", "(", ")", "[", "]", "{", "}",
+];
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] on unterminated comments, malformed literals
+/// or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, FrontendError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let mut out = Vec::new();
+
+    let advance = |i: &mut usize, line: &mut u32, col: &mut u32, n: usize, bytes: &[u8]| {
+        for _ in 0..n {
+            if *i < bytes.len() {
+                if bytes[*i] == b'\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+                *i += 1;
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = Pos { line, col };
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            advance(&mut i, &mut line, &mut col, 1, bytes);
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                advance(&mut i, &mut line, &mut col, 2, bytes);
+                let mut closed = false;
+                while i + 1 < bytes.len() {
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        advance(&mut i, &mut line, &mut col, 2, bytes);
+                        closed = true;
+                        break;
+                    }
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+                if !closed {
+                    return Err(FrontendError::new(pos, "unterminated block comment"));
+                }
+                continue;
+            }
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            out.push(Token { tok: Tok::Ident(src[start..i].to_string()), pos });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let hex = c == '0' && i + 1 < bytes.len() && (bytes[i + 1] | 32) == b'x';
+            if hex {
+                advance(&mut i, &mut line, &mut col, 2, bytes);
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+                let digits = &src[start + 2..i];
+                if digits.is_empty() {
+                    return Err(FrontendError::new(pos, "hex literal needs digits"));
+                }
+                let v = u64::from_str_radix(digits, 16)
+                    .map_err(|_| FrontendError::new(pos, "hex literal overflows 64 bits"))?;
+                out.push(Token { tok: Tok::Int(v as i64), pos });
+            } else {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+                // Reject floats explicitly for a good diagnostic.
+                if i < bytes.len() && bytes[i] == b'.' {
+                    return Err(FrontendError::new(
+                        pos,
+                        "floating-point literals are not supported (use fixed point)",
+                    ));
+                }
+                let v: i64 = src[start..i]
+                    .parse()
+                    .map_err(|_| FrontendError::new(pos, "integer literal overflows 64 bits"))?;
+                out.push(Token { tok: Tok::Int(v), pos });
+            }
+            // Swallow integer suffixes (u, U, l, L combinations).
+            while i < bytes.len() && matches!(bytes[i] | 32, b'u' | b'l') {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            continue;
+        }
+        // Character literals.
+        if c == '\'' {
+            advance(&mut i, &mut line, &mut col, 1, bytes);
+            if i >= bytes.len() {
+                return Err(FrontendError::new(pos, "unterminated character literal"));
+            }
+            let v = if bytes[i] == b'\\' {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+                if i >= bytes.len() {
+                    return Err(FrontendError::new(pos, "unterminated character literal"));
+                }
+                let esc = bytes[i] as char;
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+                match esc {
+                    'n' => b'\n' as i64,
+                    't' => b'\t' as i64,
+                    'r' => b'\r' as i64,
+                    '0' => 0,
+                    '\\' => b'\\' as i64,
+                    '\'' => b'\'' as i64,
+                    other => {
+                        return Err(FrontendError::new(
+                            pos,
+                            format!("unsupported escape `\\{other}`"),
+                        ))
+                    }
+                }
+            } else {
+                let v = bytes[i] as i64;
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+                v
+            };
+            if i >= bytes.len() || bytes[i] != b'\'' {
+                return Err(FrontendError::new(pos, "unterminated character literal"));
+            }
+            advance(&mut i, &mut line, &mut col, 1, bytes);
+            out.push(Token { tok: Tok::Int(v), pos });
+            continue;
+        }
+        // Punctuation (maximal munch).
+        let rest = &src[i..];
+        match PUNCTS.iter().find(|p| rest.starts_with(**p)) {
+            Some(p) => {
+                advance(&mut i, &mut line, &mut col, p.len(), bytes);
+                out.push(Token { tok: Tok::Punct(p), pos });
+            }
+            None => {
+                return Err(FrontendError::new(pos, format!("unexpected character `{c}`")));
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, pos: Pos { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_simple_program() {
+        let toks = kinds("int main() { return 42; }");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("main".into()),
+                Tok::Punct("("),
+                Tok::Punct(")"),
+                Tok::Punct("{"),
+                Tok::Ident("return".into()),
+                Tok::Int(42),
+                Tok::Punct(";"),
+                Tok::Punct("}"),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        assert_eq!(
+            kinds("a <<= b >> c <= d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<="),
+                Tok::Ident("b".into()),
+                Tok::Punct(">>"),
+                Tok::Ident("c".into()),
+                Tok::Punct("<="),
+                Tok::Ident("d".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn hex_char_and_suffixed_literals() {
+        assert_eq!(kinds("0xFF 10u 'A' '\\n' '\\0'"),
+            vec![Tok::Int(255), Tok::Int(10), Tok::Int(65), Tok::Int(10), Tok::Int(0), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_skipped_and_positions_tracked() {
+        let toks = lex("x // comment\n  /* multi\nline */ y").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].tok, Tok::Ident("y".into()));
+        assert_eq!(toks[1].pos.line, 3);
+    }
+
+    #[test]
+    fn float_rejected_with_hint() {
+        let err = lex("3.14").unwrap_err();
+        assert!(err.message.contains("fixed point"));
+    }
+
+    #[test]
+    fn unterminated_comment_rejected() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_rejected() {
+        assert!(lex("int a = $;").is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! # hls-frontend — C-subset compiler front end
+//!
+//! Parses the C subset used by the TAO benchmarks and lowers it to the
+//! [`hls_ir`] module form (paper Fig. 2, "Compiler Steps"). The pipeline is
+//! `source → lex → parse → lower → optimize`, after which TAO's obfuscation
+//! passes and the `hls-core` synthesis flow take over.
+//!
+//! ## Example
+//!
+//! ```
+//! use hls_ir::Interpreter;
+//!
+//! let src = "int square(int x) { return x * x; }";
+//! let module = hls_frontend::compile(src, "demo")?;
+//! let mut interp = Interpreter::new(&module);
+//! assert_eq!(interp.run_by_name("square", &[9])?.ret, Some(81));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use error::{FrontendError, Pos};
+pub use lexer::{lex, Tok, Token};
+pub use lower::lower;
+pub use parser::parse;
+
+use hls_ir::Module;
+
+/// One-call convenience: parse, lower and run the standard optimization
+/// pipeline.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] on any lexical, syntactic or semantic error.
+pub fn compile(src: &str, module_name: &str) -> Result<Module, FrontendError> {
+    let unit = parse(src)?;
+    let mut module = lower(&unit, module_name)?;
+    hls_ir::passes::optimize(&mut module);
+    Ok(module)
+}
+
+/// Like [`compile`], but without the optimization pipeline (used by tests
+/// that compare optimized and unoptimized semantics).
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] on any lexical, syntactic or semantic error.
+pub fn compile_unoptimized(src: &str, module_name: &str) -> Result<Module, FrontendError> {
+    let unit = parse(src)?;
+    lower(&unit, module_name)
+}

@@ -1,0 +1,852 @@
+//! Recursive-descent parser for the C subset.
+
+use crate::ast::*;
+use crate::error::{FrontendError, Pos};
+use crate::lexer::{lex, Tok, Token};
+use hls_ir::Type;
+
+/// Parses a translation unit from C source.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error with its position.
+///
+/// # Examples
+///
+/// ```
+/// let unit = hls_frontend::parse("int inc(int x) { return x + 1; }")?;
+/// assert_eq!(unit.functions.len(), 1);
+/// # Ok::<(), hls_frontend::FrontendError>(())
+/// ```
+pub fn parse(src: &str) -> Result<TranslationUnit, FrontendError> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0 }.unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn here(&self) -> Pos {
+        self.peek().pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(&self.peek().tok, Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), FrontendError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(FrontendError::new(
+                self.here(),
+                format!("expected `{p}`, found {}", self.peek().tok),
+            ))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(&self.peek().tok, Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Pos), FrontendError> {
+        const RESERVED: &[&str] = &[
+            "if", "else", "for", "while", "do", "switch", "case", "default", "break",
+            "continue", "return", "int", "char", "short", "long", "void", "unsigned",
+            "signed", "const", "static",
+        ];
+        let pos = self.here();
+        match self.bump().tok {
+            Tok::Ident(s) if RESERVED.contains(&s.as_str()) => Err(FrontendError::new(
+                pos,
+                format!("`{s}` is a reserved keyword and cannot name a declaration"),
+            )),
+            Tok::Ident(s) => Ok((s, pos)),
+            other => Err(FrontendError::new(pos, format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, FrontendError> {
+        let pos = self.here();
+        match self.bump().tok {
+            Tok::Int(v) => Ok(v),
+            other => {
+                Err(FrontendError::new(pos, format!("expected integer literal, found {other}")))
+            }
+        }
+    }
+
+    /// Attempts to parse a type specifier; `None` if the next tokens don't
+    /// start one.
+    fn try_type(&mut self) -> Option<CType> {
+        let save = self.pos;
+        let mut unsigned = false;
+        let mut signed = false;
+        loop {
+            if self.eat_kw("unsigned") {
+                unsigned = true;
+            } else if self.eat_kw("signed") {
+                signed = true;
+            } else {
+                break;
+            }
+        }
+        let base = if self.eat_kw("void") {
+            if unsigned || signed {
+                self.pos = save;
+                return None;
+            }
+            return Some(CType::Void);
+        } else if self.eat_kw("char") {
+            Some(8u8)
+        } else if self.eat_kw("short") {
+            self.eat_kw("int");
+            Some(16)
+        } else if self.eat_kw("long") {
+            // `long` and `long long` both map to 64-bit.
+            self.eat_kw("long");
+            self.eat_kw("int");
+            Some(64)
+        } else if self.eat_kw("int") {
+            Some(32)
+        } else if unsigned || signed {
+            // Bare `unsigned` / `signed` mean int.
+            Some(32)
+        } else {
+            None
+        };
+        match base {
+            Some(w) => Some(CType::Int(Type::int(w, !unsigned))),
+            None => {
+                self.pos = save;
+                None
+            }
+        }
+    }
+
+    fn expect_type(&mut self) -> Result<CType, FrontendError> {
+        self.try_type().ok_or_else(|| {
+            FrontendError::new(self.here(), format!("expected a type, found {}", self.peek().tok))
+        })
+    }
+
+    fn unit(&mut self) -> Result<TranslationUnit, FrontendError> {
+        let mut unit = TranslationUnit::default();
+        while self.peek().tok != Tok::Eof {
+            // `const` at global scope is accepted and ignored (all globals
+            // with initializers are constants to the hardware anyway).
+            self.eat_kw("const");
+            self.eat_kw("static");
+            let pos = self.here();
+            let ty = self.expect_type()?;
+            let (name, _) = self.expect_ident()?;
+            if self.eat_punct("(") {
+                // Function definition.
+                let params = self.params()?;
+                self.expect_punct(")")?;
+                self.expect_punct("{")?;
+                let body = self.block_body()?;
+                unit.functions.push(FuncDef { ret: ty, name, params, body, pos });
+            } else {
+                // Global array or scalar (scalar = length-1 array the
+                // lowerer treats as a named constant when initialized).
+                let ty = match ty {
+                    CType::Int(t) => t,
+                    CType::Void => {
+                        return Err(FrontendError::new(pos, "global cannot have type void"))
+                    }
+                };
+                if self.eat_punct("[") {
+                    let len = self.expect_int()? as usize;
+                    self.expect_punct("]")?;
+                    let init = if self.eat_punct("=") {
+                        Some(self.init_list(len, pos)?)
+                    } else {
+                        None
+                    };
+                    self.expect_punct(";")?;
+                    unit.globals.push(GlobalDef { ty, name, len, init, pos });
+                } else {
+                    // Global scalar: must be a constant initializer.
+                    self.expect_punct("=")?;
+                    let v = self.const_expr()?;
+                    self.expect_punct(";")?;
+                    unit.globals.push(GlobalDef { ty, name, len: 1, init: Some(vec![v]), pos });
+                }
+            }
+        }
+        Ok(unit)
+    }
+
+    fn params(&mut self) -> Result<Vec<Param>, FrontendError> {
+        let mut params = Vec::new();
+        if matches!(&self.peek().tok, Tok::Punct(")")) {
+            return Ok(params);
+        }
+        if self.eat_kw("void") {
+            return Ok(params);
+        }
+        loop {
+            let pos = self.here();
+            let ty = self.expect_type()?;
+            let ty = ty.ir().ok_or_else(|| {
+                FrontendError::new(pos, "parameter cannot have type void")
+            })?;
+            let (name, npos) = self.expect_ident()?;
+            if self.eat_punct("[") {
+                return Err(FrontendError::new(
+                    npos,
+                    "array parameters are not supported; use a global array",
+                ));
+            }
+            params.push(Param { ty, name });
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    fn init_list(&mut self, len: usize, pos: Pos) -> Result<Vec<i64>, FrontendError> {
+        self.expect_punct("{")?;
+        let mut vals = Vec::new();
+        if !self.eat_punct("}") {
+            loop {
+                vals.push(self.const_expr()?);
+                if self.eat_punct("}") {
+                    break;
+                }
+                self.expect_punct(",")?;
+                // Allow trailing comma.
+                if self.eat_punct("}") {
+                    break;
+                }
+            }
+        }
+        if vals.len() > len {
+            return Err(FrontendError::new(
+                pos,
+                format!("initializer has {} elements but array length is {len}", vals.len()),
+            ));
+        }
+        vals.resize(len, 0);
+        Ok(vals)
+    }
+
+    /// Constant expressions for initializers: literals with optional sign and
+    /// simple binary arithmetic on literals.
+    fn const_expr(&mut self) -> Result<i64, FrontendError> {
+        let e = self.expr()?;
+        eval_const(&e).ok_or_else(|| {
+            FrontendError::new(e.pos, "initializer must be a constant expression")
+        })
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, FrontendError> {
+        let mut body = Vec::new();
+        while !self.eat_punct("}") {
+            if self.peek().tok == Tok::Eof {
+                return Err(FrontendError::new(self.here(), "unexpected end of input in block"));
+            }
+            body.push(self.stmt()?);
+        }
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let pos = self.here();
+        if self.eat_punct("{") {
+            return Ok(Stmt::Block { body: self.block_body()?, pos });
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then_s = self.stmt_or_block()?;
+            let else_s = if self.eat_kw("else") { self.stmt_or_block()? } else { Vec::new() };
+            return Ok(Stmt::If { cond, then_s, else_s, pos });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.stmt_or_block()?;
+            return Ok(Stmt::While { cond, body, pos });
+        }
+        if self.eat_kw("do") {
+            let body = self.stmt_or_block()?;
+            if !self.eat_kw("while") {
+                return Err(FrontendError::new(self.here(), "expected `while` after `do` body"));
+            }
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::DoWhile { cond, body, pos });
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else {
+                let s = self.simple_stmt()?;
+                self.expect_punct(";")?;
+                Some(Box::new(s))
+            };
+            let cond = if matches!(&self.peek().tok, Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            let step = if matches!(&self.peek().tok, Tok::Punct(")")) {
+                None
+            } else {
+                Some(Box::new(self.simple_stmt()?))
+            };
+            self.expect_punct(")")?;
+            let body = self.stmt_or_block()?;
+            return Ok(Stmt::For { init, cond, step, body, pos });
+        }
+        if self.eat_kw("switch") {
+            self.expect_punct("(")?;
+            let scrutinee = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct("{")?;
+            let mut cases: Vec<(i64, Vec<Stmt>)> = Vec::new();
+            let mut default: Vec<Stmt> = Vec::new();
+            let mut saw_default = false;
+            while !self.eat_punct("}") {
+                if self.eat_kw("case") {
+                    let k = self.const_expr()?;
+                    self.expect_punct(":")?;
+                    let (body, had_break) = self.case_body(pos)?;
+                    if !had_break {
+                        return Err(FrontendError::new(
+                            pos,
+                            format!("case {k} falls through; end it with `break` or `return`"),
+                        ));
+                    }
+                    cases.push((k, body));
+                } else if self.eat_kw("default") {
+                    self.expect_punct(":")?;
+                    if saw_default {
+                        return Err(FrontendError::new(pos, "duplicate `default` label"));
+                    }
+                    saw_default = true;
+                    let (body, _) = self.case_body(pos)?;
+                    default = body;
+                } else {
+                    return Err(FrontendError::new(
+                        self.here(),
+                        format!("expected `case` or `default`, found {}", self.peek().tok),
+                    ));
+                }
+            }
+            return Ok(Stmt::Switch { scrutinee, cases, default, pos });
+        }
+        if self.eat_kw("return") {
+            let value =
+                if matches!(&self.peek().tok, Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return { value, pos });
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break { pos });
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue { pos });
+        }
+        let s = self.simple_stmt()?;
+        self.expect_punct(";")?;
+        Ok(s)
+    }
+
+    /// Parses a `case`/`default` body up to (not including) the next
+    /// label or the switch's closing brace. Returns the statements and
+    /// whether the body ended in `break` (consumed) or `return`.
+    fn case_body(&mut self, pos: Pos) -> Result<(Vec<Stmt>, bool), FrontendError> {
+        let mut body = Vec::new();
+        loop {
+            match &self.peek().tok {
+                Tok::Punct("}") => {
+                    let ends = body_returns(&body);
+                    return Ok((body, ends));
+                }
+                Tok::Ident(k) if k == "case" || k == "default" => {
+                    let ends = body_returns(&body);
+                    return Ok((body, ends));
+                }
+                Tok::Eof => {
+                    return Err(FrontendError::new(pos, "unexpected end of input in switch"))
+                }
+                Tok::Ident(k) if k == "break" => {
+                    self.bump();
+                    self.expect_punct(";")?;
+                    return Ok((body, true));
+                }
+                _ => body.push(self.stmt()?),
+            }
+        }
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, FrontendError> {
+        if self.eat_punct("{") {
+            self.block_body()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    /// A statement without its trailing `;`: declaration, assignment,
+    /// inc/dec, or expression statement. Used directly by `for (..)`.
+    fn simple_stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let pos = self.here();
+        // Declaration?
+        if let Some(cty) = self.try_type() {
+            let ty = cty
+                .ir()
+                .ok_or_else(|| FrontendError::new(pos, "variable cannot have type void"))?;
+            let (name, _) = self.expect_ident()?;
+            if self.eat_punct("[") {
+                let len = self.expect_int()? as usize;
+                self.expect_punct("]")?;
+                let init =
+                    if self.eat_punct("=") { Some(self.init_list(len, pos)?) } else { None };
+                return Ok(Stmt::DeclArray { ty, name, len, init, pos });
+            }
+            let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+            return Ok(Stmt::DeclScalar { ty, name, init, pos });
+        }
+        // Assignment / inc-dec / expression statement.
+        // Lookahead: ident followed by assignment-ish punctuation.
+        if let Tok::Ident(name) = &self.peek().tok {
+            let name = name.clone();
+            // `x++` / `x--`
+            if matches!(&self.peek2().tok, Tok::Punct("++") | Tok::Punct("--")) {
+                self.bump();
+                let inc = self.bump().tok == Tok::Punct("++");
+                return Ok(Stmt::IncDec { lv: LValue::Var(name), inc, pos });
+            }
+            let assign_ops: &[(&str, Option<AstBinOp>)] = &[
+                ("=", None),
+                ("+=", Some(AstBinOp::Add)),
+                ("-=", Some(AstBinOp::Sub)),
+                ("*=", Some(AstBinOp::Mul)),
+                ("/=", Some(AstBinOp::Div)),
+                ("%=", Some(AstBinOp::Rem)),
+                ("&=", Some(AstBinOp::And)),
+                ("|=", Some(AstBinOp::Or)),
+                ("^=", Some(AstBinOp::Xor)),
+                ("<<=", Some(AstBinOp::Shl)),
+                (">>=", Some(AstBinOp::Shr)),
+            ];
+            // Scalar assignment.
+            if let Tok::Punct(p) = &self.peek2().tok {
+                if let Some((_, op)) = assign_ops.iter().find(|(s, _)| s == p) {
+                    self.bump();
+                    self.bump();
+                    let value = self.expr()?;
+                    return Ok(Stmt::Assign { lv: LValue::Var(name), op: *op, value, pos });
+                }
+                // Array element assignment: ident [ expr ] op= expr
+                if *p == "[" {
+                    let save = self.pos;
+                    self.bump(); // ident
+                    self.bump(); // [
+                    let index = self.expr()?;
+                    if self.eat_punct("]") {
+                        if matches!(&self.peek().tok, Tok::Punct("++") | Tok::Punct("--")) {
+                            let inc = self.bump().tok == Tok::Punct("++");
+                            return Ok(Stmt::IncDec {
+                                lv: LValue::Index { array: name, index },
+                                inc,
+                                pos,
+                            });
+                        }
+                        if let Tok::Punct(q) = &self.peek().tok {
+                            if let Some((_, op)) = assign_ops.iter().find(|(s, _)| s == q) {
+                                self.bump();
+                                let value = self.expr()?;
+                                return Ok(Stmt::Assign {
+                                    lv: LValue::Index { array: name, index },
+                                    op: *op,
+                                    value,
+                                    pos,
+                                });
+                            }
+                        }
+                    }
+                    // Not an assignment: rewind and parse as expression.
+                    self.pos = save;
+                }
+            }
+        }
+        let expr = self.expr()?;
+        Ok(Stmt::ExprStmt { expr, pos })
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, FrontendError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, FrontendError> {
+        let cond = self.binary(0)?;
+        if self.eat_punct("?") {
+            let then_e = self.expr()?;
+            self.expect_punct(":")?;
+            let else_e = self.ternary()?;
+            let pos = cond.pos;
+            return Ok(Expr {
+                pos,
+                kind: ExprKind::Ternary {
+                    cond: Box::new(cond),
+                    then_e: Box::new(then_e),
+                    else_e: Box::new(else_e),
+                },
+            });
+        }
+        Ok(cond)
+    }
+
+    fn binary(&mut self, min_level: usize) -> Result<Expr, FrontendError> {
+        // Levels, loosest binding first.
+        const LEVELS: &[&[(&str, AstBinOp)]] = &[
+            &[("||", AstBinOp::LogicOr)],
+            &[("&&", AstBinOp::LogicAnd)],
+            &[("|", AstBinOp::Or)],
+            &[("^", AstBinOp::Xor)],
+            &[("&", AstBinOp::And)],
+            &[("==", AstBinOp::Eq), ("!=", AstBinOp::Ne)],
+            &[
+                ("<=", AstBinOp::Le),
+                (">=", AstBinOp::Ge),
+                ("<", AstBinOp::Lt),
+                (">", AstBinOp::Gt),
+            ],
+            &[("<<", AstBinOp::Shl), (">>", AstBinOp::Shr)],
+            &[("+", AstBinOp::Add), ("-", AstBinOp::Sub)],
+            &[("*", AstBinOp::Mul), ("/", AstBinOp::Div), ("%", AstBinOp::Rem)],
+        ];
+        if min_level >= LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary(min_level + 1)?;
+        loop {
+            let mut matched = None;
+            if let Tok::Punct(p) = &self.peek().tok {
+                matched = LEVELS[min_level].iter().find(|(s, _)| s == p).map(|(_, op)| *op);
+            }
+            let Some(op) = matched else { break };
+            self.bump();
+            let rhs = self.binary(min_level + 1)?;
+            let pos = lhs.pos;
+            lhs = Expr {
+                pos,
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, FrontendError> {
+        let pos = self.here();
+        if self.eat_punct("-") {
+            let e = self.unary()?;
+            return Ok(Expr { pos, kind: ExprKind::Unary { op: AstUnOp::Neg, expr: Box::new(e) } });
+        }
+        if self.eat_punct("~") {
+            let e = self.unary()?;
+            return Ok(Expr { pos, kind: ExprKind::Unary { op: AstUnOp::Not, expr: Box::new(e) } });
+        }
+        if self.eat_punct("!") {
+            let e = self.unary()?;
+            return Ok(Expr {
+                pos,
+                kind: ExprKind::Unary { op: AstUnOp::LogicNot, expr: Box::new(e) },
+            });
+        }
+        if self.eat_punct("+") {
+            return self.unary();
+        }
+        // Cast: '(' type ')' unary
+        if matches!(&self.peek().tok, Tok::Punct("(")) {
+            let save = self.pos;
+            self.bump();
+            if let Some(cty) = self.try_type() {
+                if self.eat_punct(")") {
+                    if let Some(ty) = cty.ir() {
+                        let e = self.unary()?;
+                        return Ok(Expr {
+                            pos,
+                            kind: ExprKind::Cast { to: ty, expr: Box::new(e) },
+                        });
+                    }
+                    return Err(FrontendError::new(pos, "cannot cast to void"));
+                }
+            }
+            self.pos = save;
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, FrontendError> {
+        let pos = self.here();
+        match self.bump().tok {
+            Tok::Int(v) => Ok(Expr { pos, kind: ExprKind::Lit(v) }),
+            Tok::Ident(name) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr { pos, kind: ExprKind::Call { name, args } })
+                } else if self.eat_punct("[") {
+                    let index = self.expr()?;
+                    self.expect_punct("]")?;
+                    Ok(Expr { pos, kind: ExprKind::Index { array: name, index: Box::new(index) } })
+                } else {
+                    Ok(Expr { pos, kind: ExprKind::Var(name) })
+                }
+            }
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(FrontendError::new(pos, format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+/// Whether a case body's last statement is a `return` (an accepted
+/// alternative to `break`).
+fn body_returns(body: &[Stmt]) -> bool {
+    matches!(body.last(), Some(Stmt::Return { .. }))
+}
+
+/// Evaluates a constant expression at parse time (for initializers).
+fn eval_const(e: &Expr) -> Option<i64> {
+    match &e.kind {
+        ExprKind::Lit(v) => Some(*v),
+        ExprKind::Unary { op: AstUnOp::Neg, expr } => Some(eval_const(expr)?.wrapping_neg()),
+        ExprKind::Unary { op: AstUnOp::Not, expr } => Some(!eval_const(expr)?),
+        ExprKind::Binary { op, lhs, rhs } => {
+            let (a, b) = (eval_const(lhs)?, eval_const(rhs)?);
+            Some(match op {
+                AstBinOp::Add => a.wrapping_add(b),
+                AstBinOp::Sub => a.wrapping_sub(b),
+                AstBinOp::Mul => a.wrapping_mul(b),
+                AstBinOp::Div => a.checked_div(b)?,
+                AstBinOp::Rem => a.checked_rem(b)?,
+                AstBinOp::Shl => a.wrapping_shl(b as u32),
+                AstBinOp::Shr => a.wrapping_shr(b as u32),
+                AstBinOp::And => a & b,
+                AstBinOp::Or => a | b,
+                AstBinOp::Xor => a ^ b,
+                _ => return None,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_control_flow() {
+        let src = r#"
+            int abs_diff(int a, int b) {
+                int d = a - b;
+                if (d < 0) { d = -d; }
+                return d;
+            }
+        "#;
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.functions.len(), 1);
+        let f = &unit.functions[0];
+        assert_eq!(f.name, "abs_diff");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.body.len(), 3);
+    }
+
+    #[test]
+    fn parses_globals_and_init_lists() {
+        let src = "const int TAPS = 4;\nshort coeff[4] = {1, -2, 3, 0x10};\nint buf[8];";
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.globals.len(), 3);
+        assert_eq!(unit.globals[0].init, Some(vec![4]));
+        assert_eq!(unit.globals[1].init, Some(vec![1, -2, 3, 16]));
+        assert_eq!(unit.globals[1].ty, Type::I16);
+        assert_eq!(unit.globals[2].init, None);
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let unit = parse("int f(int a, int b, int c) { return a + b * c; }").unwrap();
+        let ret = &unit.functions[0].body[0];
+        let Stmt::Return { value: Some(e), .. } = ret else { panic!() };
+        let ExprKind::Binary { op: AstBinOp::Add, rhs, .. } = &e.kind else {
+            panic!("expected + at top: {e:?}")
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: AstBinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_for_loop_with_incdec() {
+        let src = "int s(int n) { int acc = 0; for (int i = 0; i < n; i++) acc += i; return acc; }";
+        let unit = parse(src).unwrap();
+        let Stmt::For { init, cond, step, body, .. } = &unit.functions[0].body[1] else {
+            panic!()
+        };
+        assert!(init.is_some() && cond.is_some() && step.is_some());
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn parses_array_assignment_and_ternary() {
+        let src = "int g[4]; void f(int i, int x) { g[i] = x > 0 ? x : -x; }";
+        let unit = parse(src).unwrap();
+        let Stmt::Assign { lv: LValue::Index { array, .. }, op: None, value, .. } =
+            &unit.functions[0].body[0]
+        else {
+            panic!()
+        };
+        assert_eq!(array, "g");
+        assert!(matches!(value.kind, ExprKind::Ternary { .. }));
+    }
+
+    #[test]
+    fn parses_casts_and_unsigned_types() {
+        let src = "unsigned f(unsigned char x) { return (unsigned) x << 2; }";
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.functions[0].params[0].ty, Type::U8);
+        assert_eq!(unit.functions[0].ret, CType::Int(Type::U32));
+    }
+
+    #[test]
+    fn parses_do_while_break_continue() {
+        let src = r#"
+            int f(int n) {
+                int i = 0;
+                do {
+                    i++;
+                    if (i == 3) continue;
+                    if (i > n) break;
+                } while (i < 100);
+                return i;
+            }
+        "#;
+        let unit = parse(src).unwrap();
+        let Stmt::DoWhile { body, .. } = &unit.functions[0].body[1] else { panic!() };
+        assert_eq!(body.len(), 3);
+    }
+
+    #[test]
+    fn rejects_array_parameters_with_hint() {
+        let err = parse("int f(int a[]) { return 0; }").unwrap_err();
+        assert!(err.message.contains("global array"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("int f( { }").is_err());
+        assert!(parse("banana").is_err());
+        assert!(parse("int f() { return 1 + ; }").is_err());
+    }
+
+    #[test]
+    fn call_statement_parses() {
+        let src = "void g() { } void f() { g(); }";
+        let unit = parse(src).unwrap();
+        assert!(matches!(unit.functions[1].body[0], Stmt::ExprStmt { .. }));
+    }
+
+    #[test]
+    fn switch_parses_with_cases_and_default() {
+        let src = "int f(int x) { switch (x) { case 1: return 1; case 2: x = 3; break; default: x = 0; } return x; }";
+        let unit = parse(src).unwrap();
+        let Stmt::Switch { cases, default, .. } = &unit.functions[0].body[0] else { panic!() };
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].0, 1);
+        assert_eq!(default.len(), 1);
+    }
+
+    #[test]
+    fn switch_rejects_duplicate_default() {
+        let err = parse(
+            "int f(int x) { switch (x) { default: break; default: break; } return x; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn deeply_nested_expressions_parse() {
+        let mut e = String::from("x");
+        for _ in 0..40 {
+            e = format!("({e} + 1)");
+        }
+        let src = format!("int f(int x) {{ return {e}; }}");
+        assert!(parse(&src).is_ok());
+    }
+
+    #[test]
+    fn keywords_not_usable_as_variables() {
+        // `return` as an identifier position fails cleanly, not panics.
+        assert!(parse("int f() { int return = 1; return 0; }").is_err());
+    }
+
+    #[test]
+    fn empty_function_and_empty_blocks() {
+        let unit = parse("void f() { } void g() { { } { { } } }").unwrap();
+        assert_eq!(unit.functions.len(), 2);
+    }
+
+    #[test]
+    fn const_expr_arith_in_initializers() {
+        let unit = parse("int N = 4 * 8 + 1;").unwrap();
+        assert_eq!(unit.globals[0].init, Some(vec![33]));
+    }
+}

@@ -1,0 +1,176 @@
+//! Call-graph extraction (paper Sec. 3.3.1).
+//!
+//! TAO's first step "extracts the call graph to figure out the list and
+//! hierarchy of functions implemented"; the inliner uses it to process
+//! callees before callers, and key apportionment sums over all reachable
+//! functions.
+
+use crate::function::Module;
+use crate::instr::Instr;
+use crate::operand::FuncId;
+use std::collections::BTreeSet;
+
+/// The module call graph.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// callees[f] = set of functions called (directly) by `f`.
+    callees: Vec<BTreeSet<FuncId>>,
+    /// callers[f] = set of functions calling `f`.
+    callers: Vec<BTreeSet<FuncId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `m`.
+    pub fn build(m: &Module) -> CallGraph {
+        let n = m.functions.len();
+        let mut callees = vec![BTreeSet::new(); n];
+        let mut callers = vec![BTreeSet::new(); n];
+        for (i, f) in m.functions.iter().enumerate() {
+            for b in &f.blocks {
+                for instr in &b.instrs {
+                    if let Instr::Call { func, .. } = instr {
+                        callees[i].insert(*func);
+                        callers[func.index()].insert(FuncId(i as u32));
+                    }
+                }
+            }
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Direct callees of `f`.
+    pub fn callees(&self, f: FuncId) -> &BTreeSet<FuncId> {
+        &self.callees[f.index()]
+    }
+
+    /// Direct callers of `f`.
+    pub fn callers(&self, f: FuncId) -> &BTreeSet<FuncId> {
+        &self.callers[f.index()]
+    }
+
+    /// Whether the call graph contains recursion reachable from `root`
+    /// (recursion cannot be synthesized; the front end rejects it, this is a
+    /// defence in depth for the inliner).
+    pub fn has_recursion(&self, root: FuncId) -> bool {
+        // DFS with colors.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color = vec![Color::White; self.callees.len()];
+        let mut stack = vec![(root, 0usize)];
+        color[root.index()] = Color::Grey;
+        let as_vec: Vec<Vec<FuncId>> =
+            self.callees.iter().map(|s| s.iter().copied().collect()).collect();
+        while let Some(&mut (f, ref mut i)) = stack.last_mut() {
+            if *i < as_vec[f.index()].len() {
+                let next = as_vec[f.index()][*i];
+                *i += 1;
+                match color[next.index()] {
+                    Color::Grey => return true,
+                    Color::White => {
+                        color[next.index()] = Color::Grey;
+                        stack.push((next, 0));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[f.index()] = Color::Black;
+                stack.pop();
+            }
+        }
+        false
+    }
+
+    /// Functions reachable from `root` (including `root`), in a bottom-up
+    /// order (callees before callers) suitable for inlining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if recursion is reachable from `root`; call
+    /// [`CallGraph::has_recursion`] first.
+    pub fn bottom_up_from(&self, root: FuncId) -> Vec<FuncId> {
+        assert!(!self.has_recursion(root), "call graph has recursion");
+        let mut order = Vec::new();
+        let mut visited = BTreeSet::new();
+        fn visit(
+            cg: &CallGraph,
+            f: FuncId,
+            visited: &mut BTreeSet<FuncId>,
+            order: &mut Vec<FuncId>,
+        ) {
+            if !visited.insert(f) {
+                return;
+            }
+            for &c in cg.callees(f) {
+                visit(cg, c, visited, order);
+            }
+            order.push(f);
+        }
+        visit(self, root, &mut visited, &mut order);
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Function;
+    use crate::instr::Terminator;
+
+    fn call_module(edges: &[(usize, usize)], n: usize) -> Module {
+        let mut m = Module::new("t");
+        for i in 0..n {
+            let mut f = Function::new(format!("f{i}"));
+            let b = f.new_block("entry");
+            f.block_mut(b).terminator = Terminator::Return(None);
+            m.add_function(f);
+        }
+        for &(from, to) in edges {
+            let callee = FuncId(to as u32);
+            m.functions[from].blocks[0].instrs.push(Instr::Call {
+                func: callee,
+                args: vec![],
+                dst: None,
+                ret_ty: None,
+            });
+        }
+        m
+    }
+
+    #[test]
+    fn builds_edges() {
+        let m = call_module(&[(0, 1), (0, 2), (1, 2)], 3);
+        let cg = CallGraph::build(&m);
+        assert_eq!(cg.callees(FuncId(0)).len(), 2);
+        assert_eq!(cg.callers(FuncId(2)).len(), 2);
+        assert!(!cg.has_recursion(FuncId(0)));
+    }
+
+    #[test]
+    fn bottom_up_order_puts_callees_first() {
+        let m = call_module(&[(0, 1), (1, 2)], 3);
+        let cg = CallGraph::build(&m);
+        let order = cg.bottom_up_from(FuncId(0));
+        assert_eq!(order, vec![FuncId(2), FuncId(1), FuncId(0)]);
+    }
+
+    #[test]
+    fn detects_recursion() {
+        let m = call_module(&[(0, 1), (1, 0)], 2);
+        let cg = CallGraph::build(&m);
+        assert!(cg.has_recursion(FuncId(0)));
+        // Self recursion too.
+        let m2 = call_module(&[(0, 0)], 1);
+        assert!(CallGraph::build(&m2).has_recursion(FuncId(0)));
+    }
+
+    #[test]
+    fn unreachable_functions_ignored() {
+        let m = call_module(&[(1, 2)], 3);
+        let cg = CallGraph::build(&m);
+        assert_eq!(cg.bottom_up_from(FuncId(0)), vec![FuncId(0)]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Control-flow-graph analyses: predecessors/successors, reverse post-order,
+//! dominators and natural-loop detection.
+//!
+//! TAO's branch-masking pass and the controller synthesis both consume these
+//! analyses: the controller needs a deterministic state ordering (RPO) and
+//! the loop analysis identifies loop-bound constants (whose obfuscation the
+//! paper highlights — wrong keys then change latency, Sec. 4.3).
+
+use crate::function::Function;
+use crate::instr::Terminator;
+use crate::operand::BlockId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Control-flow analysis results for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    /// Immediate dominator of each block (entry maps to itself).
+    idom: Vec<Option<BlockId>>,
+}
+
+impl Cfg {
+    /// Computes the CFG analyses for `f`.
+    pub fn compute(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            for s in f.block(b).terminator.successors() {
+                succs[b.index()].push(s);
+                preds[s.index()].push(b);
+            }
+        }
+        let rpo = reverse_post_order(&succs, n);
+        let idom = dominators(&preds, &rpo, n);
+        Cfg { preds, succs, rpo, idom }
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successor blocks of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Blocks in reverse post-order from the entry (unreachable blocks are
+    /// excluded).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Whether `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom[b.index()].is_some() || b == BlockId(0)
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry and unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == BlockId(0) {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Back edges (`tail -> header` where the header dominates the tail),
+    /// identifying natural loops.
+    pub fn back_edges(&self) -> Vec<(BlockId, BlockId)> {
+        let mut edges = Vec::new();
+        for &b in &self.rpo {
+            for &s in self.succs(b) {
+                if self.dominates(s, b) {
+                    edges.push((b, s));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Natural loops as `header -> body blocks` (body includes the header).
+    pub fn natural_loops(&self) -> BTreeMap<BlockId, BTreeSet<BlockId>> {
+        let mut loops: BTreeMap<BlockId, BTreeSet<BlockId>> = BTreeMap::new();
+        for (tail, header) in self.back_edges() {
+            let body = loops.entry(header).or_default();
+            body.insert(header);
+            // Walk predecessors backwards from the tail until the header.
+            let mut stack = vec![tail];
+            while let Some(b) = stack.pop() {
+                if body.insert(b) {
+                    for &p in self.preds(b) {
+                        if p != header {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        loops
+    }
+}
+
+fn reverse_post_order(succs: &[Vec<BlockId>], n: usize) -> Vec<BlockId> {
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with an explicit stack to avoid recursion limits on the
+    // large CFGs the inliner produces.
+    let mut stack: Vec<(BlockId, usize)> = Vec::new();
+    if n > 0 {
+        visited[0] = true;
+        stack.push((BlockId(0), 0));
+    }
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let ss = &succs[b.index()];
+        if *i < ss.len() {
+            let next = ss[*i];
+            *i += 1;
+            if !visited[next.index()] {
+                visited[next.index()] = true;
+                stack.push((next, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Cooper–Harvey–Kennedy iterative dominator computation.
+fn dominators(preds: &[Vec<BlockId>], rpo: &[BlockId], n: usize) -> Vec<Option<BlockId>> {
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_index[b.index()] = i;
+    }
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    if n == 0 {
+        return idom;
+    }
+    idom[0] = Some(BlockId(0));
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.index()] {
+                if idom[p.index()].is_none() {
+                    continue; // unreachable or not yet processed
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.index()] != Some(ni) {
+                    idom[b.index()] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Entry's idom is conventionally itself internally; expose None via API.
+    idom
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("dominator chain broken");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("dominator chain broken");
+        }
+    }
+    a
+}
+
+/// Replaces a conditional branch whose arms coincide with a jump.
+pub fn normalize_degenerate_branches(f: &mut Function) {
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if let Terminator::Branch { then_to, else_to, .. } = f.block(b).terminator {
+            if then_to == else_to {
+                f.block_mut(b).terminator = Terminator::Jump(then_to);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Terminator;
+    use crate::operand::Operand;
+    use crate::types::Type;
+
+    /// Builds a diamond: bb0 -> {bb1, bb2} -> bb3.
+    fn diamond() -> Function {
+        let mut f = Function::new("d");
+        let c = f.new_value(Type::BOOL);
+        let b0 = f.new_block("entry");
+        let b1 = f.new_block("then");
+        let b2 = f.new_block("else");
+        let b3 = f.new_block("join");
+        f.block_mut(b0).terminator =
+            Terminator::Branch { cond: Operand::Value(c), then_to: b1, else_to: b2 };
+        f.block_mut(b1).terminator = Terminator::Jump(b3);
+        f.block_mut(b2).terminator = Terminator::Jump(b3);
+        f.block_mut(b3).terminator = Terminator::Return(None);
+        f
+    }
+
+    #[test]
+    fn diamond_cfg() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(cfg.rpo().len(), 4);
+        assert_eq!(cfg.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(cfg.dominates(BlockId(0), BlockId(3)));
+        assert!(!cfg.dominates(BlockId(1), BlockId(3)));
+        assert!(cfg.back_edges().is_empty());
+    }
+
+    #[test]
+    fn loop_detection() {
+        // bb0 -> bb1 (header) -> bb2 (body) -> bb1 ; bb1 -> bb3 (exit)
+        let mut f = Function::new("l");
+        let c = f.new_value(Type::BOOL);
+        let b0 = f.new_block("entry");
+        let b1 = f.new_block("header");
+        let b2 = f.new_block("body");
+        let b3 = f.new_block("exit");
+        f.block_mut(b0).terminator = Terminator::Jump(b1);
+        f.block_mut(b1).terminator =
+            Terminator::Branch { cond: Operand::Value(c), then_to: b2, else_to: b3 };
+        f.block_mut(b2).terminator = Terminator::Jump(b1);
+        f.block_mut(b3).terminator = Terminator::Return(None);
+
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.back_edges(), vec![(b2, b1)]);
+        let loops = cfg.natural_loops();
+        let body = &loops[&b1];
+        assert!(body.contains(&b1) && body.contains(&b2));
+        assert!(!body.contains(&b0) && !body.contains(&b3));
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded_from_rpo() {
+        let mut f = diamond();
+        let dead = f.new_block("dead");
+        f.block_mut(dead).terminator = Terminator::Return(None);
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.rpo().len(), 4);
+        assert!(!cfg.is_reachable(dead));
+    }
+
+    #[test]
+    fn degenerate_branch_normalized() {
+        let mut f = Function::new("g");
+        let c = f.new_value(Type::BOOL);
+        let b0 = f.new_block("entry");
+        let b1 = f.new_block("next");
+        f.block_mut(b0).terminator =
+            Terminator::Branch { cond: Operand::Value(c), then_to: b1, else_to: b1 };
+        f.block_mut(b1).terminator = Terminator::Return(None);
+        normalize_degenerate_branches(&mut f);
+        assert_eq!(f.block(b0).terminator, Terminator::Jump(b1));
+    }
+}

@@ -1,0 +1,325 @@
+//! Functions, basic blocks, memory objects and modules.
+
+use crate::instr::{Instr, Terminator};
+use crate::operand::{ArrayId, BlockId, ConstPool, FuncId, Operand, ValueId};
+use crate::types::Type;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A basic block: straight-line instructions plus one terminator.
+///
+/// Basic blocks are the unit of TAO's DFG-variant obfuscation (each block
+/// receives `B_i` key bits; paper Sec. 3.3.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Straight-line instructions, in program order.
+    pub instrs: Vec<Instr>,
+    /// The block terminator.
+    pub terminator: Terminator,
+    /// Human-readable label (kept through transformations for debugging).
+    pub label: String,
+}
+
+impl BasicBlock {
+    /// Creates an empty block ending in `ret`.
+    pub fn new(label: impl Into<String>) -> BasicBlock {
+        BasicBlock { instrs: Vec::new(), terminator: Terminator::Return(None), label: label.into() }
+    }
+}
+
+/// A memory object: a statically sized array of elements of one type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemObject {
+    /// Name (for diagnostics and Verilog emission).
+    pub name: String,
+    /// Element type.
+    pub elem_ty: Type,
+    /// Number of elements.
+    pub len: usize,
+    /// Optional initializer (raw bits per element); zero-filled otherwise.
+    pub init: Option<Vec<u64>>,
+    /// Whether this object is visible outside the accelerator (a port);
+    /// output comparison in testbenches uses these.
+    pub external: bool,
+}
+
+impl MemObject {
+    /// Creates a zero-initialized internal memory object.
+    pub fn new(name: impl Into<String>, elem_ty: Type, len: usize) -> MemObject {
+        MemObject { name: name.into(), elem_ty, len, init: None, external: false }
+    }
+}
+
+/// A function: parameters, virtual-register types, blocks and a constant pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter registers (also listed in `value_types`).
+    pub params: Vec<ValueId>,
+    /// Type of every virtual register, indexed by [`ValueId`].
+    pub value_types: Vec<Type>,
+    /// Basic blocks, indexed by [`BlockId`]. `BlockId(0)` is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Return type (`None` for `void`).
+    pub ret_ty: Option<Type>,
+    /// Interned constants used by this function.
+    pub consts: ConstPool,
+    /// Function-local memory objects.
+    pub arrays: BTreeMap<ArrayId, MemObject>,
+}
+
+impl Function {
+    /// Creates an empty function with no blocks.
+    pub fn new(name: impl Into<String>) -> Function {
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            value_types: Vec::new(),
+            blocks: Vec::new(),
+            ret_ty: None,
+            consts: ConstPool::new(),
+            arrays: BTreeMap::new(),
+        }
+    }
+
+    /// Allocates a fresh virtual register of type `ty`.
+    pub fn new_value(&mut self, ty: Type) -> ValueId {
+        self.value_types.push(ty);
+        ValueId(self.value_types.len() as u32 - 1)
+    }
+
+    /// Appends a new empty block and returns its id.
+    pub fn new_block(&mut self, label: impl Into<String>) -> BlockId {
+        self.blocks.push(BasicBlock::new(label));
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// The type of a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not allocated in this function.
+    pub fn value_type(&self, v: ValueId) -> Type {
+        self.value_types[v.index()]
+    }
+
+    /// The type of an operand (register type or constant type).
+    pub fn operand_type(&self, op: Operand) -> Type {
+        match op {
+            Operand::Value(v) => self.value_type(v),
+            Operand::Const(c) => self.consts.get(c).ty,
+        }
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn block(&self, b: BlockId) -> &BasicBlock {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn block_mut(&mut self, b: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[b.index()]
+    }
+
+    /// Iterates over `(id, block)` pairs.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Number of basic blocks (the paper's `#BB` for this function).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of conditional jumps (the paper's `#CJMP` for this function).
+    pub fn num_cond_jumps(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(b.terminator, Terminator::Branch { .. }))
+            .count()
+    }
+
+    /// Total straight-line instruction count.
+    pub fn num_instrs(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "func {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}: {}", self.value_type(*p))?;
+        }
+        writeln!(f, ") -> {:?} {{", self.ret_ty.map(|t| t.to_string()))?;
+        for (id, c) in self.consts.iter() {
+            writeln!(f, "  const {id} = {c}")?;
+        }
+        for (id, m) in &self.arrays {
+            writeln!(f, "  local {id} = {}[{}] of {}", m.name, m.len, m.elem_ty)?;
+        }
+        for b in self.block_ids() {
+            let blk = self.block(b);
+            writeln!(f, "{b}: ; {}", blk.label)?;
+            for i in &blk.instrs {
+                writeln!(f, "  {i}")?;
+            }
+            writeln!(f, "  {}", blk.terminator)?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+/// A compilation unit: functions plus global memory objects.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Module {
+    /// Functions, indexed by [`FuncId`].
+    pub functions: Vec<Function>,
+    /// Global memory objects shared by all functions.
+    pub globals: BTreeMap<ArrayId, MemObject>,
+    /// Module name.
+    pub name: String,
+}
+
+/// Array ids at or above this value denote globals; below, function locals.
+/// Keeping the two spaces disjoint lets instructions reference either without
+/// an extra tag.
+pub const GLOBAL_ARRAY_BASE: u32 = 1 << 16;
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module { functions: Vec::new(), globals: BTreeMap::new(), name: name.into() }
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        self.functions.push(f);
+        FuncId(self.functions.len() as u32 - 1)
+    }
+
+    /// Adds a global memory object, returning its id (in the global space).
+    pub fn add_global(&mut self, m: MemObject) -> ArrayId {
+        let id = ArrayId(GLOBAL_ARRAY_BASE + self.globals.len() as u32);
+        self.globals.insert(id, m);
+        id
+    }
+
+    /// Whether an array id refers to a global object.
+    pub fn is_global(id: ArrayId) -> bool {
+        id.0 >= GLOBAL_ARRAY_BASE
+    }
+
+    /// Looks up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Shared access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// Resolves a memory object reference from inside `func`.
+    pub fn mem_object<'a>(&'a self, func: &'a Function, id: ArrayId) -> Option<&'a MemObject> {
+        if Module::is_global(id) {
+            self.globals.get(&id)
+        } else {
+            func.arrays.get(&id)
+        }
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} {{", self.name)?;
+        for (id, m) in &self.globals {
+            writeln!(f, "global {id} = {}[{}] of {}", m.name, m.len, m.elem_ty)?;
+        }
+        for func in &self.functions {
+            writeln!(f, "{func}")?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BinOp, Terminator};
+    use crate::operand::{Constant, Operand};
+
+    #[test]
+    fn function_construction() {
+        let mut f = Function::new("add1");
+        let p = f.new_value(Type::I32);
+        f.params.push(p);
+        f.ret_ty = Some(Type::I32);
+        let entry = f.new_block("entry");
+        let one = f.consts.intern(Constant::new(1, Type::I32));
+        let dst = f.new_value(Type::I32);
+        f.block_mut(entry).instrs.push(Instr::Binary {
+            op: BinOp::Add,
+            ty: Type::I32,
+            lhs: Operand::Value(p),
+            rhs: Operand::Const(one),
+            dst,
+        });
+        f.block_mut(entry).terminator = Terminator::Return(Some(Operand::Value(dst)));
+
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.num_cond_jumps(), 0);
+        assert_eq!(f.num_instrs(), 1);
+        assert_eq!(f.operand_type(Operand::Const(one)), Type::I32);
+        assert!(f.to_string().contains("add i32"));
+    }
+
+    #[test]
+    fn module_global_vs_local_ids() {
+        let mut m = Module::new("test");
+        let g = m.add_global(MemObject::new("tbl", Type::I16, 8));
+        assert!(Module::is_global(g));
+        assert!(!Module::is_global(ArrayId(3)));
+        let f = Function::new("f");
+        assert!(m.mem_object(&f, g).is_some());
+        assert!(m.mem_object(&f, ArrayId(3)).is_none());
+    }
+
+    #[test]
+    fn function_lookup_by_name() {
+        let mut m = Module::new("test");
+        m.add_function(Function::new("a"));
+        let id = m.add_function(Function::new("b"));
+        assert_eq!(m.function_by_name("b").map(|(i, _)| i), Some(id));
+        assert!(m.function_by_name("missing").is_none());
+    }
+}

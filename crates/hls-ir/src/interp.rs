@@ -1,0 +1,465 @@
+//! A reference interpreter for the IR.
+//!
+//! The interpreter is the *golden model*: the paper validates obfuscated RTL
+//! by comparing RTL simulations "against the respective executions of the
+//! input specification in software" (Sec. 4.1). Our testbench harness does
+//! the same, comparing the cycle-accurate FSMD simulator in the `rtl` crate
+//! against this interpreter. It is also used to prove that every compiler
+//! pass preserves semantics (see the property tests in `passes`).
+
+use crate::function::{Function, Module};
+use crate::instr::{Instr, Terminator};
+use crate::operand::{ArrayId, BlockId, FuncId, Operand};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised during interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum InterpError {
+    /// The step budget was exhausted (probable infinite loop).
+    StepLimit,
+    /// A register was read before any assignment.
+    UseBeforeDef(String),
+    /// An array index was outside the object bounds.
+    OutOfBounds { array: String, index: i64, len: usize },
+    /// Referenced array does not exist.
+    UnknownArray(ArrayId),
+    /// Call depth exceeded (runaway recursion).
+    CallDepth,
+    /// Argument count mismatch on a call.
+    ArityMismatch { func: String, expected: usize, got: usize },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::StepLimit => write!(f, "interpreter step limit exceeded"),
+            InterpError::UseBeforeDef(v) => write!(f, "register {v} read before definition"),
+            InterpError::OutOfBounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for array {array} of length {len}")
+            }
+            InterpError::UnknownArray(a) => write!(f, "unknown array {a}"),
+            InterpError::CallDepth => write!(f, "call depth limit exceeded"),
+            InterpError::ArityMismatch { func, expected, got } => {
+                write!(f, "call to {func} expected {expected} arguments, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+/// Snapshot of all global memory objects (raw bits per element).
+pub type GlobalMemory = BTreeMap<ArrayId, Vec<u64>>;
+
+/// Result of executing one function to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Return value (raw bits), if the function returns one.
+    pub ret: Option<u64>,
+    /// Number of IR instructions executed.
+    pub steps: u64,
+    /// Number of basic blocks entered (a latency proxy before scheduling).
+    pub blocks_entered: u64,
+}
+
+/// The IR interpreter. Owns the global memory image between runs so several
+/// kernel invocations can communicate through globals, as the benchmark
+/// drivers do.
+#[derive(Debug, Clone)]
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    /// Global memory image (exposed so testbenches can compare outputs).
+    pub globals: GlobalMemory,
+    step_limit: u64,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Creates an interpreter with global arrays loaded from their
+    /// initializers (zero-filled when absent).
+    pub fn new(module: &'m Module) -> Interpreter<'m> {
+        let mut globals = GlobalMemory::new();
+        for (id, obj) in &module.globals {
+            let mut data = vec![0u64; obj.len];
+            if let Some(init) = &obj.init {
+                for (i, v) in init.iter().enumerate().take(obj.len) {
+                    data[i] = obj.elem_ty.truncate(*v);
+                }
+            }
+            globals.insert(*id, data);
+        }
+        Interpreter { module, globals, step_limit: 200_000_000 }
+    }
+
+    /// Replaces the default step budget (200M instructions).
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Runs function `func` with raw-bit arguments `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] on use-before-def, out-of-bounds access,
+    /// arity mismatch, or exhausted step/call budgets.
+    pub fn run(&mut self, func: FuncId, args: &[u64]) -> Result<ExecOutcome, InterpError> {
+        let mut steps = 0u64;
+        let mut blocks = 0u64;
+        let ret = self.run_frame(func, args, 0, &mut steps, &mut blocks)?;
+        Ok(ExecOutcome { ret, steps, blocks_entered: blocks })
+    }
+
+    /// Convenience: run the function called `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function with that name exists.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Interpreter::run`].
+    pub fn run_by_name(&mut self, name: &str, args: &[u64]) -> Result<ExecOutcome, InterpError> {
+        let (id, _) = self
+            .module
+            .function_by_name(name)
+            .unwrap_or_else(|| panic!("no function named {name}"));
+        self.run(id, args)
+    }
+
+    fn run_frame(
+        &mut self,
+        func_id: FuncId,
+        args: &[u64],
+        depth: usize,
+        steps: &mut u64,
+        blocks: &mut u64,
+    ) -> Result<Option<u64>, InterpError> {
+        if depth > 64 {
+            return Err(InterpError::CallDepth);
+        }
+        let f = self.module.function(func_id);
+        if args.len() != f.params.len() {
+            return Err(InterpError::ArityMismatch {
+                func: f.name.clone(),
+                expected: f.params.len(),
+                got: args.len(),
+            });
+        }
+        let mut regs: Vec<Option<u64>> = vec![None; f.value_types.len()];
+        for (p, a) in f.params.iter().zip(args) {
+            regs[p.index()] = Some(f.value_type(*p).truncate(*a));
+        }
+        // Local arrays are fresh per activation.
+        let mut locals: BTreeMap<ArrayId, Vec<u64>> = BTreeMap::new();
+        for (id, obj) in &f.arrays {
+            let mut data = vec![0u64; obj.len];
+            if let Some(init) = &obj.init {
+                for (i, v) in init.iter().enumerate().take(obj.len) {
+                    data[i] = obj.elem_ty.truncate(*v);
+                }
+            }
+            locals.insert(*id, data);
+        }
+
+        let mut cur = BlockId(0);
+        loop {
+            *blocks += 1;
+            // Clone the instruction list reference carefully: we need &mut
+            // self for recursive calls, so iterate by index.
+            let n_instrs = f.block(cur).instrs.len();
+            for idx in 0..n_instrs {
+                *steps += 1;
+                if *steps > self.step_limit {
+                    return Err(InterpError::StepLimit);
+                }
+                let instr = f.block(cur).instrs[idx].clone();
+                self.exec_instr(f, func_id, &instr, &mut regs, &mut locals, depth, steps, blocks)?;
+            }
+            match f.block(cur).terminator.clone() {
+                Terminator::Jump(b) => cur = b,
+                Terminator::Branch { cond, then_to, else_to } => {
+                    let c = read_operand(f, &regs, cond)?;
+                    cur = if c & 1 == 1 { then_to } else { else_to };
+                }
+                Terminator::Return(v) => {
+                    return match v {
+                        Some(op) => Ok(Some(read_operand(f, &regs, op)?)),
+                        None => Ok(None),
+                    };
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_instr(
+        &mut self,
+        f: &Function,
+        func_id: FuncId,
+        instr: &Instr,
+        regs: &mut [Option<u64>],
+        locals: &mut BTreeMap<ArrayId, Vec<u64>>,
+        depth: usize,
+        steps: &mut u64,
+        blocks: &mut u64,
+    ) -> Result<(), InterpError> {
+        match instr {
+            Instr::Binary { op, ty, lhs, rhs, dst } => {
+                let a = read_operand(f, regs, *lhs)?;
+                let b = read_operand(f, regs, *rhs)?;
+                regs[dst.index()] = Some(op.eval(*ty, a, b));
+            }
+            Instr::Unary { op, ty, src, dst } => {
+                let a = read_operand(f, regs, *src)?;
+                regs[dst.index()] = Some(op.eval(*ty, a));
+            }
+            Instr::Cmp { pred, ty, lhs, rhs, dst } => {
+                let a = read_operand(f, regs, *lhs)?;
+                let b = read_operand(f, regs, *rhs)?;
+                regs[dst.index()] = Some(pred.eval(*ty, a, b) as u64);
+            }
+            Instr::Convert { from, to, src, dst } => {
+                let a = read_operand(f, regs, *src)?;
+                regs[dst.index()] = Some(from.convert_to(a, *to));
+            }
+            Instr::Copy { ty, src, dst } => {
+                let a = read_operand(f, regs, *src)?;
+                regs[dst.index()] = Some(ty.truncate(a));
+            }
+            Instr::Load { ty, array, index, dst } => {
+                let i = f.operand_type(*index).to_signed(read_operand(f, regs, *index)?);
+                let data = self.array(f, locals, *array)?;
+                if i < 0 || i as usize >= data.len() {
+                    return Err(self.oob(f, *array, i));
+                }
+                regs[dst.index()] = Some(ty.truncate(data[i as usize]));
+            }
+            Instr::Store { ty, array, index, value } => {
+                let i = f.operand_type(*index).to_signed(read_operand(f, regs, *index)?);
+                let v = ty.truncate(read_operand(f, regs, *value)?);
+                let len = self.array(f, locals, *array)?.len();
+                if i < 0 || i as usize >= len {
+                    return Err(self.oob(f, *array, i));
+                }
+                self.array_mut(f, locals, *array)?[i as usize] = v;
+            }
+            Instr::Call { func, args, dst, .. } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(read_operand(f, regs, *a)?);
+                }
+                let _ = func_id;
+                let r = self.run_frame(*func, &vals, depth + 1, steps, blocks)?;
+                if let Some(d) = dst {
+                    regs[d.index()] =
+                        Some(r.ok_or_else(|| InterpError::UseBeforeDef(d.to_string()))?);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn array<'a>(
+        &'a self,
+        f: &Function,
+        locals: &'a BTreeMap<ArrayId, Vec<u64>>,
+        id: ArrayId,
+    ) -> Result<&'a Vec<u64>, InterpError> {
+        let _ = f;
+        if Module::is_global(id) {
+            self.globals.get(&id).ok_or(InterpError::UnknownArray(id))
+        } else {
+            locals.get(&id).ok_or(InterpError::UnknownArray(id))
+        }
+    }
+
+    fn array_mut<'a>(
+        &'a mut self,
+        f: &Function,
+        locals: &'a mut BTreeMap<ArrayId, Vec<u64>>,
+        id: ArrayId,
+    ) -> Result<&'a mut Vec<u64>, InterpError> {
+        let _ = f;
+        if Module::is_global(id) {
+            self.globals.get_mut(&id).ok_or(InterpError::UnknownArray(id))
+        } else {
+            locals.get_mut(&id).ok_or(InterpError::UnknownArray(id))
+        }
+    }
+
+    fn oob(&self, f: &Function, id: ArrayId, index: i64) -> InterpError {
+        let (name, len) = self
+            .module
+            .mem_object(f, id)
+            .map(|m| (m.name.clone(), m.len))
+            .unwrap_or_else(|| (id.to_string(), 0));
+        InterpError::OutOfBounds { array: name, index, len }
+    }
+}
+
+fn read_operand(f: &Function, regs: &[Option<u64>], op: Operand) -> Result<u64, InterpError> {
+    match op {
+        Operand::Value(v) => {
+            regs[v.index()].ok_or_else(|| InterpError::UseBeforeDef(v.to_string()))
+        }
+        Operand::Const(c) => Ok(f.consts.get(c).bits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{Function, MemObject, Module};
+    use crate::instr::{BinOp, CmpPred, Instr, Terminator};
+    use crate::operand::Constant;
+    use crate::types::Type;
+
+    /// sum = 0; for (i = 0; i < n; i++) sum += i; return sum;
+    fn sum_to_n_module() -> Module {
+        let mut m = Module::new("t");
+        let mut f = Function::new("sum");
+        let n = f.new_value(Type::I32);
+        f.params.push(n);
+        f.ret_ty = Some(Type::I32);
+        let zero = f.consts.intern(Constant::new(0, Type::I32));
+        let one = f.consts.intern(Constant::new(1, Type::I32));
+
+        let sum = f.new_value(Type::I32);
+        let i = f.new_value(Type::I32);
+        let cond = f.new_value(Type::BOOL);
+
+        let entry = f.new_block("entry");
+        let header = f.new_block("header");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+
+        f.block_mut(entry).instrs.extend([
+            Instr::Copy { ty: Type::I32, src: zero.into(), dst: sum },
+            Instr::Copy { ty: Type::I32, src: zero.into(), dst: i },
+        ]);
+        f.block_mut(entry).terminator = Terminator::Jump(header);
+
+        f.block_mut(header).instrs.push(Instr::Cmp {
+            pred: CmpPred::Lt,
+            ty: Type::I32,
+            lhs: i.into(),
+            rhs: n.into(),
+            dst: cond,
+        });
+        f.block_mut(header).terminator =
+            Terminator::Branch { cond: cond.into(), then_to: body, else_to: exit };
+
+        f.block_mut(body).instrs.extend([
+            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: sum.into(), rhs: i.into(), dst: sum },
+            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: i.into(), rhs: one.into(), dst: i },
+        ]);
+        f.block_mut(body).terminator = Terminator::Jump(header);
+
+        f.block_mut(exit).terminator = Terminator::Return(Some(sum.into()));
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn loop_sums_correctly() {
+        let m = sum_to_n_module();
+        let mut interp = Interpreter::new(&m);
+        let out = interp.run_by_name("sum", &[10]).unwrap();
+        assert_eq!(out.ret, Some(45));
+        assert!(out.steps > 20);
+    }
+
+    #[test]
+    fn zero_iterations() {
+        let m = sum_to_n_module();
+        let mut interp = Interpreter::new(&m);
+        assert_eq!(interp.run_by_name("sum", &[0]).unwrap().ret, Some(0));
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_loop() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("spin");
+        let b = f.new_block("entry");
+        f.block_mut(b).terminator = Terminator::Jump(b);
+        m.add_function(f);
+        // Terminators don't count as steps, but blocks do not spin forever:
+        // add an instruction so the step budget triggers.
+        let v = m.functions[0].new_value(Type::I32);
+        let z = m.functions[0].consts.intern(Constant::new(0, Type::I32));
+        m.functions[0].blocks[0]
+            .instrs
+            .push(Instr::Copy { ty: Type::I32, src: z.into(), dst: v });
+        let mut interp = Interpreter::new(&m).with_step_limit(1000);
+        assert_eq!(interp.run_by_name("spin", &[]), Err(InterpError::StepLimit));
+    }
+
+    #[test]
+    fn global_memory_and_bounds() {
+        let mut m = Module::new("t");
+        let g = m.add_global(MemObject::new("buf", Type::I32, 4));
+        let mut f = Function::new("poke");
+        let idx = f.new_value(Type::I32);
+        f.params.push(idx);
+        let c7 = f.consts.intern(Constant::new(7, Type::I32));
+        let b = f.new_block("entry");
+        f.block_mut(b).instrs.push(Instr::Store {
+            ty: Type::I32,
+            array: g,
+            index: idx.into(),
+            value: c7.into(),
+        });
+        f.block_mut(b).terminator = Terminator::Return(None);
+        m.add_function(f);
+
+        let mut interp = Interpreter::new(&m);
+        interp.run_by_name("poke", &[2]).unwrap();
+        assert_eq!(interp.globals[&g][2], 7);
+        let err = interp.run_by_name("poke", &[9]).unwrap_err();
+        assert!(matches!(err, InterpError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn calls_work() {
+        let mut m = sum_to_n_module();
+        // driver(n) = sum(n) + sum(n)
+        let sum_id = m.function_by_name("sum").unwrap().0;
+        let mut f = Function::new("driver");
+        let n = f.new_value(Type::I32);
+        f.params.push(n);
+        f.ret_ty = Some(Type::I32);
+        let a = f.new_value(Type::I32);
+        let b = f.new_value(Type::I32);
+        let r = f.new_value(Type::I32);
+        let blk = f.new_block("entry");
+        f.block_mut(blk).instrs.extend([
+            Instr::Call { func: sum_id, args: vec![n.into()], dst: Some(a), ret_ty: Some(Type::I32) },
+            Instr::Call { func: sum_id, args: vec![n.into()], dst: Some(b), ret_ty: Some(Type::I32) },
+            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: a.into(), rhs: b.into(), dst: r },
+        ]);
+        f.block_mut(blk).terminator = Terminator::Return(Some(r.into()));
+        m.add_function(f);
+
+        let mut interp = Interpreter::new(&m);
+        assert_eq!(interp.run_by_name("driver", &[10]).unwrap().ret, Some(90));
+    }
+
+    #[test]
+    fn use_before_def_detected() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("bad");
+        let v = f.new_value(Type::I32);
+        f.ret_ty = Some(Type::I32);
+        let b = f.new_block("entry");
+        f.block_mut(b).terminator = Terminator::Return(Some(v.into()));
+        m.add_function(f);
+        let mut interp = Interpreter::new(&m);
+        assert!(matches!(
+            interp.run_by_name("bad", &[]),
+            Err(InterpError::UseBeforeDef(_))
+        ));
+    }
+}

@@ -1,0 +1,64 @@
+//! # hls-ir — intermediate representation for the TAO reproduction
+//!
+//! This crate is the substrate beneath everything else in the workspace:
+//! a three-address, basic-block intermediate representation with the
+//! analyses and optimizations a high-level-synthesis front end needs, plus
+//! a reference interpreter used as the *golden model* against which both
+//! compiler passes and the synthesized (and obfuscated) RTL are validated.
+//!
+//! The design follows the FSMD-oriented HLS flow assumed by the TAO paper
+//! (Pilato et al., DAC 2018, Fig. 2): a compiler front end produces this IR,
+//! compiler optimizations run ([`passes::optimize`]), TAO's constant
+//! extraction rewrites the [`ConstPool`]s, and the `hls-core` crate
+//! schedules/binds the result into a datapath + FSM controller.
+//!
+//! ## Example
+//!
+//! ```
+//! use hls_ir::{Function, Instr, BinOp, Module, Terminator, Type, Interpreter, Constant};
+//!
+//! let mut m = Module::new("demo");
+//! let mut f = Function::new("inc");
+//! let x = f.new_value(Type::I32);
+//! f.params.push(x);
+//! f.ret_ty = Some(Type::I32);
+//! let one = f.consts.intern(Constant::new(1, Type::I32));
+//! let r = f.new_value(Type::I32);
+//! let b = f.new_block("entry");
+//! f.block_mut(b).instrs.push(Instr::Binary {
+//!     op: BinOp::Add, ty: Type::I32, lhs: x.into(), rhs: one.into(), dst: r,
+//! });
+//! f.block_mut(b).terminator = Terminator::Return(Some(r.into()));
+//! m.add_function(f);
+//!
+//! let mut interp = Interpreter::new(&m);
+//! assert_eq!(interp.run_by_name("inc", &[41]).unwrap().ret, Some(42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod callgraph;
+mod cfg;
+mod dfg;
+mod function;
+mod instr;
+mod interp;
+mod liveness;
+mod operand;
+pub mod passes;
+mod stats;
+mod types;
+mod verify;
+
+pub use callgraph::CallGraph;
+pub use cfg::{normalize_degenerate_branches, Cfg};
+pub use dfg::{DepEdge, DepKind, Dfg, NodeIdx};
+pub use function::{BasicBlock, Function, MemObject, Module, GLOBAL_ARRAY_BASE};
+pub use instr::{BinOp, CmpPred, Instr, Terminator, UnOp};
+pub use interp::{ExecOutcome, GlobalMemory, InterpError, Interpreter};
+pub use liveness::Liveness;
+pub use operand::{ArrayId, BlockId, ConstId, ConstPool, Constant, FuncId, Operand, ValueId};
+pub use stats::ModuleStats;
+pub use types::Type;
+pub use verify::{verify_function, verify_module, VerifyError};

@@ -1,0 +1,170 @@
+//! Global liveness analysis.
+//!
+//! Used by dead-code elimination and — crucially — by register binding in
+//! `hls-core`: a value live across a basic-block boundary must own an
+//! architectural register in the datapath, while block-local temporaries
+//! can share registers (Stok, "Data Path Synthesis", the register-binding
+//! reference the paper cites as [15]).
+
+use crate::cfg::Cfg;
+use crate::function::Function;
+use crate::instr::Terminator;
+use crate::operand::{Operand, ValueId};
+use std::collections::BTreeSet;
+
+/// Per-block liveness sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Values live on entry to each block.
+    pub live_in: Vec<BTreeSet<ValueId>>,
+    /// Values live on exit from each block.
+    pub live_out: Vec<BTreeSet<ValueId>>,
+}
+
+impl Liveness {
+    /// Computes liveness for `f` using the standard backward dataflow.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Liveness {
+        let n = f.blocks.len();
+        let mut gen = vec![BTreeSet::new(); n];
+        let mut kill = vec![BTreeSet::new(); n];
+        for b in f.block_ids() {
+            let blk = f.block(b);
+            let (g, k) = (&mut gen[b.index()], &mut kill[b.index()]);
+            for instr in &blk.instrs {
+                for u in instr.uses() {
+                    if let Operand::Value(v) = u {
+                        if !k.contains(&v) {
+                            g.insert(v);
+                        }
+                    }
+                }
+                if let Some(d) = instr.def() {
+                    k.insert(d);
+                }
+            }
+            match &blk.terminator {
+                Terminator::Branch { cond: Operand::Value(v), .. }
+                | Terminator::Return(Some(Operand::Value(v)))
+                    if !k.contains(v) => {
+                        g.insert(*v);
+                    }
+                _ => {}
+            }
+        }
+        let mut live_in = vec![BTreeSet::new(); n];
+        let mut live_out: Vec<BTreeSet<ValueId>> = vec![BTreeSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo().iter().rev() {
+                let mut out = BTreeSet::new();
+                for &s in cfg.succs(b) {
+                    out.extend(live_in[s.index()].iter().copied());
+                }
+                let mut inn: BTreeSet<ValueId> = gen[b.index()].clone();
+                for v in &out {
+                    if !kill[b.index()].contains(v) {
+                        inn.insert(*v);
+                    }
+                }
+                if out != live_out[b.index()] || inn != live_in[b.index()] {
+                    live_out[b.index()] = out;
+                    live_in[b.index()] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// The set of values that are live across *some* block boundary (they
+    /// need dedicated architectural registers in the datapath), including
+    /// function parameters.
+    pub fn cross_block_values(&self, f: &Function) -> BTreeSet<ValueId> {
+        let mut set: BTreeSet<ValueId> = f.params.iter().copied().collect();
+        for s in self.live_in.iter().chain(self.live_out.iter()) {
+            set.extend(s.iter().copied());
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BinOp, CmpPred, Instr};
+    use crate::types::Type;
+    use crate::operand::BlockId;
+
+    #[test]
+    fn loop_carried_values_live() {
+        // entry: s=0 ; header: c = s<n ; br body/exit ; body: s=s+n -> header
+        let mut f = Function::new("t");
+        let n = f.new_value(Type::I32);
+        f.params.push(n);
+        f.ret_ty = Some(Type::I32);
+        let s = f.new_value(Type::I32);
+        let c = f.new_value(Type::BOOL);
+        let zero = f.consts.intern(crate::operand::Constant::new(0, Type::I32));
+        let entry = f.new_block("entry");
+        let header = f.new_block("header");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        f.block_mut(entry).instrs.push(Instr::Copy { ty: Type::I32, src: zero.into(), dst: s });
+        f.block_mut(entry).terminator = Terminator::Jump(header);
+        f.block_mut(header).instrs.push(Instr::Cmp {
+            pred: CmpPred::Lt,
+            ty: Type::I32,
+            lhs: s.into(),
+            rhs: n.into(),
+            dst: c,
+        });
+        f.block_mut(header).terminator =
+            Terminator::Branch { cond: c.into(), then_to: body, else_to: exit };
+        f.block_mut(body).instrs.push(Instr::Binary {
+            op: BinOp::Add,
+            ty: Type::I32,
+            lhs: s.into(),
+            rhs: n.into(),
+            dst: s,
+        });
+        f.block_mut(body).terminator = Terminator::Jump(header);
+        f.block_mut(exit).terminator = Terminator::Return(Some(s.into()));
+
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(lv.live_out[entry.index()].contains(&s));
+        assert!(lv.live_in[header.index()].contains(&s));
+        assert!(lv.live_in[header.index()].contains(&n));
+        // The condition is consumed by the terminator of its own block and
+        // is not live into successors.
+        assert!(!lv.live_in[body.index()].contains(&c));
+        let cross = lv.cross_block_values(&f);
+        assert!(cross.contains(&s) && cross.contains(&n));
+        assert!(!cross.contains(&c));
+        let _ = BlockId(0);
+    }
+
+    #[test]
+    fn straight_line_has_no_cross_block_temps() {
+        let mut f = Function::new("t");
+        let a = f.new_value(Type::I32);
+        f.params.push(a);
+        f.ret_ty = Some(Type::I32);
+        let t = f.new_value(Type::I32);
+        let b = f.new_block("entry");
+        f.block_mut(b).instrs.push(Instr::Binary {
+            op: BinOp::Mul,
+            ty: Type::I32,
+            lhs: a.into(),
+            rhs: a.into(),
+            dst: t,
+        });
+        f.block_mut(b).terminator = Terminator::Return(Some(t.into()));
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let cross = lv.cross_block_values(&f);
+        assert!(cross.contains(&a)); // param
+        assert!(!cross.contains(&t)); // block-local temp
+    }
+}

@@ -1,0 +1,246 @@
+//! Identifiers and operands used throughout the IR.
+//!
+//! Constants are interned in a per-function [`ConstPool`] rather than stored
+//! inline in instructions. This mirrors how TAO treats constants as
+//! first-class objects: the obfuscation pass rewrites pool entries
+//! (`V_e = V_p XOR K_i`, Eq. 2 of the paper) without touching instructions,
+//! and the paper's Table 1 `#Const` column is the pool size.
+
+use crate::types::Type;
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The numeric index of this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A virtual register (an IR value produced by an instruction or a
+    /// function parameter).
+    ValueId,
+    "%v"
+);
+id_type!(
+    /// A basic block within a function.
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// A function within a module.
+    FuncId,
+    "@f"
+);
+id_type!(
+    /// An interned constant within a function's [`ConstPool`].
+    ConstId,
+    "$c"
+);
+id_type!(
+    /// A memory object (array) — either function-local or module-global.
+    ArrayId,
+    "@m"
+);
+
+/// An instruction operand: either a virtual register or an interned constant.
+///
+/// # Examples
+///
+/// ```
+/// use hls_ir::{Operand, ValueId, ConstId};
+/// let a = Operand::Value(ValueId(3));
+/// let b = Operand::Const(ConstId(0));
+/// assert!(a.as_value().is_some());
+/// assert!(b.as_const().is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A virtual register.
+    Value(ValueId),
+    /// A reference into the function's constant pool.
+    Const(ConstId),
+}
+
+impl Operand {
+    /// Returns the register id if this operand is a register.
+    pub fn as_value(&self) -> Option<ValueId> {
+        match self {
+            Operand::Value(v) => Some(*v),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant id if this operand is a constant.
+    pub fn as_const(&self) -> Option<ConstId> {
+        match self {
+            Operand::Const(c) => Some(*c),
+            Operand::Value(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Value(v) => v.fmt(f),
+            Operand::Const(c) => c.fmt(f),
+        }
+    }
+}
+
+impl From<ValueId> for Operand {
+    fn from(v: ValueId) -> Self {
+        Operand::Value(v)
+    }
+}
+
+impl From<ConstId> for Operand {
+    fn from(c: ConstId) -> Self {
+        Operand::Const(c)
+    }
+}
+
+/// An interned constant: a raw bit pattern plus the type it is used at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Constant {
+    /// Raw bits, already truncated to `ty`'s width.
+    pub bits: u64,
+    /// The type the constant is used at.
+    pub ty: Type,
+}
+
+impl Constant {
+    /// Creates a constant from a signed value, wrapping to `ty`'s width.
+    pub fn new(value: i64, ty: Type) -> Constant {
+        Constant { bits: ty.from_signed(value), ty }
+    }
+
+    /// The constant interpreted as a signed integer.
+    pub fn as_i64(&self) -> i64 {
+        self.ty.to_signed(self.bits)
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.as_i64(), self.ty)
+    }
+}
+
+/// A deduplicating pool of constants for one function.
+///
+/// TAO's constant-extraction pass (paper Sec. 3.3.2) operates on this pool:
+/// every entry receives `C` working-key bits and is stored XOR-encrypted in
+/// the micro-architecture.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstPool {
+    entries: Vec<Constant>,
+}
+
+impl ConstPool {
+    /// Creates an empty pool.
+    pub fn new() -> ConstPool {
+        ConstPool::default()
+    }
+
+    /// Interns a constant, returning the id of an existing identical entry
+    /// if one is present.
+    pub fn intern(&mut self, c: Constant) -> ConstId {
+        if let Some(pos) = self.entries.iter().position(|e| *e == c) {
+            ConstId(pos as u32)
+        } else {
+            self.entries.push(c);
+            ConstId(self.entries.len() as u32 - 1)
+        }
+    }
+
+    /// Looks up a constant by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds for this pool.
+    pub fn get(&self, id: ConstId) -> Constant {
+        self.entries[id.index()]
+    }
+
+    /// Replaces the constant stored at `id` (used by obfuscation rewrites).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds for this pool.
+    pub fn set(&mut self, id: ConstId, c: Constant) {
+        self.entries[id.index()] = c;
+    }
+
+    /// Number of distinct constants (the paper's `Num_const` for this
+    /// function).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool contains no constants.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(id, constant)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ConstId, Constant)> + '_ {
+        self.entries.iter().enumerate().map(|(i, c)| (ConstId(i as u32), *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_interns_and_dedups() {
+        let mut pool = ConstPool::new();
+        let a = pool.intern(Constant::new(10, Type::I32));
+        let b = pool.intern(Constant::new(10, Type::I32));
+        let c = pool.intern(Constant::new(10, Type::I16));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn constant_wraps_to_width() {
+        let c = Constant::new(300, Type::U8);
+        assert_eq!(c.bits, 300 % 256);
+        let c = Constant::new(-1, Type::I8);
+        assert_eq!(c.bits, 0xff);
+        assert_eq!(c.as_i64(), -1);
+    }
+
+    #[test]
+    fn pool_set_replaces() {
+        let mut pool = ConstPool::new();
+        let id = pool.intern(Constant::new(10, Type::I32));
+        pool.set(id, Constant::new(99, Type::I32));
+        assert_eq!(pool.get(id).as_i64(), 99);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ValueId(3).to_string(), "%v3");
+        assert_eq!(BlockId(0).to_string(), "bb0");
+        assert_eq!(Operand::Const(ConstId(2)).to_string(), "$c2");
+        assert_eq!(Constant::new(-5, Type::I8).to_string(), "-5:i8");
+    }
+}

@@ -1,0 +1,182 @@
+//! Local (within-block) copy propagation.
+//!
+//! Forwards `dst = copy src` through later uses of `dst` in the same block,
+//! invalidating the mapping when either side is redefined. The IR is not in
+//! SSA form, so a *global* copy propagation would need reaching definitions;
+//! the local version plus CFG simplification (which merges straight-line
+//! blocks) recovers almost all of the benefit at a fraction of the
+//! complexity — the classic trade-off HLS front ends make.
+
+use super::Pass;
+use crate::function::{Function, Module};
+use crate::instr::{Instr, Terminator};
+use crate::operand::{Operand, ValueId};
+use std::collections::BTreeMap;
+
+/// The local copy-propagation pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalCopyProp;
+
+impl Pass for LocalCopyProp {
+    fn name(&self) -> &'static str {
+        "copy-prop"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        let mut changed = false;
+        for f in &mut m.functions {
+            changed |= propagate_function(f);
+        }
+        changed
+    }
+}
+
+fn propagate_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        // dst -> current replacement operand
+        let mut map: BTreeMap<ValueId, Operand> = BTreeMap::new();
+        let consts = f.consts.clone();
+        let value_types = f.value_types.clone();
+        let blk = &mut f.blocks[bi];
+        for instr in &mut blk.instrs {
+            // Rewrite uses first.
+            for u in instr.uses_mut() {
+                if let Operand::Value(v) = u {
+                    if let Some(rep) = map.get(v) {
+                        *u = *rep;
+                        changed = true;
+                    }
+                }
+            }
+            // Kill mappings invalidated by this definition.
+            if let Some(d) = instr.def() {
+                map.remove(&d);
+                map.retain(|_, rep| rep.as_value() != Some(d));
+                // Record new copies whose types match exactly (a copy that
+                // also truncates must not be forwarded).
+                if let Instr::Copy { ty, src, dst } = instr {
+                    let src_ty = match src {
+                        Operand::Value(v) => value_types[v.index()],
+                        Operand::Const(c) => consts.get(*c).ty,
+                    };
+                    if src_ty == *ty && value_types[dst.index()] == *ty && Some(*dst) != src.as_value()
+                    {
+                        map.insert(*dst, *src);
+                    }
+                }
+            }
+        }
+        // Also rewrite the terminator's operands.
+        match &mut blk.terminator {
+            Terminator::Branch { cond, .. } => {
+                if let Operand::Value(v) = cond {
+                    if let Some(rep) = map.get(v) {
+                        *cond = *rep;
+                        changed = true;
+                    }
+                }
+            }
+            Terminator::Return(Some(v)) => {
+                if let Operand::Value(val) = v {
+                    if let Some(rep) = map.get(val) {
+                        *v = *rep;
+                        changed = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BinOp;
+    use crate::operand::Constant;
+    use crate::types::Type;
+
+    #[test]
+    fn forwards_copies_locally() {
+        let mut f = Function::new("t");
+        let a = f.new_value(Type::I32);
+        f.params.push(a);
+        f.ret_ty = Some(Type::I32);
+        let t = f.new_value(Type::I32);
+        let r = f.new_value(Type::I32);
+        let b = f.new_block("entry");
+        f.block_mut(b).instrs.extend([
+            Instr::Copy { ty: Type::I32, src: a.into(), dst: t },
+            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: t.into(), rhs: t.into(), dst: r },
+        ]);
+        f.block_mut(b).terminator = Terminator::Return(Some(r.into()));
+        assert!(propagate_function(&mut f));
+        match &f.blocks[0].instrs[1] {
+            Instr::Binary { lhs, rhs, .. } => {
+                assert_eq!(*lhs, Operand::Value(a));
+                assert_eq!(*rhs, Operand::Value(a));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn redefinition_invalidates() {
+        let mut f = Function::new("t");
+        let a = f.new_value(Type::I32);
+        let b_ = f.new_value(Type::I32);
+        f.params.extend([a, b_]);
+        f.ret_ty = Some(Type::I32);
+        let t = f.new_value(Type::I32);
+        let r = f.new_value(Type::I32);
+        let blk = f.new_block("entry");
+        f.block_mut(blk).instrs.extend([
+            Instr::Copy { ty: Type::I32, src: a.into(), dst: t },
+            // Redefine a: the t->a mapping must die.
+            Instr::Copy { ty: Type::I32, src: b_.into(), dst: a },
+            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: t.into(), rhs: a.into(), dst: r },
+        ]);
+        f.block_mut(blk).terminator = Terminator::Return(Some(r.into()));
+        propagate_function(&mut f);
+        match &f.blocks[0].instrs[2] {
+            Instr::Binary { lhs, .. } => {
+                // t must NOT have been replaced by (stale) a.
+                assert_eq!(*lhs, Operand::Value(t));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn truncating_copy_not_forwarded() {
+        let mut f = Function::new("t");
+        let a = f.new_value(Type::I32);
+        f.params.push(a);
+        f.ret_ty = Some(Type::I8);
+        let t = f.new_value(Type::I8); // narrower than a
+        let blk = f.new_block("entry");
+        f.block_mut(blk)
+            .instrs
+            .push(Instr::Copy { ty: Type::I8, src: a.into(), dst: t });
+        f.block_mut(blk).terminator = Terminator::Return(Some(t.into()));
+        assert!(!propagate_function(&mut f));
+        assert_eq!(f.blocks[0].terminator, Terminator::Return(Some(t.into())));
+    }
+
+    #[test]
+    fn constant_copies_forward_into_terminator() {
+        let mut f = Function::new("t");
+        f.ret_ty = Some(Type::I32);
+        let c = f.consts.intern(Constant::new(5, Type::I32));
+        let t = f.new_value(Type::I32);
+        let blk = f.new_block("entry");
+        f.block_mut(blk)
+            .instrs
+            .push(Instr::Copy { ty: Type::I32, src: c.into(), dst: t });
+        f.block_mut(blk).terminator = Terminator::Return(Some(t.into()));
+        assert!(propagate_function(&mut f));
+        assert_eq!(f.blocks[0].terminator, Terminator::Return(Some(c.into())));
+    }
+}

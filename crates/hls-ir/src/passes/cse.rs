@@ -1,0 +1,205 @@
+//! Local common-subexpression elimination.
+//!
+//! Within a basic block, a pure instruction recomputing an expression whose
+//! value is still available is replaced by a `Copy` from the earlier result.
+//! Availability is invalidated when any input register (or the earlier
+//! result register) is redefined. Commutative operations are canonicalized
+//! so `a+b` and `b+a` share an entry.
+
+use super::Pass;
+use crate::function::{Function, Module};
+use crate::instr::{BinOp, CmpPred, Instr, UnOp};
+use crate::operand::{Operand, ValueId};
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// The local-CSE pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalCse;
+
+impl Pass for LocalCse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        let mut changed = false;
+        for f in &mut m.functions {
+            changed |= cse_function(f);
+        }
+        changed
+    }
+}
+
+/// Hashable key identifying a pure computation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ExprKey {
+    Bin(BinOp, Type, Operand, Operand),
+    Un(UnOp, Type, Operand),
+    Cmp(CmpPred, Type, Operand, Operand),
+    Conv(Type, Type, Operand),
+}
+
+fn key_of(instr: &Instr) -> Option<ExprKey> {
+    match instr {
+        Instr::Binary { op, ty, lhs, rhs, .. } => {
+            let (a, b) = if op.is_commutative() && operand_rank(*rhs) < operand_rank(*lhs) {
+                (*rhs, *lhs)
+            } else {
+                (*lhs, *rhs)
+            };
+            Some(ExprKey::Bin(*op, *ty, a, b))
+        }
+        Instr::Unary { op, ty, src, .. } => Some(ExprKey::Un(*op, *ty, *src)),
+        Instr::Cmp { pred, ty, lhs, rhs, .. } => Some(ExprKey::Cmp(*pred, *ty, *lhs, *rhs)),
+        Instr::Convert { from, to, src, .. } => Some(ExprKey::Conv(*from, *to, *src)),
+        _ => None,
+    }
+}
+
+/// Deterministic ordering for canonicalizing commutative operands.
+fn operand_rank(op: Operand) -> (u8, u32) {
+    match op {
+        Operand::Value(v) => (0, v.0),
+        Operand::Const(c) => (1, c.0),
+    }
+}
+
+fn cse_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    for blk in &mut f.blocks {
+        let mut available: HashMap<ExprKey, ValueId> = HashMap::new();
+        for instr in &mut blk.instrs {
+            if let Some(key) = key_of(instr) {
+                if let Some(&earlier) = available.get(&key) {
+                    let (ty, dst) = match instr {
+                        Instr::Binary { ty, dst, .. }
+                        | Instr::Unary { ty, dst, .. }
+                        | Instr::Copy { ty, dst, .. } => (*ty, *dst),
+                        Instr::Cmp { dst, .. } => (Type::BOOL, *dst),
+                        Instr::Convert { to, dst, .. } => (*to, *dst),
+                        _ => unreachable!(),
+                    };
+                    if earlier != dst {
+                        *instr = Instr::Copy { ty, src: Operand::Value(earlier), dst };
+                        changed = true;
+                    }
+                    // Fall through to the invalidation step below.
+                }
+            }
+            if let Some(d) = instr.def() {
+                // Kill every expression that used `d` or produced `d`.
+                available.retain(|k, v| {
+                    if *v == d {
+                        return false;
+                    }
+                    let uses_d = |op: &Operand| op.as_value() == Some(d);
+                    !match k {
+                        ExprKey::Bin(_, _, a, b) | ExprKey::Cmp(_, _, a, b) => {
+                            uses_d(a) || uses_d(b)
+                        }
+                        ExprKey::Un(_, _, a) | ExprKey::Conv(_, _, a) => uses_d(a),
+                    }
+                });
+                // Record the (possibly rewritten) computation.
+                if let Some(key) = key_of(instr) {
+                    available.entry(key).or_insert(d);
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_adds(commuted: bool) -> Function {
+        let mut f = Function::new("t");
+        let a = f.new_value(Type::I32);
+        let b = f.new_value(Type::I32);
+        f.params.extend([a, b]);
+        f.ret_ty = Some(Type::I32);
+        let t0 = f.new_value(Type::I32);
+        let t1 = f.new_value(Type::I32);
+        let blk = f.new_block("entry");
+        let (l2, r2) = if commuted { (b, a) } else { (a, b) };
+        f.block_mut(blk).instrs.extend([
+            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: a.into(), rhs: b.into(), dst: t0 },
+            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: l2.into(), rhs: r2.into(), dst: t1 },
+        ]);
+        f.block_mut(blk).terminator =
+            crate::instr::Terminator::Return(Some(t1.into()));
+        f
+    }
+
+    #[test]
+    fn eliminates_duplicate() {
+        let mut f = two_adds(false);
+        assert!(cse_function(&mut f));
+        assert!(matches!(&f.blocks[0].instrs[1], Instr::Copy { .. }));
+    }
+
+    #[test]
+    fn commutative_canonicalization() {
+        let mut f = two_adds(true);
+        assert!(cse_function(&mut f));
+        assert!(matches!(&f.blocks[0].instrs[1], Instr::Copy { .. }));
+    }
+
+    #[test]
+    fn non_commutative_not_merged_when_swapped() {
+        let mut f = Function::new("t");
+        let a = f.new_value(Type::I32);
+        let b = f.new_value(Type::I32);
+        f.params.extend([a, b]);
+        let t0 = f.new_value(Type::I32);
+        let t1 = f.new_value(Type::I32);
+        let blk = f.new_block("entry");
+        f.block_mut(blk).instrs.extend([
+            Instr::Binary { op: BinOp::Sub, ty: Type::I32, lhs: a.into(), rhs: b.into(), dst: t0 },
+            Instr::Binary { op: BinOp::Sub, ty: Type::I32, lhs: b.into(), rhs: a.into(), dst: t1 },
+        ]);
+        f.block_mut(blk).terminator = crate::instr::Terminator::Return(None);
+        assert!(!cse_function(&mut f));
+    }
+
+    #[test]
+    fn redefinition_invalidates_expression() {
+        let mut f = Function::new("t");
+        let a = f.new_value(Type::I32);
+        let b = f.new_value(Type::I32);
+        f.params.extend([a, b]);
+        let t0 = f.new_value(Type::I32);
+        let t1 = f.new_value(Type::I32);
+        let blk = f.new_block("entry");
+        f.block_mut(blk).instrs.extend([
+            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: a.into(), rhs: b.into(), dst: t0 },
+            // a is redefined between the two adds.
+            Instr::Binary { op: BinOp::Mul, ty: Type::I32, lhs: b.into(), rhs: b.into(), dst: a },
+            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: a.into(), rhs: b.into(), dst: t1 },
+        ]);
+        f.block_mut(blk).terminator = crate::instr::Terminator::Return(None);
+        assert!(!cse_function(&mut f));
+    }
+
+    #[test]
+    fn loads_never_merged() {
+        use crate::function::MemObject;
+        let mut f = Function::new("t");
+        let i = f.new_value(Type::I32);
+        f.params.push(i);
+        let arr = crate::operand::ArrayId(0);
+        f.arrays.insert(arr, MemObject::new("m", Type::I32, 4));
+        let v0 = f.new_value(Type::I32);
+        let v1 = f.new_value(Type::I32);
+        let blk = f.new_block("entry");
+        f.block_mut(blk).instrs.extend([
+            Instr::Load { ty: Type::I32, array: arr, index: i.into(), dst: v0 },
+            Instr::Load { ty: Type::I32, array: arr, index: i.into(), dst: v1 },
+        ]);
+        f.block_mut(blk).terminator = crate::instr::Terminator::Return(None);
+        assert!(!cse_function(&mut f));
+    }
+}

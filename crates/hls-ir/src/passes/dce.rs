@@ -1,0 +1,203 @@
+//! Dead-code elimination based on global liveness.
+//!
+//! Removes side-effect-free instructions whose result is dead at the point
+//! immediately after them. Liveness is computed with the standard backward
+//! dataflow over the CFG (the IR is not SSA, so per-block backward scans
+//! seeded with live-out sets are required for soundness).
+
+use super::Pass;
+use crate::cfg::Cfg;
+use crate::function::{Function, Module};
+use crate::instr::Terminator;
+use crate::liveness::Liveness;
+use crate::operand::Operand;
+
+/// The dead-code-elimination pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        let mut changed = false;
+        for f in &mut m.functions {
+            changed |= eliminate(f);
+        }
+        changed
+    }
+}
+
+fn eliminate(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    let live_out = Liveness::compute(f, &cfg).live_out;
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        // Backward scan with a running live set.
+        let mut live = live_out[b.index()].clone();
+        // Terminator uses.
+        match &f.block(b).terminator {
+            Terminator::Branch { cond: Operand::Value(v), .. } => {
+                live.insert(*v);
+            }
+            Terminator::Return(Some(Operand::Value(v))) => {
+                live.insert(*v);
+            }
+            _ => {}
+        }
+        let blk = f.block_mut(b);
+        let mut keep = vec![true; blk.instrs.len()];
+        for (i, instr) in blk.instrs.iter().enumerate().rev() {
+            let dead = match instr.def() {
+                Some(d) => !live.contains(&d) && !instr.has_side_effects(),
+                None => false,
+            };
+            if dead {
+                keep[i] = false;
+                changed = true;
+                continue;
+            }
+            if let Some(d) = instr.def() {
+                live.remove(&d);
+            }
+            for u in instr.uses() {
+                if let Operand::Value(v) = u {
+                    live.insert(v);
+                }
+            }
+        }
+        if keep.iter().any(|k| !k) {
+            let mut i = 0;
+            blk.instrs.retain(|_| {
+                let k = keep[i];
+                i += 1;
+                k
+            });
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BinOp, Instr};
+    use crate::operand::Constant;
+    use crate::types::Type;
+
+    #[test]
+    fn removes_dead_arithmetic() {
+        let mut f = Function::new("t");
+        let a = f.new_value(Type::I32);
+        f.params.push(a);
+        f.ret_ty = Some(Type::I32);
+        let dead = f.new_value(Type::I32);
+        let live = f.new_value(Type::I32);
+        let b = f.new_block("entry");
+        f.block_mut(b).instrs.extend([
+            Instr::Binary { op: BinOp::Mul, ty: Type::I32, lhs: a.into(), rhs: a.into(), dst: dead },
+            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: a.into(), rhs: a.into(), dst: live },
+        ]);
+        f.block_mut(b).terminator = Terminator::Return(Some(live.into()));
+        assert!(eliminate(&mut f));
+        assert_eq!(f.blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn keeps_stores() {
+        use crate::function::MemObject;
+        let mut f = Function::new("t");
+        let a = f.new_value(Type::I32);
+        f.params.push(a);
+        let arr = crate::operand::ArrayId(0);
+        f.arrays.insert(arr, MemObject::new("loc", Type::I32, 4));
+        let c0 = f.consts.intern(Constant::new(0, Type::I32));
+        let b = f.new_block("entry");
+        f.block_mut(b).instrs.push(Instr::Store {
+            ty: Type::I32,
+            array: arr,
+            index: c0.into(),
+            value: a.into(),
+        });
+        f.block_mut(b).terminator = Terminator::Return(None);
+        assert!(!eliminate(&mut f));
+        assert_eq!(f.blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn value_live_across_blocks_is_kept() {
+        // bb0 defines v; bb1 uses it. v must not be deleted from bb0.
+        let mut f = Function::new("t");
+        let a = f.new_value(Type::I32);
+        f.params.push(a);
+        f.ret_ty = Some(Type::I32);
+        let v = f.new_value(Type::I32);
+        let b0 = f.new_block("entry");
+        let b1 = f.new_block("next");
+        f.block_mut(b0).instrs.push(Instr::Binary {
+            op: BinOp::Add,
+            ty: Type::I32,
+            lhs: a.into(),
+            rhs: a.into(),
+            dst: v,
+        });
+        f.block_mut(b0).terminator = Terminator::Jump(b1);
+        f.block_mut(b1).terminator = Terminator::Return(Some(v.into()));
+        assert!(!eliminate(&mut f));
+        assert_eq!(f.blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn dead_chain_removed_in_one_pass_round() {
+        // d1 = a+a; d2 = d1+a; neither used. Backward scan removes both.
+        let mut f = Function::new("t");
+        let a = f.new_value(Type::I32);
+        f.params.push(a);
+        f.ret_ty = Some(Type::I32);
+        let d1 = f.new_value(Type::I32);
+        let d2 = f.new_value(Type::I32);
+        let b = f.new_block("entry");
+        f.block_mut(b).instrs.extend([
+            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: a.into(), rhs: a.into(), dst: d1 },
+            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: d1.into(), rhs: a.into(), dst: d2 },
+        ]);
+        let _ = d2;
+        f.block_mut(b).terminator = Terminator::Return(Some(a.into()));
+        assert!(eliminate(&mut f));
+        assert!(f.blocks[0].instrs.is_empty());
+    }
+
+    #[test]
+    fn loop_carried_value_kept() {
+        // v defined before loop, used and redefined inside: must stay live.
+        let mut f = Function::new("t");
+        let n = f.new_value(Type::I32);
+        f.params.push(n);
+        f.ret_ty = Some(Type::I32);
+        let v = f.new_value(Type::I32);
+        let cond = f.new_value(Type::BOOL);
+        let c0 = f.consts.intern(Constant::new(0, Type::I32));
+        let b0 = f.new_block("entry");
+        let b1 = f.new_block("loop");
+        let b2 = f.new_block("exit");
+        f.block_mut(b0).instrs.push(Instr::Copy { ty: Type::I32, src: c0.into(), dst: v });
+        f.block_mut(b0).terminator = Terminator::Jump(b1);
+        f.block_mut(b1).instrs.extend([
+            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: v.into(), rhs: n.into(), dst: v },
+            Instr::Cmp {
+                pred: crate::instr::CmpPred::Lt,
+                ty: Type::I32,
+                lhs: v.into(),
+                rhs: n.into(),
+                dst: cond,
+            },
+        ]);
+        f.block_mut(b1).terminator =
+            Terminator::Branch { cond: cond.into(), then_to: b1, else_to: b2 };
+        f.block_mut(b2).terminator = Terminator::Return(Some(v.into()));
+        assert!(!eliminate(&mut f));
+        assert_eq!(f.blocks[0].instrs.len() + f.blocks[1].instrs.len(), 3);
+    }
+}

@@ -1,0 +1,385 @@
+//! Function inlining.
+//!
+//! HLS flows (Bambu included) inline the call tree below the top function so
+//! a single FSMD is synthesized; TAO relies on this ("TAO starts by applying
+//! compiler and HLS transformations to the IR, including function inlining",
+//! Sec. 3.3.1). Callees are processed bottom-up so each call site is
+//! replaced by an already-call-free body.
+//!
+//! Callee-local arrays are copied into the caller with fresh ids. Their
+//! initializers are copied too; a callee that depends on re-zeroing its
+//! locals on *every* activation inside a caller loop is not supported (the
+//! front end lowers initialized locals to explicit stores, which are copied
+//! and re-executed, so initialized tables are always correct).
+
+use super::Pass;
+use crate::callgraph::CallGraph;
+use crate::function::{Module, GLOBAL_ARRAY_BASE};
+use crate::instr::{Instr, Terminator};
+use crate::operand::{ArrayId, BlockId, FuncId, Operand, ValueId};
+use std::collections::BTreeMap;
+
+/// The inlining pass: inlines every call in every function, bottom-up.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Inline;
+
+impl Pass for Inline {
+    fn name(&self) -> &'static str {
+        "inline"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        let cg = CallGraph::build(m);
+        // Refuse to touch recursive modules (front end rejects them anyway).
+        for i in 0..m.functions.len() {
+            if cg.has_recursion(FuncId(i as u32)) {
+                return false;
+            }
+        }
+        // Bottom-up order over all functions.
+        let mut order: Vec<FuncId> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..m.functions.len() {
+            for f in cg.bottom_up_from(FuncId(i as u32)) {
+                if seen.insert(f) {
+                    order.push(f);
+                }
+            }
+        }
+        let mut changed = false;
+        for f in order {
+            while inline_one_call(m, f) {
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// Inlines every call (transitively) in `root`. Returns the number of call
+/// sites expanded.
+pub fn inline_all_into(m: &mut Module, root: FuncId) -> usize {
+    let mut count = 0;
+    // Callees must already be call-free for single-level splicing, so
+    // process bottom-up below the root.
+    let cg = CallGraph::build(m);
+    if cg.has_recursion(root) {
+        return 0;
+    }
+    for f in cg.bottom_up_from(root) {
+        while inline_one_call(m, f) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Finds the first call in `caller` and splices the callee body in.
+/// Returns `true` if a call was inlined.
+fn inline_one_call(m: &mut Module, caller_id: FuncId) -> bool {
+    // Locate a call site.
+    let site = {
+        let caller = m.function(caller_id);
+        let mut found = None;
+        'outer: for b in caller.block_ids() {
+            for (i, instr) in caller.block(b).instrs.iter().enumerate() {
+                if let Instr::Call { func, .. } = instr {
+                    found = Some((b, i, *func));
+                    break 'outer;
+                }
+            }
+        }
+        found
+    };
+    let Some((site_block, site_idx, callee_id)) = site else {
+        return false;
+    };
+    assert_ne!(site_block.index(), usize::MAX);
+    let callee = m.function(callee_id).clone();
+    let caller = m.function_mut(caller_id);
+
+    // Extract the call instruction details.
+    let (args, call_dst) = match &caller.block(site_block).instrs[site_idx] {
+        Instr::Call { args, dst, .. } => (args.clone(), *dst),
+        _ => unreachable!(),
+    };
+
+    // 1. Map callee values into the caller.
+    let value_map: Vec<ValueId> =
+        callee.value_types.iter().map(|&ty| caller.new_value(ty)).collect();
+    // 2. Map callee constants.
+    let const_map: Vec<crate::operand::ConstId> =
+        callee.consts.iter().map(|(_, c)| caller.consts.intern(c)).collect();
+    // 3. Map callee-local arrays.
+    let mut next_array = caller.arrays.keys().map(|a| a.0 + 1).max().unwrap_or(0);
+    let mut array_map: BTreeMap<ArrayId, ArrayId> = BTreeMap::new();
+    // The counter survives the loop for the overflow assert below.
+    #[allow(clippy::explicit_counter_loop)]
+    for (old, obj) in &callee.arrays {
+        assert!(next_array < GLOBAL_ARRAY_BASE, "too many local arrays after inlining");
+        let new = ArrayId(next_array);
+        next_array += 1;
+        let mut obj = obj.clone();
+        obj.name = format!("{}.{}", callee.name, obj.name);
+        caller.arrays.insert(new, obj);
+        array_map.insert(*old, new);
+    }
+    // 4. Map callee blocks to fresh caller blocks.
+    let block_map: Vec<BlockId> = callee
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, _)| caller.new_block(format!("{}.bb{}", callee.name, i)))
+        .collect();
+    // 5. Continuation block: receives the instructions after the call and
+    //    the original terminator.
+    let cont = caller.new_block(format!("{}.cont", callee.name));
+    let tail: Vec<Instr> = caller.block_mut(site_block).instrs.split_off(site_idx + 1);
+    // Remove the call itself.
+    caller.block_mut(site_block).instrs.pop();
+    let original_term = caller.block(site_block).terminator.clone();
+    caller.block_mut(cont).instrs = tail;
+    caller.block_mut(cont).terminator = original_term;
+
+    // 6. Parameter copies at the end of the pre-block.
+    for (p, arg) in callee.params.iter().zip(&args) {
+        let ty = callee.value_type(*p);
+        caller.block_mut(site_block).instrs.push(Instr::Copy {
+            ty,
+            src: *arg,
+            dst: value_map[p.index()],
+        });
+    }
+    caller.block_mut(site_block).terminator = Terminator::Jump(block_map[0]);
+
+    // 7. Clone callee blocks with remapping.
+    let remap_operand = |op: Operand| -> Operand {
+        match op {
+            Operand::Value(v) => Operand::Value(value_map[v.index()]),
+            Operand::Const(c) => Operand::Const(const_map[c.index()]),
+        }
+    };
+    let remap_array = |a: ArrayId| -> ArrayId {
+        if Module::is_global(a) {
+            a
+        } else {
+            array_map[&a]
+        }
+    };
+    for (i, blk) in callee.blocks.iter().enumerate() {
+        let target = block_map[i];
+        let mut new_instrs = Vec::with_capacity(blk.instrs.len());
+        for instr in &blk.instrs {
+            let mut ni = instr.clone();
+            for u in ni.uses_mut() {
+                *u = remap_operand(*u);
+            }
+            match &mut ni {
+                Instr::Binary { dst, .. }
+                | Instr::Unary { dst, .. }
+                | Instr::Cmp { dst, .. }
+                | Instr::Convert { dst, .. }
+                | Instr::Copy { dst, .. }
+                | Instr::Load { dst, .. } => *dst = value_map[dst.index()],
+                Instr::Store { array, .. } => *array = remap_array(*array),
+                Instr::Call { dst, .. } => {
+                    if let Some(d) = dst {
+                        *d = value_map[d.index()];
+                    }
+                }
+            }
+            if let Instr::Load { array, .. } = &mut ni {
+                *array = remap_array(*array);
+            }
+            new_instrs.push(ni);
+        }
+        let new_term = match &blk.terminator {
+            Terminator::Jump(b) => Terminator::Jump(block_map[b.index()]),
+            Terminator::Branch { cond, then_to, else_to } => Terminator::Branch {
+                cond: remap_operand(*cond),
+                then_to: block_map[then_to.index()],
+                else_to: block_map[else_to.index()],
+            },
+            Terminator::Return(val) => {
+                if let (Some(d), Some(v)) = (call_dst, val) {
+                    let ty = caller.value_type(d);
+                    caller.block_mut(target).instrs.push(Instr::Copy {
+                        ty,
+                        src: remap_operand(*v),
+                        dst: d,
+                    });
+                    // The copy above must come after the block body; fix the
+                    // ordering by appending body first below.
+                    Terminator::Jump(cont)
+                } else {
+                    Terminator::Jump(cont)
+                }
+            }
+        };
+        // Body first, then any return-value copy that was staged.
+        let staged: Vec<Instr> = std::mem::take(&mut caller.block_mut(target).instrs);
+        caller.block_mut(target).instrs = new_instrs;
+        caller.block_mut(target).instrs.extend(staged);
+        caller.block_mut(target).terminator = new_term;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{Function, MemObject};
+    use crate::instr::{BinOp, CmpPred};
+    use crate::interp::Interpreter;
+    use crate::operand::Constant;
+    use crate::types::Type;
+    use crate::verify::verify_module;
+
+    /// square(x) = x*x ; top(a, b) = square(a) + square(b)
+    fn two_level_module() -> Module {
+        let mut m = Module::new("t");
+        let mut sq = Function::new("square");
+        let x = sq.new_value(Type::I32);
+        sq.params.push(x);
+        sq.ret_ty = Some(Type::I32);
+        let r = sq.new_value(Type::I32);
+        let b = sq.new_block("entry");
+        sq.block_mut(b).instrs.push(Instr::Binary {
+            op: BinOp::Mul,
+            ty: Type::I32,
+            lhs: x.into(),
+            rhs: x.into(),
+            dst: r,
+        });
+        sq.block_mut(b).terminator = Terminator::Return(Some(r.into()));
+        let sq_id = m.add_function(sq);
+
+        let mut top = Function::new("top");
+        let a = top.new_value(Type::I32);
+        let bb = top.new_value(Type::I32);
+        top.params.extend([a, bb]);
+        top.ret_ty = Some(Type::I32);
+        let ra = top.new_value(Type::I32);
+        let rb = top.new_value(Type::I32);
+        let s = top.new_value(Type::I32);
+        let blk = top.new_block("entry");
+        top.block_mut(blk).instrs.extend([
+            Instr::Call { func: sq_id, args: vec![a.into()], dst: Some(ra), ret_ty: Some(Type::I32) },
+            Instr::Call { func: sq_id, args: vec![bb.into()], dst: Some(rb), ret_ty: Some(Type::I32) },
+            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: ra.into(), rhs: rb.into(), dst: s },
+        ]);
+        top.block_mut(blk).terminator = Terminator::Return(Some(s.into()));
+        m.add_function(top);
+        m
+    }
+
+    #[test]
+    fn inlines_and_preserves_semantics() {
+        let mut m = two_level_module();
+        let want = Interpreter::new(&m).run_by_name("top", &[3, 4]).unwrap().ret;
+        let top_id = m.function_by_name("top").unwrap().0;
+        let n = inline_all_into(&mut m, top_id);
+        assert_eq!(n, 2);
+        verify_module(&m).unwrap();
+        // No calls remain.
+        let top = m.function_by_name("top").unwrap().1;
+        assert!(top
+            .blocks
+            .iter()
+            .all(|b| b.instrs.iter().all(|i| !matches!(i, Instr::Call { .. }))));
+        let got = Interpreter::new(&m).run_by_name("top", &[3, 4]).unwrap().ret;
+        assert_eq!(got, want);
+        assert_eq!(got, Some(25));
+    }
+
+    #[test]
+    fn pass_inlines_whole_module() {
+        let mut m = two_level_module();
+        assert!(Inline.run(&mut m));
+        verify_module(&m).unwrap();
+        for f in &m.functions {
+            for b in &f.blocks {
+                assert!(b.instrs.iter().all(|i| !matches!(i, Instr::Call { .. })));
+            }
+        }
+        assert!(!Inline.run(&mut m)); // idempotent
+    }
+
+    #[test]
+    fn inlines_callee_with_branches_and_arrays() {
+        // callee: max3(i) = local tbl[4] lookup with a branch
+        let mut m = Module::new("t");
+        let mut g = Function::new("pick");
+        let i = g.new_value(Type::I32);
+        g.params.push(i);
+        g.ret_ty = Some(Type::I32);
+        let arr = ArrayId(0);
+        g.arrays.insert(arr, MemObject::new("tbl", Type::I32, 4));
+        let c3 = g.consts.intern(Constant::new(3, Type::I32));
+        let c7 = g.consts.intern(Constant::new(7, Type::I32));
+        let cond = g.new_value(Type::BOOL);
+        let v = g.new_value(Type::I32);
+        let b0 = g.new_block("entry");
+        let bt = g.new_block("t");
+        let be = g.new_block("e");
+        g.block_mut(b0).instrs.extend([
+            Instr::Store { ty: Type::I32, array: arr, index: i.into(), value: c7.into() },
+            Instr::Cmp { pred: CmpPred::Lt, ty: Type::I32, lhs: i.into(), rhs: c3.into(), dst: cond },
+        ]);
+        g.block_mut(b0).terminator =
+            Terminator::Branch { cond: cond.into(), then_to: bt, else_to: be };
+        g.block_mut(bt).instrs.push(Instr::Load {
+            ty: Type::I32,
+            array: arr,
+            index: i.into(),
+            dst: v,
+        });
+        g.block_mut(bt).terminator = Terminator::Return(Some(v.into()));
+        g.block_mut(be).terminator = Terminator::Return(Some(c3.into()));
+        let g_id = m.add_function(g);
+
+        let mut top = Function::new("top");
+        let x = top.new_value(Type::I32);
+        top.params.push(x);
+        top.ret_ty = Some(Type::I32);
+        let r = top.new_value(Type::I32);
+        let blk = top.new_block("entry");
+        top.block_mut(blk).instrs.push(Instr::Call {
+            func: g_id,
+            args: vec![x.into()],
+            dst: Some(r),
+            ret_ty: Some(Type::I32),
+        });
+        top.block_mut(blk).terminator = Terminator::Return(Some(r.into()));
+        m.add_function(top);
+
+        let before: Vec<_> = [0u64, 2, 3]
+            .iter()
+            .map(|&x| Interpreter::new(&m).run_by_name("top", &[x]).unwrap().ret)
+            .collect();
+        let mut inlined = m.clone();
+        assert!(Inline.run(&mut inlined));
+        verify_module(&inlined).unwrap();
+        let after: Vec<_> = [0u64, 2, 3]
+            .iter()
+            .map(|&x| Interpreter::new(&inlined).run_by_name("top", &[x]).unwrap().ret)
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn recursion_refused() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("rec");
+        let b = f.new_block("entry");
+        f.block_mut(b).instrs.push(Instr::Call {
+            func: FuncId(0),
+            args: vec![],
+            dst: None,
+            ret_ty: None,
+        });
+        f.block_mut(b).terminator = Terminator::Return(None);
+        m.add_function(f);
+        assert!(!Inline.run(&mut m));
+    }
+}

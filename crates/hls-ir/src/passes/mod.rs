@@ -1,0 +1,164 @@
+//! Compiler passes applied between parsing and HLS (paper Fig. 2
+//! "Compiler Steps": the front end applies compiler optimizations before
+//! TAO extracts constants and the HLS steps run).
+//!
+//! Every pass preserves the observable semantics of the module — return
+//! value and final global-memory image — which the property tests in this
+//! module check by interpreting randomized programs before and after.
+
+mod const_fold;
+mod copy_prop;
+mod cse;
+mod dce;
+mod inline;
+mod simplify_cfg;
+mod strength;
+mod unroll;
+
+pub use const_fold::ConstFold;
+pub use copy_prop::LocalCopyProp;
+pub use cse::LocalCse;
+pub use dce::Dce;
+pub use inline::{inline_all_into, Inline};
+pub use simplify_cfg::SimplifyCfg;
+pub use strength::StrengthReduce;
+pub use unroll::{unroll_function, UnrollLoops};
+
+use crate::function::Module;
+use crate::verify::verify_module;
+
+/// A module transformation.
+pub trait Pass {
+    /// A short, stable pass name for logs and reports.
+    fn name(&self) -> &'static str;
+    /// Runs the pass; returns `true` if the module changed.
+    fn run(&self, m: &mut Module) -> bool;
+}
+
+/// Runs the standard HLS front-end optimization pipeline to a fixpoint
+/// (bounded), verifying the module after every pass.
+///
+/// The pipeline mirrors the paper's Sec. 3.3.1: function inlining first,
+/// then scalar optimizations. Returns the number of pass executions that
+/// changed the module.
+///
+/// # Panics
+///
+/// Panics if a pass produces IR that fails verification — that is a bug in
+/// this crate, not in the input.
+pub fn optimize(m: &mut Module) -> usize {
+    let passes: Vec<Box<dyn Pass>> = vec![
+        Box::new(Inline),
+        Box::new(ConstFold),
+        Box::new(LocalCopyProp),
+        Box::new(StrengthReduce),
+        Box::new(LocalCse),
+        Box::new(Dce),
+        Box::new(SimplifyCfg),
+    ];
+    let mut total_changes = 0;
+    for _round in 0..8 {
+        let mut changed = false;
+        for p in &passes {
+            if p.run(m) {
+                changed = true;
+                total_changes += 1;
+            }
+            if let Err(e) = verify_module(m) {
+                panic!("pass `{}` broke the IR: {e}", p.name());
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    total_changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{Function, Module};
+    use crate::instr::{BinOp, CmpPred, Instr, Terminator};
+    use crate::interp::Interpreter;
+    use crate::operand::Constant;
+    use crate::types::Type;
+
+    /// Builds `f(x) = (x*8 + 10*2) / 4` with a redundant subexpression and a
+    /// constant branch, to exercise every pass at once.
+    fn kitchen_sink() -> Module {
+        let mut m = Module::new("t");
+        let mut f = Function::new("k");
+        let x = f.new_value(Type::U32);
+        f.params.push(x);
+        f.ret_ty = Some(Type::U32);
+        let c8 = f.consts.intern(Constant::new(8, Type::U32));
+        let c10 = f.consts.intern(Constant::new(10, Type::U32));
+        let c2 = f.consts.intern(Constant::new(2, Type::U32));
+        let c4 = f.consts.intern(Constant::new(4, Type::U32));
+        let c1 = f.consts.intern(Constant::new(1, Type::U32));
+
+        let t0 = f.new_value(Type::U32);
+        let t0b = f.new_value(Type::U32);
+        let t1 = f.new_value(Type::U32);
+        let t2 = f.new_value(Type::U32);
+        let t3 = f.new_value(Type::U32);
+        let cond = f.new_value(Type::BOOL);
+
+        let entry = f.new_block("entry");
+        let then_b = f.new_block("then");
+        let else_b = f.new_block("else");
+
+        f.block_mut(entry).instrs.extend([
+            Instr::Binary { op: BinOp::Mul, ty: Type::U32, lhs: x.into(), rhs: c8.into(), dst: t0 },
+            // Redundant: same expression again (CSE target).
+            Instr::Binary { op: BinOp::Mul, ty: Type::U32, lhs: x.into(), rhs: c8.into(), dst: t0b },
+            // Constant-foldable: 10 * 2.
+            Instr::Binary { op: BinOp::Mul, ty: Type::U32, lhs: c10.into(), rhs: c2.into(), dst: t1 },
+            Instr::Binary { op: BinOp::Add, ty: Type::U32, lhs: t0b.into(), rhs: t1.into(), dst: t2 },
+            Instr::Binary { op: BinOp::Div, ty: Type::U32, lhs: t2.into(), rhs: c4.into(), dst: t3 },
+            // Constant branch condition: 1 == 1.
+            Instr::Cmp { pred: CmpPred::Eq, ty: Type::U32, lhs: c1.into(), rhs: c1.into(), dst: cond },
+        ]);
+        f.block_mut(entry).terminator =
+            Terminator::Branch { cond: cond.into(), then_to: then_b, else_to: else_b };
+        f.block_mut(then_b).terminator = Terminator::Return(Some(t3.into()));
+        // Dead else branch returns garbage.
+        f.block_mut(else_b).terminator = Terminator::Return(Some(x.into()));
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn pipeline_preserves_semantics_and_shrinks() {
+        let mut m = kitchen_sink();
+        let before_blocks = m.functions[0].num_blocks();
+        let expected: Vec<u64> = [0u64, 1, 7, 100, 12345]
+            .iter()
+            .map(|&x| {
+                Interpreter::new(&m).run_by_name("k", &[x]).unwrap().ret.unwrap()
+            })
+            .collect();
+
+        let changes = optimize(&mut m);
+        assert!(changes > 0);
+
+        for (&x, &want) in [0u64, 1, 7, 100, 12345].iter().zip(&expected) {
+            let got = Interpreter::new(&m).run_by_name("k", &[x]).unwrap().ret.unwrap();
+            assert_eq!(got, want, "x={x}");
+        }
+        // Dead branch removed.
+        assert!(m.functions[0].num_blocks() < before_blocks);
+        assert_eq!(m.functions[0].num_cond_jumps(), 0);
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let mut m = kitchen_sink();
+        optimize(&mut m);
+        let snapshot = m.clone();
+        let changes = optimize(&mut m);
+        assert_eq!(changes, 0);
+        assert_eq!(m, snapshot);
+    }
+}

@@ -1,0 +1,251 @@
+//! CFG simplification: unreachable-block removal, jump threading through
+//! empty blocks, and straight-line block merging.
+//!
+//! Keeping the CFG minimal matters for the reproduction's fidelity: the
+//! paper's Table 1 reports `#BB` and `#CJMP` *after* compiler optimization,
+//! and TAO's working-key size (Eq. 1) is computed from those counts.
+
+use super::Pass;
+use crate::cfg::{normalize_degenerate_branches, Cfg};
+use crate::function::{Function, Module};
+use crate::instr::Terminator;
+use crate::operand::BlockId;
+
+/// The CFG-simplification pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimplifyCfg;
+
+impl Pass for SimplifyCfg {
+    fn name(&self) -> &'static str {
+        "simplify-cfg"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        let mut changed = false;
+        for f in &mut m.functions {
+            changed |= simplify(f);
+        }
+        changed
+    }
+}
+
+fn simplify(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut local = false;
+        normalize_degenerate_branches(f);
+        local |= thread_empty_blocks(f);
+        local |= merge_straight_line(f);
+        local |= remove_unreachable(f);
+        if !local {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Redirects edges that target an *empty* block ending in an unconditional
+/// jump directly to that block's successor.
+fn thread_empty_blocks(f: &mut Function) -> bool {
+    let mut forward: Vec<Option<BlockId>> = vec![None; f.blocks.len()];
+    for b in f.block_ids() {
+        let blk = f.block(b);
+        if blk.instrs.is_empty() {
+            if let Terminator::Jump(t) = blk.terminator {
+                if t != b {
+                    forward[b.index()] = Some(t);
+                }
+            }
+        }
+    }
+    // Resolve chains (a -> b -> c) with cycle protection.
+    let resolve = |mut b: BlockId| -> BlockId {
+        let mut hops = 0;
+        while let Some(t) = forward[b.index()] {
+            b = t;
+            hops += 1;
+            if hops > forward.len() {
+                break; // cycle of empty blocks; leave as-is
+            }
+        }
+        b
+    };
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let mut term = f.block(b).terminator.clone();
+        let mut local = false;
+        term.map_successors(|s| {
+            let r = resolve(s);
+            if r != s {
+                local = true;
+            }
+            r
+        });
+        if local {
+            f.block_mut(b).terminator = term;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Merges `a -> b` when `a` ends in `jump b` and `b` has exactly one
+/// predecessor (and `b != entry`).
+fn merge_straight_line(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    for a in f.block_ids().collect::<Vec<_>>() {
+        if !cfg.is_reachable(a) && a != BlockId(0) {
+            continue;
+        }
+        if let Terminator::Jump(b) = f.block(a).terminator {
+            if b != BlockId(0) && b != a && cfg.preds(b).len() == 1 {
+                let mut donor_instrs = std::mem::take(&mut f.block_mut(b).instrs);
+                let donor_term = f.block(b).terminator.clone();
+                f.block_mut(a).instrs.append(&mut donor_instrs);
+                f.block_mut(a).terminator = donor_term;
+                // Leave `b` as an unreachable husk; removed below.
+                f.block_mut(b).terminator = Terminator::Return(None);
+                // Only one merge per outer iteration keeps `cfg` valid.
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Deletes unreachable blocks and compacts block ids.
+fn remove_unreachable(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    let reachable: Vec<bool> =
+        f.block_ids().map(|b| b == BlockId(0) || cfg.is_reachable(b)).collect();
+    if reachable.iter().all(|&r| r) {
+        return false;
+    }
+    // Build the remapping old -> new.
+    let mut remap: Vec<Option<BlockId>> = vec![None; f.blocks.len()];
+    let mut next = 0u32;
+    for (i, &r) in reachable.iter().enumerate() {
+        if r {
+            remap[i] = Some(BlockId(next));
+            next += 1;
+        }
+    }
+    let mut new_blocks = Vec::with_capacity(next as usize);
+    for (i, blk) in std::mem::take(&mut f.blocks).into_iter().enumerate() {
+        if reachable[i] {
+            new_blocks.push(blk);
+        }
+    }
+    for blk in &mut new_blocks {
+        blk.terminator.map_successors(|s| remap[s.index()].expect("edge into unreachable block"));
+    }
+    f.blocks = new_blocks;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BinOp, Instr};
+    use crate::operand::Operand;
+    use crate::types::Type;
+
+    #[test]
+    fn threads_empty_blocks() {
+        let mut f = Function::new("t");
+        let b0 = f.new_block("entry");
+        let empty = f.new_block("empty");
+        let end = f.new_block("end");
+        f.block_mut(b0).terminator = Terminator::Jump(empty);
+        f.block_mut(empty).terminator = Terminator::Jump(end);
+        f.block_mut(end).terminator = Terminator::Return(None);
+        assert!(simplify(&mut f));
+        // Entry should now reach the (merged) end directly; at most 1 block
+        // remains after merging.
+        assert_eq!(f.num_blocks(), 1);
+    }
+
+    #[test]
+    fn merges_straight_line_blocks() {
+        let mut f = Function::new("t");
+        let a = f.new_value(Type::I32);
+        f.params.push(a);
+        f.ret_ty = Some(Type::I32);
+        let v = f.new_value(Type::I32);
+        let b0 = f.new_block("entry");
+        let b1 = f.new_block("tail");
+        f.block_mut(b0).instrs.push(Instr::Binary {
+            op: BinOp::Add,
+            ty: Type::I32,
+            lhs: a.into(),
+            rhs: a.into(),
+            dst: v,
+        });
+        f.block_mut(b0).terminator = Terminator::Jump(b1);
+        f.block_mut(b1).instrs.push(Instr::Binary {
+            op: BinOp::Mul,
+            ty: Type::I32,
+            lhs: v.into(),
+            rhs: a.into(),
+            dst: v,
+        });
+        f.block_mut(b1).terminator = Terminator::Return(Some(Operand::Value(v)));
+        assert!(simplify(&mut f));
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.blocks[0].instrs.len(), 2);
+    }
+
+    #[test]
+    fn removes_unreachable() {
+        let mut f = Function::new("t");
+        let b0 = f.new_block("entry");
+        let dead = f.new_block("dead");
+        f.block_mut(b0).terminator = Terminator::Return(None);
+        f.block_mut(dead).terminator = Terminator::Return(None);
+        assert!(simplify(&mut f));
+        assert_eq!(f.num_blocks(), 1);
+    }
+
+    #[test]
+    fn does_not_merge_into_loop_header() {
+        // entry -> header; body -> header (two preds): no merge.
+        let mut f = Function::new("t");
+        let c = f.new_value(Type::BOOL);
+        let b0 = f.new_block("entry");
+        let h = f.new_block("header");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        f.block_mut(b0).terminator = Terminator::Jump(h);
+        f.block_mut(h).instrs.push(Instr::Binary {
+            op: BinOp::Xor,
+            ty: Type::BOOL,
+            lhs: c.into(),
+            rhs: c.into(),
+            dst: c,
+        });
+        f.block_mut(h).terminator =
+            Terminator::Branch { cond: c.into(), then_to: body, else_to: exit };
+        f.block_mut(body).instrs.push(Instr::Binary {
+            op: BinOp::Xor,
+            ty: Type::BOOL,
+            lhs: c.into(),
+            rhs: c.into(),
+            dst: c,
+        });
+        f.block_mut(body).terminator = Terminator::Jump(h);
+        f.block_mut(exit).terminator = Terminator::Return(None);
+        simplify(&mut f);
+        // Loop structure intact: a conditional branch remains.
+        assert_eq!(f.num_cond_jumps(), 1);
+        assert!(f.num_blocks() >= 3);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut f = Function::new("t");
+        let b0 = f.new_block("entry");
+        f.block_mut(b0).terminator = Terminator::Return(None);
+        assert!(!simplify(&mut f));
+    }
+}

@@ -1,0 +1,189 @@
+//! Strength reduction: replaces expensive operations with cheaper,
+//! bit-exact equivalents.
+//!
+//! HLS strength reduction matters doubly here: it changes the functional-
+//! unit mix (multipliers → shifters), which changes the cluster structure
+//! TAO's Algorithm 1 swaps operation types across, and it shrinks the area
+//! baseline against which Figure 6 overheads are normalized.
+
+use super::Pass;
+use crate::function::{Function, Module};
+use crate::instr::{BinOp, Instr};
+use crate::operand::Constant;
+
+/// The strength-reduction pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StrengthReduce;
+
+impl Pass for StrengthReduce {
+    fn name(&self) -> &'static str {
+        "strength-reduce"
+    }
+
+    fn run(&self, m: &mut Module) -> bool {
+        let mut changed = false;
+        for f in &mut m.functions {
+            changed |= reduce_function(f);
+        }
+        changed
+    }
+}
+
+fn reduce_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        for ii in 0..f.blocks[bi].instrs.len() {
+            let instr = f.blocks[bi].instrs[ii].clone();
+            if let Instr::Binary { op, ty, lhs, rhs, dst } = instr {
+                let rhs_const = rhs.as_const().map(|c| f.consts.get(c));
+                let lhs_const = lhs.as_const().map(|c| f.consts.get(c));
+                let new = match op {
+                    // x * 2^k  ->  x << k  (bit-exact for wrapping two's complement)
+                    BinOp::Mul => {
+                        if let Some(c) = rhs_const.and_then(pow2_exponent) {
+                            let k = f.consts.intern(Constant::new(c as i64, ty));
+                            Some(Instr::Binary { op: BinOp::Shl, ty, lhs, rhs: k.into(), dst })
+                        } else if let Some(c) = lhs_const.and_then(pow2_exponent) {
+                            let k = f.consts.intern(Constant::new(c as i64, ty));
+                            Some(Instr::Binary { op: BinOp::Shl, ty, lhs: rhs, rhs: k.into(), dst })
+                        } else {
+                            None
+                        }
+                    }
+                    // Unsigned x / 2^k -> x >> k ; x % 2^k -> x & (2^k - 1).
+                    // (Signed division by powers of two rounds toward zero,
+                    // which an arithmetic shift does not; left untouched.)
+                    BinOp::Div if !ty.is_signed() => {
+                        rhs_const.and_then(pow2_exponent).map(|k| {
+                            let kc = f.consts.intern(Constant::new(k as i64, ty));
+                            Instr::Binary { op: BinOp::Shr, ty, lhs, rhs: kc.into(), dst }
+                        })
+                    }
+                    BinOp::Rem if !ty.is_signed() => {
+                        rhs_const.and_then(pow2_exponent).map(|k| {
+                            let mask = if k == 0 { 0 } else { (1u64 << k) - 1 };
+                            let mc = f
+                                .consts
+                                .intern(Constant { bits: ty.truncate(mask), ty });
+                            Instr::Binary { op: BinOp::And, ty, lhs, rhs: mc.into(), dst }
+                        })
+                    }
+                    _ => None,
+                };
+                if let Some(n) = new {
+                    f.blocks[bi].instrs[ii] = n;
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Returns `k` if the constant is exactly `2^k` (k >= 1) in its type.
+fn pow2_exponent(c: Constant) -> Option<u32> {
+    let v = c.bits;
+    if v.is_power_of_two() && v >= 2 {
+        // Ensure the value is positive in a signed interpretation.
+        if c.ty.is_signed() && c.as_i64() <= 0 {
+            return None;
+        }
+        Some(v.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::types::Type;
+    use crate::instr::Terminator;
+    use crate::operand::ValueId;
+
+    fn check_equiv(op: BinOp, ty: Type, k: i64, inputs: &[i64]) {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f");
+        let x = f.new_value(ty);
+        f.params.push(x);
+        f.ret_ty = Some(ty);
+        let c = f.consts.intern(Constant::new(k, ty));
+        let r = f.new_value(ty);
+        let b = f.new_block("entry");
+        f.block_mut(b).instrs.push(Instr::Binary {
+            op,
+            ty,
+            lhs: x.into(),
+            rhs: c.into(),
+            dst: r,
+        });
+        f.block_mut(b).terminator = Terminator::Return(Some(r.into()));
+        m.add_function(f);
+
+        let mut reduced = m.clone();
+        StrengthReduce.run(&mut reduced);
+        for &i in inputs {
+            let raw = ty.from_signed(i);
+            let a = Interpreter::new(&m).run_by_name("f", &[raw]).unwrap().ret;
+            let b = Interpreter::new(&reduced).run_by_name("f", &[raw]).unwrap().ret;
+            assert_eq!(a, b, "op={op} k={k} input={i}");
+        }
+    }
+
+    #[test]
+    fn mul_pow2_equivalent() {
+        check_equiv(BinOp::Mul, Type::I32, 8, &[0, 1, -5, 123456, -99999]);
+        check_equiv(BinOp::Mul, Type::U16, 4, &[0, 1, 5, 60000]);
+    }
+
+    #[test]
+    fn unsigned_div_rem_pow2_equivalent() {
+        check_equiv(BinOp::Div, Type::U32, 16, &[0, 1, 15, 16, 17, 1 << 30]);
+        check_equiv(BinOp::Rem, Type::U32, 16, &[0, 1, 15, 16, 17, 1 << 30]);
+    }
+
+    #[test]
+    fn signed_div_untouched() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f");
+        let x = f.new_value(Type::I32);
+        f.params.push(x);
+        f.ret_ty = Some(Type::I32);
+        let c = f.consts.intern(Constant::new(4, Type::I32));
+        let r = f.new_value(Type::I32);
+        let b = f.new_block("entry");
+        f.block_mut(b).instrs.push(Instr::Binary {
+            op: BinOp::Div,
+            ty: Type::I32,
+            lhs: x.into(),
+            rhs: c.into(),
+            dst: r,
+        });
+        f.block_mut(b).terminator = Terminator::Return(Some(r.into()));
+        m.add_function(f);
+        assert!(!StrengthReduce.run(&mut m));
+    }
+
+    #[test]
+    fn non_pow2_untouched() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f");
+        let x = f.new_value(Type::U32);
+        f.params.push(x);
+        let c = f.consts.intern(Constant::new(6, Type::U32));
+        let r = f.new_value(Type::U32);
+        let b = f.new_block("entry");
+        f.block_mut(b).instrs.push(Instr::Binary {
+            op: BinOp::Mul,
+            ty: Type::U32,
+            lhs: x.into(),
+            rhs: c.into(),
+            dst: r,
+        });
+        f.block_mut(b).terminator = Terminator::Return(None);
+        m.add_function(f);
+        assert!(!StrengthReduce.run(&mut m));
+        let _ = ValueId(0);
+    }
+}

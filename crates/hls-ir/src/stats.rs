@@ -1,0 +1,114 @@
+//! Module statistics feeding the paper's Table 1.
+//!
+//! After compiler optimization, Table 1 reports per benchmark: the number
+//! of constants (`#Const`), basic blocks (`#BB`) and conditional jumps
+//! (`#CJMP`), from which Eq. 1 computes the working-key size `W`.
+
+use crate::function::Module;
+use std::fmt;
+
+/// Structural counts of a module (one synthesized top after inlining, but
+/// sums over all functions for generality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModuleStats {
+    /// Distinct constants across all function pools (`Num_const`).
+    pub num_consts: usize,
+    /// Total basic blocks (`#BB`).
+    pub num_blocks: usize,
+    /// Total conditional jumps (`Num_if` / `#CJMP`).
+    pub num_cond_jumps: usize,
+    /// Total straight-line instructions (context, not in Table 1).
+    pub num_instrs: usize,
+}
+
+impl ModuleStats {
+    /// Gathers the counts from `m`.
+    pub fn of(m: &Module) -> ModuleStats {
+        let mut s = ModuleStats::default();
+        for f in &m.functions {
+            s.num_consts += f.consts.len();
+            s.num_blocks += f.num_blocks();
+            s.num_cond_jumps += f.num_cond_jumps();
+            s.num_instrs += f.num_instrs();
+        }
+        s
+    }
+
+    /// Gathers the counts for a single function (the synthesized top).
+    pub fn of_function(m: &Module, name: &str) -> Option<ModuleStats> {
+        let (_, f) = m.function_by_name(name)?;
+        Some(ModuleStats {
+            num_consts: f.consts.len(),
+            num_blocks: f.num_blocks(),
+            num_cond_jumps: f.num_cond_jumps(),
+            num_instrs: f.num_instrs(),
+        })
+    }
+
+    /// The paper's Eq. 1: `W = Num_if + Num_const * C + sum_i B_i`, with a
+    /// uniform `B_i = bits_per_block` as in the evaluation (B_i = 4).
+    pub fn working_key_bits(&self, const_width: u32, bits_per_block: u32) -> u64 {
+        self.num_cond_jumps as u64
+            + self.num_consts as u64 * const_width as u64
+            + self.num_blocks as u64 * bits_per_block as u64
+    }
+}
+
+impl fmt::Display for ModuleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#Const={} #BB={} #CJMP={} (instrs={})",
+            self.num_consts, self.num_blocks, self.num_cond_jumps, self.num_instrs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Function;
+    use crate::instr::Terminator;
+    use crate::operand::Constant;
+    use crate::types::Type;
+
+    #[test]
+    fn eq1_matches_paper_example() {
+        // Paper Table 1 row `gsm`: 4 constants, 88 BBs, 4 branches, C=32,
+        // B_i=4 gives W = 4 + 4*32 + 88*4 = 484.
+        let s = ModuleStats { num_consts: 4, num_blocks: 88, num_cond_jumps: 4, num_instrs: 0 };
+        assert_eq!(s.working_key_bits(32, 4), 484);
+        // viterbi row: 117 constants, 98 BBs, 9 branches -> 4145.
+        let s = ModuleStats { num_consts: 117, num_blocks: 98, num_cond_jumps: 9, num_instrs: 0 };
+        assert_eq!(s.working_key_bits(32, 4), 4145);
+        // All five rows.
+        for (consts, bb, cjmp, w) in
+            [(4, 88, 4, 484), (5, 100, 5, 565), (2, 11, 2, 110), (12, 123, 11, 887)]
+        {
+            let s = ModuleStats {
+                num_consts: consts,
+                num_blocks: bb,
+                num_cond_jumps: cjmp,
+                num_instrs: 0,
+            };
+            assert_eq!(s.working_key_bits(32, 4), w);
+        }
+    }
+
+    #[test]
+    fn counts_gathered_from_module() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f");
+        f.consts.intern(Constant::new(1, Type::I32));
+        f.consts.intern(Constant::new(2, Type::I32));
+        let b = f.new_block("entry");
+        f.block_mut(b).terminator = Terminator::Return(None);
+        m.add_function(f);
+        let s = ModuleStats::of(&m);
+        assert_eq!(s.num_consts, 2);
+        assert_eq!(s.num_blocks, 1);
+        assert_eq!(s.num_cond_jumps, 0);
+        assert_eq!(ModuleStats::of_function(&m, "f"), Some(s));
+        assert_eq!(ModuleStats::of_function(&m, "nope"), None);
+    }
+}

@@ -1,0 +1,294 @@
+//! Area estimation of an FSMD design (the reproduction's Design Compiler).
+//!
+//! Sums component-level areas from the [`CostModel`]: functional units
+//! (plus opcode-variety overhead when one unit executes several operation
+//! types), input multiplexers sized by the number of distinct sources each
+//! port sees, registers and their input muxes, constant stores (with the
+//! XOR decrypt gates TAO adds), branch-mask XORs, memories, and the
+//! controller. Figure 6's normalized overheads come from comparing these
+//! totals between baseline and obfuscated designs.
+
+use hls_core::{CostModel, Fsmd, FuIdx, FuKind, FuOp, NextState, Src};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Itemized area report (µm² equivalents from the cost model).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaReport {
+    /// Functional units (base area).
+    pub fu: f64,
+    /// Extra decode/ALU area for units executing several opcode kinds.
+    pub fu_opcode_variety: f64,
+    /// Input multiplexers of functional-unit ports.
+    pub muxes: f64,
+    /// Datapath registers.
+    pub registers: f64,
+    /// Register input multiplexers.
+    pub reg_muxes: f64,
+    /// Constant storage (+ XOR decrypt gates when obfuscated).
+    pub constants: f64,
+    /// Branch-mask XOR gates.
+    pub branch_xors: f64,
+    /// RAM macros.
+    pub memories: f64,
+    /// Controller (states, transitions, state register, output decode).
+    pub controller: f64,
+}
+
+impl AreaReport {
+    /// Total area.
+    pub fn total(&self) -> f64 {
+        self.fu
+            + self.fu_opcode_variety
+            + self.muxes
+            + self.registers
+            + self.reg_muxes
+            + self.constants
+            + self.branch_xors
+            + self.memories
+            + self.controller
+    }
+
+    /// Overhead of `self` relative to `baseline` (e.g. `0.21` = +21%).
+    pub fn overhead_vs(&self, baseline: &AreaReport) -> f64 {
+        self.total() / baseline.total() - 1.0
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "area report (um^2):")?;
+        writeln!(f, "  functional units   {:>12.1}", self.fu)?;
+        writeln!(f, "  opcode variety     {:>12.1}", self.fu_opcode_variety)?;
+        writeln!(f, "  fu input muxes     {:>12.1}", self.muxes)?;
+        writeln!(f, "  registers          {:>12.1}", self.registers)?;
+        writeln!(f, "  register muxes     {:>12.1}", self.reg_muxes)?;
+        writeln!(f, "  constants          {:>12.1}", self.constants)?;
+        writeln!(f, "  branch xors        {:>12.1}", self.branch_xors)?;
+        writeln!(f, "  memories           {:>12.1}", self.memories)?;
+        writeln!(f, "  controller         {:>12.1}", self.controller)?;
+        writeln!(f, "  TOTAL              {:>12.1}", self.total())
+    }
+}
+
+/// Per-port source statistics used by both area and timing models.
+#[derive(Debug, Clone, Default)]
+pub struct PortStats {
+    /// Distinct sources feeding port A of each FU.
+    pub a_sources: BTreeMap<FuIdx, BTreeSet<Src>>,
+    /// Distinct sources feeding port B of each FU.
+    pub b_sources: BTreeMap<FuIdx, BTreeSet<Src>>,
+    /// Distinct opcodes each FU executes.
+    pub opcodes: BTreeMap<FuIdx, BTreeSet<String>>,
+    /// Distinct FUs writing each register (by register index).
+    pub reg_writers: BTreeMap<usize, BTreeSet<FuIdx>>,
+}
+
+impl PortStats {
+    /// Scans the design (all states, all variant alternatives — the muxes
+    /// are physical hardware shared by every variant).
+    pub fn collect(fsmd: &Fsmd) -> PortStats {
+        let mut st = PortStats::default();
+        for (_, op) in fsmd.micro_ops() {
+            for alt in &op.alts {
+                st.a_sources.entry(op.fu).or_default().insert(alt.a);
+                if let Some(b) = alt.b {
+                    st.b_sources.entry(op.fu).or_default().insert(b);
+                }
+                st.opcodes.entry(op.fu).or_default().insert(format!("{:?}", opcode_class(alt.op)));
+            }
+            if let Some(d) = op.dst {
+                st.reg_writers.entry(d.index()).or_default().insert(op.fu);
+            }
+        }
+        st
+    }
+}
+
+/// Groups opcodes into classes that cost distinct datapath behaviour.
+fn opcode_class(op: FuOp) -> &'static str {
+    match op {
+        FuOp::Bin(b) => match b {
+            hls_ir::BinOp::Add => "add",
+            hls_ir::BinOp::Sub => "sub",
+            hls_ir::BinOp::Mul => "mul",
+            hls_ir::BinOp::Div => "div",
+            hls_ir::BinOp::Rem => "rem",
+            hls_ir::BinOp::And => "and",
+            hls_ir::BinOp::Or => "or",
+            hls_ir::BinOp::Xor => "xor",
+            hls_ir::BinOp::Shl => "shl",
+            hls_ir::BinOp::Shr => "shr",
+        },
+        FuOp::Un(u) => match u {
+            hls_ir::UnOp::Neg => "sub",
+            hls_ir::UnOp::Not => "not",
+        },
+        FuOp::Cmp(_) => "cmp",
+        FuOp::Pass => "pass",
+        FuOp::Conv { .. } => "conv",
+        FuOp::Load { .. } => "load",
+        FuOp::Store { .. } => "store",
+    }
+}
+
+/// Computes the itemized area of `fsmd` under `cm`.
+pub fn area(fsmd: &Fsmd, cm: &CostModel) -> AreaReport {
+    let stats = PortStats::collect(fsmd);
+    let mut rep = AreaReport::default();
+
+    // Functional units + opcode variety.
+    for (i, fu) in fsmd.fus.iter().enumerate() {
+        rep.fu += cm.fu_area(fu.kind, fu.width.max(1));
+        let n_ops = stats.opcodes.get(&FuIdx(i as u32)).map(|s| s.len()).unwrap_or(0);
+        if n_ops > 1 {
+            rep.fu_opcode_variety += (n_ops - 1) as f64 * 0.9 * fu.width.max(1) as f64;
+        }
+    }
+
+    // FU input muxes. Port width: FU width, except constants may be wider
+    // (the obfuscated C-bit constants widen the mux, paper Sec. 4.2).
+    for (i, fu) in fsmd.fus.iter().enumerate() {
+        let idx = FuIdx(i as u32);
+        for sources in [stats.a_sources.get(&idx), stats.b_sources.get(&idx)].into_iter().flatten()
+        {
+            let mut w = fu.width.max(1);
+            for s in sources {
+                if let Src::Const(c) = s {
+                    w = w.max(fsmd.consts[c.0 as usize].storage_width);
+                }
+            }
+            rep.muxes += cm.mux_area(sources.len(), w);
+        }
+    }
+
+    // Registers + their input muxes.
+    for (r, &w) in fsmd.reg_widths.iter().enumerate() {
+        rep.registers += w as f64 * cm.reg_bit_area;
+        if let Some(writers) = stats.reg_writers.get(&r) {
+            rep.reg_muxes += cm.mux_area(writers.len(), w);
+        }
+    }
+
+    // Constants: hardwired literal bits in the baseline; stored encrypted
+    // bits + decrypt XORs when obfuscated.
+    for c in &fsmd.consts {
+        let w = c.storage_width as f64;
+        match c.key_xor {
+            None => rep.constants += w * cm.const_bit_area,
+            Some(_) => {
+                rep.constants += w * (cm.const_bit_area + cm.xor_bit_area);
+            }
+        }
+    }
+
+    // Branch-mask XOR gates.
+    for s in &fsmd.states {
+        if let NextState::Branch { key_bit: Some(_), .. } = s.next {
+            rep.branch_xors += cm.xor_bit_area;
+        }
+    }
+
+    // Memories.
+    for m in &fsmd.mems {
+        rep.memories += cm.ram_area(m.len as u64 * m.elem_ty.width() as u64);
+    }
+
+    // Controller.
+    let n_states = fsmd.states.len().max(1);
+    let n_transitions: usize = fsmd
+        .states
+        .iter()
+        .map(|s| match s.next {
+            NextState::Branch { .. } => 2,
+            _ => 1,
+        })
+        .sum();
+    let state_bits = (usize::BITS - (n_states - 1).leading_zeros()).max(1) as f64;
+    let n_ctrl_points = fsmd.micro_ops().count().max(1);
+    rep.controller = n_states as f64 * cm.fsm_state_area
+        + n_transitions as f64 * cm.fsm_transition_area
+        + state_bits * cm.reg_bit_area
+        + n_ctrl_points as f64 * cm.fsm_output_area;
+
+    let _ = FuKind::Wire;
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_core::{synthesize, HlsOptions};
+
+    fn synth(src: &str, top: &str) -> Fsmd {
+        let m = hls_frontend::compile(src, "t").unwrap();
+        synthesize(&m, top, &HlsOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn bigger_designs_cost_more() {
+        let cm = CostModel::default();
+        let small = area(&synth("int f(int a) { return a + 1; }", "f"), &cm);
+        let big = area(
+            &synth(
+                r#"
+                int f(int a, int b, int c) {
+                    int s = 0;
+                    for (int i = 0; i < 16; i++) s += (a * i + b) / (c + i + 1);
+                    return s;
+                }
+                "#,
+                "f",
+            ),
+            &cm,
+        );
+        assert!(big.total() > 2.0 * small.total());
+        assert!(big.fu > small.fu);
+        assert!(big.controller > small.controller);
+    }
+
+    #[test]
+    fn report_displays_all_lines() {
+        let cm = CostModel::default();
+        let rep = area(&synth("int f(int a) { return a * 3; }", "f"), &cm);
+        let s = rep.to_string();
+        for key in ["functional units", "registers", "controller", "TOTAL"] {
+            assert!(s.contains(key), "missing {key}");
+        }
+        assert!(rep.total() > 0.0);
+    }
+
+    #[test]
+    fn memories_counted() {
+        let cm = CostModel::default();
+        let with_mem = area(
+            &synth("int g[64]; int f(int i) { return g[i & 63]; }", "f"),
+            &cm,
+        );
+        assert!(with_mem.memories > 0.0);
+    }
+
+    #[test]
+    fn overhead_vs_is_relative() {
+        let a = AreaReport { fu: 100.0, ..Default::default() };
+        let b = AreaReport { fu: 121.0, ..Default::default() };
+        assert!((b.overhead_vs(&a) - 0.21).abs() < 1e-9);
+    }
+
+    #[test]
+    fn port_stats_count_distinct_sources() {
+        let fsmd = synth(
+            "int f(int a, int b, int c) { return a * b + b * c + c * a; }",
+            "f",
+        );
+        let stats = PortStats::collect(&fsmd);
+        // The single multiplier sees several distinct sources on each port.
+        let mul_idx = fsmd
+            .fus
+            .iter()
+            .position(|f| f.kind == FuKind::Mul)
+            .map(|i| FuIdx(i as u32))
+            .unwrap();
+        assert!(stats.a_sources[&mul_idx].len() >= 2);
+    }
+}

@@ -1,0 +1,449 @@
+//! Cycle-accurate FSMD simulation (the reproduction's ModelSim).
+//!
+//! The simulator executes the controller + datapath model exactly as the
+//! emitted RTL would: in each state it evaluates every micro-operation
+//! against the register/memory values at the start of the cycle, applies
+//! all writes at the clock edge, and follows the (possibly key-masked)
+//! transition. The working key is an input port, as in the paper's extended
+//! testbenches which "specify different locking keys as input and verify
+//! the implementation for each of them" (Sec. 4.1).
+//!
+//! Wrong keys produce *well-defined wrong behaviour*: constants decrypt to
+//! garbage, branches take the wrong arm, variant muxes select scrambled
+//! operations, and memory addresses wrap modulo the array size (as a
+//! hardware address decoder would). Wrong loop bounds can produce
+//! non-terminating executions; the cycle budget turns those into
+//! [`SimError::CycleLimit`].
+
+use hls_core::{Fsmd, FuOp, KeyBits, NextState, Src};
+use hls_ir::Type;
+use std::error::Error;
+use std::fmt;
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle budget was exhausted (wrong keys may alter loop bounds and
+    /// spin forever; the paper observes latency changes under wrong keys).
+    CycleLimit,
+    /// Wrong number of arguments for the design's parameter ports.
+    ArityMismatch {
+        /// Ports on the design.
+        expected: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// Key port width mismatch.
+    KeyWidthMismatch {
+        /// The design's working-key width.
+        expected: u32,
+        /// Supplied key width.
+        got: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimit => write!(f, "simulation cycle budget exhausted"),
+            SimError::ArityMismatch { expected, got } => {
+                write!(f, "design has {expected} argument ports, {got} arguments given")
+            }
+            SimError::KeyWidthMismatch { expected, got } => {
+                write!(f, "design expects a {expected}-bit working key, got {got} bits")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult {
+    /// Return-register value (`None` for void designs).
+    pub ret: Option<u64>,
+    /// Clock cycles from start to done.
+    pub cycles: u64,
+    /// Final contents of every memory (indexed like `Fsmd::mems`).
+    pub mems: Vec<Vec<u64>>,
+    /// `true` if the run was cut off by the cycle budget and the result is
+    /// a snapshot (see [`SimOptions::snapshot_on_timeout`]).
+    pub timed_out: bool,
+    /// Final datapath register values (indexed like `Fsmd::reg_widths`);
+    /// the VCD tracer and debugging tests read these.
+    pub regs: Vec<u64>,
+}
+
+/// Simulator options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Maximum clock cycles before aborting.
+    pub max_cycles: u64,
+    /// When the budget runs out: if `true`, return `Ok` with the current
+    /// register/memory state and `timed_out = true` — exactly what a
+    /// fixed-duration RTL testbench observes from a stuck circuit (the
+    /// paper's ModelSim runs read outputs after a fixed time). If `false`
+    /// (default), return [`SimError::CycleLimit`].
+    pub snapshot_on_timeout: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { max_cycles: 50_000_000, snapshot_on_timeout: false }
+    }
+}
+
+/// Simulates `fsmd` with the given argument values and working key.
+///
+/// Memories marked external may be pre-loaded by passing `mem_overrides`
+/// (pairs of memory index and contents); testbenches use this to drive
+/// input arrays.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on interface mismatches or an exhausted cycle
+/// budget.
+pub fn simulate(
+    fsmd: &Fsmd,
+    args: &[u64],
+    key: &KeyBits,
+    mem_overrides: &[(usize, Vec<u64>)],
+    opts: &SimOptions,
+) -> Result<SimResult, SimError> {
+    if args.len() != fsmd.params.len() {
+        return Err(SimError::ArityMismatch { expected: fsmd.params.len(), got: args.len() });
+    }
+    if key.width() != fsmd.key_width {
+        return Err(SimError::KeyWidthMismatch { expected: fsmd.key_width, got: key.width() });
+    }
+
+    // Reset: registers zero, memories at init image.
+    let mut regs: Vec<u64> = vec![0; fsmd.reg_widths.len()];
+    let mut mems: Vec<Vec<u64>> = fsmd
+        .mems
+        .iter()
+        .map(|m| {
+            let mut data = vec![0u64; m.len];
+            if let Some(init) = &m.init {
+                for (i, v) in init.iter().enumerate().take(m.len) {
+                    data[i] = m.elem_ty.truncate(*v);
+                }
+            }
+            data
+        })
+        .collect();
+    for (idx, contents) in mem_overrides {
+        let m = &mut mems[*idx];
+        for (i, v) in contents.iter().enumerate().take(m.len()) {
+            m[i] = fsmd.mems[*idx].elem_ty.truncate(*v);
+        }
+    }
+    // Load argument ports.
+    for (reg, val) in fsmd.params.iter().zip(args) {
+        let w = fsmd.reg_widths[reg.index()];
+        regs[reg.index()] = Type::int(w, false).truncate(*val);
+    }
+
+    let mut state = fsmd.entry;
+    let mut cycles = 0u64;
+    // Results of multi-cycle units land `latency - 1` cycles after issue;
+    // register binding counts on exactly that write moment.
+    let mut pending: Vec<(u64, usize, u64)> = Vec::new();
+    loop {
+        cycles += 1;
+        if cycles > opts.max_cycles {
+            if opts.snapshot_on_timeout {
+                let ret = fsmd.ret_reg.map(|r| regs[r.index()]);
+                return Ok(SimResult { ret, cycles: cycles - 1, mems, timed_out: true, regs });
+            }
+            return Err(SimError::CycleLimit);
+        }
+        let st = &fsmd.states[state.index()];
+        let sel = st.variant_key.map(|kr| key.range(kr)).unwrap_or(0) as usize;
+
+        // Evaluate phase (reads see start-of-cycle values).
+        let mut reg_writes: Vec<(usize, u64)> = Vec::new();
+        let mut mem_writes: Vec<(usize, usize, u64)> = Vec::new();
+        for op in &st.ops {
+            let latency = fsmd.fus[op.fu.0 as usize].kind.latency() as u64;
+            let mut write_reg = |d: usize, v: u64| {
+                if latency <= 1 {
+                    reg_writes.push((d, v));
+                } else {
+                    pending.push((cycles + latency - 1, d, v));
+                }
+            };
+            let alt = &op.alts[sel.min(op.alts.len() - 1)];
+            let read = |s: Src| -> u64 {
+                match s {
+                    Src::Reg(r) => regs[r.index()],
+                    Src::Const(c) => {
+                        let e = &fsmd.consts[c.0 as usize];
+                        match e.key_xor {
+                            None => e.bits,
+                            Some(kr) => {
+                                let mask = if e.storage_width == 64 {
+                                    u64::MAX
+                                } else {
+                                    (1u64 << e.storage_width) - 1
+                                };
+                                (e.bits ^ key.range(kr)) & mask
+                            }
+                        }
+                    }
+                }
+            };
+            let a = read(alt.a);
+            let b = alt.b.map(read);
+            match alt.op {
+                FuOp::Bin(bop) => {
+                    if let Some(d) = op.dst {
+                        let v = bop.eval(op.ty, a, b.unwrap_or(0));
+                        write_reg(d.index(), v);
+                    }
+                }
+                FuOp::Un(uop) => {
+                    if let Some(d) = op.dst {
+                        write_reg(d.index(), uop.eval(op.ty, a));
+                    }
+                }
+                FuOp::Cmp(pred) => {
+                    if let Some(d) = op.dst {
+                        write_reg(d.index(), pred.eval(op.ty, a, b.unwrap_or(0)) as u64);
+                    }
+                }
+                FuOp::Pass => {
+                    if let Some(d) = op.dst {
+                        write_reg(d.index(), op.ty.truncate(a));
+                    }
+                }
+                FuOp::Conv { from, to } => {
+                    if let Some(d) = op.dst {
+                        write_reg(d.index(), from.convert_to(a, to));
+                    }
+                }
+                FuOp::Load { mem } => {
+                    if let Some(d) = op.dst {
+                        let m = &mems[mem.0 as usize];
+                        let idx = wrap_index(a, m.len());
+                        write_reg(d.index(), op.ty.truncate(m[idx]));
+                    }
+                }
+                FuOp::Store { mem } => {
+                    let len = mems[mem.0 as usize].len();
+                    let idx = wrap_index(a, len);
+                    mem_writes.push((mem.0 as usize, idx, op.ty.truncate(b.unwrap_or(0))));
+                }
+            }
+        }
+
+        // Next-state logic is combinational over the *current* register
+        // values (the schedule guarantees branch tests are stable one state
+        // before they are read); decide before the clock edge.
+        enum Decision {
+            Next(hls_core::StateId),
+            Done,
+        }
+        let decision = match st.next {
+            NextState::Goto(t) => Decision::Next(t),
+            NextState::Branch { test, key_bit, then_s, else_s } => {
+                let mut t = regs[test.index()] & 1;
+                if let Some(kb) = key_bit {
+                    t ^= key.bit(kb) as u64;
+                }
+                Decision::Next(if t == 1 { then_s } else { else_s })
+            }
+            NextState::Done => Decision::Done,
+        };
+
+        // Clock edge: apply this cycle's writes (single-cycle results and
+        // multi-cycle results falling due now), in op order.
+        for (r, v) in reg_writes {
+            let w = fsmd.reg_widths[r];
+            regs[r] = Type::int(w, false).truncate(v);
+        }
+        pending.retain(|&(due, r, v)| {
+            if due == cycles {
+                let w = fsmd.reg_widths[r];
+                regs[r] = Type::int(w, false).truncate(v);
+                false
+            } else {
+                true
+            }
+        });
+        for (m, i, v) in mem_writes {
+            mems[m][i] = v;
+        }
+
+        match decision {
+            Decision::Next(t) => state = t,
+            Decision::Done => {
+                // The return register was written at this final clock edge.
+                let ret = fsmd.ret_reg.map(|r| regs[r.index()]);
+                return Ok(SimResult { ret, cycles, mems, timed_out: false, regs });
+            }
+        }
+    }
+}
+
+/// Hardware-style address wrap: the decoder uses the low address bits; an
+/// out-of-range index aliases into the array instead of trapping.
+fn wrap_index(raw: u64, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    // Interpret as a signed 32-bit index first (the front end converts all
+    // indices to i32), then wrap.
+    let signed = (raw as u32) as i32 as i64;
+    signed.rem_euclid(len as i64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_core::{synthesize, HlsOptions};
+    use hls_ir::Interpreter;
+
+    fn synth(src: &str, top: &str) -> (hls_ir::Module, Fsmd) {
+        let m = hls_frontend::compile(src, "t").expect("compile");
+        let fsmd = synthesize(&m, top, &HlsOptions::default()).expect("synthesize");
+        (m, fsmd)
+    }
+
+    fn run0(fsmd: &Fsmd, args: &[u64]) -> SimResult {
+        simulate(fsmd, args, &KeyBits::zero(0), &[], &SimOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_matches_interpreter() {
+        let (m, fsmd) = synth("int f(int a, int b) { return (a + b) * (a - b); }", "f");
+        for (a, b) in [(3u64, 4u64), (10, 2), (0, 0), (1000, 999)] {
+            let want = Interpreter::new(&m).run_by_name("f", &[a, b]).unwrap().ret;
+            let got = run0(&fsmd, &[a, b]).ret;
+            assert_eq!(got, want, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn loop_kernel_matches_interpreter_and_counts_cycles() {
+        let (m, fsmd) = synth(
+            "int sum(int n) { int s = 0; for (int i = 0; i < n; i++) s += i * i; return s; }",
+            "sum",
+        );
+        for n in [0u64, 1, 5, 20] {
+            let want = Interpreter::new(&m).run_by_name("sum", &[n]).unwrap().ret;
+            let res = run0(&fsmd, &[n]);
+            assert_eq!(res.ret, want, "n={n}");
+            assert!(res.cycles >= n); // at least one state per iteration
+        }
+        // Cycle count grows with n.
+        assert!(run0(&fsmd, &[20]).cycles > run0(&fsmd, &[5]).cycles);
+    }
+
+    #[test]
+    fn memory_kernel_matches_interpreter() {
+        let src = r#"
+            int data[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+            int out[8];
+            void scale(int k) {
+                for (int i = 0; i < 8; i++) out[i] = data[i] * k;
+            }
+        "#;
+        let (m, fsmd) = synth(src, "scale");
+        let mut interp = Interpreter::new(&m);
+        interp.run_by_name("scale", &[7]).unwrap();
+        let res = run0(&fsmd, &[7]);
+        // Compare the external `out` memory with the interpreter's globals.
+        let (out_id, _) = m
+            .globals
+            .iter()
+            .find(|(_, o)| o.name == "out")
+            .map(|(id, o)| (*id, o))
+            .unwrap();
+        let want = &interp.globals[&out_id];
+        let got_idx = fsmd.mem_of_array[&out_id].0 as usize;
+        assert_eq!(&res.mems[got_idx], want);
+    }
+
+    #[test]
+    fn local_const_table_matches() {
+        let (m, fsmd) = synth(
+            "int pick(int i) { int tbl[4] = {11, 22, 33, 44}; return tbl[i & 3]; }",
+            "pick",
+        );
+        for i in 0..4u64 {
+            let want = Interpreter::new(&m).run_by_name("pick", &[i]).unwrap().ret;
+            assert_eq!(run0(&fsmd, &[i]).ret, want);
+        }
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let (_, fsmd) = synth(
+            "int spin(int n) { int s = 0; while (s < n) { s = s - 1; } return s; }",
+            "spin",
+        );
+        // s decreasing never reaches n>0: infinite loop under these args.
+        let err = simulate(
+            &fsmd,
+            &[5],
+            &KeyBits::zero(0),
+            &[],
+            &SimOptions { max_cycles: 10_000, ..SimOptions::default() },
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::CycleLimit);
+    }
+
+    #[test]
+    fn interface_mismatches_reported() {
+        let (_, fsmd) = synth("int f(int a) { return a; }", "f");
+        assert!(matches!(
+            simulate(&fsmd, &[], &KeyBits::zero(0), &[], &SimOptions::default()),
+            Err(SimError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            simulate(&fsmd, &[1], &KeyBits::zero(8), &[], &SimOptions::default()),
+            Err(SimError::KeyWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn signed_arithmetic_matches() {
+        let (m, fsmd) = synth(
+            r#"
+            int f(int a, char c) {
+                int x = a / 3 + c;
+                if (x < 0) x = -x;
+                return x % 7;
+            }
+            "#,
+            "f",
+        );
+        for (a, c) in [(100u64, 0x80u64), (0, 0xff), (12345, 1), (7, 0x7f)] {
+            let want = Interpreter::new(&m).run_by_name("f", &[a, c]).unwrap().ret;
+            assert_eq!(run0(&fsmd, &[a, c]).ret, want, "a={a} c={c}");
+        }
+    }
+
+    #[test]
+    fn mem_override_drives_inputs() {
+        let src = r#"
+            int buf[4];
+            int total() { int s = 0; for (int i = 0; i < 4; i++) s += buf[i]; return s; }
+        "#;
+        let (m, fsmd) = synth(src, "total");
+        let buf_id = *m.globals.iter().find(|(_, o)| o.name == "buf").map(|(id, _)| id).unwrap();
+        let mem_idx = fsmd.mem_of_array[&buf_id].0 as usize;
+        let res = simulate(
+            &fsmd,
+            &[],
+            &KeyBits::zero(0),
+            &[(mem_idx, vec![10, 20, 30, 40])],
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(res.ret, Some(100));
+    }
+}

@@ -1,0 +1,130 @@
+//! Static timing estimation (critical path and achievable frequency).
+//!
+//! The critical path of an FSMD state is operand-mux → (constant-decrypt
+//! XOR) → functional unit → destination-register mux → register setup,
+//! plus controller decode. The paper reports the frequency effects TAO's
+//! obfuscations have through exactly these mechanisms: DFG variants add
+//! mux inputs (−8% average), constant obfuscation widens muxes and adds a
+//! decrypt XOR (≈ −4%), branch masking adds one XOR off the datapath
+//! (< 1%).
+
+use crate::area::PortStats;
+use hls_core::{CostModel, Fsmd, FuIdx, NextState, Src};
+
+/// Timing report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Worst combinational path in ns.
+    pub critical_path_ns: f64,
+    /// Maximum frequency in MHz.
+    pub fmax_mhz: f64,
+}
+
+impl TimingReport {
+    /// Relative frequency change vs a baseline (e.g. `-0.08` = 8% slower).
+    pub fn frequency_change_vs(&self, baseline: &TimingReport) -> f64 {
+        self.fmax_mhz / baseline.fmax_mhz - 1.0
+    }
+}
+
+/// Estimates the critical path of `fsmd` under `cm`.
+pub fn timing(fsmd: &Fsmd, cm: &CostModel) -> TimingReport {
+    let stats = PortStats::collect(fsmd);
+    let n_states = fsmd.states.len().max(1);
+    let state_bits = (usize::BITS - (n_states - 1).leading_zeros()).max(1) as f64;
+    let decode = state_bits * cm.fsm_decode_delay;
+
+    let port_fanin = |fu: FuIdx, is_b: bool| -> usize {
+        let map = if is_b { &stats.b_sources } else { &stats.a_sources };
+        map.get(&fu).map(|s| s.len()).unwrap_or(1)
+    };
+
+    let mut worst = decode + cm.reg_overhead_delay; // empty-state floor
+    for (_, op) in fsmd.micro_ops() {
+        let fu = &fsmd.fus[op.fu.0 as usize];
+        // Any obfuscated constant on a port adds the decrypt XOR.
+        let mut const_xor = 0.0;
+        for alt in &op.alts {
+            for s in [Some(alt.a), alt.b].into_iter().flatten() {
+                if let Src::Const(c) = s {
+                    if fsmd.consts[c.0 as usize].key_xor.is_some() {
+                        const_xor = cm.xor_delay;
+                    }
+                }
+            }
+        }
+        let in_mux = cm
+            .mux_delay(port_fanin(op.fu, false))
+            .max(cm.mux_delay(port_fanin(op.fu, true)));
+        let fu_delay = cm.fu_delay(fu.kind, fu.width.max(1));
+        let out_mux = op
+            .dst
+            .and_then(|d| stats.reg_writers.get(&d.index()))
+            .map(|w| cm.mux_delay(w.len()))
+            .unwrap_or(0.0);
+        let path = decode + in_mux + const_xor + fu_delay + out_mux + cm.reg_overhead_delay;
+        if path > worst {
+            worst = path;
+        }
+    }
+    // Branch-mask XOR sits on the next-state logic.
+    for s in &fsmd.states {
+        if let NextState::Branch { key_bit, .. } = s.next {
+            let path = decode
+                + if key_bit.is_some() { cm.xor_delay } else { 0.0 }
+                + cm.reg_overhead_delay;
+            if path > worst {
+                worst = path;
+            }
+        }
+    }
+
+    TimingReport { critical_path_ns: worst, fmax_mhz: 1000.0 / worst }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_core::{synthesize, HlsOptions};
+
+    fn synth(src: &str, top: &str) -> Fsmd {
+        let m = hls_frontend::compile(src, "t").unwrap();
+        synthesize(&m, top, &HlsOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn wider_datapaths_are_slower() {
+        let cm = CostModel::default();
+        let narrow = timing(&synth("char f(char a, char b) { return a + b; }", "f"), &cm);
+        let wide = timing(&synth("long f(long a, long b) { return a + b; }", "f"), &cm);
+        assert!(wide.critical_path_ns > narrow.critical_path_ns);
+        assert!(wide.fmax_mhz < narrow.fmax_mhz);
+    }
+
+    #[test]
+    fn multiplier_dominates_adder() {
+        let cm = CostModel::default();
+        let add = timing(&synth("int f(int a, int b) { return a + b; }", "f"), &cm);
+        let mul = timing(&synth("int f(int a, int b) { return a * b; }", "f"), &cm);
+        assert!(mul.critical_path_ns > add.critical_path_ns);
+    }
+
+    #[test]
+    fn meets_paper_clock_target() {
+        // Typical 32-bit kernels must close at 500 MHz (2 ns), the paper's
+        // synthesis target.
+        let cm = CostModel::default();
+        let rep = timing(
+            &synth("int f(int a, int b, int c) { return (a + b) * c - (a >> 2); }", "f"),
+            &cm,
+        );
+        assert!(rep.fmax_mhz >= 500.0, "fmax {} MHz below target", rep.fmax_mhz);
+    }
+
+    #[test]
+    fn frequency_change_helper() {
+        let a = TimingReport { critical_path_ns: 2.0, fmax_mhz: 500.0 };
+        let b = TimingReport { critical_path_ns: 2.2, fmax_mhz: 454.5 };
+        assert!((b.frequency_change_vs(&a) + 0.091).abs() < 1e-3);
+    }
+}

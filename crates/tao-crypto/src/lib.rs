@@ -1,0 +1,25 @@
+//! # tao-crypto — AES for TAO's key management
+//!
+//! A self-contained FIPS-197 AES implementation (128/192/256) modelling the
+//! on-chip decryption block of the paper's key-management scheme (Sec. 3.4,
+//! Fig. 5): the working key is AES-256-encrypted under the locking key at
+//! design time, stored in NVM, and decrypted at power-up.
+//!
+//! ## Example
+//!
+//! ```
+//! use tao_crypto::Aes;
+//!
+//! let aes = Aes::new(&[0u8; 32]).map_err(|e| e.to_string())?;
+//! let nvm = aes.encrypt_ecb(b"working key bits");
+//! let recovered = aes.decrypt_ecb(&nvm);
+//! assert_eq!(&recovered[..16], b"working key bits");
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aes;
+
+pub use aes::{Aes, KeySize};

@@ -1,0 +1,152 @@
+//! Constant obfuscation (paper Sec. 3.3.2, Eqs. 2–3).
+//!
+//! Every constant `V_p` is re-encoded as `V_e = V_p ⊕ K_i` over a fixed
+//! `C`-bit storage (C = 32 in the evaluation), with the working-key bits
+//! `K_i` XORed back at use. Two effects follow, both measured in Sec. 4.2:
+//! the constant's value *and* bit-width disappear from the netlist
+//! (defeating bit-width-aware datapath sizing and constant propagation),
+//! and the widened storage grows the multiplexers feeding constant ports.
+
+use crate::plan::KeyPlan;
+use hls_core::{Fsmd, KeyBits};
+
+/// Applies constant obfuscation in place.
+///
+/// `working_key` must already be sized to the plan's total width; only the
+/// ranges assigned to constants are read.
+///
+/// # Panics
+///
+/// Panics if the plan does not match the design (different constant count).
+pub fn obfuscate_constants(fsmd: &mut Fsmd, plan: &KeyPlan, working_key: &KeyBits) {
+    assert_eq!(
+        plan.const_ranges.len(),
+        fsmd.consts.len(),
+        "key plan does not match the design's constant table"
+    );
+    for (entry, range) in fsmd.consts.iter_mut().zip(&plan.const_ranges) {
+        let Some(range) = *range else { continue };
+        let storage_width = range.width as u8;
+        debug_assert!(storage_width as u32 >= entry.ty.width() as u32);
+        let mask = if storage_width == 64 { u64::MAX } else { (1u64 << storage_width) - 1 };
+        // Zero-extend the plain value to the storage width, then encrypt.
+        let plain = entry.bits & mask;
+        let k = working_key.range(range);
+        entry.bits = (plain ^ k) & mask;
+        entry.storage_width = storage_width;
+        entry.key_xor = Some(range);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanConfig;
+    use hls_core::{synthesize, HlsOptions, KeyRange};
+    use hls_ir::Type;
+
+    fn locked(src: &str, top: &str, key_seed: u64) -> (Fsmd, Fsmd, KeyBits) {
+        let m = hls_frontend::compile(src, "t").unwrap();
+        let base = synthesize(&m, top, &HlsOptions::default()).unwrap();
+        let plan = KeyPlan::apportion(
+            &base,
+            PlanConfig { branches: false, dfg_variants: false, ..PlanConfig::default() },
+        );
+        let mut state = key_seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let key = KeyBits::from_fn(plan.total_bits, || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        });
+        let mut obf = base.clone();
+        obfuscate_constants(&mut obf, &plan, &key);
+        obf.key_width = plan.total_bits;
+        obf.validate().unwrap();
+        (base, obf, key)
+    }
+
+    #[test]
+    fn paper_example_encoding() {
+        // Paper Sec. 3.3.2: V_p = 10 (5'b01010), K = 5'b11101 gives
+        // V_e = 5'b10111; decryption restores V_p.
+        let v_p: u64 = 0b01010;
+        let k: u64 = 0b11101;
+        let v_e = v_p ^ k;
+        assert_eq!(v_e, 0b10111);
+        assert_eq!(v_e ^ k, v_p);
+        // And the second example key from the paper.
+        let k2: u64 = 0b00111;
+        assert_eq!(v_p ^ k2, 0b01101);
+    }
+
+    #[test]
+    fn stored_bits_differ_and_width_is_fixed() {
+        let (base, obf, key) = locked("int f(int x) { return x * 25 + 13; }", "f", 7);
+        assert_eq!(base.consts.len(), obf.consts.len());
+        for (b, o) in base.consts.iter().zip(&obf.consts) {
+            assert_eq!(o.storage_width, 32, "all constants stored at C=32");
+            let kr = o.key_xor.expect("key range set");
+            // Decrypting recovers the plain value.
+            let mask = (1u64 << 32) - 1;
+            assert_eq!((o.bits ^ key.range(kr)) & mask, b.bits & mask);
+        }
+        // At least one constant actually changed representation (the key is
+        // random; all-zero ranges are astronomically unlikely here).
+        assert!(base.consts.iter().zip(&obf.consts).any(|(b, o)| b.bits != o.bits));
+    }
+
+    #[test]
+    fn same_value_encodes_differently_under_different_keys() {
+        // Paper: "the same constant value is coded in different ways based
+        // on the value of the locking key".
+        let (_, obf1, _) = locked("int f(int x) { return x + 77; }", "f", 1);
+        let (_, obf2, _) = locked("int f(int x) { return x + 77; }", "f", 2);
+        let c1 = obf1.consts.iter().find(|c| c.key_xor.is_some()).unwrap();
+        let c2 = obf2.consts.iter().find(|c| c.key_xor.is_some()).unwrap();
+        assert_ne!(c1.bits, c2.bits);
+    }
+
+    #[test]
+    fn correct_key_preserves_functionality() {
+        use rtl::{simulate, SimOptions};
+        let (base, obf, key) =
+            locked("int f(int x) { return (x + 1000) * 3 - 7; }", "f", 99);
+        for x in [0u64, 5, 1 << 20] {
+            let want = simulate(&base, &[x], &KeyBits::zero(0), &[], &SimOptions::default())
+                .unwrap()
+                .ret;
+            let got = simulate(&obf, &[x], &key, &[], &SimOptions::default()).unwrap().ret;
+            assert_eq!(got, want, "x={x}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_corrupts_output() {
+        use rtl::{simulate, SimOptions};
+        let (_, obf, key) = locked("int f(int x) { return x + 12345; }", "f", 3);
+        let mut wrong = key.clone();
+        wrong.set_bit(0, !wrong.bit(0));
+        let a = simulate(&obf, &[1], &key, &[], &SimOptions::default()).unwrap().ret;
+        let b = simulate(&obf, &[1], &wrong, &[], &SimOptions::default()).unwrap().ret;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn untouched_when_range_absent() {
+        let m = hls_frontend::compile("int f(int x) { return x + 3; }", "t").unwrap();
+        let base = synthesize(&m, "f", &HlsOptions::default()).unwrap();
+        let plan = KeyPlan {
+            const_ranges: vec![None; base.consts.len()],
+            branch_bits: Default::default(),
+            block_ranges: Default::default(),
+            total_bits: 0,
+            config: PlanConfig::default(),
+        };
+        let mut obf = base.clone();
+        obfuscate_constants(&mut obf, &plan, &KeyBits::zero(0));
+        assert_eq!(obf.consts, base.consts);
+        let _ = KeyRange { lo: 0, width: 1 };
+        let _ = Type::I32;
+    }
+}

@@ -1,0 +1,321 @@
+//! The TAO-enhanced HLS flow (paper Fig. 2): C module → locked FSMD.
+//!
+//! Mirrors the paper's tool organization — "we modified Bambu to select
+//! the methods to apply through command-line options" (Sec. 4.2) — via
+//! [`TaoOptions`]: every technique can be toggled independently, which is
+//! how the Figure 6 per-technique overhead sweep is produced.
+
+use crate::branches::obfuscate_branches;
+use crate::constants::obfuscate_constants;
+use crate::keymgmt::{KeyManagement, KeyMgmtError, KeyScheme};
+use crate::plan::{KeyPlan, PlanConfig};
+use crate::variants::{obfuscate_dfg_variants, VariantOptions};
+use hls_core::{build_fsmd, Fsmd, HlsError, HlsOptions, KeyBits};
+use hls_ir::Module;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+
+/// Options of the TAO flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaoOptions {
+    /// Which techniques to apply and their key widths (`C`, `B_i`).
+    pub plan: PlanConfig,
+    /// Algorithm 1 probabilities.
+    pub variants: VariantOptions,
+    /// How the working key is derived from the locking key.
+    pub scheme: KeyScheme,
+    /// Seed for Algorithm 1's statistical choices and the AES scheme's
+    /// random working key. Fixed seeds give reproducible netlists.
+    pub seed: u64,
+    /// Underlying HLS options.
+    pub hls: HlsOptions,
+}
+
+impl Default for TaoOptions {
+    fn default() -> Self {
+        TaoOptions {
+            plan: PlanConfig::default(),
+            variants: VariantOptions::default(),
+            scheme: KeyScheme::AesNvm,
+            seed: 0xDAC2018,
+            hls: HlsOptions::default(),
+        }
+    }
+}
+
+/// Errors from the TAO flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaoError {
+    /// Underlying HLS failure.
+    Hls(HlsError),
+    /// Key-management failure.
+    KeyMgmt(KeyMgmtError),
+    /// Internal invariant violation (a bug in this crate).
+    Internal(String),
+}
+
+impl fmt::Display for TaoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaoError::Hls(e) => write!(f, "hls: {e}"),
+            TaoError::KeyMgmt(e) => write!(f, "key management: {e}"),
+            TaoError::Internal(m) => write!(f, "internal TAO error: {m}"),
+        }
+    }
+}
+
+impl Error for TaoError {}
+
+impl From<HlsError> for TaoError {
+    fn from(e: HlsError) -> Self {
+        TaoError::Hls(e)
+    }
+}
+
+impl From<KeyMgmtError> for TaoError {
+    fn from(e: KeyMgmtError) -> Self {
+        TaoError::KeyMgmt(e)
+    }
+}
+
+/// A fully locked design plus everything needed to evaluate it.
+#[derive(Debug, Clone)]
+pub struct LockedDesign {
+    /// The obfuscated FSMD (what goes to the foundry).
+    pub fsmd: Fsmd,
+    /// The un-obfuscated FSMD of the same schedule/binding (for overhead
+    /// comparisons; never leaves the design house).
+    pub baseline: Fsmd,
+    /// The key-bit assignment.
+    pub plan: KeyPlan,
+    /// The key-management block (holds the NVM image for the AES scheme).
+    pub key_mgmt: KeyManagement,
+    /// The prepared module (inlined + optimized), for golden-model runs.
+    pub module: Module,
+    /// Name of the synthesized top function.
+    pub top: String,
+}
+
+impl LockedDesign {
+    /// Derives the working key an IC would compute at power-up for a given
+    /// locking key (correct or attacker-supplied).
+    pub fn working_key(&self, locking: &KeyBits) -> KeyBits {
+        self.key_mgmt.power_up(locking)
+    }
+}
+
+/// Runs the complete TAO flow: HLS, key apportionment, working-key
+/// derivation and the three obfuscations.
+///
+/// # Errors
+///
+/// Returns [`TaoError`] when the top function is missing, key management
+/// is misconfigured (e.g. AES without a 256-bit locking key), or an
+/// internal invariant fails.
+///
+/// # Examples
+///
+/// ```
+/// use hls_core::KeyBits;
+/// use tao::{lock, TaoOptions};
+///
+/// let m = hls_frontend::compile(
+///     "int f(int x) { int s = 0; for (int i = 0; i < x; i++) s += i * 3; return s; }",
+///     "demo")?;
+/// let locking = KeyBits::from_fn(256, || 0x1234_5678_9abc_def0);
+/// let design = lock(&m, "f", &locking, &TaoOptions::default())?;
+/// assert!(design.fsmd.key_width > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn lock(
+    module: &Module,
+    top: &str,
+    locking_key: &KeyBits,
+    opts: &TaoOptions,
+) -> Result<LockedDesign, TaoError> {
+    // Front-end + mid-level HLS (paper Fig. 2 left/middle).
+    let prepared = hls_core::prepare(module, top, &opts.hls)?;
+    let (sched, ra) = hls_core::schedule_and_bind(&prepared, &opts.hls)?;
+    let baseline = build_fsmd(&prepared.module, &prepared.function, &sched, &ra);
+    baseline.validate().map_err(TaoError::Internal)?;
+
+    // Key apportionment (Sec. 3.3.1) and working-key derivation (Sec. 3.4).
+    let plan = KeyPlan::apportion(&baseline, opts.plan);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let (key_mgmt, working_key) = match opts.scheme {
+        KeyScheme::Replicate => KeyManagement::replicate(locking_key, plan.total_bits)?,
+        KeyScheme::AesNvm => {
+            let wk = KeyBits::from_fn(plan.total_bits, || rng.gen());
+            let km = KeyManagement::aes_nvm(locking_key, &wk)?;
+            (km, wk)
+        }
+    };
+
+    // Apply the obfuscations (Secs. 3.3.2-3.3.4).
+    let mut fsmd = baseline.clone();
+    fsmd.key_width = plan.total_bits;
+    if opts.plan.constants {
+        obfuscate_constants(&mut fsmd, &plan, &working_key);
+    }
+    if opts.plan.branches {
+        obfuscate_branches(&mut fsmd, &plan, &working_key);
+    }
+    if opts.plan.dfg_variants {
+        obfuscate_dfg_variants(&mut fsmd, &plan, &working_key, &opts.variants, &mut rng);
+    }
+    fsmd.validate().map_err(TaoError::Internal)?;
+
+    Ok(LockedDesign {
+        fsmd,
+        baseline,
+        plan,
+        key_mgmt,
+        module: prepared.module,
+        top: top.to_string(),
+    })
+}
+
+/// Synthesizes the plain baseline (no obfuscation) — the reference design
+/// Figure 6 normalizes against.
+///
+/// # Errors
+///
+/// See [`hls_core::synthesize`].
+pub fn baseline(module: &Module, top: &str, opts: &HlsOptions) -> Result<Fsmd, TaoError> {
+    Ok(hls_core::synthesize(module, top, opts)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl::{golden_outputs, images_equal, rtl_outputs, SimOptions, TestCase};
+
+    const KERNEL: &str = r#"
+        short taps[4] = {3, -1, 4, 1};
+        int fir(int a, int b) {
+            int acc = 0;
+            for (int i = 0; i < 4; i++) {
+                if (i % 2 == 0) acc += taps[i] * a;
+                else acc += taps[i] * b;
+            }
+            return acc;
+        }
+    "#;
+
+    fn locking(seed: u64) -> KeyBits {
+        let mut s = seed | 1;
+        KeyBits::from_fn(256, || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        })
+    }
+
+    #[test]
+    fn full_lock_correct_key_matches_golden() {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let lk = locking(1);
+        let d = lock(&m, "fir", &lk, &TaoOptions::default()).unwrap();
+        assert!(d.fsmd.key_width > 100); // constants dominate
+        let wk = d.working_key(&lk);
+        for (a, b) in [(1u64, 2u64), (10, 20), (0, 0)] {
+            let case = TestCase::args(&[a, b]);
+            let golden = golden_outputs(&d.module, "fir", &case);
+            let (img, res) = rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap();
+            assert!(images_equal(&golden, &img), "a={a} b={b}");
+            // Zero performance overhead with the correct key.
+            let (_, base_res) = rtl_outputs(
+                &d.baseline,
+                &case,
+                &KeyBits::zero(0),
+                &SimOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(res.cycles, base_res.cycles);
+        }
+    }
+
+    #[test]
+    fn wrong_locking_key_corrupts() {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let lk = locking(2);
+        let d = lock(&m, "fir", &lk, &TaoOptions::default()).unwrap();
+        let good_wk = d.working_key(&lk);
+        let case = TestCase::args(&[7, 9]);
+        let (good, _) = rtl_outputs(&d.fsmd, &case, &good_wk, &SimOptions::default()).unwrap();
+        let mut corrupted = 0;
+        for seed in 10..20u64 {
+            let wrong = d.working_key(&locking(seed));
+            match rtl_outputs(&d.fsmd, &case, &wrong, &SimOptions { max_cycles: 500_000, ..SimOptions::default() }) {
+                Ok((img, _)) if !images_equal(&good, &img) => corrupted += 1,
+                Ok(_) => {}
+                Err(rtl::SimError::CycleLimit) => corrupted += 1,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert_eq!(corrupted, 10, "every wrong locking key must corrupt the output");
+    }
+
+    #[test]
+    fn per_technique_switches_compose() {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let lk = locking(3);
+        for (c, b, v) in [
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+            (true, true, true),
+        ] {
+            let opts = TaoOptions {
+                plan: PlanConfig {
+                    constants: c,
+                    branches: b,
+                    dfg_variants: v,
+                    ..PlanConfig::default()
+                },
+                ..TaoOptions::default()
+            };
+            let d = lock(&m, "fir", &lk, &opts).unwrap();
+            let wk = d.working_key(&lk);
+            let case = TestCase::args(&[5, 6]);
+            let golden = golden_outputs(&d.module, "fir", &case);
+            let (img, _) = rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap();
+            assert!(images_equal(&golden, &img), "config c={c} b={b} v={v}");
+        }
+    }
+
+    #[test]
+    fn replication_scheme_also_unlocks() {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let lk = locking(4);
+        let opts = TaoOptions { scheme: KeyScheme::Replicate, ..TaoOptions::default() };
+        let d = lock(&m, "fir", &lk, &opts).unwrap();
+        assert!(d.key_mgmt.fanout() >= 1);
+        let wk = d.working_key(&lk);
+        let case = TestCase::args(&[2, 3]);
+        let golden = golden_outputs(&d.module, "fir", &case);
+        let (img, _) = rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap();
+        assert!(images_equal(&golden, &img));
+    }
+
+    #[test]
+    fn working_key_size_follows_equation_1() {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let lk = locking(5);
+        let d = lock(&m, "fir", &lk, &TaoOptions::default()).unwrap();
+        // W = Num_if + sum(C per const, >=32 each) + 4 * #BB
+        let n_branch = d.plan.branch_bits.len() as u64;
+        let n_const_bits: u64 = d
+            .plan
+            .const_ranges
+            .iter()
+            .flatten()
+            .map(|r| r.width as u64)
+            .sum();
+        let n_block_bits = d.plan.block_ranges.len() as u64 * 4;
+        assert_eq!(d.fsmd.key_width as u64, n_branch + n_const_bits + n_block_bits);
+    }
+}

@@ -1,0 +1,290 @@
+//! Key management (paper Sec. 3.4, Fig. 5).
+//!
+//! The locking key `K` (delivered through tamper-proof memory after
+//! fabrication; 256 bits in the evaluation) must produce the working key
+//! `W`, whose size Eq. 1 dictates. Two schemes:
+//!
+//! - **Replication**: working bit `i` is locking bit `i mod K`. Free in
+//!   area, but each locking bit has fan-out `f = ceil(W/K)`; extracting one
+//!   working bit reveals all its replicas.
+//! - **AES + NVM**: the working key is drawn at random at design time,
+//!   AES-256-encrypted under the locking key, and stored in on-chip NVM;
+//!   a power-up pass decrypts it into the working-key registers. Costs the
+//!   AES block plus NVM and flip-flops proportional to `W`, but inherits
+//!   AES-256's security.
+
+use hls_core::{CostModel, KeyBits};
+use std::error::Error;
+use std::fmt;
+use tao_crypto::Aes;
+
+/// Which key-management scheme a locked design uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyScheme {
+    /// Reuse the locking key bits cyclically.
+    Replicate,
+    /// AES-256-encrypted working key in NVM (the paper's Fig. 5).
+    #[default]
+    AesNvm,
+}
+
+/// Errors from key management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyMgmtError {
+    /// The AES scheme requires a 256-bit locking key.
+    LockingKeyNot256 {
+        /// The width that was supplied.
+        got: u32,
+    },
+    /// A zero-width locking key cannot derive anything.
+    EmptyLockingKey,
+}
+
+impl fmt::Display for KeyMgmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyMgmtError::LockingKeyNot256 { got } => {
+                write!(f, "AES key management needs a 256-bit locking key, got {got} bits")
+            }
+            KeyMgmtError::EmptyLockingKey => write!(f, "locking key must not be empty"),
+        }
+    }
+}
+
+impl Error for KeyMgmtError {}
+
+/// The key-management block of one locked design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyManagement {
+    scheme: KeyScheme,
+    working_width: u32,
+    locking_width: u32,
+    /// Encrypted working-key image stored in NVM (AES scheme only).
+    nvm: Option<Vec<u8>>,
+}
+
+impl KeyManagement {
+    /// Builds the replication scheme: the working key is the locking key
+    /// repeated. Returns the block plus the derived working key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyMgmtError::EmptyLockingKey`] for a zero-width key.
+    pub fn replicate(
+        locking: &KeyBits,
+        working_width: u32,
+    ) -> Result<(KeyManagement, KeyBits), KeyMgmtError> {
+        if locking.width() == 0 {
+            return Err(KeyMgmtError::EmptyLockingKey);
+        }
+        let km = KeyManagement {
+            scheme: KeyScheme::Replicate,
+            working_width,
+            locking_width: locking.width(),
+            nvm: None,
+        };
+        let wk = km.power_up(locking);
+        Ok((km, wk))
+    }
+
+    /// Builds the AES/NVM scheme around a designer-chosen working key: the
+    /// NVM stores `AES256_encrypt(locking, working)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyMgmtError::LockingKeyNot256`] unless the locking key is
+    /// exactly 256 bits (the paper "leverages the security guarantees of a
+    /// 256-bit AES by using a 256-bit locking key").
+    pub fn aes_nvm(
+        locking: &KeyBits,
+        working: &KeyBits,
+    ) -> Result<KeyManagement, KeyMgmtError> {
+        if locking.width() != 256 {
+            return Err(KeyMgmtError::LockingKeyNot256 { got: locking.width() });
+        }
+        let aes = Aes::new(&locking.to_bytes()).expect("256-bit key accepted");
+        let nvm = aes.encrypt_ecb(&working.to_bytes());
+        Ok(KeyManagement {
+            scheme: KeyScheme::AesNvm,
+            working_width: working.width(),
+            locking_width: 256,
+            nvm: Some(nvm),
+        })
+    }
+
+    /// Rebuilds an AES-scheme block around an existing (possibly tampered)
+    /// NVM image — models an adversary or fault modifying the tamper-proof
+    /// memory contents after fabrication.
+    pub fn aes_nvm_from_image(nvm: &[u8], working_width: u32) -> KeyManagement {
+        KeyManagement {
+            scheme: KeyScheme::AesNvm,
+            working_width,
+            locking_width: 256,
+            nvm: Some(nvm.to_vec()),
+        }
+    }
+
+    /// Power-up derivation: recomputes the working key from a locking key.
+    /// With the correct locking key this returns the original working key;
+    /// with a wrong one it returns (deterministic) garbage — exactly the
+    /// attacker's view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locking` has a different width than the key this block
+    /// was built for (a wiring error, not an attack scenario).
+    pub fn power_up(&self, locking: &KeyBits) -> KeyBits {
+        assert_eq!(locking.width(), self.locking_width, "locking-key port width mismatch");
+        match self.scheme {
+            KeyScheme::Replicate => {
+                let mut wk = KeyBits::zero(self.working_width);
+                for i in 0..self.working_width {
+                    wk.set_bit(i, locking.bit(i % self.locking_width));
+                }
+                wk
+            }
+            KeyScheme::AesNvm => {
+                let aes = Aes::new(&locking.to_bytes()).expect("256-bit key accepted");
+                let plain = aes.decrypt_ecb(self.nvm.as_ref().expect("AES scheme has NVM"));
+                KeyBits::from_bytes(&plain, self.working_width)
+            }
+        }
+    }
+
+    /// The scheme in use.
+    pub fn scheme(&self) -> KeyScheme {
+        self.scheme
+    }
+
+    /// Working-key width `W`.
+    pub fn working_width(&self) -> u32 {
+        self.working_width
+    }
+
+    /// The NVM image (AES scheme), for inspection/reports.
+    pub fn nvm_image(&self) -> Option<&[u8]> {
+        self.nvm.as_deref()
+    }
+
+    /// Locking-key fan-out `f = ceil(W/K)` (paper Sec. 3.4). For the AES
+    /// scheme every locking bit feeds only the AES block, so `f = 1`.
+    pub fn fanout(&self) -> u32 {
+        match self.scheme {
+            KeyScheme::Replicate => self.working_width.div_ceil(self.locking_width),
+            KeyScheme::AesNvm => 1,
+        }
+    }
+
+    /// Area overhead of the key-management block itself (µm² under `cm`).
+    /// Replication is free ("the signals … directly connect", Sec. 4.2);
+    /// AES costs the fixed decryption block plus NVM bits and working-key
+    /// flip-flops proportional to `W`.
+    pub fn area_overhead(&self, cm: &CostModel) -> f64 {
+        match self.scheme {
+            KeyScheme::Replicate => 0.0,
+            KeyScheme::AesNvm => {
+                let nvm_bits = self.nvm.as_ref().map(|n| n.len() * 8).unwrap_or(0) as f64;
+                cm.aes_block_area
+                    + nvm_bits * cm.nvm_bit_area
+                    + self.working_width as f64 * cm.reg_bit_area
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64, width: u32) -> KeyBits {
+        let mut s = seed | 1;
+        KeyBits::from_fn(width, || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        })
+    }
+
+    #[test]
+    fn replicate_tiles_the_locking_key() {
+        let locking = key(1, 256);
+        let (km, wk) = KeyManagement::replicate(&locking, 600).unwrap();
+        assert_eq!(wk.width(), 600);
+        for i in 0..600 {
+            assert_eq!(wk.bit(i), locking.bit(i % 256), "bit {i}");
+        }
+        assert_eq!(km.fanout(), 3); // ceil(600/256)
+        assert_eq!(km.area_overhead(&CostModel::default()), 0.0);
+        // Power-up is deterministic.
+        assert_eq!(km.power_up(&locking), wk);
+    }
+
+    #[test]
+    fn replicate_small_w_has_fanout_one() {
+        let locking = key(2, 256);
+        let (km, _) = KeyManagement::replicate(&locking, 110).unwrap();
+        assert_eq!(km.fanout(), 1);
+    }
+
+    #[test]
+    fn aes_roundtrip_with_correct_locking_key() {
+        let locking = key(3, 256);
+        let working = key(4, 4145); // viterbi-sized W from Table 1
+        let km = KeyManagement::aes_nvm(&locking, &working).unwrap();
+        assert_eq!(km.power_up(&locking), working);
+        assert_eq!(km.fanout(), 1);
+        // NVM stores ceil(W/8) bytes rounded to AES blocks.
+        assert_eq!(km.nvm_image().unwrap().len() % 16, 0);
+        assert!(km.nvm_image().unwrap().len() >= 4145 / 8);
+    }
+
+    #[test]
+    fn aes_wrong_locking_key_yields_garbage() {
+        let locking = key(5, 256);
+        let working = key(6, 500);
+        let km = KeyManagement::aes_nvm(&locking, &working).unwrap();
+        let mut wrong = locking.clone();
+        wrong.set_bit(0, !wrong.bit(0));
+        let derived = km.power_up(&wrong);
+        assert_ne!(derived, working);
+        // Avalanche: roughly half the working bits flip.
+        let hd = derived.hamming_distance(&working);
+        assert!(hd > 150 && hd < 350, "hd={hd} not avalanche-like");
+    }
+
+    #[test]
+    fn nvm_does_not_leak_working_key() {
+        let locking = key(7, 256);
+        let working = key(8, 256);
+        let km = KeyManagement::aes_nvm(&locking, &working).unwrap();
+        assert_ne!(km.nvm_image().unwrap()[..32], working.to_bytes()[..]);
+    }
+
+    #[test]
+    fn aes_requires_256_bit_locking_key() {
+        let err = KeyManagement::aes_nvm(&key(1, 128), &key(2, 64)).unwrap_err();
+        assert_eq!(err, KeyMgmtError::LockingKeyNot256 { got: 128 });
+    }
+
+    #[test]
+    fn aes_area_scales_with_w_replication_does_not() {
+        let cm = CostModel::default();
+        let locking = key(9, 256);
+        let small = KeyManagement::aes_nvm(&locking, &key(1, 110)).unwrap();
+        let large = KeyManagement::aes_nvm(&locking, &key(2, 4145)).unwrap();
+        assert!(large.area_overhead(&cm) > small.area_overhead(&cm));
+        // Both dominated by the fixed AES block for small W.
+        assert!(small.area_overhead(&cm) > cm.aes_block_area);
+        let (rep, _) = KeyManagement::replicate(&locking, 4145).unwrap();
+        assert_eq!(rep.area_overhead(&cm), 0.0);
+    }
+
+    #[test]
+    fn empty_locking_key_rejected() {
+        assert_eq!(
+            KeyManagement::replicate(&KeyBits::zero(0), 10).unwrap_err(),
+            KeyMgmtError::EmptyLockingKey
+        );
+    }
+}

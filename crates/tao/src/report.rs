@@ -1,0 +1,205 @@
+//! Human-readable reports on locked designs.
+//!
+//! Collects, for one [`LockedDesign`], everything a designer reviews before
+//! tape-out: the key-plan breakdown (Eq. 1 terms), hardware overhead vs the
+//! baseline, expected frequency, key-management parameters, and the
+//! validation verdict. The examples and the `reproduce` binary build their
+//! outputs from these numbers; `Display` renders a datasheet-style block.
+
+use crate::attack::KeySpace;
+use crate::flow::LockedDesign;
+use crate::keymgmt::KeyScheme;
+use hls_core::{CostModel, KeyBits};
+use rtl::{golden_outputs, images_equal, rtl_outputs, SimOptions, TestCase};
+use std::fmt;
+
+/// A datasheet for one locked design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObfuscationReport {
+    /// Design name.
+    pub name: String,
+    /// Controller states.
+    pub states: usize,
+    /// Working-key bits by technique.
+    pub key_space: KeySpace,
+    /// Key-management scheme.
+    pub scheme: KeyScheme,
+    /// Locking-key fan-out (replication) or 1 (AES).
+    pub fanout: u32,
+    /// NVM bits (AES scheme).
+    pub nvm_bits: usize,
+    /// Baseline area (µm²).
+    pub baseline_area: f64,
+    /// Locked area (µm²), excluding the key-management block.
+    pub locked_area: f64,
+    /// Key-management block area (µm²).
+    pub keymgmt_area: f64,
+    /// Baseline Fmax (MHz).
+    pub baseline_fmax: f64,
+    /// Locked Fmax (MHz).
+    pub locked_fmax: f64,
+}
+
+impl ObfuscationReport {
+    /// Builds the report for `design` under the cost model `cm`.
+    pub fn build(design: &LockedDesign, cm: &CostModel) -> ObfuscationReport {
+        let base_area = rtl::area(&design.baseline, cm);
+        let locked_area = rtl::area(&design.fsmd, cm);
+        let base_t = rtl::timing(&design.baseline, cm);
+        let locked_t = rtl::timing(&design.fsmd, cm);
+        ObfuscationReport {
+            name: design.top.clone(),
+            states: design.fsmd.num_states(),
+            key_space: KeySpace::of(design),
+            scheme: design.key_mgmt.scheme(),
+            fanout: design.key_mgmt.fanout(),
+            nvm_bits: design.key_mgmt.nvm_image().map(|n| n.len() * 8).unwrap_or(0),
+            baseline_area: base_area.total(),
+            locked_area: locked_area.total(),
+            keymgmt_area: design.key_mgmt.area_overhead(cm),
+            baseline_fmax: base_t.fmax_mhz,
+            locked_fmax: locked_t.fmax_mhz,
+        }
+    }
+
+    /// Datapath area overhead (fraction; the Figure 6 metric).
+    pub fn area_overhead(&self) -> f64 {
+        self.locked_area / self.baseline_area - 1.0
+    }
+
+    /// Frequency change (negative = slower; the Sec. 4.2 metric).
+    pub fn frequency_change(&self) -> f64 {
+        self.locked_fmax / self.baseline_fmax - 1.0
+    }
+
+    /// Runs the paper's functional sign-off: the correct key must
+    /// reproduce the golden outputs on every supplied case, with zero
+    /// cycle overhead. Returns `Ok(cases_checked)`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first failing case.
+    pub fn sign_off(
+        design: &LockedDesign,
+        locking: &KeyBits,
+        cases: &[TestCase],
+    ) -> Result<usize, String> {
+        let wk = design.working_key(locking);
+        for (i, case) in cases.iter().enumerate() {
+            let golden = golden_outputs(&design.module, &design.top, case);
+            let (img, res) = rtl_outputs(&design.fsmd, case, &wk, &SimOptions::default())
+                .map_err(|e| format!("case {i}: simulation failed: {e}"))?;
+            if !images_equal(&golden, &img) {
+                return Err(format!("case {i}: locked output differs from specification"));
+            }
+            let (_, base) = rtl_outputs(
+                &design.baseline,
+                case,
+                &KeyBits::zero(0),
+                &SimOptions::default(),
+            )
+            .map_err(|e| format!("case {i}: baseline failed: {e}"))?;
+            if res.cycles != base.cycles {
+                return Err(format!(
+                    "case {i}: latency changed ({} vs {} cycles)",
+                    res.cycles, base.cycles
+                ));
+            }
+        }
+        Ok(cases.len())
+    }
+}
+
+impl fmt::Display for ObfuscationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== TAO lock report: {} ===", self.name)?;
+        writeln!(f, "controller states        {:>10}", self.states)?;
+        writeln!(
+            f,
+            "working key              {:>10} bits (constants {} + branches {} + variants {})",
+            self.key_space.total_bits(),
+            self.key_space.constant_bits,
+            self.key_space.branch_bits,
+            self.key_space.variant_bits
+        )?;
+        writeln!(
+            f,
+            "key management           {:>10}",
+            match self.scheme {
+                KeyScheme::Replicate => format!("replicate (fan-out {})", self.fanout),
+                KeyScheme::AesNvm => format!("AES-256 + {} NVM bits", self.nvm_bits),
+            }
+        )?;
+        writeln!(
+            f,
+            "area                     {:>10.0} um^2 ({:+.1}% vs baseline {:.0})",
+            self.locked_area,
+            self.area_overhead() * 100.0,
+            self.baseline_area
+        )?;
+        writeln!(f, "key-management area      {:>10.0} um^2", self.keymgmt_area)?;
+        writeln!(
+            f,
+            "frequency                {:>10.0} MHz ({:+.1}% vs baseline {:.0})",
+            self.locked_fmax,
+            self.frequency_change() * 100.0,
+            self.baseline_fmax
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{lock, TaoOptions};
+
+    fn locking(seed: u64) -> KeyBits {
+        let mut s = seed | 1;
+        KeyBits::from_fn(256, || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        })
+    }
+
+    const KERNEL: &str = r#"
+        int f(int a, int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s += a * i + 17;
+            return s;
+        }
+    "#;
+
+    #[test]
+    fn report_numbers_are_consistent() {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let lk = locking(1);
+        let d = lock(&m, "f", &lk, &TaoOptions::default()).unwrap();
+        let rep = ObfuscationReport::build(&d, &CostModel::default());
+        assert_eq!(rep.key_space.total_bits(), d.fsmd.key_width as u64);
+        assert!(rep.area_overhead() > 0.0);
+        assert!(rep.frequency_change() <= 0.0);
+        assert!(rep.nvm_bits >= d.fsmd.key_width as usize);
+        let text = rep.to_string();
+        for needle in ["TAO lock report", "working key", "AES-256", "um^2", "MHz"] {
+            assert!(text.contains(needle), "missing {needle} in\n{text}");
+        }
+    }
+
+    #[test]
+    fn sign_off_passes_for_correct_lock_and_catches_tampering() {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let lk = locking(2);
+        let d = lock(&m, "f", &lk, &TaoOptions::default()).unwrap();
+        let cases: Vec<TestCase> =
+            [(3u64, 4u64), (0, 0), (7, 9)].iter().map(|&(a, n)| TestCase::args(&[a, n])).collect();
+        assert_eq!(ObfuscationReport::sign_off(&d, &lk, &cases), Ok(3));
+
+        // Tamper with one constant: sign-off must fail.
+        let mut bad = d.clone();
+        bad.fsmd.consts[0].bits ^= 0x5a;
+        let err = ObfuscationReport::sign_off(&bad, &lk, &cases).unwrap_err();
+        assert!(err.contains("differs") || err.contains("failed"), "{err}");
+    }
+}

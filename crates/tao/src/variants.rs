@@ -1,0 +1,302 @@
+//! DFG-variant generation (paper Sec. 3.3.4, Algorithm 1, Fig. 4).
+//!
+//! For every basic block with `B_i` assigned key bits, TAO creates
+//! `2^{B_i}` variants of the block's *scheduled* DFG. Following Algorithm 1
+//! literally:
+//!
+//! 1. `ComputeKeyVariants` enumerates all `2^{B_i}` selector values; the
+//!    value equal to the block's working-key bits `k_i` keeps the original
+//!    DFG, so the correct key executes the real computation.
+//! 2. For every other value `v`, `ComputeDistance(v, k_i)` (Hamming) seeds
+//!    the perturbation: operations are clustered by type
+//!    (`ClusterOperations`), each operation is paired with one in a cluster
+//!    `dist_v` away, and the two operation *types* are swapped with
+//!    probability 0.5 (`SwapOperationTypes`).
+//! 3. Dependences are statistically rearranged (`RearrangeDependence`):
+//!    operand sources are redirected to other sources live in the block.
+//!
+//! All variants are merged into the single datapath: each micro-op carries
+//! the per-variant alternatives, which physically means wider operand muxes
+//! and multi-function units (the ~21% average area and ~8% frequency cost
+//! of Sec. 4.2). The schedule is untouched — "data path obfuscation works
+//! on a valid schedule without altering the total number of cycles"
+//! (Sec. 4.3).
+
+use crate::plan::KeyPlan;
+use hls_core::{Fsmd, FuOp, KeyBits, OpAlt};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Options for Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariantOptions {
+    /// Probability of swapping a paired operation's type (0.5 in the
+    /// paper).
+    pub swap_probability: f64,
+    /// Probability of rearranging each operand dependence (the paper
+    /// "statistically reorganizes" them; 0.5 matches the swap rate).
+    pub rearrange_probability: f64,
+}
+
+impl Default for VariantOptions {
+    fn default() -> Self {
+        VariantOptions { swap_probability: 0.5, rearrange_probability: 0.5 }
+    }
+}
+
+/// Applies DFG-variant obfuscation in place.
+///
+/// `working_key` supplies each block's selector value `k_i`; variants are
+/// generated with `rng` (seed it for reproducible netlists).
+pub fn obfuscate_dfg_variants(
+    fsmd: &mut Fsmd,
+    plan: &KeyPlan,
+    working_key: &KeyBits,
+    opts: &VariantOptions,
+    rng: &mut StdRng,
+) {
+    // Group state indices per block.
+    let mut states_of_block: BTreeMap<hls_ir::BlockId, Vec<usize>> = BTreeMap::new();
+    for (si, st) in fsmd.states.iter().enumerate() {
+        states_of_block.entry(st.block).or_default().push(si);
+    }
+
+    for (&block, range) in &plan.block_ranges {
+        let Some(state_idxs) = states_of_block.get(&block) else { continue };
+        let nv = 1usize << range.width;
+        let ki = working_key.range(*range) as usize;
+
+        // Collect the block's micro-op locations and original alternatives.
+        let mut locs: Vec<(usize, usize)> = Vec::new();
+        let mut originals: Vec<OpAlt> = Vec::new();
+        for &si in state_idxs {
+            for (oi, op) in fsmd.states[si].ops.iter().enumerate() {
+                assert_eq!(op.alts.len(), 1, "state {si} already has variants");
+                locs.push((si, oi));
+                originals.push(op.alts[0]);
+            }
+        }
+
+        // ClusterOperations: arithmetic operations grouped by type class.
+        let mut clusters: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, alt) in originals.iter().enumerate() {
+            if let Some(class) = swap_class(alt.op) {
+                clusters.entry(class).or_default().push(i);
+            }
+        }
+        let cluster_keys: Vec<String> = clusters.keys().cloned().collect();
+        let n_clusters = cluster_keys.len();
+
+        // Generate each variant's alternative table.
+        let n_ops = originals.len();
+        let mut tables: Vec<Vec<OpAlt>> = Vec::with_capacity(nv);
+        for v in 0..nv {
+            if v == ki {
+                tables.push(originals.clone());
+                continue;
+            }
+            let dist_v = ((v ^ ki) as u64).count_ones() as usize;
+            let mut alts = originals.clone();
+
+            // Step 1 (Fig. 4): operation-type swaps across clusters.
+            if n_clusters > 0 {
+                for c in 0..n_clusters {
+                    let members = clusters[&cluster_keys[c]].clone();
+                    let partner_cluster = &clusters[&cluster_keys[(c + dist_v) % n_clusters]];
+                    for (mi, &op_i) in members.iter().enumerate() {
+                        let op_j = partner_cluster[(mi + dist_v) % partner_cluster.len()];
+                        if op_i != op_j && rng.gen_bool(opts.swap_probability) {
+                            let (oi, oj) = (alts[op_i].op, alts[op_j].op);
+                            alts[op_i].op = oj;
+                            alts[op_j].op = oi;
+                        }
+                    }
+                }
+            }
+
+            // Step 2 (Fig. 4): dependence rearrangement. Following the
+            // paper's `RearrangeDependence(dep, dep_j)`: each dependence is
+            // *exchanged* with an alternative dependence at distance
+            // `dist_v` — i.e. two operations trade operand sources. Because
+            // `dist_v` only takes `B_i` distinct values, every port gains a
+            // bounded number of extra mux inputs across all variants, which
+            // is what keeps the paper's area overhead near 21% instead of
+            // exploding with `2^{B_i}`.
+            if n_ops > 1 {
+                for i in 0..n_ops {
+                    let j = (i + dist_v) % n_ops;
+                    if i == j {
+                        continue;
+                    }
+                    if rng.gen_bool(opts.rearrange_probability) {
+                        let (sa, sb) = (alts[i].a, alts[j].a);
+                        alts[i].a = sb;
+                        alts[j].a = sa;
+                    }
+                    if let (Some(bi), Some(bj)) = (alts[i].b, alts[j].b) {
+                        if rng.gen_bool(opts.rearrange_probability) {
+                            alts[i].b = Some(bj);
+                            alts[j].b = Some(bi);
+                        }
+                    }
+                }
+            }
+            tables.push(alts);
+        }
+
+        // Step 3 (Fig. 4): merge the variants into the datapath.
+        for (slot, &(si, oi)) in locs.iter().enumerate() {
+            let op = &mut fsmd.states[si].ops[oi];
+            op.alts = tables.iter().map(|t| t[slot]).collect();
+        }
+        for &si in state_idxs {
+            fsmd.states[si].variant_key = Some(*range);
+        }
+    }
+}
+
+/// The cluster class of an operation for type swapping — arithmetic
+/// operations only, as in the paper's Fig. 4 (`+`, `-`, `*`, …). Memory
+/// accesses, moves and conversions keep their type (their *dependences*
+/// are still rearranged).
+fn swap_class(op: FuOp) -> Option<String> {
+    match op {
+        FuOp::Bin(b) => Some(format!("bin-{b}")),
+        FuOp::Un(u) => Some(format!("un-{u}")),
+        FuOp::Cmp(_) => Some("cmp".into()),
+        FuOp::Pass | FuOp::Conv { .. } | FuOp::Load { .. } | FuOp::Store { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{KeyPlan, PlanConfig};
+    use hls_core::{synthesize, HlsOptions};
+    use rand::SeedableRng;
+    use rtl::{simulate, SimOptions};
+
+    const KERNEL: &str = r#"
+        int f(int a, int b, int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                s += a * i - b;
+                s ^= (a + b) >> 1;
+            }
+            return s;
+        }
+    "#;
+
+    fn lock(seed: u64, bits_per_block: u32) -> (Fsmd, Fsmd, KeyBits) {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let base = synthesize(&m, "f", &HlsOptions::default()).unwrap();
+        let plan = KeyPlan::apportion(
+            &base,
+            PlanConfig {
+                constants: false,
+                branches: false,
+                bits_per_block,
+                ..PlanConfig::default()
+            },
+        );
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let key = KeyBits::from_fn(plan.total_bits, || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        });
+        let mut obf = base.clone();
+        obf.key_width = plan.total_bits;
+        let mut rng = StdRng::seed_from_u64(seed);
+        obfuscate_dfg_variants(&mut obf, &plan, &key, &VariantOptions::default(), &mut rng);
+        obf.validate().unwrap();
+        (base, obf, key)
+    }
+
+    #[test]
+    fn every_op_gets_full_variant_table() {
+        let (base, obf, _) = lock(1, 4);
+        assert_eq!(base.num_states(), obf.num_states());
+        for st in &obf.states {
+            assert!(st.variant_key.is_some());
+            for op in &st.ops {
+                assert_eq!(op.alts.len(), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn correct_key_gives_baseline_behaviour_and_cycles() {
+        let (base, obf, key) = lock(2, 4);
+        for (a, b, n) in [(3u64, 1u64, 5u64), (10, 7, 0), (100, 50, 12)] {
+            let want =
+                simulate(&base, &[a, b, n], &KeyBits::zero(0), &[], &SimOptions::default())
+                    .unwrap();
+            let got = simulate(&obf, &[a, b, n], &key, &[], &SimOptions::default()).unwrap();
+            assert_eq!(got.ret, want.ret, "a={a} b={b} n={n}");
+            // Sec. 4.3: variants work "on a valid schedule without altering
+            // the total number of cycles".
+            assert_eq!(got.cycles, want.cycles);
+        }
+    }
+
+    #[test]
+    fn wrong_variant_selector_corrupts_output() {
+        let (_, obf, key) = lock(3, 4);
+        let opts = SimOptions { max_cycles: 1_000_000, ..SimOptions::default() };
+        let good = simulate(&obf, &[3, 1, 5], &key, &[], &opts).unwrap();
+        // Flip bits in several block selectors; at least one must corrupt.
+        let mut corrupted = 0;
+        for bit in 0..key.width() {
+            let mut wrong = key.clone();
+            wrong.set_bit(bit, !wrong.bit(bit));
+            match simulate(&obf, &[3, 1, 5], &wrong, &[], &opts) {
+                Ok(r) if r.ret != good.ret => corrupted += 1,
+                Ok(_) => {}
+                Err(rtl::SimError::CycleLimit) => corrupted += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(corrupted > 0, "no single-bit selector flip corrupted the output");
+    }
+
+    #[test]
+    fn variants_add_mux_sources() {
+        let cm = hls_core::CostModel::default();
+        let (base, obf, _) = lock(4, 4);
+        let base_area = rtl::area(&base, &cm);
+        let mut obf_sized = obf.clone();
+        obf_sized.key_width = obf.key_width;
+        let obf_area = rtl::area(&obf_sized, &cm);
+        assert!(
+            obf_area.muxes > base_area.muxes,
+            "variant merging must grow the interconnect ({} vs {})",
+            obf_area.muxes,
+            base_area.muxes
+        );
+        assert!(obf_area.total() > base_area.total());
+    }
+
+    #[test]
+    fn more_key_bits_mean_more_area() {
+        // Sec. 4.2: "the area overhead is proportional to the number of key
+        // bits assigned to the basic blocks".
+        let cm = hls_core::CostModel::default();
+        let (base, obf2, _) = lock(5, 2);
+        let (_, obf5, _) = lock(5, 5);
+        let a0 = rtl::area(&base, &cm).total();
+        let a2 = rtl::area(&obf2, &cm).total();
+        let a5 = rtl::area(&obf5, &cm).total();
+        assert!(a2 > a0);
+        assert!(a5 > a2, "B_i=5 ({a5}) should cost more than B_i=2 ({a2})");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let (_, a, _) = lock(7, 3);
+        let (_, b, _) = lock(7, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,69 @@
+//! Key management (paper Sec. 3.4, Fig. 5): compares the two ways of
+//! deriving the working key from the 256-bit locking key — replication
+//! (free, but fan-out grows with W) and the AES-256 + NVM scheme (fixed
+//! AES block + storage proportional to W, fan-out 1).
+//!
+//! ```text
+//! cargo run --example key_management
+//! ```
+
+use hls_core::{CostModel, KeyBits};
+use tao::{KeyManagement, KeyScheme, TaoOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cm = CostModel::default();
+    let mut s: u64 = 0x600d_4e75;
+    let locking = KeyBits::from_fn(256, || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    });
+
+    println!(
+        "{:10} {:>7} | {:>16} | {:>10} {:>12} {:>10}",
+        "benchmark", "W bits", "replicate fanout", "NVM bits", "AES um^2", "correct?"
+    );
+    for b in benchmarks::all() {
+        let module = b.compile()?;
+        // Lock once with each scheme.
+        let rep = tao::lock(
+            &module,
+            b.top,
+            &locking,
+            &TaoOptions { scheme: KeyScheme::Replicate, ..TaoOptions::default() },
+        )?;
+        let aes = tao::lock(&module, b.top, &locking, &TaoOptions::default())?;
+
+        // Power-up derivation must be reproducible for both schemes.
+        let rep_ok = rep.working_key(&locking) == rep.key_mgmt.power_up(&locking);
+        let aes_ok = aes.working_key(&locking) == aes.key_mgmt.power_up(&locking);
+
+        println!(
+            "{:10} {:>7} | f = {:>12} | {:>10} {:>12.0} {:>10}",
+            b.name,
+            aes.fsmd.key_width,
+            rep.key_mgmt.fanout(),
+            aes.key_mgmt.nvm_image().map(|n| n.len() * 8).unwrap_or(0),
+            aes.key_mgmt.area_overhead(&cm),
+            rep_ok && aes_ok,
+        );
+    }
+
+    // The security difference (Sec. 3.4): under replication, one leaked
+    // working-key bit reveals a locking-key bit and every replica of it.
+    let (km, wk) = KeyManagement::replicate(&locking, 600)?;
+    println!("\nreplication: working bit 0 = working bit 256 = working bit 512: {}",
+        wk.bit(0) == wk.bit(256) && wk.bit(256) == wk.bit(512));
+    println!("replication fan-out for W=600: {}", km.fanout());
+
+    // Under the AES scheme the NVM image is indistinguishable from noise
+    // and a one-bit-wrong locking key avalanches the whole working key.
+    let wk600 = KeyBits::from_fn(600, || 0xabcd_ef01_2345_6789);
+    let km = KeyManagement::aes_nvm(&locking, &wk600)?;
+    let mut wrong = locking.clone();
+    wrong.set_bit(123, !wrong.bit(123));
+    let hd = km.power_up(&wrong).hamming_distance(&wk600);
+    println!("AES scheme: flipping locking bit 123 flips {hd}/600 working-key bits");
+    Ok(())
+}

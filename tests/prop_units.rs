@@ -1,0 +1,129 @@
+//! Property-based tests of the unit-level invariants the paper's
+//! techniques rest on: XOR constant encoding (Eqs. 2–3), AES power-up
+//! round trips, key-bit bookkeeping, and Eq. 1 arithmetic.
+
+
+use hls_core::{KeyBits, KeyRange};
+use proptest::prelude::*;
+use tao_crypto::Aes;
+
+proptest! {
+    /// Paper Eq. 2/3: `V_e = V_p ⊕ K` and `V_p = V_e ⊕ K` at any storage
+    /// width ≥ the value width.
+    #[test]
+    fn constant_xor_roundtrip(v in any::<u32>(), k in any::<u32>()) {
+        let v_e = v ^ k;
+        prop_assert_eq!(v_e ^ k, v);
+        // And with a different key the decode differs unless keys collide.
+        let k2 = k.wrapping_add(1);
+        prop_assert_ne!(v_e ^ k2, v);
+    }
+
+    /// AES-256 decrypt(encrypt(x)) == x for arbitrary keys and blocks.
+    #[test]
+    fn aes256_roundtrip(key in prop::array::uniform32(any::<u8>()),
+                        block in prop::array::uniform16(any::<u8>())) {
+        let aes = Aes::new(&key).unwrap();
+        let mut b = block;
+        aes.encrypt_block(&mut b);
+        prop_assert_ne!(b, block); // encryption is never identity here
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    /// AES-128 and AES-192 round trips.
+    #[test]
+    fn aes_smaller_keys_roundtrip(key16 in prop::array::uniform16(any::<u8>()),
+                                  key24 in prop::array::uniform24(any::<u8>()),
+                                  block in prop::array::uniform16(any::<u8>())) {
+        for key in [&key16[..], &key24[..]] {
+            let aes = Aes::new(key).unwrap();
+            let mut b = block;
+            aes.encrypt_block(&mut b);
+            aes.decrypt_block(&mut b);
+            prop_assert_eq!(b, block);
+        }
+    }
+
+    /// ECB mode over arbitrary-length working keys round-trips through the
+    /// NVM image (zero padding included).
+    #[test]
+    fn nvm_image_roundtrip(key in prop::array::uniform32(any::<u8>()),
+                           data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let aes = Aes::new(&key).unwrap();
+        let ct = aes.encrypt_ecb(&data);
+        prop_assert_eq!(ct.len() % 16, 0);
+        let pt = aes.decrypt_ecb(&ct);
+        prop_assert_eq!(&pt[..data.len()], &data[..]);
+    }
+
+    /// KeyBits set/get round trip at arbitrary widths and positions.
+    #[test]
+    fn keybits_set_get(width in 1u32..500, bits in prop::collection::vec(any::<(u32, bool)>(), 0..64)) {
+        let mut k = KeyBits::zero(width);
+        let mut expected = std::collections::BTreeMap::new();
+        for (pos, val) in bits {
+            let pos = pos % width;
+            k.set_bit(pos, val);
+            expected.insert(pos, val);
+        }
+        for (pos, val) in expected {
+            prop_assert_eq!(k.bit(pos), val);
+        }
+    }
+
+    /// Range write/read round trip (the working-key slices TAO consumes).
+    #[test]
+    fn keybits_range_roundtrip(lo in 0u32..400, w in 1u32..64, value in any::<u64>()) {
+        let range = KeyRange { lo, width: w };
+        let mut k = KeyBits::zero(lo + w + 7);
+        let masked = if w == 64 { value } else { value & ((1 << w) - 1) };
+        k.set_range(range, value);
+        prop_assert_eq!(k.range(range), masked);
+    }
+
+    /// Byte serialization round trip.
+    #[test]
+    fn keybits_bytes_roundtrip(words in prop::collection::vec(any::<u64>(), 1..8), rem in 1u32..64) {
+        let width = (words.len() as u32 - 1) * 64 + rem;
+        let k = KeyBits::from_words(&words, width);
+        let back = KeyBits::from_bytes(&k.to_bytes(), width);
+        prop_assert_eq!(k, back);
+    }
+
+    /// Eq. 1 is monotone in each argument.
+    #[test]
+    fn equation_1_monotone(cj in 0usize..100, nc in 0usize..100, bb in 0usize..200) {
+        let base = tao::KeyPlan::equation_1(cj, nc, bb, 32, 4);
+        prop_assert!(tao::KeyPlan::equation_1(cj + 1, nc, bb, 32, 4) > base);
+        prop_assert!(tao::KeyPlan::equation_1(cj, nc + 1, bb, 32, 4) > base);
+        prop_assert!(tao::KeyPlan::equation_1(cj, nc, bb + 1, 32, 4) > base);
+        // And exactly matches the closed form.
+        prop_assert_eq!(base, cj as u64 + nc as u64 * 32 + bb as u64 * 4);
+    }
+
+    /// Replication derivation: every working bit equals its locking bit
+    /// modulo the key size, for arbitrary widths.
+    #[test]
+    fn replication_tiles(w in 1u32..2000, seed in any::<u64>()) {
+        let mut s = seed | 1;
+        let lk = KeyBits::from_fn(256, || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s });
+        let (km, wk) = tao::KeyManagement::replicate(&lk, w).unwrap();
+        prop_assert_eq!(km.fanout(), w.div_ceil(256));
+        for i in (0..w).step_by(17) {
+            prop_assert_eq!(wk.bit(i), lk.bit(i % 256));
+        }
+    }
+
+    /// AES key-management power-up is the inverse of locking for arbitrary
+    /// working-key widths.
+    #[test]
+    fn aes_power_up_roundtrip(w in 1u32..1200, seed in any::<u64>()) {
+        let mut s = seed | 1;
+        let mut next = || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s };
+        let lk = KeyBits::from_fn(256, &mut next);
+        let wk = KeyBits::from_fn(w, &mut next);
+        let km = tao::KeyManagement::aes_nvm(&lk, &wk).unwrap();
+        prop_assert_eq!(km.power_up(&lk), wk);
+    }
+}

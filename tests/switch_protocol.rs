@@ -1,0 +1,132 @@
+//! TAO on a control-dominated, switch-based kernel — the paper's Sec. 2
+//! motivation ("control flow … represents protocol implementations in
+//! control-dominated applications") and its Sec. 3.3.3 note that
+//! switch-case constructs are obfuscated "by using more working key bits".
+
+use hls_core::KeyBits;
+use rtl::{golden_outputs, images_equal, rtl_outputs, SimOptions, TestCase};
+use tao::{PlanConfig, TaoOptions};
+
+/// A toy link-layer protocol engine: a state machine stepping over a
+/// command stream, driven by nested switch statements.
+const PROTOCOL: &str = r#"
+    int CMD_SYNC = 1;
+    int CMD_DATA = 2;
+    int CMD_ACK = 3;
+    int CMD_RESET = 4;
+
+    int stream[32];
+    int events[32];
+
+    void protocol() {
+        int state = 0; /* 0 idle, 1 synced, 2 receiving */
+        int checksum = 0;
+        int received = 0;
+        for (int i = 0; i < 32; i++) {
+            int cmd = stream[i] & 7;
+            int ev = 0;
+            switch (state) {
+                case 0:
+                    switch (cmd) {
+                        case 1: state = 1; ev = 10; break;
+                        case 4: checksum = 0; received = 0; ev = 99; break;
+                        default: ev = 1;
+                    }
+                    break;
+                case 1:
+                    switch (cmd) {
+                        case 2: state = 2; checksum = stream[i] >> 3; ev = 20; break;
+                        case 4: state = 0; ev = 99; break;
+                        default: ev = 2;
+                    }
+                    break;
+                default:
+                    switch (cmd) {
+                        case 2: checksum ^= stream[i] >> 3; received++; ev = 21; break;
+                        case 3: state = 1; ev = 30 + (checksum & 15); break;
+                        case 4: state = 0; checksum = 0; ev = 99; break;
+                        default: ev = 3;
+                    }
+                    break;
+            }
+            events[i] = ev * 256 + state;
+        }
+        events[31] = checksum * 64 + received;
+    }
+"#;
+
+fn locking_key(seed: u64) -> KeyBits {
+    let mut s = seed | 1;
+    KeyBits::from_fn(256, || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    })
+}
+
+fn stream_case(module: &hls_ir::Module, seed: u64) -> TestCase {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let data: Vec<u64> = (0..32).map(|_| next() % 64).collect();
+    let id = module
+        .globals
+        .iter()
+        .find(|(_, o)| o.name == "stream")
+        .map(|(id, _)| *id)
+        .expect("stream global");
+    TestCase { args: vec![], mem_inputs: vec![(id, data)] }
+}
+
+#[test]
+fn protocol_engine_locks_and_unlocks() {
+    let m = hls_frontend::compile(PROTOCOL, "proto").unwrap();
+    let lk = locking_key(0xAB);
+    let d = tao::lock(&m, "protocol", &lk, &TaoOptions::default()).unwrap();
+    let wk = d.working_key(&lk);
+    for seed in 1..4u64 {
+        let case = stream_case(&d.module, seed);
+        let golden = golden_outputs(&d.module, "protocol", &case);
+        let (img, _) = rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap();
+        assert!(images_equal(&golden, &img), "seed {seed}");
+    }
+}
+
+#[test]
+fn switch_cases_consume_many_branch_key_bits() {
+    let m = hls_frontend::compile(PROTOCOL, "proto").unwrap();
+    let lk = locking_key(0xCD);
+    let opts = TaoOptions {
+        plan: PlanConfig { constants: false, dfg_variants: false, ..PlanConfig::default() },
+        ..TaoOptions::default()
+    };
+    let d = tao::lock(&m, "protocol", &lk, &opts).unwrap();
+    // Nested switches over 3 states x ~3 cases plus the loop: well over
+    // ten conditional jumps, each holding one key bit (the paper's "more
+    // working key bits" for switch-case).
+    assert!(
+        d.plan.branch_bits.len() >= 10,
+        "expected a branch-rich controller, got {} bits",
+        d.plan.branch_bits.len()
+    );
+}
+
+#[test]
+fn wrong_key_diverts_the_protocol() {
+    let m = hls_frontend::compile(PROTOCOL, "proto").unwrap();
+    let lk = locking_key(0xEF);
+    let d = tao::lock(&m, "protocol", &lk, &TaoOptions::default()).unwrap();
+    let case = stream_case(&d.module, 9);
+    let golden = golden_outputs(&d.module, "protocol", &case);
+    let budget = SimOptions { max_cycles: 2_000_000, snapshot_on_timeout: true };
+    for seed in 50..55u64 {
+        let wrong = d.working_key(&locking_key(seed));
+        let (img, _) = rtl_outputs(&d.fsmd, &case, &wrong, &budget).unwrap();
+        assert!(!images_equal(&golden, &img), "wrong key {seed} unlocked the protocol");
+    }
+}

@@ -1,0 +1,91 @@
+//! Structural checks on the emitted Verilog for all five benchmarks: the
+//! foundry-visible artifact must not leak what TAO hides, and the baseline
+//! text must differ from the locked text exactly where the obfuscations
+//! act.
+
+use hls_core::{verilog, KeyBits};
+use tao::TaoOptions;
+
+fn locking_key(seed: u64) -> KeyBits {
+    let mut s = seed | 1;
+    KeyBits::from_fn(256, || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    })
+}
+
+#[test]
+fn locked_verilog_does_not_leak_plain_constant_store() {
+    let lk = locking_key(0x1EAF);
+    for b in benchmarks::all() {
+        let m = b.compile().unwrap();
+        let d = tao::lock(&m, b.top, &lk, &TaoOptions::default()).unwrap();
+        let baseline = verilog::emit(&d.baseline);
+        let locked = verilog::emit(&d.fsmd);
+        // Every obfuscated constant's stored literal differs from the
+        // baseline's literal unless the key slice happens to be zero
+        // (astronomically unlikely across a whole design).
+        let mut differing = 0usize;
+        for (base_c, lock_c) in d.baseline.consts.iter().zip(&d.fsmd.consts) {
+            if base_c.bits != lock_c.bits {
+                differing += 1;
+            }
+        }
+        assert!(
+            differing * 10 >= d.fsmd.consts.len() * 9,
+            "{}: only {differing}/{} constants changed representation",
+            b.name,
+            d.fsmd.consts.len()
+        );
+        // The locked text carries the decrypt XOR markers, the baseline
+        // does not.
+        assert!(locked.contains("TAO Eq. 3"), "{}", b.name);
+        assert!(!baseline.contains("working_key"), "{}", b.name);
+    }
+}
+
+#[test]
+fn state_count_in_verilog_matches_model() {
+    let lk = locking_key(0x57A7E);
+    for b in benchmarks::all() {
+        let m = b.compile().unwrap();
+        let d = tao::lock(&m, b.top, &lk, &TaoOptions::default()).unwrap();
+        let locked = verilog::emit(&d.fsmd);
+        let localparams = locked.matches("localparam S").count();
+        assert_eq!(localparams, d.fsmd.num_states(), "{}", b.name);
+        // Obfuscation must not change the controller structure (schedule
+        // reuse): same state count as the baseline.
+        assert_eq!(d.fsmd.num_states(), d.baseline.num_states(), "{}", b.name);
+    }
+}
+
+#[test]
+fn branch_masks_appear_once_per_conditional() {
+    let lk = locking_key(0xB1A5);
+    let b = benchmarks::gsm();
+    let m = b.compile().unwrap();
+    let d = tao::lock(&m, b.top, &lk, &TaoOptions::default()).unwrap();
+    let locked = verilog::emit(&d.fsmd);
+    let masked = locked.matches("[0] ^ working_key[").count();
+    assert_eq!(masked, d.plan.branch_bits.len());
+}
+
+#[test]
+fn variant_cases_match_key_plan() {
+    let lk = locking_key(0x0AB5);
+    let b = benchmarks::sobel();
+    let m = b.compile().unwrap();
+    let d = tao::lock(&m, b.top, &lk, &TaoOptions::default()).unwrap();
+    let locked = verilog::emit(&d.fsmd);
+    // Each variant-obfuscated micro-op renders one selector case block.
+    let selector_blocks = locked.matches("TAO variant select").count();
+    let variant_ops = d
+        .fsmd
+        .micro_ops()
+        .filter(|(_, op)| op.alts.len() > 1)
+        .count();
+    assert_eq!(selector_blocks, variant_ops);
+    assert!(variant_ops > 0);
+}
