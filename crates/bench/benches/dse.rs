@@ -1,0 +1,32 @@
+//! Times the design-space exploration engine: points/sec on the smoke
+//! sweep and the parallel speedup of the full sweep at 1 vs N workers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_smoke_points_per_sec(c: &mut Criterion) {
+    let n_points = bench::smoke_sweep(0).expect("smoke sweep").points.len() as u64;
+    let mut g = c.benchmark_group("dse-smoke");
+    g.throughput(Throughput::Elements(n_points));
+    g.bench_function("all-cores", |b| {
+        b.iter(|| bench::smoke_sweep(0).expect("smoke sweep"));
+    });
+    g.finish();
+}
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let n_points = bench::dse_sweep(0).expect("dse sweep").points.len() as u64;
+    let mut g = c.benchmark_group("dse-full");
+    g.sample_size(3);
+    g.throughput(Throughput::Elements(n_points));
+    g.bench_function("1-thread", |b| {
+        b.iter(|| bench::dse_sweep(1).expect("dse sweep"));
+    });
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    g.bench_function(format!("{cores}-threads").as_str(), |b| {
+        b.iter(|| bench::dse_sweep(cores).expect("dse sweep"));
+    });
+    g.finish();
+}
+
+criterion_group!(dse, bench_smoke_points_per_sec, bench_parallel_speedup);
+criterion_main!(dse);

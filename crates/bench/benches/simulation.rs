@@ -24,8 +24,7 @@ fn bench_simulator(c: &mut Criterion) {
         let wk = d.working_key(&lk);
         let stim = &b.stimuli(1, 1)[0];
         let case = TestCase { args: stim.args.clone(), mem_inputs: stim.resolve(&d.module) };
-        let cycles =
-            rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap().1.cycles;
+        let cycles = rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap().1.cycles;
         g.throughput(Throughput::Elements(cycles));
         g.bench_function(b.name, |bench| {
             bench.iter(|| rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap());

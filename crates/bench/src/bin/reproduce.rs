@@ -57,10 +57,36 @@ fn main() {
                 let tables: Vec<_> = [1u32, 2, 4].iter().map(|&f| unroll_table(f)).collect();
                 println!("{}", render_unroll(&tables));
             }
+            "dse" => {
+                // The design-space exploration extension: 3 kernels × 18
+                // configurations, evaluated in parallel, Pareto-extracted.
+                let t0 = std::time::Instant::now();
+                let report = dse_sweep(0).expect("dse sweep");
+                let secs = t0.elapsed().as_secs_f64();
+                println!("{report}");
+                println!(
+                    "evaluated {} points in {:.1}s ({:.1} points/s, {} threads)",
+                    report.points.len(),
+                    secs,
+                    report.points.len() as f64 / secs,
+                    report.threads
+                );
+                let path = "target/dse_sweep.jsonl";
+                match std::fs::write(path, report.to_jsonl() + "\n") {
+                    Ok(()) => println!("wrote {path}"),
+                    Err(e) => eprintln!("could not write {path}: {e}"),
+                }
+            }
+            "dse-smoke" => {
+                // CI-sized sweep: one kernel, <= 8 points.
+                let report = smoke_sweep(0).expect("dse smoke sweep");
+                println!("{report}");
+                assert!(report.points.iter().all(|p| p.correct), "smoke sweep must sign off");
+            }
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
-                    "known: table1 fig6 freq cycles validate keymgmt ablate-bi ablate-c ablate-swap ablate-alloc attack unroll report all"
+                    "known: table1 fig6 freq cycles validate keymgmt ablate-bi ablate-c ablate-swap ablate-alloc attack unroll report dse dse-smoke all"
                 );
                 std::process::exit(2);
             }

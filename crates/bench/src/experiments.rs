@@ -74,8 +74,7 @@ pub fn table1() -> Vec<Table1Row> {
         .iter()
         .map(|b| {
             let d = lock_with(b, &TaoOptions::default(), &lk);
-            let stats =
-                hls_ir::ModuleStats::of_function(&d.module, b.top).expect("top exists");
+            let stats = hls_ir::ModuleStats::of_function(&d.module, b.top).expect("top exists");
             Table1Row {
                 name: b.name.to_string(),
                 c_lines: b.c_lines(),
@@ -282,10 +281,8 @@ pub fn validate(n_keys: usize) -> Vec<ValidationRow> {
             );
             // Fixed-duration testbench, as in the paper's ModelSim runs: a
             // stuck circuit's outputs are read at the end of the window.
-            let budget = SimOptions {
-                max_cycles: base_res.cycles * 20 + 50_000,
-                snapshot_on_timeout: true,
-            };
+            let budget =
+                SimOptions { max_cycles: base_res.cycles * 20 + 50_000, snapshot_on_timeout: true };
 
             let mut wrong_correct = 0;
             let mut hd_sum = 0.0;
@@ -495,18 +492,15 @@ pub fn ablate_swap(n_keys: usize) -> Vec<AblateSwapRow> {
                 rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).expect("unlock");
             // Fixed-duration testbench: stuck circuits still yield an
             // output snapshot for the HD metric.
-            let budget = SimOptions {
-                max_cycles: base_res.cycles * 20 + 50_000,
-                snapshot_on_timeout: true,
-            };
+            let budget =
+                SimOptions { max_cycles: base_res.cycles * 20 + 50_000, snapshot_on_timeout: true };
             let mut rng = StdRng::seed_from_u64(p.to_bits());
             let mut corrupted = 0usize;
             let mut hd_sum = 0.0;
             let mut hd_n = 0usize;
             for _ in 0..n_keys {
                 let wrong = d.working_key(&KeyBits::from_fn(LOCKING_KEY_BITS, || rng.gen()));
-                let (img, _) =
-                    rtl_outputs(&d.fsmd, &case, &wrong, &budget).expect("snapshot mode");
+                let (img, _) = rtl_outputs(&d.fsmd, &case, &wrong, &budget).expect("snapshot mode");
                 if !images_equal(&golden, &img) {
                     corrupted += 1;
                 }
@@ -632,18 +626,11 @@ pub fn attack() -> Vec<AttackRow> {
             let oracle_attack = if ks.branch_bits <= 12 {
                 let d = lock_with(b, &single_technique(false, true, false), &lk);
                 let wk = d.working_key(&lk);
-                let cases: Vec<TestCase> =
-                    (0..3).map(|s| test_case(b, &d, s)).collect();
-                let oracle: Vec<_> = cases
-                    .iter()
-                    .map(|c| golden_outputs(&d.module, b.top, c))
-                    .collect();
-                let opts = SimOptions {
-                    max_cycles: 300_000,
-                    snapshot_on_timeout: true,
-                };
-                let out =
-                    tao::oracle_guided_branch_attack(&d, &wk, &cases, &oracle, &opts);
+                let cases: Vec<TestCase> = (0..3).map(|s| test_case(b, &d, s)).collect();
+                let oracle: Vec<_> =
+                    cases.iter().map(|c| golden_outputs(&d.module, b.top, c)).collect();
+                let opts = SimOptions { max_cycles: 300_000, snapshot_on_timeout: true };
+                let out = tao::oracle_guided_branch_attack(&d, &wk, &cases, &oracle, &opts);
                 Some((out.candidates_surviving, out.candidates_tried))
             } else {
                 None
@@ -693,8 +680,7 @@ pub fn unroll_table(factor: u32) -> Vec<UnrollRow> {
                 ..TaoOptions::default()
             };
             let d = lock_with(b, &opts, &lk);
-            let stats =
-                hls_ir::ModuleStats::of_function(&d.module, b.top).expect("top exists");
+            let stats = hls_ir::ModuleStats::of_function(&d.module, b.top).expect("top exists");
             let case = test_case(b, &d, 4);
             let golden = golden_outputs(&d.module, b.top, &case);
             let wk = d.working_key(&lk);
@@ -763,20 +749,16 @@ pub fn ablate_alloc() -> Vec<AblateAllocRow> {
             let suite = benchmarks::all();
             for b in &suite {
                 let m = b.compile().expect("compiles");
-                let opts =
-                    hls_core::HlsOptions { allocation: *alloc, ..Default::default() };
+                let opts = hls_core::HlsOptions { allocation: *alloc, ..Default::default() };
                 let fsmd = hls_core::synthesize(&m, b.top, &opts).expect("synthesizes");
                 states += fsmd.num_states() as f64;
                 area += rtl::area(&fsmd, &cm).total();
                 let prep = hls_core::prepare(&m, b.top, &opts).expect("prepares");
                 let stim = &b.stimuli(1, 4)[0];
-                let case = TestCase {
-                    args: stim.args.clone(),
-                    mem_inputs: stim.resolve(&prep.module),
-                };
-                let (_, res) =
-                    rtl_outputs(&fsmd, &case, &KeyBits::zero(0), &SimOptions::default())
-                        .expect("simulates");
+                let case =
+                    TestCase { args: stim.args.clone(), mem_inputs: stim.resolve(&prep.module) };
+                let (_, res) = rtl_outputs(&fsmd, &case, &KeyBits::zero(0), &SimOptions::default())
+                    .expect("simulates");
                 cycles += res.cycles as f64;
             }
             let n = suite.len() as f64;

@@ -14,8 +14,7 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
         let p = r.paper;
         out.push_str(&format!(
             "{:10} {:>7} | {:<5} {:>6} | {:<4} {:>6} | {:<4} {:>5} | {:<3} {:>7} | {:<5}\n",
-            r.name, r.c_lines, p.0, r.num_const, p.1, r.num_bb, p.2, r.num_cjmp, p.3, r.w_bits,
-            p.4
+            r.name, r.c_lines, p.0, r.num_const, p.1, r.num_bb, p.2, r.num_cjmp, p.3, r.w_bits, p.4
         ));
     }
     out
@@ -211,25 +210,6 @@ pub fn render_ablate_swap(rows: &[AblateSwapRow]) -> String {
     out
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renderers_produce_complete_tables() {
-        let t1 = render_table1(&table1());
-        for b in ["gsm", "adpcm", "sobel", "backprop", "viterbi"] {
-            assert!(t1.contains(b), "table1 missing {b}");
-        }
-        let f6 = render_fig6(&fig6());
-        assert!(f6.contains("AVERAGE"));
-        let fr = render_freq(&freq());
-        assert!(fr.contains("MHz") || fr.contains("base MHz"));
-        let cy = render_cycles(&cycles());
-        assert!(cy.contains("+0.0%"));
-    }
-}
-
 /// Renders the security analysis.
 pub fn render_attack(rows: &[AttackRow]) -> String {
     let mut out = String::new();
@@ -257,9 +237,7 @@ pub fn render_attack(rows: &[AttackRow]) -> String {
 /// Renders the unrolling extension table.
 pub fn render_unroll(rows_by_factor: &[Vec<UnrollRow>]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Extension: Table 1 under loop unrolling (Bambu-style loop optimization)\n",
-    );
+    out.push_str("Extension: Table 1 under loop unrolling (Bambu-style loop optimization)\n");
     out.push_str(&format!(
         "{:10} {:>8} {:>8} {:>10} {:>8} {:>9}\n",
         "Benchmark", "factor", "# BB", "# states", "W bits", "correct"
@@ -290,4 +268,23 @@ pub fn render_ablate_alloc(rows: &[AblateAllocRow]) -> String {
         ));
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renderers_produce_complete_tables() {
+        let t1 = render_table1(&table1());
+        for b in ["gsm", "adpcm", "sobel", "backprop", "viterbi"] {
+            assert!(t1.contains(b), "table1 missing {b}");
+        }
+        let f6 = render_fig6(&fig6());
+        assert!(f6.contains("AVERAGE"));
+        let fr = render_freq(&freq());
+        assert!(fr.contains("MHz") || fr.contains("base MHz"));
+        let cy = render_cycles(&cycles());
+        assert!(cy.contains("+0.0%"));
+    }
 }

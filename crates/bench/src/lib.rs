@@ -11,11 +11,31 @@
 //!
 //! The Criterion benches in `benches/` time the flow stages and the
 //! simulator, and re-emit the table/figure data as benchmark outputs.
+//!
+//! ## Design-space exploration
+//!
+//! The paper evaluates one hand-picked configuration per benchmark;
+//! [`dse_sweep`] instead drives the `hls-dse` engine over the full
+//! configuration lattice — `Allocation` budgets × unroll factors ×
+//! technique plans — for several kernels at once, in parallel, and
+//! extracts the per-kernel Pareto front of `(area, latency, key bits,
+//! attack effort)`:
+//!
+//! ```text
+//! cargo run --release -p bench --bin reproduce -- dse
+//! ```
+//!
+//! prints every evaluated point (Pareto rows starred) and writes
+//! `target/dse_sweep.jsonl` — one JSON object per point — for trajectory
+//! tooling. `benches/dse.rs` times the same sweep at 1 vs N workers to
+//! report points/sec and the parallel speedup.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dse;
 pub mod experiments;
 pub mod format;
 
+pub use dse::{dse_kernels, dse_sweep, smoke_sweep};
 pub use experiments::*;

@@ -1,0 +1,129 @@
+/* adpcm: adaptive differential PCM over a 64-sample 16-bit frame.
+ *
+ * A computed-step variant of the IMA codec: each sample is coded as a
+ * sign bit plus a 3-bit mantissa measured against the current step
+ * size, and the step adapts multiplicatively (grow on large codes,
+ * shrink on small ones) instead of through the 89-entry ROM table —
+ * the paper's HLS flow favours arithmetic over large constant ROMs.
+ * The encoder and the decoder below share the same predictor update,
+ * so `pcm_out` tracks `pcm_in` within one quantization step. */
+
+short pcm_in[64];
+short pcm_out[64];
+char code_out[64];
+
+void adpcm() {
+    /* ---- encoder ---- */
+    int pred = 0;
+    int step = 16;
+    for (int i = 0; i < 64; i++) {
+        int diff = pcm_in[i] - pred;
+        int sign = 0;
+        if (diff < 0) {
+            sign = 8;
+            diff = -diff;
+        }
+        int code = 0;
+        int temp = step;
+        if (diff >= temp) {
+            code = 4;
+            diff = diff - temp;
+        }
+        temp = temp >> 1;
+        if (diff >= temp) {
+            code = code | 2;
+            diff = diff - temp;
+        }
+        temp = temp >> 1;
+        if (diff >= temp) {
+            code = code | 1;
+        }
+        /* Reconstruct exactly like the decoder will. */
+        int delta = step >> 3;
+        if (code & 4) {
+            delta = delta + step;
+        }
+        if (code & 2) {
+            delta = delta + (step >> 1);
+        }
+        if (code & 1) {
+            delta = delta + (step >> 2);
+        }
+        if (sign) {
+            pred = pred - delta;
+        } else {
+            pred = pred + delta;
+        }
+        if (pred > 32767) {
+            pred = 32767;
+        }
+        if (pred < -32768) {
+            pred = -32768;
+        }
+        code_out[i] = sign | code;
+        /* Multiplicative step adaptation. */
+        if (code >= 6) {
+            step = step << 1;
+        } else {
+            if (code >= 4) {
+                step = (step * 3) >> 1;
+            } else {
+                if (code <= 1) {
+                    step = (step * 3) >> 2;
+                }
+            }
+        }
+        if (step < 4) {
+            step = 4;
+        }
+        if (step > 16384) {
+            step = 16384;
+        }
+    }
+    /* ---- decoder: reconstructs from the codes alone ---- */
+    int dpred = 0;
+    int dstep = 16;
+    for (int i = 0; i < 64; i++) {
+        int c = code_out[i];
+        int mag = c & 7;
+        int delta = dstep >> 3;
+        if (mag & 4) {
+            delta = delta + dstep;
+        }
+        if (mag & 2) {
+            delta = delta + (dstep >> 1);
+        }
+        if (mag & 1) {
+            delta = delta + (dstep >> 2);
+        }
+        if (c & 8) {
+            dpred = dpred - delta;
+        } else {
+            dpred = dpred + delta;
+        }
+        if (dpred > 32767) {
+            dpred = 32767;
+        }
+        if (dpred < -32768) {
+            dpred = -32768;
+        }
+        pcm_out[i] = dpred;
+        if (mag >= 6) {
+            dstep = dstep << 1;
+        } else {
+            if (mag >= 4) {
+                dstep = (dstep * 3) >> 1;
+            } else {
+                if (mag <= 1) {
+                    dstep = (dstep * 3) >> 2;
+                }
+            }
+        }
+        if (dstep < 4) {
+            dstep = 4;
+        }
+        if (dstep > 16384) {
+            dstep = 16384;
+        }
+    }
+}

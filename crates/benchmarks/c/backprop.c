@@ -1,0 +1,86 @@
+/* backprop: one Q8.8 fixed-point training step of a 4-8-2 MLP.
+ *
+ * The activation is the piecewise-linear sigmoid f(z) = clamp(0.5 +
+ * z/4, 0, 1.0) (all values Q8.8, so 1.0 = 256 and 0.5 = 128), whose
+ * derivative is the constant 1/4 inside the linear region — the usual
+ * trick in integer-only HLS implementations of training. Weights and
+ * biases live in external memories and are updated in place; `err_out`
+ * holds the summed squared output error of the step (Q8.8). */
+
+int x_in[4];
+int target[2];
+int w1[32];
+int b1[8];
+int w2[16];
+int b2[2];
+int err_out[1];
+
+void backprop() {
+    int hidden[8];
+    int hpre[8];
+    int opre[2];
+    int out[2];
+    int delta_o[2];
+    /* Forward pass: input -> hidden. */
+    for (int j = 0; j < 8; j++) {
+        int acc = 0;
+        for (int i = 0; i < 4; i++) {
+            acc += w1[j * 4 + i] * x_in[i];
+        }
+        hpre[j] = (acc >> 8) + b1[j];
+        int h = 128 + (hpre[j] >> 2);
+        if (h < 0) {
+            h = 0;
+        }
+        if (h > 256) {
+            h = 256;
+        }
+        hidden[j] = h;
+    }
+    /* Forward pass: hidden -> output. */
+    for (int k = 0; k < 2; k++) {
+        int acc = 0;
+        for (int j = 0; j < 8; j++) {
+            acc += w2[k * 8 + j] * hidden[j];
+        }
+        opre[k] = (acc >> 8) + b2[k];
+        int o = 128 + (opre[k] >> 2);
+        if (o < 0) {
+            o = 0;
+        }
+        if (o > 256) {
+            o = 256;
+        }
+        out[k] = o;
+    }
+    /* Error and output deltas (chain rule through f' = 1/4). */
+    int err = 0;
+    for (int k = 0; k < 2; k++) {
+        int e = target[k] - out[k];
+        err += (e * e) >> 8;
+        delta_o[k] = e >> 2;
+    }
+    err_out[0] = err;
+    /* Backward pass: hidden deltas from the *pre-update* w2. */
+    int delta_h[8];
+    for (int j = 0; j < 8; j++) {
+        int acc = 0;
+        for (int k = 0; k < 2; k++) {
+            acc += w2[k * 8 + j] * delta_o[k];
+        }
+        delta_h[j] = (acc >> 8) >> 2;
+    }
+    /* Weight updates, learning rate folded into the shifts. */
+    for (int k = 0; k < 2; k++) {
+        for (int j = 0; j < 8; j++) {
+            w2[k * 8 + j] += (delta_o[k] * hidden[j]) >> 10;
+        }
+        b2[k] += delta_o[k] >> 2;
+    }
+    for (int j = 0; j < 8; j++) {
+        for (int i = 0; i < 4; i++) {
+            w1[j * 4 + i] += (delta_h[j] * x_in[i]) >> 10;
+        }
+        b1[j] += delta_h[j] >> 2;
+    }
+}

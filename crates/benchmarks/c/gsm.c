@@ -1,0 +1,60 @@
+/* gsm: linear-predictive-coding analysis as in GSM 06.10 full-rate —
+ * autocorrelation of a 40-sample window followed by the Schur recursion
+ * producing eight Q12 reflection coefficients.
+ *
+ * Fixed-point layout: samples are Q0 integers in [-2000, 2000]; the
+ * autocorrelation is scaled down by 10 bits so every Schur product
+ * fits comfortably in 32 bits; reflection coefficients are Q12 and
+ * clamped to +/-4095 exactly like the reference coder clamps to one
+ * below +/-1.0. */
+
+short samples[40];
+int refl_out[8];
+
+void gsm_lpc() {
+    /* Autocorrelation lags 0..8, scaled to Schur working precision. */
+    int acf[9];
+    for (int k = 0; k <= 8; k++) {
+        int sum = 0;
+        for (int i = k; i < 40; i++) {
+            sum += samples[i] * samples[i - k];
+        }
+        acf[k] = sum >> 10;
+    }
+    /* Schur recursion over the P/K arrays (GSM 06.10 section 4.2.11). */
+    int p[9];
+    int kk[9];
+    for (int j = 0; j <= 8; j++) {
+        p[j] = acf[j];
+    }
+    for (int j = 1; j <= 8; j++) {
+        kk[j] = acf[j];
+    }
+    for (int n = 0; n < 8; n++) {
+        int r = 0;
+        if (p[0] > 0) {
+            int num = p[1];
+            int mag = num;
+            if (mag < 0) {
+                mag = -mag;
+            }
+            if (mag >= p[0]) {
+                r = 4095;
+            } else {
+                r = (mag << 12) / p[0];
+            }
+            if (num > 0) {
+                r = -r;
+            }
+        }
+        refl_out[n] = r;
+        if (n < 7) {
+            /* Fold the reflection coefficient back into the recursion. */
+            p[0] = p[0] + ((p[1] * r) >> 12);
+            for (int m = 1; m <= 7 - n; m++) {
+                p[m] = p[m + 1] + ((kk[m] * r) >> 12);
+                kk[m] = kk[m] + ((p[m + 1] * r) >> 12);
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+/* sobel: 3x3 Sobel edge detection over a 16x16 8-bit image.
+ * Border pixels are left untouched; interior magnitudes |gx| + |gy|
+ * saturate at 255 (the classic fixed-point approximation). */
+
+unsigned char image[256];
+unsigned char edges[256];
+
+void sobel() {
+    for (int y = 1; y < 15; y++) {
+        for (int x = 1; x < 15; x++) {
+            int nw = image[(y - 1) * 16 + (x - 1)];
+            int no = image[(y - 1) * 16 + x];
+            int ne = image[(y - 1) * 16 + (x + 1)];
+            int we = image[y * 16 + (x - 1)];
+            int ea = image[y * 16 + (x + 1)];
+            int sw = image[(y + 1) * 16 + (x - 1)];
+            int so = image[(y + 1) * 16 + x];
+            int se = image[(y + 1) * 16 + (x + 1)];
+            int gx = (ne + 2 * ea + se) - (nw + 2 * we + sw);
+            int gy = (sw + 2 * so + se) - (nw + 2 * no + ne);
+            if (gx < 0) {
+                gx = -gx;
+            }
+            if (gy < 0) {
+                gy = -gy;
+            }
+            int mag = gx + gy;
+            if (mag > 255) {
+                mag = 255;
+            }
+            edges[y * 16 + x] = mag;
+        }
+    }
+}

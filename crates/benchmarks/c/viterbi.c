@@ -1,0 +1,76 @@
+/* viterbi: dynamic programming over an 8-state hidden Markov model and
+ * 16 observations drawn from a 4-symbol alphabet.
+ *
+ * All model parameters are negative-log costs kept as function-local
+ * constant arrays, so after inlining they land in the constant pool
+ * that TAO's constant obfuscation protects — this is what makes the
+ * paper's viterbi row constant-dominated in Table 1. Every table entry
+ * is a distinct value (the pool interns by value), giving the kernel
+ * well over one hundred protected constants. */
+
+int obs_seq[16];
+int path_out[16];
+int score_out[1];
+
+void viterbi() {
+    int init_cost[8] = { 13, 11, 17, 12, 18, 15, 16, 14 };
+    int trans_cost[64] = {
+        108, 129, 150, 107, 128, 149, 106, 127,
+        148, 105, 126, 147, 104, 125, 146, 103,
+        124, 145, 102, 123, 144, 101, 122, 143,
+        164, 121, 142, 163, 120, 141, 162, 119,
+        140, 161, 118, 139, 160, 117, 138, 159,
+        116, 137, 158, 115, 136, 157, 114, 135,
+        156, 113, 134, 155, 112, 133, 154, 111,
+        132, 153, 110, 131, 152, 109, 130, 151
+    };
+    int emit_cost[32] = {
+        204, 215, 226, 205, 216, 227, 206, 217,
+        228, 207, 218, 229, 208, 219, 230, 209,
+        220, 231, 210, 221, 232, 211, 222, 201,
+        212, 223, 202, 213, 224, 203, 214, 225
+    };
+    int cost[8];
+    int ncost[8];
+    int bp[128];
+    /* Initialization with the first observation. */
+    int o0 = obs_seq[0] & 3;
+    for (int s = 0; s < 8; s++) {
+        cost[s] = init_cost[s] + emit_cost[s * 4 + o0];
+    }
+    /* Forward recursion: minimize over predecessor states. */
+    for (int t = 1; t < 16; t++) {
+        int o = obs_seq[t] & 3;
+        for (int s = 0; s < 8; s++) {
+            int best = cost[0] + trans_cost[s];
+            int arg = 0;
+            for (int p = 1; p < 8; p++) {
+                int c = cost[p] + trans_cost[p * 8 + s];
+                if (c < best) {
+                    best = c;
+                    arg = p;
+                }
+            }
+            ncost[s] = best + emit_cost[s * 4 + o];
+            bp[t * 8 + s] = arg;
+        }
+        for (int s = 0; s < 8; s++) {
+            cost[s] = ncost[s];
+        }
+    }
+    /* Termination and backtrace. */
+    int best = cost[0];
+    int arg = 0;
+    for (int s = 1; s < 8; s++) {
+        if (cost[s] < best) {
+            best = cost[s];
+            arg = s;
+        }
+    }
+    score_out[0] = best;
+    path_out[15] = arg;
+    for (int t = 15; t > 0; t--) {
+        arg = bp[t * 8 + arg];
+        path_out[t - 1] = arg;
+    }
+}

@@ -257,8 +257,7 @@ mod tests {
                 img[y * 16 + x] = 200;
             }
         }
-        let stim =
-            Stimulus { args: vec![], arrays: vec![("image".into(), img)] };
+        let stim = Stimulus { args: vec![], arrays: vec![("image".into(), img)] };
         let (m, interp) = run_with(&b, &stim);
         let edges = global(&m, &interp, "edges");
         // Interior edge pixels saturate at 255; far-from-edge pixels are 0.
@@ -274,8 +273,7 @@ mod tests {
         let b = adpcm();
         // A slow ramp is easy for ADPCM: reconstruction error stays small
         // relative to the signal.
-        let ramp: Vec<u64> =
-            (0..64).map(|i| Type::I16.from_signed(i * 150 - 4800)).collect();
+        let ramp: Vec<u64> = (0..64).map(|i| Type::I16.from_signed(i * 150 - 4800)).collect();
         let stim = Stimulus { args: vec![], arrays: vec![("pcm_in".into(), ramp.clone())] };
         let (m, interp) = run_with(&b, &stim);
         let out = global(&m, &interp, "pcm_out");
@@ -329,10 +327,7 @@ mod tests {
             interp.run_by_name("backprop", &[]).unwrap();
             errs.push(Type::I32.to_signed(interp.globals[&e_id][0]));
         }
-        assert!(
-            errs.last().unwrap() < &errs[0],
-            "training did not reduce error: {errs:?}"
-        );
+        assert!(errs.last().unwrap() < &errs[0], "training did not reduce error: {errs:?}");
     }
 
     #[test]

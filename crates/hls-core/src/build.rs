@@ -20,12 +20,7 @@ use std::collections::BTreeMap;
 /// Panics if the function still contains calls, or if an operand that must
 /// be in a register was not bound (both indicate pipeline misuse: run
 /// inlining, scheduling and binding first).
-pub fn build_fsmd(
-    module: &Module,
-    f: &Function,
-    sched: &FnSchedule,
-    ra: &RegAssign,
-) -> Fsmd {
+pub fn build_fsmd(module: &Module, f: &Function, sched: &FnSchedule, ra: &RegAssign) -> Fsmd {
     // --- registers (binding result + a return register) ---
     let mut reg_widths = ra.widths.clone();
     let mut reg_names = ra.names.clone();
@@ -136,11 +131,8 @@ pub fn build_fsmd(
                     Terminator::Jump(t) => NextState::Goto(StateId(state_base[t.index()])),
                     Terminator::Branch { cond, then_to, else_to } => match cond {
                         Operand::Const(c) => {
-                            let taken = if f.consts.get(*c).bits & 1 == 1 {
-                                *then_to
-                            } else {
-                                *else_to
-                            };
+                            let taken =
+                                if f.consts.get(*c).bits & 1 == 1 { *then_to } else { *else_to };
                             NextState::Goto(StateId(state_base[taken.index()]))
                         }
                         Operand::Value(v) => NextState::Branch {
@@ -238,12 +230,7 @@ fn lower_instr(
         }
         Instr::Copy { ty, src, dst } => {
             let dst = ra.try_reg(*dst)?;
-            Some((
-                OpAlt { op: FuOp::Pass, a: src_of(*src), b: None },
-                Some(dst),
-                *ty,
-                ty.width(),
-            ))
+            Some((OpAlt { op: FuOp::Pass, a: src_of(*src), b: None }, Some(dst), *ty, ty.width()))
         }
         Instr::Load { ty, array, index, dst } => {
             let dst = ra.try_reg(*dst)?;
@@ -299,10 +286,7 @@ mod tests {
         assert!(fsmd.ret_reg.is_some());
         assert_eq!(fsmd.key_width, 0);
         // There is at least one conditional transition (the loop test).
-        assert!(fsmd
-            .states
-            .iter()
-            .any(|s| matches!(s.next, NextState::Branch { .. })));
+        assert!(fsmd.states.iter().any(|s| matches!(s.next, NextState::Branch { .. })));
         // And one Done state.
         assert!(fsmd.states.iter().any(|s| s.next == NextState::Done));
     }
@@ -329,8 +313,7 @@ mod tests {
 
     #[test]
     fn constants_sized_by_significant_bits() {
-        let (_, fsmd) =
-            synth("int f(int x) { return x + 1000; }", "f");
+        let (_, fsmd) = synth("int f(int x) { return x + 1000; }", "f");
         let thousand = fsmd.consts.iter().find(|c| c.bits == 1000).expect("constant 1000");
         // 1000 needs 11 bits signed.
         assert_eq!(thousand.storage_width, 11);

@@ -31,6 +31,23 @@ impl Default for HlsOptions {
     }
 }
 
+impl HlsOptions {
+    /// Returns `self` with the resource budget replaced (sweep helper).
+    pub fn with_allocation(self, allocation: Allocation) -> HlsOptions {
+        HlsOptions { allocation, ..self }
+    }
+
+    /// Returns `self` with the unroll factor replaced (sweep helper).
+    pub fn with_unroll(self, unroll_factor: u32) -> HlsOptions {
+        HlsOptions { unroll_factor, ..self }
+    }
+
+    /// Returns `self` with the clock target replaced (sweep helper).
+    pub fn with_clock_period(self, clock_period_ns: f64) -> HlsOptions {
+        HlsOptions { clock_period_ns, ..self }
+    }
+}
+
 /// Errors from the HLS flow.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HlsError {

@@ -383,12 +383,7 @@ mod tests {
             reg_widths: vec![32],
             reg_names: vec!["r0".into()],
             fus: vec![FuDecl { kind: FuKind::Wire, width: 32 }],
-            consts: vec![ConstEntry {
-                bits: 7,
-                ty: Type::I32,
-                storage_width: 3,
-                key_xor: None,
-            }],
+            consts: vec![ConstEntry { bits: 7, ty: Type::I32, storage_width: 3, key_xor: None }],
             mems: vec![],
             mem_of_array: BTreeMap::new(),
             params: vec![],

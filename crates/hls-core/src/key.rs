@@ -155,11 +155,7 @@ impl KeyBits {
     /// Panics if widths differ.
     pub fn hamming_distance(&self, other: &KeyBits) -> u32 {
         assert_eq!(self.width, other.width, "width mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones()).sum()
     }
 }
 

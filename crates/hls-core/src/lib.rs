@@ -32,10 +32,12 @@ pub mod verilog;
 pub use build::build_fsmd;
 pub use flow::{prepare, schedule_and_bind, synthesize, HlsError, HlsOptions, Prepared};
 pub use fsmd::{
-    ConstEntry, ConstIdx, Fsmd, FuDecl, FuIdx, FuOp, KeyRange, MemDecl, MemIdx, MicroOp,
-    NextState, OpAlt, Src, State, StateId,
+    ConstEntry, ConstIdx, Fsmd, FuDecl, FuIdx, FuOp, KeyRange, MemDecl, MemIdx, MicroOp, NextState,
+    OpAlt, Src, State, StateId,
 };
 pub use key::KeyBits;
 pub use regbind::{bind_registers, validate_binding, RegAssign, RegId};
 pub use resource::{Allocation, CostModel, FuKind};
-pub use schedule::{alap_cycles, asap_cycles, schedule_block, schedule_function, BlockSchedule, FnSchedule};
+pub use schedule::{
+    alap_cycles, asap_cycles, schedule_block, schedule_function, BlockSchedule, FnSchedule,
+};

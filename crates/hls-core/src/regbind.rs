@@ -62,11 +62,35 @@ impl RegAssign {
     }
 }
 
+/// The values that must own a dedicated architectural register: everything
+/// live across a block boundary (plus parameters), and — because the IR is
+/// not strict SSA — any value *defined in more than one block* (loop
+/// unrolling and copy propagation produce these). The left-edge allocator
+/// binds each block independently, so a multi-block-defined temp sharing a
+/// pool register in one block would be silently rebound by a later block,
+/// clobbering the earlier block's allocation.
+fn dedicated_values(f: &Function, lv: &hls_ir::Liveness) -> std::collections::BTreeSet<ValueId> {
+    let mut dedicated = lv.cross_block_values(f);
+    let mut def_block: BTreeMap<ValueId, hls_ir::BlockId> = BTreeMap::new();
+    for b in f.block_ids() {
+        for instr in &f.block(b).instrs {
+            if let Some(d) = instr.def() {
+                if let Some(prev) = def_block.insert(d, b) {
+                    if prev != b {
+                        dedicated.insert(d);
+                    }
+                }
+            }
+        }
+    }
+    dedicated
+}
+
 /// Runs register binding for `f` under the given schedule.
 pub fn bind_registers(f: &Function, sched: &FnSchedule) -> RegAssign {
     let cfg = Cfg::compute(f);
     let lv = Liveness::compute(f, &cfg);
-    let cross = lv.cross_block_values(f);
+    let cross = dedicated_values(f, &lv);
 
     let mut widths = Vec::new();
     let mut names = Vec::new();
@@ -172,7 +196,7 @@ pub fn bind_registers(f: &Function, sched: &FnSchedule) -> RegAssign {
 pub fn validate_binding(f: &Function, sched: &FnSchedule, ra: &RegAssign) -> Result<(), String> {
     let cfg = Cfg::compute(f);
     let lv = Liveness::compute(f, &cfg);
-    let cross = lv.cross_block_values(f);
+    let cross = dedicated_values(f, &lv);
     // Cross-block registers are exclusive.
     let mut owner: BTreeMap<RegId, ValueId> = BTreeMap::new();
     for &v in &cross {

@@ -206,6 +206,38 @@ impl Default for Allocation {
 }
 
 impl Allocation {
+    /// Minimal budget: one instance of every limited kind. The slowest,
+    /// smallest schedules — one end of the DSE sweep.
+    pub fn lean() -> Allocation {
+        Allocation { add_sub: 1, mul: 1, div: 1, shift: 1, logic: 1, cmp: 1 }
+    }
+
+    /// Generous budget (4 adders / 2 multipliers): the fast, large end of
+    /// the DSE sweep.
+    pub fn wide() -> Allocation {
+        Allocation { add_sub: 4, mul: 2, div: 1, shift: 2, logic: 4, cmp: 2 }
+    }
+
+    /// The labelled lean / default / wide ladder design-space exploration
+    /// sweeps over.
+    pub fn presets() -> Vec<(&'static str, Allocation)> {
+        vec![
+            ("lean", Allocation::lean()),
+            ("default", Allocation::default()),
+            ("wide", Allocation::wide()),
+        ]
+    }
+
+    /// Returns `self` with the multiplier budget replaced.
+    pub fn with_mul(self, mul: u32) -> Allocation {
+        Allocation { mul, ..self }
+    }
+
+    /// Returns `self` with the adder/subtractor budget replaced.
+    pub fn with_add_sub(self, add_sub: u32) -> Allocation {
+        Allocation { add_sub, ..self }
+    }
+
     /// Instance budget for `kind` (`u32::MAX` for unlimited kinds, 1 for
     /// memory ports — single-ported RAMs).
     pub fn count(&self, kind: FuKind) -> u32 {

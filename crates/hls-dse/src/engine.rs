@@ -1,0 +1,402 @@
+//! The parallel exploration engine.
+//!
+//! Pipeline-prefix memoization: per kernel the front end runs once; per
+//! (kernel, unroll) [`hls_core::prepare`] runs once; per (kernel, unroll,
+//! allocation) scheduling/binding produce one baseline FSMD with its area
+//! and golden outputs; per lattice point only the TAO half of the flow
+//! ([`tao::lock_from_baseline`]) plus metric evaluation runs. Every phase
+//! fans out over work-stealing worker threads; results land in
+//! preallocated slots indexed by point id, so the report is bit-identical
+//! for any worker count.
+
+use crate::pareto::pareto_front;
+use crate::report::{DsePoint, DseReport};
+use crate::space::ConfigSpace;
+use hls_core::{CostModel, Fsmd, HlsError, HlsOptions, KeyBits, Prepared};
+use hls_frontend::FrontendError;
+use hls_ir::Module;
+use rtl::{golden_outputs, images_equal, rtl_outputs, OutputImage, SimError, SimOptions, TestCase};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tao::{KeySpace, TaoError};
+
+/// One kernel to sweep: C source plus the stimulus driving latency and
+/// sign-off simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Display name.
+    pub name: String,
+    /// C-subset source text.
+    pub source: String,
+    /// Function to synthesize.
+    pub top: String,
+    /// Scalar arguments of the top function.
+    pub args: Vec<u64>,
+    /// `(global array name, contents)` input stimuli.
+    pub arrays: Vec<(String, Vec<u64>)>,
+}
+
+impl Kernel {
+    /// A kernel with scalar arguments only.
+    pub fn new(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        top: impl Into<String>,
+        args: Vec<u64>,
+    ) -> Kernel {
+        Kernel {
+            name: name.into(),
+            source: source.into(),
+            top: top.into(),
+            args,
+            arrays: Vec::new(),
+        }
+    }
+
+    /// Adds named input-array stimuli.
+    pub fn with_arrays(mut self, arrays: Vec<(String, Vec<u64>)>) -> Kernel {
+        self.arrays = arrays;
+        self
+    }
+
+    fn test_case(&self, module: &Module) -> TestCase {
+        let mem_inputs = self
+            .arrays
+            .iter()
+            .filter_map(|(name, data)| {
+                module
+                    .globals
+                    .iter()
+                    .find(|(_, o)| &o.name == name)
+                    .map(|(id, _)| (*id, data.clone()))
+            })
+            .collect();
+        TestCase { args: self.args.clone(), mem_inputs }
+    }
+}
+
+/// Engine options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseOptions {
+    /// Worker threads (0 = one per available core). Results are identical
+    /// for every value.
+    pub threads: usize,
+    /// Simulator budget for the per-point sign-off run.
+    pub sim: SimOptions,
+    /// Seed of the deterministic 256-bit locking key shared by the sweep.
+    pub locking_seed: u64,
+}
+
+impl Default for DseOptions {
+    fn default() -> Self {
+        DseOptions { threads: 0, sim: SimOptions::default(), locking_seed: 0xD5E }
+    }
+}
+
+/// Exploration errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DseError {
+    /// A kernel failed to compile.
+    Frontend(FrontendError),
+    /// Baseline synthesis failed.
+    Hls(HlsError),
+    /// Locking failed.
+    Tao(TaoError),
+    /// The sign-off simulation failed.
+    Sim(SimError),
+    /// The configuration space or kernel suite is empty.
+    Empty,
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseError::Frontend(e) => write!(f, "kernel compile: {e}"),
+            DseError::Hls(e) => write!(f, "baseline synthesis: {e}"),
+            DseError::Tao(e) => write!(f, "lock: {e}"),
+            DseError::Sim(e) => write!(f, "simulation: {e}"),
+            DseError::Empty => write!(f, "nothing to explore (empty space or kernel suite)"),
+        }
+    }
+}
+
+impl Error for DseError {}
+
+impl From<FrontendError> for DseError {
+    fn from(e: FrontendError) -> Self {
+        DseError::Frontend(e)
+    }
+}
+
+impl From<HlsError> for DseError {
+    fn from(e: HlsError) -> Self {
+        DseError::Hls(e)
+    }
+}
+
+impl From<TaoError> for DseError {
+    fn from(e: TaoError) -> Self {
+        DseError::Tao(e)
+    }
+}
+
+impl From<SimError> for DseError {
+    fn from(e: SimError) -> Self {
+        DseError::Sim(e)
+    }
+}
+
+/// Deterministic 256-bit locking key for the sweep.
+fn locking_key(seed: u64) -> KeyBits {
+    let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    KeyBits::from_fn(256, || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    })
+}
+
+/// Resolves the requested worker count (0 = one per available core),
+/// capped at `n` work items.
+fn resolve_workers(threads: usize, n: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    t.min(n.max(1))
+}
+
+/// Work-stealing fan-out: evaluates `f(0..n)` on `threads` workers and
+/// returns the results in index order, or the lowest-index error.
+fn run_parallel<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, DseError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, DseError> + Sync,
+{
+    let workers = resolve_workers(threads, n);
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<T, DseError>>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                slots.lock().expect("dse worker poisoned")[i] = Some(out);
+            });
+        }
+    });
+    let mut results = Vec::with_capacity(n);
+    let mut first_err: Option<DseError> = None;
+    for slot in slots.into_inner().expect("dse slots poisoned") {
+        match slot.expect("every index evaluated") {
+            Ok(v) => results.push(v),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(results),
+    }
+}
+
+/// Everything memoized per (kernel, unroll, allocation): the baseline
+/// design and the per-baseline metrics every TAO point shares.
+struct BaselineSlot {
+    prepared_idx: usize,
+    baseline: Fsmd,
+    baseline_area: f64,
+}
+
+/// Per (kernel, unroll): the prepared module, the resolved stimulus and
+/// the golden output image.
+struct PreparedSlot {
+    prepared: Prepared,
+    case: TestCase,
+    golden: OutputImage,
+}
+
+/// Sweeps `space` over `kernels` and extracts the per-kernel Pareto
+/// fronts.
+///
+/// # Errors
+///
+/// Returns the first (lowest-index) [`DseError`] if any kernel fails to
+/// compile, synthesize, lock or simulate — a sweep is only useful if every
+/// point is sound.
+pub fn explore(
+    kernels: &[Kernel],
+    space: &ConfigSpace,
+    opts: &DseOptions,
+) -> Result<DseReport, DseError> {
+    if kernels.is_empty() || space.is_empty() {
+        return Err(DseError::Empty);
+    }
+    let cm = CostModel::default();
+    let lk = locking_key(opts.locking_seed);
+
+    // Phase 0 — front end, once per kernel.
+    let modules: Vec<Module> = kernels
+        .iter()
+        .map(|k| hls_frontend::compile(&k.source, &k.name).map_err(DseError::from))
+        .collect::<Result<_, _>>()?;
+
+    // Phase 1 — prepare once per (kernel, unroll).
+    let n_unroll = space.hls.unroll_factors.len();
+    let prepared_keys: Vec<(usize, u32)> = (0..kernels.len())
+        .flat_map(|k| space.hls.unroll_factors.iter().map(move |&u| (k, u)))
+        .collect();
+    let prepared_slots: Vec<PreparedSlot> = run_parallel(prepared_keys.len(), opts.threads, |i| {
+        let (k, unroll) = prepared_keys[i];
+        let kernel = &kernels[k];
+        let hls = HlsOptions::default().with_unroll(unroll);
+        let prepared = hls_core::prepare(&modules[k], &kernel.top, &hls)?;
+        let case = kernel.test_case(&prepared.module);
+        let golden = golden_outputs(&prepared.module, &kernel.top, &case);
+        Ok(PreparedSlot { prepared, case, golden })
+    })?;
+
+    // Phase 2 — schedule/bind once per (kernel, unroll, allocation).
+    let n_alloc = space.hls.allocations.len();
+    let baseline_keys: Vec<(usize, usize, usize)> = (0..kernels.len())
+        .flat_map(|k| (0..n_unroll).flat_map(move |u| (0..n_alloc).map(move |a| (k, u, a))))
+        .collect();
+    let baseline_slots: Vec<BaselineSlot> = run_parallel(baseline_keys.len(), opts.threads, |i| {
+        let (k, u, a) = baseline_keys[i];
+        let prepared_idx = k * n_unroll + u;
+        let slot = &prepared_slots[prepared_idx];
+        let hls = HlsOptions::default()
+            .with_unroll(space.hls.unroll_factors[u])
+            .with_allocation(space.hls.allocations[a].1);
+        let (sched, ra) = hls_core::schedule_and_bind(&slot.prepared, &hls)?;
+        let baseline =
+            hls_core::build_fsmd(&slot.prepared.module, &slot.prepared.function, &sched, &ra);
+        let baseline_area = rtl::area(&baseline, &cm).total();
+        Ok(BaselineSlot { prepared_idx, baseline, baseline_area })
+    })?;
+
+    // Phase 3 — lock + evaluate every lattice point of every kernel.
+    let n_cfg = space.len();
+    let total = kernels.len() * n_cfg;
+    let points: Vec<DsePoint> = run_parallel(total, opts.threads, |i| {
+        let (k, cfg_id) = (i / n_cfg, i % n_cfg);
+        let kernel = &kernels[k];
+        let cfg = space.point(cfg_id);
+        let baseline_idx = (k * n_unroll + cfg.unroll_idx) * n_alloc + cfg.alloc_idx;
+        let base = &baseline_slots[baseline_idx];
+        let prep = &prepared_slots[base.prepared_idx];
+
+        let design =
+            tao::lock_from_baseline(&prep.prepared, &base.baseline, &kernel.top, &lk, &cfg.tao)?;
+        let wk = design.working_key(&lk);
+        let (img, res) = rtl_outputs(&design.fsmd, &prep.case, &wk, &opts.sim)?;
+
+        let area = rtl::area(&design.fsmd, &cm).total();
+        let timing = rtl::timing(&design.fsmd, &cm);
+        let ks = KeySpace::of(&design);
+        // Branch bits are the one sub-exponential term: an oracle-guided
+        // attacker enumerates them when few (Sec. 4.3), so only large
+        // branch spaces contribute to the practical effort.
+        let attack_effort = ks.constant_bits
+            + ks.variant_bits
+            + if ks.branch_bits > 20 { ks.branch_bits } else { 0 };
+
+        Ok(DsePoint {
+            kernel: kernel.name.clone(),
+            config_id: cfg_id,
+            config: cfg.describe(),
+            area_um2: area,
+            area_overhead: area / base.baseline_area - 1.0,
+            latency_cycles: res.cycles,
+            fmax_mhz: timing.fmax_mhz,
+            key_bits: design.fsmd.key_width,
+            attack_effort_log2: attack_effort,
+            correct: images_equal(&prep.golden, &img),
+        })
+    })?;
+
+    // Per-kernel Pareto fronts over the deterministic point order.
+    let mut pareto = Vec::new();
+    for k in 0..kernels.len() {
+        let objs: Vec<_> =
+            points[k * n_cfg..(k + 1) * n_cfg].iter().map(|p| p.objectives()).collect();
+        pareto.extend(pareto_front(&objs).into_iter().map(|i| k * n_cfg + i));
+    }
+
+    Ok(DseReport { points, pareto, threads: resolve_workers(opts.threads, total) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KERNEL: &str = r#"
+        int dot(int a, int b) {
+            int acc = 0;
+            for (int i = 0; i < 4; i++) {
+                if (i % 2 == 0) acc += a * i;
+                else acc += b * i;
+            }
+            return acc;
+        }
+    "#;
+
+    fn kernels() -> Vec<Kernel> {
+        vec![Kernel::new("dot", KERNEL, "dot", vec![3, 5])]
+    }
+
+    #[test]
+    fn smoke_sweep_covers_the_space_and_signs_off() {
+        let space = ConfigSpace::smoke();
+        let rep = explore(&kernels(), &space, &DseOptions::default()).unwrap();
+        assert_eq!(rep.points.len(), space.len());
+        assert!(!rep.pareto.is_empty());
+        assert!(rep.points.iter().all(|p| p.correct), "every point must sign off");
+        assert!(rep.points.iter().all(|p| p.area_um2 > 0.0 && p.latency_cycles > 0));
+        // Config ids are the deterministic kernel-major order.
+        for (i, p) in rep.points.iter().enumerate() {
+            assert_eq!(p.config_id, i % space.len());
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let space = ConfigSpace::smoke();
+        let one = explore(&kernels(), &space, &DseOptions { threads: 1, ..DseOptions::default() })
+            .unwrap();
+        let four = explore(&kernels(), &space, &DseOptions { threads: 4, ..DseOptions::default() })
+            .unwrap();
+        assert_eq!(one.points, four.points);
+        assert_eq!(one.pareto, four.pareto);
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert_eq!(
+            explore(&[], &ConfigSpace::smoke(), &DseOptions::default()),
+            Err(DseError::Empty)
+        );
+    }
+
+    #[test]
+    fn more_techniques_mean_more_key_bits() {
+        let space = ConfigSpace::smoke(); // plans: cbv then cb-
+        let rep = explore(&kernels(), &space, &DseOptions::default()).unwrap();
+        // Within one allocation, the cbv plan carries at least as many key
+        // bits as cb- (variants add block bits).
+        let full = &rep.points[0];
+        let no_variants = &rep.points[1];
+        assert!(full.key_bits > no_variants.key_bits);
+    }
+}

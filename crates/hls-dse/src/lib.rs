@@ -1,0 +1,59 @@
+//! # hls-dse — parallel design-space exploration for the TAO flow
+//!
+//! The paper's central evaluation (Fig. 6, Table 1) is a trade-off study:
+//! area and latency overhead versus key budget across the obfuscation
+//! knobs. This crate turns that one-configuration-at-a-time study into an
+//! engine that sweeps the full cross product of
+//!
+//! - **HLS knobs** — resource [`hls_core::Allocation`] budgets and loop
+//!   unroll factors ([`HlsKnobs`]), and
+//! - **TAO knobs** — technique selection / key widths
+//!   ([`tao::PlanConfig`]), Algorithm 1 probabilities
+//!   ([`tao::VariantOptions`]) and the key-management scheme
+//!   ([`tao::KeyScheme`]) ([`TaoKnobs`]),
+//!
+//! over a suite of [`Kernel`]s, evaluating every point with the existing
+//! `rtl` metrics (area, timing, cycle-accurate latency) plus the `tao`
+//! key-space/attack analysis, and extracting the **Pareto front** of
+//! `(area, latency, key bits, attack effort)` — minimizing the first two
+//! and maximizing the last two.
+//!
+//! The engine ([`explore`]) runs points in parallel with work-stealing
+//! worker threads over the [`ConfigSpace`] lattice, memoizing the shared
+//! pipeline prefixes: each kernel is parsed/lowered/optimized once, each
+//! (kernel, unroll) pair is `prepare`d once, each (kernel, unroll,
+//! allocation) triple is scheduled/bound into a baseline FSMD once, and
+//! only the TAO half of the flow ([`tao::lock_from_baseline`]) runs per
+//! point. Results stream into a [`DseReport`] whose ordering is
+//! deterministic and identical for every worker count.
+//!
+//! ## Example
+//!
+//! ```
+//! use hls_dse::{explore, ConfigSpace, DseOptions, Kernel};
+//!
+//! let kernels = vec![Kernel::new(
+//!     "mac",
+//!     "int mac(int a, int b, int c) { return a * b + c; }",
+//!     "mac",
+//!     vec![3, 4, 5],
+//! )];
+//! let space = ConfigSpace::smoke();
+//! let report = explore(&kernels, &space, &DseOptions::default())?;
+//! assert_eq!(report.points.len(), space.len());
+//! assert!(!report.pareto.is_empty());
+//! # Ok::<(), hls_dse::DseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod pareto;
+mod report;
+mod space;
+
+pub use engine::{explore, DseError, DseOptions, Kernel};
+pub use pareto::{dominates, pareto_front, Objectives};
+pub use report::{DsePoint, DseReport};
+pub use space::{ConfigSpace, DseConfig, HlsKnobs, TaoKnobs};

@@ -1,0 +1,84 @@
+//! Pareto dominance and front extraction over the DSE objectives.
+
+/// The objective vector of one evaluated point: minimize area and latency,
+/// maximize key bits and attack effort.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Locked datapath area (µm², minimized).
+    pub area_um2: f64,
+    /// Kernel latency in cycles under the correct key (minimized).
+    pub latency_cycles: u64,
+    /// Working-key bits (maximized).
+    pub key_bits: u32,
+    /// log2 of the practical attack effort (maximized; see
+    /// [`crate::DsePoint::attack_effort_log2`]).
+    pub attack_effort_log2: u64,
+}
+
+/// Whether `a` Pareto-dominates `b`: at least as good on every objective
+/// and strictly better on one.
+pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
+    let ge = a.area_um2 <= b.area_um2
+        && a.latency_cycles <= b.latency_cycles
+        && a.key_bits >= b.key_bits
+        && a.attack_effort_log2 >= b.attack_effort_log2;
+    let strict = a.area_um2 < b.area_um2
+        || a.latency_cycles < b.latency_cycles
+        || a.key_bits > b.key_bits
+        || a.attack_effort_log2 > b.attack_effort_log2;
+    ge && strict
+}
+
+/// Indices of the non-dominated points of `objs`, in ascending index
+/// order (deterministic). A point equal to an earlier point on every
+/// objective is kept too — ties are not dominance.
+pub fn pareto_front(objs: &[Objectives]) -> Vec<usize> {
+    (0..objs.len())
+        .filter(|&i| !objs.iter().enumerate().any(|(j, o)| j != i && dominates(o, &objs[i])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(area: f64, lat: u64, key: u32, eff: u64) -> Objectives {
+        Objectives { area_um2: area, latency_cycles: lat, key_bits: key, attack_effort_log2: eff }
+    }
+
+    #[test]
+    fn dominance_is_strict_and_directional() {
+        let better = o(10.0, 100, 500, 500);
+        let worse = o(20.0, 200, 400, 400);
+        assert!(dominates(&better, &worse));
+        assert!(!dominates(&worse, &better));
+        // Equal vectors never dominate each other.
+        assert!(!dominates(&better, &better));
+        // Trade-offs (better area, worse key bits) do not dominate.
+        let tradeoff = o(5.0, 100, 400, 400);
+        assert!(!dominates(&tradeoff, &better));
+        assert!(!dominates(&better, &tradeoff));
+    }
+
+    #[test]
+    fn front_drops_dominated_points_only() {
+        let pts = vec![
+            o(10.0, 100, 500, 500), // front
+            o(20.0, 200, 400, 400), // dominated by 0
+            o(5.0, 300, 100, 100),  // front (best area)
+            o(30.0, 50, 200, 200),  // front (best latency)
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_points_all_stay_on_the_front() {
+        let pts = vec![o(1.0, 1, 1, 1), o(1.0, 1, 1, 1)];
+        assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+}

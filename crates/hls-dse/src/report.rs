@@ -1,0 +1,242 @@
+//! The sweep result: every evaluated point plus the Pareto front, with
+//! deterministic ordering and JSONL serialization for trajectory dumps.
+
+use crate::pareto::Objectives;
+use std::fmt;
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) so
+/// caller-supplied kernel names cannot corrupt the JSONL output.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One evaluated configuration point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsePoint {
+    /// Kernel name.
+    pub kernel: String,
+    /// Stable configuration id within the swept [`crate::ConfigSpace`].
+    pub config_id: usize,
+    /// Human-readable configuration description.
+    pub config: String,
+    /// Locked datapath area (µm²).
+    pub area_um2: f64,
+    /// Area overhead vs the same HLS configuration's baseline (fraction).
+    pub area_overhead: f64,
+    /// Latency in cycles under the correct key.
+    pub latency_cycles: u64,
+    /// Locked design Fmax (MHz).
+    pub fmax_mhz: f64,
+    /// Working-key bits.
+    pub key_bits: u32,
+    /// log2 of the practical attack effort: constant and variant bits
+    /// always count (exponential even with an oracle), branch bits only
+    /// when too many to enumerate (> 20), since an oracle-guided attacker
+    /// enumerates small branch spaces (paper Sec. 4.3).
+    pub attack_effort_log2: u64,
+    /// Whether the locked design reproduced the golden outputs under the
+    /// correct key (functional sign-off for this point).
+    pub correct: bool,
+}
+
+impl DsePoint {
+    /// The point's objective vector.
+    pub fn objectives(&self) -> Objectives {
+        Objectives {
+            area_um2: self.area_um2,
+            latency_cycles: self.latency_cycles,
+            key_bits: self.key_bits,
+            attack_effort_log2: self.attack_effort_log2,
+        }
+    }
+
+    /// One JSON object (a JSONL line) describing the point.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kernel\":\"{}\",\"config_id\":{},\"config\":\"{}\",\"area_um2\":{:.1},\
+             \"area_overhead\":{:.4},\"latency_cycles\":{},\"fmax_mhz\":{:.1},\
+             \"key_bits\":{},\"attack_effort_log2\":{},\"correct\":{}}}",
+            json_escape(&self.kernel),
+            self.config_id,
+            json_escape(&self.config),
+            self.area_um2,
+            self.area_overhead,
+            self.latency_cycles,
+            self.fmax_mhz,
+            self.key_bits,
+            self.attack_effort_log2,
+            self.correct,
+        )
+    }
+}
+
+/// The full sweep result.
+///
+/// `points` is ordered kernel-major then by configuration id — the same
+/// order for any worker count — and `pareto` holds indices into `points`
+/// of the per-kernel non-dominated fronts, ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseReport {
+    /// Every evaluated point, kernel-major, config-id order.
+    pub points: Vec<DsePoint>,
+    /// Indices into `points` forming the per-kernel Pareto fronts.
+    pub pareto: Vec<usize>,
+    /// Worker threads used (informational; does not affect results).
+    pub threads: usize,
+}
+
+impl DseReport {
+    /// The Pareto-front points, in deterministic order.
+    pub fn pareto_points(&self) -> Vec<&DsePoint> {
+        self.pareto.iter().map(|&i| &self.points[i]).collect()
+    }
+
+    /// Pareto-front indices restricted to one kernel.
+    pub fn pareto_of(&self, kernel: &str) -> Vec<&DsePoint> {
+        self.pareto_points().into_iter().filter(|p| p.kernel == kernel).collect()
+    }
+
+    /// Serializes every point as one JSONL line (`"pareto":true` marks the
+    /// front), ready for trajectory tooling.
+    pub fn to_jsonl(&self) -> String {
+        let on_front: std::collections::BTreeSet<usize> = self.pareto.iter().copied().collect();
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let json = p.to_json();
+                let flag = format!(",\"pareto\":{}}}", on_front.contains(&i));
+                format!("{}{}", &json[..json.len() - 1], flag)
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for DseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DSE sweep: {} points, {} on the Pareto front ({} threads)",
+            self.points.len(),
+            self.pareto.len(),
+            self.threads
+        )?;
+        writeln!(
+            f,
+            "{:10} {:>4} {:44} {:>10} {:>8} {:>8} {:>8} {:>7} {:>7} {:>3}",
+            "kernel",
+            "id",
+            "config",
+            "area um^2",
+            "ovh %",
+            "cycles",
+            "fmax",
+            "keybits",
+            "effort",
+            "ok"
+        )?;
+        let on_front: std::collections::BTreeSet<usize> = self.pareto.iter().copied().collect();
+        for (i, p) in self.points.iter().enumerate() {
+            writeln!(
+                f,
+                "{:10} {:>4} {:44} {:>10.0} {:>+7.1}% {:>8} {:>8.0} {:>7} {:>7} {:>3}{}",
+                p.kernel,
+                p.config_id,
+                p.config,
+                p.area_um2,
+                p.area_overhead * 100.0,
+                p.latency_cycles,
+                p.fmax_mhz,
+                p.key_bits,
+                p.attack_effort_log2,
+                if p.correct { "yes" } else { "NO" },
+                if on_front.contains(&i) { "  *pareto*" } else { "" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(kernel: &str, id: usize, area: f64, lat: u64) -> DsePoint {
+        DsePoint {
+            kernel: kernel.to_string(),
+            config_id: id,
+            config: "alloc=lean unroll=1 plan=cbv C=32 Bi=4 scheme=aes".to_string(),
+            area_um2: area,
+            area_overhead: 0.2,
+            latency_cycles: lat,
+            fmax_mhz: 500.0,
+            key_bits: 100,
+            attack_effort_log2: 96,
+            correct: true,
+        }
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_point_and_marks_the_front() {
+        let rep = DseReport {
+            points: vec![point("a", 0, 10.0, 5), point("a", 1, 20.0, 9)],
+            pareto: vec![0],
+            threads: 4,
+        };
+        let jsonl = rep.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"pareto\":true"));
+        assert!(lines[1].contains("\"pareto\":false"));
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"kernel\":\"a\""));
+    }
+
+    #[test]
+    fn display_marks_front_rows() {
+        let rep = DseReport {
+            points: vec![point("k", 0, 10.0, 5), point("k", 1, 20.0, 9)],
+            pareto: vec![0],
+            threads: 1,
+        };
+        let text = rep.to_string();
+        assert!(text.contains("*pareto*"));
+        assert!(text.contains("2 points"));
+    }
+
+    #[test]
+    fn json_escapes_hostile_kernel_names() {
+        let mut p = point("a", 0, 1.0, 1);
+        p.kernel = "evil\"name\\with\ncontrol".to_string();
+        let json = p.to_json();
+        assert!(json.contains("evil\\\"name\\\\with\\ncontrol"));
+        // Still one line, still balanced braces.
+        assert!(!json.contains('\n'));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn pareto_of_filters_by_kernel() {
+        let rep = DseReport {
+            points: vec![point("a", 0, 1.0, 1), point("b", 0, 1.0, 1)],
+            pareto: vec![0, 1],
+            threads: 1,
+        };
+        assert_eq!(rep.pareto_of("a").len(), 1);
+        assert_eq!(rep.pareto_of("b").len(), 1);
+        assert_eq!(rep.pareto_of("c").len(), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The configuration lattice: HLS knobs × TAO knobs.
+//!
+//! A [`ConfigSpace`] is a cross product of independent axes. Every point
+//! has a stable integer id (mixed-radix decode of the axis indices), so a
+//! sweep is reproducible, resumable and trivially partitionable across
+//! workers — the same idea as enumerating the models of a propositional
+//! configuration logic: fix an order on the atoms, walk the lattice.
+
+use hls_core::{Allocation, HlsOptions};
+use tao::{KeyScheme, PlanConfig, TaoOptions, VariantOptions};
+
+/// The HLS half of the lattice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HlsKnobs {
+    /// Labelled resource budgets to sweep (e.g. lean / default / wide).
+    pub allocations: Vec<(String, Allocation)>,
+    /// Loop unroll factors to sweep (1 = no unrolling).
+    pub unroll_factors: Vec<u32>,
+}
+
+impl Default for HlsKnobs {
+    fn default() -> Self {
+        HlsKnobs {
+            allocations: Allocation::presets()
+                .into_iter()
+                .map(|(l, a)| (l.to_string(), a))
+                .collect(),
+            unroll_factors: vec![1, 2],
+        }
+    }
+}
+
+/// The TAO half of the lattice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaoKnobs {
+    /// Key-plan configurations (technique selection, `C`, `B_i`).
+    pub plans: Vec<PlanConfig>,
+    /// Algorithm 1 probability settings.
+    pub variants: Vec<VariantOptions>,
+    /// Key-management schemes.
+    pub schemes: Vec<KeyScheme>,
+}
+
+impl Default for TaoKnobs {
+    fn default() -> Self {
+        TaoKnobs {
+            plans: vec![
+                PlanConfig::techniques(true, true, true),
+                PlanConfig::techniques(true, true, false),
+                PlanConfig::techniques(false, true, true),
+            ],
+            variants: vec![VariantOptions::default()],
+            schemes: vec![KeyScheme::AesNvm],
+        }
+    }
+}
+
+/// One point of the lattice, fully resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseConfig {
+    /// Stable point id within its [`ConfigSpace`].
+    pub id: usize,
+    /// Index of the allocation axis value (memoization key component).
+    pub alloc_idx: usize,
+    /// Index of the unroll axis value (memoization key component).
+    pub unroll_idx: usize,
+    /// Label of the selected allocation.
+    pub alloc_label: String,
+    /// The complete TAO options (HLS options embedded).
+    pub tao: TaoOptions,
+}
+
+impl DseConfig {
+    /// Compact human-readable description, e.g.
+    /// `alloc=lean unroll=2 plan=cbv C=32 Bi=4 scheme=aes`.
+    pub fn describe(&self) -> String {
+        format!(
+            "alloc={} unroll={} plan={} C={} Bi={} scheme={}",
+            self.alloc_label,
+            self.tao.hls.unroll_factor,
+            self.tao.plan.label(),
+            self.tao.plan.const_width,
+            self.tao.plan.bits_per_block,
+            match self.tao.scheme {
+                KeyScheme::Replicate => "rep",
+                KeyScheme::AesNvm => "aes",
+            },
+        )
+    }
+}
+
+/// A sweepable cross product of HLS and TAO knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigSpace {
+    /// HLS axes.
+    pub hls: HlsKnobs,
+    /// TAO axes.
+    pub tao: TaoKnobs,
+    /// Seed for Algorithm 1 / the AES working key, shared by every point
+    /// (each point still derives its own deterministic netlist).
+    pub seed: u64,
+}
+
+impl Default for ConfigSpace {
+    fn default() -> Self {
+        ConfigSpace { hls: HlsKnobs::default(), tao: TaoKnobs::default(), seed: 0xDAC2018 }
+    }
+}
+
+impl ConfigSpace {
+    /// A minimal ≤ 8-point space for CI smoke runs: two allocations × one
+    /// unroll factor × two plans.
+    pub fn smoke() -> ConfigSpace {
+        ConfigSpace {
+            hls: HlsKnobs {
+                allocations: vec![
+                    ("lean".to_string(), Allocation::lean()),
+                    ("default".to_string(), Allocation::default()),
+                ],
+                unroll_factors: vec![1],
+            },
+            tao: TaoKnobs {
+                plans: vec![
+                    PlanConfig::techniques(true, true, true),
+                    PlanConfig::techniques(true, true, false),
+                ],
+                variants: vec![VariantOptions::default()],
+                schemes: vec![KeyScheme::AesNvm],
+            },
+            seed: 0xDAC2018,
+        }
+    }
+
+    /// The paper-flavoured sweep used by `reproduce -- dse`: lean / default
+    /// / wide allocations × unroll {1, 2} × three technique plans — 18
+    /// points per kernel.
+    pub fn paper() -> ConfigSpace {
+        ConfigSpace::default()
+    }
+
+    /// Number of points in the lattice.
+    pub fn len(&self) -> usize {
+        self.hls.allocations.len()
+            * self.hls.unroll_factors.len()
+            * self.tao.plans.len()
+            * self.tao.variants.len()
+            * self.tao.schemes.len()
+    }
+
+    /// Whether the lattice is empty (any axis without values).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes point `id` (mixed-radix, allocation-major). Panics if out
+    /// of range.
+    pub fn point(&self, id: usize) -> DseConfig {
+        assert!(id < self.len(), "config id {id} out of range (len {})", self.len());
+        let mut rest = id;
+        let take = |rest: &mut usize, n: usize| {
+            let i = *rest % n;
+            *rest /= n;
+            i
+        };
+        // Least-significant axis first: scheme, variants, plan, unroll, alloc.
+        let scheme_idx = take(&mut rest, self.tao.schemes.len());
+        let var_idx = take(&mut rest, self.tao.variants.len());
+        let plan_idx = take(&mut rest, self.tao.plans.len());
+        let unroll_idx = take(&mut rest, self.hls.unroll_factors.len());
+        let alloc_idx = take(&mut rest, self.hls.allocations.len());
+        let (label, alloc) = &self.hls.allocations[alloc_idx];
+        let hls = HlsOptions::default()
+            .with_allocation(*alloc)
+            .with_unroll(self.hls.unroll_factors[unroll_idx]);
+        DseConfig {
+            id,
+            alloc_idx,
+            unroll_idx,
+            alloc_label: label.clone(),
+            tao: TaoOptions {
+                plan: self.tao.plans[plan_idx],
+                variants: self.tao.variants[var_idx],
+                scheme: self.tao.schemes[scheme_idx],
+                seed: self.seed,
+                hls,
+            },
+        }
+    }
+
+    /// Iterates every point in id order.
+    pub fn iter(&self) -> impl Iterator<Item = DseConfig> + '_ {
+        (0..self.len()).map(|id| self.point(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_exhaustive() {
+        let space = ConfigSpace::default();
+        let points: Vec<DseConfig> = space.iter().collect();
+        assert_eq!(points.len(), space.len());
+        assert_eq!(space.len(), 3 * 2 * 3);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.id, i);
+            assert_eq!(space.point(i), *p);
+        }
+    }
+
+    #[test]
+    fn every_axis_combination_appears_once() {
+        let space = ConfigSpace::default();
+        let mut seen = std::collections::BTreeSet::new();
+        for p in space.iter() {
+            let key = (
+                p.alloc_label.clone(),
+                p.tao.hls.unroll_factor,
+                p.tao.plan.label(),
+                format!("{:?}", p.tao.scheme),
+            );
+            assert!(seen.insert(key), "duplicate combination at id {}", p.id);
+        }
+        assert_eq!(seen.len(), space.len());
+    }
+
+    #[test]
+    fn smoke_space_is_ci_sized() {
+        assert!(ConfigSpace::smoke().len() <= 8);
+        assert!(!ConfigSpace::smoke().is_empty());
+    }
+
+    #[test]
+    fn describe_mentions_every_knob() {
+        let d = ConfigSpace::default().point(0).describe();
+        for needle in ["alloc=", "unroll=", "plan=", "C=", "Bi=", "scheme="] {
+            assert!(d.contains(needle), "missing {needle} in {d}");
+        }
+    }
+}

@@ -142,7 +142,13 @@ pub enum Stmt {
     DoWhile { cond: Expr, body: Vec<Stmt>, pos: Pos },
     /// `for (init; cond; step) { .. }` — init/step are statements, cond
     /// optional (defaults to true).
-    For { init: Option<Box<Stmt>>, cond: Option<Expr>, step: Option<Box<Stmt>>, body: Vec<Stmt>, pos: Pos },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
     /// `return e;` / `return;`.
     Return { value: Option<Expr>, pos: Pos },
     /// `break;`

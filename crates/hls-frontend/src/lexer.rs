@@ -257,8 +257,10 @@ mod tests {
 
     #[test]
     fn hex_char_and_suffixed_literals() {
-        assert_eq!(kinds("0xFF 10u 'A' '\\n' '\\0'"),
-            vec![Tok::Int(255), Tok::Int(10), Tok::Int(65), Tok::Int(10), Tok::Int(0), Tok::Eof]);
+        assert_eq!(
+            kinds("0xFF 10u 'A' '\\n' '\\0'"),
+            vec![Tok::Int(255), Tok::Int(10), Tok::Int(65), Tok::Int(10), Tok::Int(0), Tok::Eof]
+        );
     }
 
     #[test]

@@ -72,10 +72,8 @@ pub fn lower(unit: &TranslationUnit, module_name: &str) -> Result<Module, Fronte
         let mut f = Function::new(fd.name.clone());
         f.ret_ty = fd.ret.ir();
         let id = module.add_function(f);
-        func_ids.insert(
-            fd.name.clone(),
-            (id, fd.params.iter().map(|p| p.ty).collect(), fd.ret.ir()),
-        );
+        func_ids
+            .insert(fd.name.clone(), (id, fd.params.iter().map(|p| p.ty).collect(), fd.ret.ir()));
     }
 
     // Pass 3: bodies.
@@ -127,7 +125,10 @@ pub fn lower(unit: &TranslationUnit, module_name: &str) -> Result<Module, Fronte
         if cg.has_recursion(id) {
             return Err(FrontendError::new(
                 fd.pos,
-                format!("function `{}` is (mutually) recursive; HLS cannot synthesize recursion", fd.name),
+                format!(
+                    "function `{}` is (mutually) recursive; HLS cannot synthesize recursion",
+                    fd.name
+                ),
             ));
         }
     }
@@ -167,7 +168,13 @@ impl<'a> Lowerer<'a> {
         self.scopes.pop();
     }
 
-    fn bind_scalar(&mut self, name: &str, v: ValueId, ty: Type, pos: Pos) -> Result<(), FrontendError> {
+    fn bind_scalar(
+        &mut self,
+        name: &str,
+        v: ValueId,
+        ty: Type,
+        pos: Pos,
+    ) -> Result<(), FrontendError> {
         let scope = self.scopes.last_mut().expect("scope stack empty");
         if scope.insert(name.to_string(), Binding::Scalar(v, ty)).is_some() {
             return Err(FrontendError::new(pos, format!("duplicate declaration of `{name}`")));
@@ -369,9 +376,10 @@ impl<'a> Lowerer<'a> {
                 Ok(())
             }
             Stmt::Break { pos } => {
-                let (_, exit) = *self.loop_stack.last().ok_or_else(|| {
-                    FrontendError::new(*pos, "`break` outside of a loop")
-                })?;
+                let (_, exit) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| FrontendError::new(*pos, "`break` outside of a loop"))?;
                 if !self.terminated {
                     self.f.block_mut(self.cur).terminator = Terminator::Jump(exit);
                     self.terminated = true;
@@ -379,27 +387,26 @@ impl<'a> Lowerer<'a> {
                 Ok(())
             }
             Stmt::Continue { pos } => {
-                let (latch, _) = *self.loop_stack.last().ok_or_else(|| {
-                    FrontendError::new(*pos, "`continue` outside of a loop")
-                })?;
+                let (latch, _) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| FrontendError::new(*pos, "`continue` outside of a loop"))?;
                 if !self.terminated {
                     self.f.block_mut(self.cur).terminator = Terminator::Jump(latch);
                     self.terminated = true;
                 }
                 Ok(())
             }
-            Stmt::ExprStmt { expr, pos } => {
-                match &expr.kind {
-                    ExprKind::Call { .. } => {
-                        self.expr(expr)?;
-                        Ok(())
-                    }
-                    _ => Err(FrontendError::new(
-                        *pos,
-                        "expression statement has no effect (only calls are allowed)",
-                    )),
+            Stmt::ExprStmt { expr, pos } => match &expr.kind {
+                ExprKind::Call { .. } => {
+                    self.expr(expr)?;
+                    Ok(())
                 }
-            }
+                _ => Err(FrontendError::new(
+                    *pos,
+                    "expression statement has no effect (only calls are allowed)",
+                )),
+            },
             Stmt::Block { body, .. } => {
                 self.push_scope();
                 for s in body {
@@ -430,11 +437,7 @@ impl<'a> Lowerer<'a> {
                     let body_b = self.f.new_block(format!("switch.case{i}"));
                     let else_b = self.f.new_block(format!("switch.test{}", i + 1));
                     self.seal_and_switch(
-                        Terminator::Branch {
-                            cond: cond.into(),
-                            then_to: body_b,
-                            else_to: else_b,
-                        },
+                        Terminator::Branch { cond: cond.into(), then_to: body_b, else_to: else_b },
                         body_b,
                     );
                     self.push_scope();
@@ -475,9 +478,9 @@ impl<'a> Lowerer<'a> {
                         format!("cannot assign to named constant `{name}`"),
                     ));
                 }
-                let binding = self.lookup(name).ok_or_else(|| {
-                    FrontendError::new(pos, format!("unknown variable `{name}`"))
-                })?;
+                let binding = self
+                    .lookup(name)
+                    .ok_or_else(|| FrontendError::new(pos, format!("unknown variable `{name}`")))?;
                 let (dst, ty) = match binding {
                     Binding::Scalar(v, t) => (v, t),
                     Binding::Array(..) => {
@@ -503,9 +506,9 @@ impl<'a> Lowerer<'a> {
                 Ok(())
             }
             LValue::Index { array, index } => {
-                let binding = self.lookup(array).ok_or_else(|| {
-                    FrontendError::new(pos, format!("unknown array `{array}`"))
-                })?;
+                let binding = self
+                    .lookup(array)
+                    .ok_or_else(|| FrontendError::new(pos, format!("unknown array `{array}`")))?;
                 let (id, ty) = match binding {
                     Binding::Array(id, t, _) => (id, t),
                     Binding::Scalar(..) => {
@@ -604,15 +607,13 @@ impl<'a> Lowerer<'a> {
                         e.pos,
                         format!("array `{name}` used without an index"),
                     )),
-                    None => {
-                        Err(FrontendError::new(e.pos, format!("unknown variable `{name}`")))
-                    }
+                    None => Err(FrontendError::new(e.pos, format!("unknown variable `{name}`"))),
                 }
             }
             ExprKind::Index { array, index } => {
-                let binding = self.lookup(array).ok_or_else(|| {
-                    FrontendError::new(e.pos, format!("unknown array `{array}`"))
-                })?;
+                let binding = self
+                    .lookup(array)
+                    .ok_or_else(|| FrontendError::new(e.pos, format!("unknown array `{array}`")))?;
                 let (id, ty) = match binding {
                     Binding::Array(id, t, _) => (id, t),
                     Binding::Scalar(..) => {
@@ -699,9 +700,7 @@ impl<'a> Lowerer<'a> {
                 let (id, param_tys, ret_ty) = self
                     .funcs
                     .get(name)
-                    .ok_or_else(|| {
-                        FrontendError::new(e.pos, format!("unknown function `{name}`"))
-                    })?
+                    .ok_or_else(|| FrontendError::new(e.pos, format!("unknown function `{name}`")))?
                     .clone();
                 if args.len() != param_tys.len() {
                     return Err(FrontendError::new(
@@ -844,9 +843,8 @@ mod tests {
 
     #[test]
     fn for_loop_sum() {
-        let m = compile(
-            "int sum(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
-        );
+        let m =
+            compile("int sum(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }");
         assert_eq!(run(&m, "sum", &[10]), Some(45));
         assert_eq!(run(&m, "sum", &[0]), Some(0));
     }
@@ -873,18 +871,12 @@ mod tests {
 
     #[test]
     fn local_array_initializer_becomes_stores_with_pool_constants() {
-        let m = compile(
-            "int pick(int i) { int tbl[4] = {5, 6, 7, 8}; return tbl[i]; }",
-        );
+        let m = compile("int pick(int i) { int tbl[4] = {5, 6, 7, 8}; return tbl[i]; }");
         assert_eq!(run(&m, "pick", &[2]), Some(7));
         let f = m.function_by_name("pick").unwrap().1;
         // 5,6,7,8 plus indices 0..3 interned.
         assert!(f.consts.len() >= 8);
-        let stores = f.blocks[0]
-            .instrs
-            .iter()
-            .filter(|i| matches!(i, Instr::Store { .. }))
-            .count();
+        let stores = f.blocks[0].instrs.iter().filter(|i| matches!(i, Instr::Store { .. })).count();
         assert_eq!(stores, 4);
     }
 
@@ -956,9 +948,8 @@ mod tests {
 
     #[test]
     fn compound_assignment_on_array_elements() {
-        let m = compile(
-            "int a[3]; int f() { a[0] = 5; a[0] += 2; a[0] <<= 1; a[0]++; return a[0]; }",
-        );
+        let m =
+            compile("int a[3]; int f() { a[0] = 5; a[0] += 2; a[0] <<= 1; a[0]++; return a[0]; }");
         assert_eq!(run(&m, "f", &[]), Some(15));
     }
 
@@ -990,9 +981,7 @@ mod tests {
 
     #[test]
     fn shadowing_in_nested_scopes() {
-        let m = compile(
-            "int f() { int x = 1; { int x = 2; x = 3; } return x; }",
-        );
+        let m = compile("int f() { int x = 1; { int x = 2; x = 3; } return x; }");
         assert_eq!(run(&m, "f", &[]), Some(1));
     }
 
@@ -1035,9 +1024,8 @@ mod tests {
 
     #[test]
     fn switch_without_default_falls_through_to_join() {
-        let m = compile(
-            "int f(int x) { int r = 7; switch (x) { case 1: r = 1; break; } return r; }",
-        );
+        let m =
+            compile("int f(int x) { int r = 7; switch (x) { case 1: r = 1; break; } return r; }");
         assert_eq!(run(&m, "f", &[1]), Some(1));
         assert_eq!(run(&m, "f", &[9]), Some(7));
     }

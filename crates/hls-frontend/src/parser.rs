@@ -80,9 +80,9 @@ impl Parser {
 
     fn expect_ident(&mut self) -> Result<(String, Pos), FrontendError> {
         const RESERVED: &[&str] = &[
-            "if", "else", "for", "while", "do", "switch", "case", "default", "break",
-            "continue", "return", "int", "char", "short", "long", "void", "unsigned",
-            "signed", "const", "static",
+            "if", "else", "for", "while", "do", "switch", "case", "default", "break", "continue",
+            "return", "int", "char", "short", "long", "void", "unsigned", "signed", "const",
+            "static",
         ];
         let pos = self.here();
         match self.bump().tok {
@@ -188,11 +188,8 @@ impl Parser {
                 if self.eat_punct("[") {
                     let len = self.expect_int()? as usize;
                     self.expect_punct("]")?;
-                    let init = if self.eat_punct("=") {
-                        Some(self.init_list(len, pos)?)
-                    } else {
-                        None
-                    };
+                    let init =
+                        if self.eat_punct("=") { Some(self.init_list(len, pos)?) } else { None };
                     self.expect_punct(";")?;
                     unit.globals.push(GlobalDef { ty, name, len, init, pos });
                 } else {
@@ -218,9 +215,9 @@ impl Parser {
         loop {
             let pos = self.here();
             let ty = self.expect_type()?;
-            let ty = ty.ir().ok_or_else(|| {
-                FrontendError::new(pos, "parameter cannot have type void")
-            })?;
+            let ty = ty
+                .ir()
+                .ok_or_else(|| FrontendError::new(pos, "parameter cannot have type void"))?;
             let (name, npos) = self.expect_ident()?;
             if self.eat_punct("[") {
                 return Err(FrontendError::new(
@@ -266,9 +263,8 @@ impl Parser {
     /// simple binary arithmetic on literals.
     fn const_expr(&mut self) -> Result<i64, FrontendError> {
         let e = self.expr()?;
-        eval_const(&e).ok_or_else(|| {
-            FrontendError::new(e.pos, "initializer must be a constant expression")
-        })
+        eval_const(&e)
+            .ok_or_else(|| FrontendError::new(e.pos, "initializer must be a constant expression"))
     }
 
     fn block_body(&mut self) -> Result<Vec<Stmt>, FrontendError> {
@@ -322,11 +318,8 @@ impl Parser {
                 self.expect_punct(";")?;
                 Some(Box::new(s))
             };
-            let cond = if matches!(&self.peek().tok, Tok::Punct(";")) {
-                None
-            } else {
-                Some(self.expr()?)
-            };
+            let cond =
+                if matches!(&self.peek().tok, Tok::Punct(";")) { None } else { Some(self.expr()?) };
             self.expect_punct(";")?;
             let step = if matches!(&self.peek().tok, Tok::Punct(")")) {
                 None
@@ -442,8 +435,7 @@ impl Parser {
             if self.eat_punct("[") {
                 let len = self.expect_int()? as usize;
                 self.expect_punct("]")?;
-                let init =
-                    if self.eat_punct("=") { Some(self.init_list(len, pos)?) } else { None };
+                let init = if self.eat_punct("=") { Some(self.init_list(len, pos)?) } else { None };
                 return Ok(Stmt::DeclArray { ty, name, len, init, pos });
             }
             let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
@@ -551,12 +543,7 @@ impl Parser {
             &[("^", AstBinOp::Xor)],
             &[("&", AstBinOp::And)],
             &[("==", AstBinOp::Eq), ("!=", AstBinOp::Ne)],
-            &[
-                ("<=", AstBinOp::Le),
-                (">=", AstBinOp::Ge),
-                ("<", AstBinOp::Lt),
-                (">", AstBinOp::Gt),
-            ],
+            &[("<=", AstBinOp::Le), (">=", AstBinOp::Ge), ("<", AstBinOp::Lt), (">", AstBinOp::Gt)],
             &[("<<", AstBinOp::Shl), (">>", AstBinOp::Shr)],
             &[("+", AstBinOp::Add), ("-", AstBinOp::Sub)],
             &[("*", AstBinOp::Mul), ("/", AstBinOp::Div), ("%", AstBinOp::Rem)],
@@ -574,10 +561,8 @@ impl Parser {
             self.bump();
             let rhs = self.binary(min_level + 1)?;
             let pos = lhs.pos;
-            lhs = Expr {
-                pos,
-                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
-            };
+            lhs =
+                Expr { pos, kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) } };
         }
         Ok(lhs)
     }
@@ -737,9 +722,7 @@ mod tests {
     fn parses_for_loop_with_incdec() {
         let src = "int s(int n) { int acc = 0; for (int i = 0; i < n; i++) acc += i; return acc; }";
         let unit = parse(src).unwrap();
-        let Stmt::For { init, cond, step, body, .. } = &unit.functions[0].body[1] else {
-            panic!()
-        };
+        let Stmt::For { init, cond, step, body, .. } = &unit.functions[0].body[1] else { panic!() };
         assert!(init.is_some() && cond.is_some() && step.is_some());
         assert_eq!(body.len(), 1);
     }
@@ -815,10 +798,9 @@ mod tests {
 
     #[test]
     fn switch_rejects_duplicate_default() {
-        let err = parse(
-            "int f(int x) { switch (x) { default: break; default: break; } return x; }",
-        )
-        .unwrap_err();
+        let err =
+            parse("int f(int x) { switch (x) { default: break; default: break; } return x; }")
+                .unwrap_err();
         assert!(err.message.contains("duplicate"));
     }
 

@@ -232,12 +232,8 @@ mod tests {
         ]);
         f.block_mut(blk).terminator = Terminator::Return(None);
         let dfg = Dfg::build(&f, blk);
-        assert!(dfg
-            .edges
-            .contains(&DepEdge { from: 0, to: 1, kind: DepKind::Memory }));
-        assert!(dfg
-            .edges
-            .contains(&DepEdge { from: 1, to: 2, kind: DepKind::Memory }));
+        assert!(dfg.edges.contains(&DepEdge { from: 0, to: 1, kind: DepKind::Memory }));
+        assert!(dfg.edges.contains(&DepEdge { from: 1, to: 2, kind: DepKind::Memory }));
         // Two loads with no intervening store are unordered w.r.t. each other.
         assert!(!dfg.edges.contains(&DepEdge { from: 0, to: 2, kind: DepKind::Data }));
         let _ = ArrayId(0);

@@ -142,10 +142,7 @@ impl Function {
 
     /// Number of conditional jumps (the paper's `#CJMP` for this function).
     pub fn num_cond_jumps(&self) -> usize {
-        self.blocks
-            .iter()
-            .filter(|b| matches!(b.terminator, Terminator::Branch { .. }))
-            .count()
+        self.blocks.iter().filter(|b| matches!(b.terminator, Terminator::Branch { .. })).count()
     }
 
     /// Total straight-line instruction count.

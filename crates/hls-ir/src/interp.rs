@@ -353,7 +353,13 @@ mod tests {
             Terminator::Branch { cond: cond.into(), then_to: body, else_to: exit };
 
         f.block_mut(body).instrs.extend([
-            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: sum.into(), rhs: i.into(), dst: sum },
+            Instr::Binary {
+                op: BinOp::Add,
+                ty: Type::I32,
+                lhs: sum.into(),
+                rhs: i.into(),
+                dst: sum,
+            },
             Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: i.into(), rhs: one.into(), dst: i },
         ]);
         f.block_mut(body).terminator = Terminator::Jump(header);
@@ -390,9 +396,7 @@ mod tests {
         // add an instruction so the step budget triggers.
         let v = m.functions[0].new_value(Type::I32);
         let z = m.functions[0].consts.intern(Constant::new(0, Type::I32));
-        m.functions[0].blocks[0]
-            .instrs
-            .push(Instr::Copy { ty: Type::I32, src: z.into(), dst: v });
+        m.functions[0].blocks[0].instrs.push(Instr::Copy { ty: Type::I32, src: z.into(), dst: v });
         let mut interp = Interpreter::new(&m).with_step_limit(1000);
         assert_eq!(interp.run_by_name("spin", &[]), Err(InterpError::StepLimit));
     }
@@ -436,8 +440,18 @@ mod tests {
         let r = f.new_value(Type::I32);
         let blk = f.new_block("entry");
         f.block_mut(blk).instrs.extend([
-            Instr::Call { func: sum_id, args: vec![n.into()], dst: Some(a), ret_ty: Some(Type::I32) },
-            Instr::Call { func: sum_id, args: vec![n.into()], dst: Some(b), ret_ty: Some(Type::I32) },
+            Instr::Call {
+                func: sum_id,
+                args: vec![n.into()],
+                dst: Some(a),
+                ret_ty: Some(Type::I32),
+            },
+            Instr::Call {
+                func: sum_id,
+                args: vec![n.into()],
+                dst: Some(b),
+                ret_ty: Some(Type::I32),
+            },
             Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: a.into(), rhs: b.into(), dst: r },
         ]);
         f.block_mut(blk).terminator = Terminator::Return(Some(r.into()));
@@ -457,9 +471,6 @@ mod tests {
         f.block_mut(b).terminator = Terminator::Return(Some(v.into()));
         m.add_function(f);
         let mut interp = Interpreter::new(&m);
-        assert!(matches!(
-            interp.run_by_name("bad", &[]),
-            Err(InterpError::UseBeforeDef(_))
-        ));
+        assert!(matches!(interp.run_by_name("bad", &[]), Err(InterpError::UseBeforeDef(_))));
     }
 }

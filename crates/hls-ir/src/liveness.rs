@@ -45,9 +45,10 @@ impl Liveness {
             match &blk.terminator {
                 Terminator::Branch { cond: Operand::Value(v), .. }
                 | Terminator::Return(Some(Operand::Value(v)))
-                    if !k.contains(v) => {
-                        g.insert(*v);
-                    }
+                    if !k.contains(v) =>
+                {
+                    g.insert(*v);
+                }
                 _ => {}
             }
         }
@@ -93,8 +94,8 @@ impl Liveness {
 mod tests {
     use super::*;
     use crate::instr::{BinOp, CmpPred, Instr};
-    use crate::types::Type;
     use crate::operand::BlockId;
+    use crate::types::Type;
 
     #[test]
     fn loop_carried_values_live() {

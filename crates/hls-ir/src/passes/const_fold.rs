@@ -116,7 +116,12 @@ fn fold_instr(f: &Function, instr: &Instr) -> Option<Instr> {
 /// To keep the code simple and allocation-free we re-run interning in
 /// `fold_function` instead: this helper is called with `&Function` but the
 /// constant pool grows only through `fold_function`'s second phase below.
-fn copy_const(f: &Function, bits: u64, ty: crate::types::Type, dst: crate::operand::ValueId) -> Instr {
+fn copy_const(
+    f: &Function,
+    bits: u64,
+    ty: crate::types::Type,
+    dst: crate::operand::ValueId,
+) -> Instr {
     // We cannot intern here (no &mut). Encode the constant in a `Copy` whose
     // source refers to an existing pool entry when available; otherwise we
     // must add one. Handle via a grow-on-miss trick: `fold_function` calls us
@@ -186,32 +191,30 @@ fn fold_instr_interning(f: &mut Function, instr: &Instr) -> Option<Instr> {
 
 fn recompute_fold(f: &Function, instr: &Instr) -> Option<u64> {
     match instr {
-        Instr::Binary { op, ty, lhs, rhs, .. } => {
-            match (const_of(f, *lhs), const_of(f, *rhs)) {
-                (Some(a), Some(b)) => Some(op.eval(*ty, a.bits, b.bits)),
-                (_, Some(b)) => {
-                    let v = ty.to_signed(b.bits);
-                    match (op, v) {
-                        (BinOp::Mul | BinOp::And, 0) => Some(0),
-                        _ => None,
-                    }
-                }
-                (Some(a), _) => {
-                    let v = ty.to_signed(a.bits);
-                    match (op, v) {
-                        (BinOp::Mul | BinOp::And, 0) => Some(0),
-                        _ => None,
-                    }
-                }
-                _ => {
-                    if lhs == rhs && matches!(op, BinOp::Sub | BinOp::Xor) {
-                        Some(0)
-                    } else {
-                        None
-                    }
+        Instr::Binary { op, ty, lhs, rhs, .. } => match (const_of(f, *lhs), const_of(f, *rhs)) {
+            (Some(a), Some(b)) => Some(op.eval(*ty, a.bits, b.bits)),
+            (_, Some(b)) => {
+                let v = ty.to_signed(b.bits);
+                match (op, v) {
+                    (BinOp::Mul | BinOp::And, 0) => Some(0),
+                    _ => None,
                 }
             }
-        }
+            (Some(a), _) => {
+                let v = ty.to_signed(a.bits);
+                match (op, v) {
+                    (BinOp::Mul | BinOp::And, 0) => Some(0),
+                    _ => None,
+                }
+            }
+            _ => {
+                if lhs == rhs && matches!(op, BinOp::Sub | BinOp::Xor) {
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+        },
         Instr::Unary { op, ty, src, .. } => Some(op.eval(*ty, const_of(f, *src)?.bits)),
         Instr::Cmp { pred, ty, lhs, rhs, .. } => {
             Some(pred.eval(*ty, const_of(f, *lhs)?.bits, const_of(f, *rhs)?.bits) as u64)

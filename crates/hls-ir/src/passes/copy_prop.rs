@@ -60,7 +60,9 @@ fn propagate_function(f: &mut Function) -> bool {
                         Operand::Value(v) => value_types[v.index()],
                         Operand::Const(c) => consts.get(*c).ty,
                     };
-                    if src_ty == *ty && value_types[dst.index()] == *ty && Some(*dst) != src.as_value()
+                    if src_ty == *ty
+                        && value_types[dst.index()] == *ty
+                        && Some(*dst) != src.as_value()
                     {
                         map.insert(*dst, *src);
                     }
@@ -157,9 +159,7 @@ mod tests {
         f.ret_ty = Some(Type::I8);
         let t = f.new_value(Type::I8); // narrower than a
         let blk = f.new_block("entry");
-        f.block_mut(blk)
-            .instrs
-            .push(Instr::Copy { ty: Type::I8, src: a.into(), dst: t });
+        f.block_mut(blk).instrs.push(Instr::Copy { ty: Type::I8, src: a.into(), dst: t });
         f.block_mut(blk).terminator = Terminator::Return(Some(t.into()));
         assert!(!propagate_function(&mut f));
         assert_eq!(f.blocks[0].terminator, Terminator::Return(Some(t.into())));
@@ -172,9 +172,7 @@ mod tests {
         let c = f.consts.intern(Constant::new(5, Type::I32));
         let t = f.new_value(Type::I32);
         let blk = f.new_block("entry");
-        f.block_mut(blk)
-            .instrs
-            .push(Instr::Copy { ty: Type::I32, src: c.into(), dst: t });
+        f.block_mut(blk).instrs.push(Instr::Copy { ty: Type::I32, src: c.into(), dst: t });
         f.block_mut(blk).terminator = Terminator::Return(Some(t.into()));
         assert!(propagate_function(&mut f));
         assert_eq!(f.blocks[0].terminator, Terminator::Return(Some(c.into())));

@@ -127,10 +127,15 @@ mod tests {
         let (l2, r2) = if commuted { (b, a) } else { (a, b) };
         f.block_mut(blk).instrs.extend([
             Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: a.into(), rhs: b.into(), dst: t0 },
-            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: l2.into(), rhs: r2.into(), dst: t1 },
+            Instr::Binary {
+                op: BinOp::Add,
+                ty: Type::I32,
+                lhs: l2.into(),
+                rhs: r2.into(),
+                dst: t1,
+            },
         ]);
-        f.block_mut(blk).terminator =
-            crate::instr::Terminator::Return(Some(t1.into()));
+        f.block_mut(blk).terminator = crate::instr::Terminator::Return(Some(t1.into()));
         f
     }
 

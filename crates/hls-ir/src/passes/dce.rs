@@ -97,8 +97,20 @@ mod tests {
         let live = f.new_value(Type::I32);
         let b = f.new_block("entry");
         f.block_mut(b).instrs.extend([
-            Instr::Binary { op: BinOp::Mul, ty: Type::I32, lhs: a.into(), rhs: a.into(), dst: dead },
-            Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: a.into(), rhs: a.into(), dst: live },
+            Instr::Binary {
+                op: BinOp::Mul,
+                ty: Type::I32,
+                lhs: a.into(),
+                rhs: a.into(),
+                dst: dead,
+            },
+            Instr::Binary {
+                op: BinOp::Add,
+                ty: Type::I32,
+                lhs: a.into(),
+                rhs: a.into(),
+                dst: live,
+            },
         ]);
         f.block_mut(b).terminator = Terminator::Return(Some(live.into()));
         assert!(eliminate(&mut f));

@@ -264,8 +264,18 @@ mod tests {
         let s = top.new_value(Type::I32);
         let blk = top.new_block("entry");
         top.block_mut(blk).instrs.extend([
-            Instr::Call { func: sq_id, args: vec![a.into()], dst: Some(ra), ret_ty: Some(Type::I32) },
-            Instr::Call { func: sq_id, args: vec![bb.into()], dst: Some(rb), ret_ty: Some(Type::I32) },
+            Instr::Call {
+                func: sq_id,
+                args: vec![a.into()],
+                dst: Some(ra),
+                ret_ty: Some(Type::I32),
+            },
+            Instr::Call {
+                func: sq_id,
+                args: vec![bb.into()],
+                dst: Some(rb),
+                ret_ty: Some(Type::I32),
+            },
             Instr::Binary { op: BinOp::Add, ty: Type::I32, lhs: ra.into(), rhs: rb.into(), dst: s },
         ]);
         top.block_mut(blk).terminator = Terminator::Return(Some(s.into()));
@@ -324,7 +334,13 @@ mod tests {
         let be = g.new_block("e");
         g.block_mut(b0).instrs.extend([
             Instr::Store { ty: Type::I32, array: arr, index: i.into(), value: c7.into() },
-            Instr::Cmp { pred: CmpPred::Lt, ty: Type::I32, lhs: i.into(), rhs: c3.into(), dst: cond },
+            Instr::Cmp {
+                pred: CmpPred::Lt,
+                ty: Type::I32,
+                lhs: i.into(),
+                rhs: c3.into(),
+                dst: cond,
+            },
         ]);
         g.block_mut(b0).terminator =
             Terminator::Branch { cond: cond.into(), then_to: bt, else_to: be };

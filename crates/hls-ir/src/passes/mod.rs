@@ -112,13 +112,43 @@ mod tests {
         f.block_mut(entry).instrs.extend([
             Instr::Binary { op: BinOp::Mul, ty: Type::U32, lhs: x.into(), rhs: c8.into(), dst: t0 },
             // Redundant: same expression again (CSE target).
-            Instr::Binary { op: BinOp::Mul, ty: Type::U32, lhs: x.into(), rhs: c8.into(), dst: t0b },
+            Instr::Binary {
+                op: BinOp::Mul,
+                ty: Type::U32,
+                lhs: x.into(),
+                rhs: c8.into(),
+                dst: t0b,
+            },
             // Constant-foldable: 10 * 2.
-            Instr::Binary { op: BinOp::Mul, ty: Type::U32, lhs: c10.into(), rhs: c2.into(), dst: t1 },
-            Instr::Binary { op: BinOp::Add, ty: Type::U32, lhs: t0b.into(), rhs: t1.into(), dst: t2 },
-            Instr::Binary { op: BinOp::Div, ty: Type::U32, lhs: t2.into(), rhs: c4.into(), dst: t3 },
+            Instr::Binary {
+                op: BinOp::Mul,
+                ty: Type::U32,
+                lhs: c10.into(),
+                rhs: c2.into(),
+                dst: t1,
+            },
+            Instr::Binary {
+                op: BinOp::Add,
+                ty: Type::U32,
+                lhs: t0b.into(),
+                rhs: t1.into(),
+                dst: t2,
+            },
+            Instr::Binary {
+                op: BinOp::Div,
+                ty: Type::U32,
+                lhs: t2.into(),
+                rhs: c4.into(),
+                dst: t3,
+            },
             // Constant branch condition: 1 == 1.
-            Instr::Cmp { pred: CmpPred::Eq, ty: Type::U32, lhs: c1.into(), rhs: c1.into(), dst: cond },
+            Instr::Cmp {
+                pred: CmpPred::Eq,
+                ty: Type::U32,
+                lhs: c1.into(),
+                rhs: c1.into(),
+                dst: cond,
+            },
         ]);
         f.block_mut(entry).terminator =
             Terminator::Branch { cond: cond.into(), then_to: then_b, else_to: else_b };
@@ -135,9 +165,7 @@ mod tests {
         let before_blocks = m.functions[0].num_blocks();
         let expected: Vec<u64> = [0u64, 1, 7, 100, 12345]
             .iter()
-            .map(|&x| {
-                Interpreter::new(&m).run_by_name("k", &[x]).unwrap().ret.unwrap()
-            })
+            .map(|&x| Interpreter::new(&m).run_by_name("k", &[x]).unwrap().ret.unwrap())
             .collect();
 
         let changes = optimize(&mut m);

@@ -53,21 +53,15 @@ fn reduce_function(f: &mut Function) -> bool {
                     // Unsigned x / 2^k -> x >> k ; x % 2^k -> x & (2^k - 1).
                     // (Signed division by powers of two rounds toward zero,
                     // which an arithmetic shift does not; left untouched.)
-                    BinOp::Div if !ty.is_signed() => {
-                        rhs_const.and_then(pow2_exponent).map(|k| {
-                            let kc = f.consts.intern(Constant::new(k as i64, ty));
-                            Instr::Binary { op: BinOp::Shr, ty, lhs, rhs: kc.into(), dst }
-                        })
-                    }
-                    BinOp::Rem if !ty.is_signed() => {
-                        rhs_const.and_then(pow2_exponent).map(|k| {
-                            let mask = if k == 0 { 0 } else { (1u64 << k) - 1 };
-                            let mc = f
-                                .consts
-                                .intern(Constant { bits: ty.truncate(mask), ty });
-                            Instr::Binary { op: BinOp::And, ty, lhs, rhs: mc.into(), dst }
-                        })
-                    }
+                    BinOp::Div if !ty.is_signed() => rhs_const.and_then(pow2_exponent).map(|k| {
+                        let kc = f.consts.intern(Constant::new(k as i64, ty));
+                        Instr::Binary { op: BinOp::Shr, ty, lhs, rhs: kc.into(), dst }
+                    }),
+                    BinOp::Rem if !ty.is_signed() => rhs_const.and_then(pow2_exponent).map(|k| {
+                        let mask = if k == 0 { 0 } else { (1u64 << k) - 1 };
+                        let mc = f.consts.intern(Constant { bits: ty.truncate(mask), ty });
+                        Instr::Binary { op: BinOp::And, ty, lhs, rhs: mc.into(), dst }
+                    }),
                     _ => None,
                 };
                 if let Some(n) = new {
@@ -97,10 +91,10 @@ fn pow2_exponent(c: Constant) -> Option<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::interp::Interpreter;
-    use crate::types::Type;
     use crate::instr::Terminator;
+    use crate::interp::Interpreter;
     use crate::operand::ValueId;
+    use crate::types::Type;
 
     fn check_equiv(op: BinOp, ty: Type, k: i64, inputs: &[i64]) {
         let mut m = Module::new("t");
@@ -111,13 +105,7 @@ mod tests {
         let c = f.consts.intern(Constant::new(k, ty));
         let r = f.new_value(ty);
         let b = f.new_block("entry");
-        f.block_mut(b).instrs.push(Instr::Binary {
-            op,
-            ty,
-            lhs: x.into(),
-            rhs: c.into(),
-            dst: r,
-        });
+        f.block_mut(b).instrs.push(Instr::Binary { op, ty, lhs: x.into(), rhs: c.into(), dst: r });
         f.block_mut(b).terminator = Terminator::Return(Some(r.into()));
         m.add_function(f);
 

@@ -104,8 +104,7 @@ fn unroll_one(f: &mut Function, header: BlockId, region: &[BlockId], factor: u32
     // the header chain to clone i+1 (or back to the original header for
     // the last clone); exits leave unchanged.
     for (i, map) in copies.iter().enumerate() {
-        let next_header =
-            if i + 1 < copies.len() { copies[i + 1][&header] } else { header };
+        let next_header = if i + 1 < copies.len() { copies[i + 1][&header] } else { header };
         for (&orig, &clone) in map {
             let _ = orig;
             let mut term = f.block(clone).terminator.clone();
@@ -199,8 +198,7 @@ mod tests {
             verify_module(&m).unwrap();
             for n in 0..12u64 {
                 let want = n * n.saturating_sub(1) / 2;
-                let got =
-                    Interpreter::new(&m).run_by_name("sum", &[n]).unwrap().ret.unwrap();
+                let got = Interpreter::new(&m).run_by_name("sum", &[n]).unwrap().ret.unwrap();
                 assert_eq!(got, want, "factor {factor}, n={n}");
             }
         }

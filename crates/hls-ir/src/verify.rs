@@ -81,14 +81,14 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                 }
             }
             match instr {
-                Instr::Cmp { dst, .. }
-                    if f.value_type(*dst) != Type::BOOL => {
-                        return Err(err(format!("{what}: cmp result must be u1")));
-                    }
+                Instr::Cmp { dst, .. } if f.value_type(*dst) != Type::BOOL => {
+                    return Err(err(format!("{what}: cmp result must be u1")));
+                }
                 Instr::Load { array, .. } | Instr::Store { array, .. }
-                    if m.mem_object(f, *array).is_none() => {
-                        return Err(err(format!("{what}: dangling array {array}")));
-                    }
+                    if m.mem_object(f, *array).is_none() =>
+                {
+                    return Err(err(format!("{what}: dangling array {array}")));
+                }
                 Instr::Call { func, args, .. } => {
                     if func.index() >= m.functions.len() {
                         return Err(err(format!("{what}: dangling callee {func}")));
@@ -172,8 +172,7 @@ mod tests {
     fn dangling_value_rejected() {
         let mut m = trivial_module();
         m.functions[0].ret_ty = Some(Type::I32);
-        m.functions[0].blocks[0].terminator =
-            Terminator::Return(Some(ValueId(99).into()));
+        m.functions[0].blocks[0].terminator = Terminator::Return(Some(ValueId(99).into()));
         assert!(verify_module(&m).is_err());
     }
 
@@ -200,8 +199,7 @@ mod tests {
         let wide = f.new_value(Type::I32);
         let b2 = f.new_block("x");
         f.block_mut(b2).terminator = Terminator::Return(None);
-        f.blocks[0].terminator =
-            Terminator::Branch { cond: wide.into(), then_to: b2, else_to: b2 };
+        f.blocks[0].terminator = Terminator::Branch { cond: wide.into(), then_to: b2, else_to: b2 };
         assert!(verify_module(&m).is_err());
     }
 

@@ -53,6 +53,26 @@ impl AreaReport {
     pub fn overhead_vs(&self, baseline: &AreaReport) -> f64 {
         self.total() / baseline.total() - 1.0
     }
+
+    /// One JSON object with every itemized component plus the total, for
+    /// JSONL trajectory dumps (the workspace vendors no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"fu\":{:.1},\"fu_opcode_variety\":{:.1},\"muxes\":{:.1},\"registers\":{:.1},\
+             \"reg_muxes\":{:.1},\"constants\":{:.1},\"branch_xors\":{:.1},\"memories\":{:.1},\
+             \"controller\":{:.1},\"total\":{:.1}}}",
+            self.fu,
+            self.fu_opcode_variety,
+            self.muxes,
+            self.registers,
+            self.reg_muxes,
+            self.constants,
+            self.branch_xors,
+            self.memories,
+            self.controller,
+            self.total(),
+        )
+    }
 }
 
 impl fmt::Display for AreaReport {
@@ -261,11 +281,21 @@ mod tests {
     #[test]
     fn memories_counted() {
         let cm = CostModel::default();
-        let with_mem = area(
-            &synth("int g[64]; int f(int i) { return g[i & 63]; }", "f"),
-            &cm,
-        );
+        let with_mem = area(&synth("int g[64]; int f(int i) { return g[i & 63]; }", "f"), &cm);
         assert!(with_mem.memories > 0.0);
+    }
+
+    #[test]
+    fn json_dump_is_wellformed_and_complete() {
+        let cm = CostModel::default();
+        let rep = area(&synth("int f(int a) { return a * 3; }", "f"), &cm);
+        let json = rep.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in ["\"fu\":", "\"registers\":", "\"constants\":", "\"controller\":", "\"total\":"]
+        {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains(&format!("\"total\":{:.1}", rep.total())));
     }
 
     #[test]
@@ -277,18 +307,11 @@ mod tests {
 
     #[test]
     fn port_stats_count_distinct_sources() {
-        let fsmd = synth(
-            "int f(int a, int b, int c) { return a * b + b * c + c * a; }",
-            "f",
-        );
+        let fsmd = synth("int f(int a, int b, int c) { return a * b + b * c + c * a; }", "f");
         let stats = PortStats::collect(&fsmd);
         // The single multiplier sees several distinct sources on each port.
-        let mul_idx = fsmd
-            .fus
-            .iter()
-            .position(|f| f.kind == FuKind::Mul)
-            .map(|i| FuIdx(i as u32))
-            .unwrap();
+        let mul_idx =
+            fsmd.fus.iter().position(|f| f.kind == FuKind::Mul).map(|i| FuIdx(i as u32)).unwrap();
         assert!(stats.a_sources[&mul_idx].len() >= 2);
     }
 }

@@ -355,12 +355,8 @@ mod tests {
         interp.run_by_name("scale", &[7]).unwrap();
         let res = run0(&fsmd, &[7]);
         // Compare the external `out` memory with the interpreter's globals.
-        let (out_id, _) = m
-            .globals
-            .iter()
-            .find(|(_, o)| o.name == "out")
-            .map(|(id, o)| (*id, o))
-            .unwrap();
+        let (out_id, _) =
+            m.globals.iter().find(|(_, o)| o.name == "out").map(|(id, o)| (*id, o)).unwrap();
         let want = &interp.globals[&out_id];
         let got_idx = fsmd.mem_of_array[&out_id].0 as usize;
         assert_eq!(&res.mems[got_idx], want);
@@ -368,10 +364,8 @@ mod tests {
 
     #[test]
     fn local_const_table_matches() {
-        let (m, fsmd) = synth(
-            "int pick(int i) { int tbl[4] = {11, 22, 33, 44}; return tbl[i & 3]; }",
-            "pick",
-        );
+        let (m, fsmd) =
+            synth("int pick(int i) { int tbl[4] = {11, 22, 33, 44}; return tbl[i & 3]; }", "pick");
         for i in 0..4u64 {
             let want = Interpreter::new(&m).run_by_name("pick", &[i]).unwrap().ret;
             assert_eq!(run0(&fsmd, &[i]).ret, want);
@@ -380,10 +374,8 @@ mod tests {
 
     #[test]
     fn cycle_limit_reported() {
-        let (_, fsmd) = synth(
-            "int spin(int n) { int s = 0; while (s < n) { s = s - 1; } return s; }",
-            "spin",
-        );
+        let (_, fsmd) =
+            synth("int spin(int n) { int s = 0; while (s < n) { s = s - 1; } return s; }", "spin");
         // s decreasing never reaches n>0: infinite loop under these args.
         let err = simulate(
             &fsmd,

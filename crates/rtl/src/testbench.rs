@@ -202,10 +202,7 @@ pub fn images_equal(a: &OutputImage, b: &OutputImage) -> bool {
     if a.mems.len() != b.mems.len() {
         return false;
     }
-    a.mems
-        .iter()
-        .zip(&b.mems)
-        .all(|((_, _, da), (_, _, db))| da == db)
+    a.mems.iter().zip(&b.mems).all(|((_, _, da), (_, _, db))| da == db)
 }
 
 #[cfg(test)]

@@ -53,9 +53,8 @@ pub fn timing(fsmd: &Fsmd, cm: &CostModel) -> TimingReport {
                 }
             }
         }
-        let in_mux = cm
-            .mux_delay(port_fanin(op.fu, false))
-            .max(cm.mux_delay(port_fanin(op.fu, true)));
+        let in_mux =
+            cm.mux_delay(port_fanin(op.fu, false)).max(cm.mux_delay(port_fanin(op.fu, true)));
         let fu_delay = cm.fu_delay(fu.kind, fu.width.max(1));
         let out_mux = op
             .dst
@@ -70,9 +69,8 @@ pub fn timing(fsmd: &Fsmd, cm: &CostModel) -> TimingReport {
     // Branch-mask XOR sits on the next-state logic.
     for s in &fsmd.states {
         if let NextState::Branch { key_bit, .. } = s.next {
-            let path = decode
-                + if key_bit.is_some() { cm.xor_delay } else { 0.0 }
-                + cm.reg_overhead_delay;
+            let path =
+                decode + if key_bit.is_some() { cm.xor_delay } else { 0.0 } + cm.reg_overhead_delay;
             if path > worst {
                 worst = path;
             }

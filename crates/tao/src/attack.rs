@@ -35,20 +35,9 @@ impl KeySpace {
     /// Reads the accounting off a locked design's key plan.
     pub fn of(design: &LockedDesign) -> KeySpace {
         KeySpace {
-            constant_bits: design
-                .plan
-                .const_ranges
-                .iter()
-                .flatten()
-                .map(|r| r.width as u64)
-                .sum(),
+            constant_bits: design.plan.const_ranges.iter().flatten().map(|r| r.width as u64).sum(),
             branch_bits: design.plan.branch_bits.len() as u64,
-            variant_bits: design
-                .plan
-                .block_ranges
-                .values()
-                .map(|r| r.width as u64)
-                .sum(),
+            variant_bits: design.plan.block_ranges.values().map(|r| r.width as u64).sum(),
         }
     }
 
@@ -105,11 +94,8 @@ pub fn oracle_guided_branch_attack(
     assert!(n <= 24, "branch enumeration limited to 24 bits, got {n}");
     let mut surviving = 0u64;
     let mut true_survives = false;
-    let true_assignment: u64 = branch_bits
-        .iter()
-        .enumerate()
-        .map(|(i, &b)| (correct_key.bit(b) as u64) << i)
-        .sum();
+    let true_assignment: u64 =
+        branch_bits.iter().enumerate().map(|(i, &b)| (correct_key.bit(b) as u64) << i).sum();
 
     for candidate in 0..(1u64 << n) {
         let mut key = correct_key.clone();
@@ -202,11 +188,7 @@ mod tests {
 
     fn branch_only() -> TaoOptions {
         TaoOptions {
-            plan: PlanConfig {
-                constants: false,
-                dfg_variants: false,
-                ..PlanConfig::default()
-            },
+            plan: PlanConfig { constants: false, dfg_variants: false, ..PlanConfig::default() },
             ..TaoOptions::default()
         }
     }
@@ -236,8 +218,7 @@ mod tests {
             .iter()
             .map(|&(a, b)| TestCase::args(&[a, b]))
             .collect();
-        let oracle: Vec<_> =
-            cases.iter().map(|c| golden_outputs(&d.module, "f", c)).collect();
+        let oracle: Vec<_> = cases.iter().map(|c| golden_outputs(&d.module, "f", c)).collect();
         let opts = SimOptions { max_cycles: 100_000, snapshot_on_timeout: true };
         let out = oracle_guided_branch_attack(&d, &wk, &cases, &oracle, &opts);
         // With I/O oracles, enumeration works: the true key survives and

@@ -73,11 +73,8 @@ mod tests {
     #[test]
     fn masks_every_conditional_jump() {
         let (base, obf, _) = lock(5);
-        let n_branches = base
-            .states
-            .iter()
-            .filter(|s| matches!(s.next, NextState::Branch { .. }))
-            .count();
+        let n_branches =
+            base.states.iter().filter(|s| matches!(s.next, NextState::Branch { .. })).count();
         let n_masked = obf
             .states
             .iter()

@@ -110,12 +110,10 @@ mod tests {
     #[test]
     fn correct_key_preserves_functionality() {
         use rtl::{simulate, SimOptions};
-        let (base, obf, key) =
-            locked("int f(int x) { return (x + 1000) * 3 - 7; }", "f", 99);
+        let (base, obf, key) = locked("int f(int x) { return (x + 1000) * 3 - 7; }", "f", 99);
         for x in [0u64, 5, 1 << 20] {
-            let want = simulate(&base, &[x], &KeyBits::zero(0), &[], &SimOptions::default())
-                .unwrap()
-                .ret;
+            let want =
+                simulate(&base, &[x], &KeyBits::zero(0), &[], &SimOptions::default()).unwrap().ret;
             let got = simulate(&obf, &[x], &key, &[], &SimOptions::default()).unwrap().ret;
             assert_eq!(got, want, "x={x}");
         }

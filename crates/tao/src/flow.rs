@@ -10,7 +10,7 @@ use crate::constants::obfuscate_constants;
 use crate::keymgmt::{KeyManagement, KeyMgmtError, KeyScheme};
 use crate::plan::{KeyPlan, PlanConfig};
 use crate::variants::{obfuscate_dfg_variants, VariantOptions};
-use hls_core::{build_fsmd, Fsmd, HlsError, HlsOptions, KeyBits};
+use hls_core::{build_fsmd, Fsmd, HlsError, HlsOptions, KeyBits, Prepared};
 use hls_ir::Module;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -139,6 +139,43 @@ pub fn lock(
     let prepared = hls_core::prepare(module, top, &opts.hls)?;
     let (sched, ra) = hls_core::schedule_and_bind(&prepared, &opts.hls)?;
     let baseline = build_fsmd(&prepared.module, &prepared.function, &sched, &ra);
+    lock_owned(prepared.module, baseline, top, locking_key, opts)
+}
+
+/// Runs the obfuscation half of the TAO flow on an already synthesized
+/// baseline: key apportionment, working-key derivation and the three
+/// obfuscations.
+///
+/// This is the fork point design-space exploration uses: `prepare` and
+/// `schedule_and_bind` depend only on the HLS knobs, so a sweep over TAO
+/// knobs can synthesize the baseline once per HLS configuration and call
+/// this for every TAO configuration (see the `hls-dse` crate). [`lock`] is
+/// exactly `prepare` + `schedule_and_bind` + `build_fsmd` + this function.
+///
+/// # Errors
+///
+/// Returns [`TaoError`] when the baseline is invalid, key management is
+/// misconfigured, or an internal invariant fails.
+pub fn lock_from_baseline(
+    prepared: &Prepared,
+    baseline: &Fsmd,
+    top: &str,
+    locking_key: &KeyBits,
+    opts: &TaoOptions,
+) -> Result<LockedDesign, TaoError> {
+    lock_owned(prepared.module.clone(), baseline.clone(), top, locking_key, opts)
+}
+
+/// Ownership-taking core of the obfuscation flow: [`lock`] moves its
+/// freshly built artifacts here with no extra copies; [`lock_from_baseline`]
+/// clones its shared baseline first.
+fn lock_owned(
+    module: Module,
+    baseline: Fsmd,
+    top: &str,
+    locking_key: &KeyBits,
+    opts: &TaoOptions,
+) -> Result<LockedDesign, TaoError> {
     baseline.validate().map_err(TaoError::Internal)?;
 
     // Key apportionment (Sec. 3.3.1) and working-key derivation (Sec. 3.4).
@@ -167,14 +204,7 @@ pub fn lock(
     }
     fsmd.validate().map_err(TaoError::Internal)?;
 
-    Ok(LockedDesign {
-        fsmd,
-        baseline,
-        plan,
-        key_mgmt,
-        module: prepared.module,
-        top: top.to_string(),
-    })
+    Ok(LockedDesign { fsmd, baseline, plan, key_mgmt, module, top: top.to_string() })
 }
 
 /// Synthesizes the plain baseline (no obfuscation) — the reference design
@@ -227,13 +257,8 @@ mod tests {
             let (img, res) = rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap();
             assert!(images_equal(&golden, &img), "a={a} b={b}");
             // Zero performance overhead with the correct key.
-            let (_, base_res) = rtl_outputs(
-                &d.baseline,
-                &case,
-                &KeyBits::zero(0),
-                &SimOptions::default(),
-            )
-            .unwrap();
+            let (_, base_res) =
+                rtl_outputs(&d.baseline, &case, &KeyBits::zero(0), &SimOptions::default()).unwrap();
             assert_eq!(res.cycles, base_res.cycles);
         }
     }
@@ -249,7 +274,12 @@ mod tests {
         let mut corrupted = 0;
         for seed in 10..20u64 {
             let wrong = d.working_key(&locking(seed));
-            match rtl_outputs(&d.fsmd, &case, &wrong, &SimOptions { max_cycles: 500_000, ..SimOptions::default() }) {
+            match rtl_outputs(
+                &d.fsmd,
+                &case,
+                &wrong,
+                &SimOptions { max_cycles: 500_000, ..SimOptions::default() },
+            ) {
                 Ok((img, _)) if !images_equal(&good, &img) => corrupted += 1,
                 Ok(_) => {}
                 Err(rtl::SimError::CycleLimit) => corrupted += 1,
@@ -263,12 +293,9 @@ mod tests {
     fn per_technique_switches_compose() {
         let m = hls_frontend::compile(KERNEL, "t").unwrap();
         let lk = locking(3);
-        for (c, b, v) in [
-            (true, false, false),
-            (false, true, false),
-            (false, false, true),
-            (true, true, true),
-        ] {
+        for (c, b, v) in
+            [(true, false, false), (false, true, false), (false, false, true), (true, true, true)]
+        {
             let opts = TaoOptions {
                 plan: PlanConfig {
                     constants: c,
@@ -308,13 +335,7 @@ mod tests {
         let d = lock(&m, "fir", &lk, &TaoOptions::default()).unwrap();
         // W = Num_if + sum(C per const, >=32 each) + 4 * #BB
         let n_branch = d.plan.branch_bits.len() as u64;
-        let n_const_bits: u64 = d
-            .plan
-            .const_ranges
-            .iter()
-            .flatten()
-            .map(|r| r.width as u64)
-            .sum();
+        let n_const_bits: u64 = d.plan.const_ranges.iter().flatten().map(|r| r.width as u64).sum();
         let n_block_bits = d.plan.block_ranges.len() as u64 * 4;
         assert_eq!(d.fsmd.key_width as u64, n_branch + n_const_bits + n_block_bits);
     }

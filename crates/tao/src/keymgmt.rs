@@ -95,10 +95,7 @@ impl KeyManagement {
     /// Returns [`KeyMgmtError::LockingKeyNot256`] unless the locking key is
     /// exactly 256 bits (the paper "leverages the security guarantees of a
     /// 256-bit AES by using a 256-bit locking key").
-    pub fn aes_nvm(
-        locking: &KeyBits,
-        working: &KeyBits,
-    ) -> Result<KeyManagement, KeyMgmtError> {
+    pub fn aes_nvm(locking: &KeyBits, working: &KeyBits) -> Result<KeyManagement, KeyMgmtError> {
         if locking.width() != 256 {
             return Err(KeyMgmtError::LockingKeyNot256 { got: locking.width() });
         }

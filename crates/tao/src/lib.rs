@@ -46,10 +46,12 @@ mod plan;
 mod report;
 mod variants;
 
-pub use attack::{oracle_guided_branch_attack, sensitize_branch_bits, BranchAttackOutcome, KeySpace};
+pub use attack::{
+    oracle_guided_branch_attack, sensitize_branch_bits, BranchAttackOutcome, KeySpace,
+};
 pub use branches::obfuscate_branches;
 pub use constants::obfuscate_constants;
-pub use flow::{baseline, lock, LockedDesign, TaoError, TaoOptions};
+pub use flow::{baseline, lock, lock_from_baseline, LockedDesign, TaoError, TaoOptions};
 pub use keymgmt::{KeyManagement, KeyMgmtError, KeyScheme};
 pub use plan::{KeyPlan, PlanConfig};
 pub use report::ObfuscationReport;

@@ -38,6 +38,53 @@ impl Default for PlanConfig {
     }
 }
 
+impl PlanConfig {
+    /// Builder-style technique selection: enables exactly the listed
+    /// techniques, keeping the default widths.
+    pub fn techniques(constants: bool, branches: bool, dfg_variants: bool) -> PlanConfig {
+        PlanConfig { constants, branches, dfg_variants, ..PlanConfig::default() }
+    }
+
+    /// Returns `self` with the constant width `C` replaced.
+    pub fn with_const_width(self, const_width: u32) -> PlanConfig {
+        PlanConfig { const_width, ..self }
+    }
+
+    /// Returns `self` with the per-block key budget `B_i` replaced.
+    pub fn with_bits_per_block(self, bits_per_block: u32) -> PlanConfig {
+        PlanConfig { bits_per_block, ..self }
+    }
+
+    /// Enumerates the seven non-empty technique combinations — the lattice
+    /// a per-technique sweep (paper Fig. 6) walks. Order is deterministic:
+    /// single techniques first, then pairs, then the full combination.
+    pub fn enumerate_techniques() -> Vec<PlanConfig> {
+        [
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+            (true, true, false),
+            (true, false, true),
+            (false, true, true),
+            (true, true, true),
+        ]
+        .into_iter()
+        .map(|(c, b, v)| PlanConfig::techniques(c, b, v))
+        .collect()
+    }
+
+    /// Short label for reports: one letter per enabled technique
+    /// (`c`onstants, `b`ranches, `v`ariants), e.g. `"cbv"` or `"c--"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}{}{}",
+            if self.constants { 'c' } else { '-' },
+            if self.branches { 'b' } else { '-' },
+            if self.dfg_variants { 'v' } else { '-' },
+        )
+    }
+}
+
 /// The key-bit assignment for one design.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KeyPlan {
@@ -144,10 +191,10 @@ mod tests {
         for r in plan.const_ranges.iter().flatten() {
             mark(r.lo, r.width);
         }
-        for (_, &b) in &plan.branch_bits {
+        for &b in plan.branch_bits.values() {
             mark(b, 1);
         }
-        for (_, r) in &plan.block_ranges {
+        for r in plan.block_ranges.values() {
             mark(r.lo, r.width);
         }
         assert!(covered.iter().all(|&c| c), "key bits left unassigned");
@@ -183,11 +230,7 @@ mod tests {
     fn wide_constants_get_their_type_width() {
         let f = fsmd("long f(long a) { return a + 0x123456789; }", "f");
         let plan = KeyPlan::apportion(&f, PlanConfig::default());
-        let wide = plan
-            .const_ranges
-            .iter()
-            .flatten()
-            .any(|r| r.width == 64);
+        let wide = plan.const_ranges.iter().flatten().any(|r| r.width == 64);
         assert!(wide, "64-bit constant should receive 64 key bits");
     }
 

@@ -72,6 +72,37 @@ impl ObfuscationReport {
         self.locked_fmax / self.baseline_fmax - 1.0
     }
 
+    /// One JSON object with the full datasheet, for JSONL trajectory dumps
+    /// (the workspace vendors no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"states\":{},\"key_bits\":{},\"constant_bits\":{},\
+             \"branch_bits\":{},\"variant_bits\":{},\"scheme\":\"{}\",\"fanout\":{},\
+             \"nvm_bits\":{},\"baseline_area\":{:.1},\"locked_area\":{:.1},\
+             \"keymgmt_area\":{:.1},\"area_overhead\":{:.4},\"baseline_fmax\":{:.1},\
+             \"locked_fmax\":{:.1},\"frequency_change\":{:.4}}}",
+            self.name.replace('\\', "\\\\").replace('"', "\\\""),
+            self.states,
+            self.key_space.total_bits(),
+            self.key_space.constant_bits,
+            self.key_space.branch_bits,
+            self.key_space.variant_bits,
+            match self.scheme {
+                KeyScheme::Replicate => "replicate",
+                KeyScheme::AesNvm => "aes_nvm",
+            },
+            self.fanout,
+            self.nvm_bits,
+            self.baseline_area,
+            self.locked_area,
+            self.keymgmt_area,
+            self.area_overhead(),
+            self.baseline_fmax,
+            self.locked_fmax,
+            self.frequency_change(),
+        )
+    }
+
     /// Runs the paper's functional sign-off: the correct key must
     /// reproduce the golden outputs on every supplied case, with zero
     /// cycle overhead. Returns `Ok(cases_checked)`.
@@ -92,13 +123,9 @@ impl ObfuscationReport {
             if !images_equal(&golden, &img) {
                 return Err(format!("case {i}: locked output differs from specification"));
             }
-            let (_, base) = rtl_outputs(
-                &design.baseline,
-                case,
-                &KeyBits::zero(0),
-                &SimOptions::default(),
-            )
-            .map_err(|e| format!("case {i}: baseline failed: {e}"))?;
+            let (_, base) =
+                rtl_outputs(&design.baseline, case, &KeyBits::zero(0), &SimOptions::default())
+                    .map_err(|e| format!("case {i}: baseline failed: {e}"))?;
             if res.cycles != base.cycles {
                 return Err(format!(
                     "case {i}: latency changed ({} vs {} cycles)",
@@ -184,6 +211,21 @@ mod tests {
         let text = rep.to_string();
         for needle in ["TAO lock report", "working key", "AES-256", "um^2", "MHz"] {
             assert!(text.contains(needle), "missing {needle} in\n{text}");
+        }
+    }
+
+    #[test]
+    fn json_dump_is_wellformed_and_complete() {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let lk = locking(3);
+        let d = lock(&m, "f", &lk, &TaoOptions::default()).unwrap();
+        let rep = ObfuscationReport::build(&d, &CostModel::default());
+        let json = rep.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in
+            ["\"name\":\"f\"", "\"key_bits\":", "\"scheme\":\"aes_nvm\"", "\"area_overhead\":"]
+        {
+            assert!(json.contains(key), "missing {key} in {json}");
         }
     }
 

@@ -231,9 +231,8 @@ mod tests {
     fn correct_key_gives_baseline_behaviour_and_cycles() {
         let (base, obf, key) = lock(2, 4);
         for (a, b, n) in [(3u64, 1u64, 5u64), (10, 7, 0), (100, 50, 12)] {
-            let want =
-                simulate(&base, &[a, b, n], &KeyBits::zero(0), &[], &SimOptions::default())
-                    .unwrap();
+            let want = simulate(&base, &[a, b, n], &KeyBits::zero(0), &[], &SimOptions::default())
+                .unwrap();
             let got = simulate(&obf, &[a, b, n], &key, &[], &SimOptions::default()).unwrap();
             assert_eq!(got.ret, want.ret, "a={a} b={b} n={n}");
             // Sec. 4.3: variants work "on a valid schedule without altering

@@ -28,10 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  constants : {:>4} bits  (brute force: 2^{})", ks.constant_bits, ks.constant_bits);
     println!("  branches  : {:>4} bits  (enumerable — IF an oracle exists)", ks.branch_bits);
     println!("  variants  : {:>4} bits", ks.variant_bits);
-    println!(
-        "exhaustive search feasible at 2^80 simulations? {}",
-        ks.brute_force_feasible(80)
-    );
+    println!("exhaustive search feasible at 2^80 simulations? {}", ks.brute_force_feasible(80));
 
     // Grant the attacker everything the threat model denies: I/O oracles
     // and all non-branch key bits. Enumerate the branch bits.

@@ -1,0 +1,75 @@
+//! Walkthrough: sweep the HLS × TAO configuration lattice for two kernels
+//! and read the Pareto front.
+//!
+//! ```text
+//! cargo run --release --example dse_sweep
+//! ```
+
+use hls_dse::{explore, ConfigSpace, DseOptions, Kernel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two small kernels: a FIR-style accumulator and a branchy quantizer.
+    let kernels = vec![
+        Kernel::new(
+            "fir4",
+            r#"
+            short taps[4] = {3, -1, 4, 1};
+            int fir(int a, int b) {
+                int acc = 0;
+                for (int i = 0; i < 4; i++) {
+                    if (i % 2 == 0) acc += taps[i] * a;
+                    else acc += taps[i] * b;
+                }
+                return acc;
+            }
+            "#,
+            "fir",
+            vec![7, 9],
+        ),
+        Kernel::new(
+            "quant",
+            r#"
+            int quant(int x, int step) {
+                int q = 0;
+                if (step < 1) step = 1;
+                while (x >= step) { x -= step; q++; }
+                if (q > 15) q = 15;
+                return q;
+            }
+            "#,
+            "quant",
+            vec![100, 8],
+        ),
+    ];
+
+    // The default lattice: {lean, default, wide} allocations x unroll
+    // {1, 2} x three technique plans = 18 configurations per kernel.
+    let space = ConfigSpace::default();
+    println!(
+        "sweeping {} kernels x {} configurations = {} points ...",
+        kernels.len(),
+        space.len(),
+        kernels.len() * space.len()
+    );
+
+    let report = explore(&kernels, &space, &DseOptions::default())?;
+    println!("{report}");
+
+    // The Pareto front is where the designer shops: every row trades
+    // area/latency against key budget and attack effort.
+    for kernel in ["fir4", "quant"] {
+        println!("-- Pareto front of {kernel} --");
+        for p in report.pareto_of(kernel) {
+            println!(
+                "  {:44} area {:>8.0} um^2  {:>6} cycles  {:>5} key bits  2^{} effort",
+                p.config, p.area_um2, p.latency_cycles, p.key_bits, p.attack_effort_log2
+            );
+        }
+    }
+
+    // JSONL dump for plotting / trajectory tooling.
+    let jsonl = report.to_jsonl();
+    println!("({} JSONL bytes; first line:)", jsonl.len());
+    println!("{}", jsonl.lines().next().unwrap_or_default());
+    Ok(())
+}

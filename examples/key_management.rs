@@ -53,8 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The security difference (Sec. 3.4): under replication, one leaked
     // working-key bit reveals a locking-key bit and every replica of it.
     let (km, wk) = KeyManagement::replicate(&locking, 600)?;
-    println!("\nreplication: working bit 0 = working bit 256 = working bit 512: {}",
-        wk.bit(0) == wk.bit(256) && wk.bit(256) == wk.bit(512));
+    println!(
+        "\nreplication: working bit 0 = working bit 256 = working bit 512: {}",
+        wk.bit(0) == wk.bit(256) && wk.bit(256) == wk.bit(512)
+    );
     println!("replication fan-out for W=600: {}", km.fanout());
 
     // Under the AES scheme the NVM image is indistinguishable from noise

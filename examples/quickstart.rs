@@ -74,8 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("emitted Verilog references the working key {key_refs} times");
 
     // 6. The designer's sign-off report.
-    let report =
-        tao::ObfuscationReport::build(&design, &hls_core::CostModel::default());
+    let report = tao::ObfuscationReport::build(&design, &hls_core::CostModel::default());
     println!("\n{report}");
     let checked = tao::ObfuscationReport::sign_off(
         &design,

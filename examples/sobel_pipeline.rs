@@ -70,8 +70,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let d = lock(&module, bench.top, &locking, &TaoOptions { plan, ..TaoOptions::default() })?;
         let ovh = rtl::area(&d.fsmd, &cm).overhead_vs(&base);
-        let fmax = rtl::timing(&d.fsmd, &cm)
-            .frequency_change_vs(&rtl::timing(&design.baseline, &cm));
+        let fmax =
+            rtl::timing(&d.fsmd, &cm).frequency_change_vs(&rtl::timing(&design.baseline, &cm));
         println!("  {label:13} area {:+5.1}%   fmax {:+5.1}%", ovh * 100.0, fmax * 100.0);
     }
     Ok(())

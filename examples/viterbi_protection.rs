@@ -27,8 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The working key is dominated by the probability tables: every table
     // entry consumed C = 32 key bits (paper Eq. 1 / Table 1's 4145-bit W).
-    let n_protected =
-        design.plan.const_ranges.iter().filter(|r| r.is_some()).count();
+    let n_protected = design.plan.const_ranges.iter().filter(|r| r.is_some()).count();
     println!(
         "viterbi locked: {n_protected} constants protected, W = {} bits (paper: 4145)",
         design.fsmd.key_width
@@ -70,6 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if res.timed_out { " [circuit stuck, snapshot]" } else { "" }
     );
     let (hd, total) = golden.hamming(&bad);
-    println!("output corruptibility: {hd}/{total} bits differ ({:.1}%)", hd as f64 / total as f64 * 100.0);
+    println!(
+        "output corruptibility: {hd}/{total} bits differ ({:.1}%)",
+        hd as f64 / total as f64 * 100.0
+    );
     Ok(())
 }

@@ -1,1 +1,61 @@
-pub use hls_frontend; pub use hls_ir; pub use hls_core; pub use rtl; pub use tao; pub use tao_crypto; pub use benchmarks;
+//! # tao-repro — TAO (DAC 2018) reproduction workspace facade
+//!
+//! A from-scratch reproduction of *TAO: Techniques for Algorithm-level
+//! Obfuscation during High-Level Synthesis* (Pilato, Regazzoni, Karri,
+//! Garg — DAC 2018), grown into a multi-crate Rust system. This root crate
+//! re-exports every workspace layer so downstream users depend on one
+//! name:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`hls_frontend`] | C-subset front end → IR (paper Fig. 2 "Compiler Steps") |
+//! | [`hls_ir`] | IR, optimization passes, interpreter (the golden model) |
+//! | [`hls_core`] | Allocation, scheduling, binding, FSMD synthesis |
+//! | [`rtl`] | Cycle-accurate simulation, area/timing estimation, testbenches |
+//! | [`tao`] | The three obfuscations, key management, attack analysis |
+//! | [`tao_crypto`] | Self-contained AES-256 for the NVM key scheme |
+//! | [`benchmarks`] | The five paper kernels + seeded stimuli |
+//! | [`hls_dse`] | Parallel design-space exploration + Pareto extraction |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tao_repro::hls_core::KeyBits;
+//! use tao_repro::rtl::{golden_outputs, images_equal, rtl_outputs, SimOptions, TestCase};
+//! use tao_repro::tao::{lock, TaoOptions};
+//!
+//! let m = tao_repro::hls_frontend::compile(
+//!     "int mac(int a, int b, int c) { return a * b + c; }", "demo")?;
+//! let locking = KeyBits::from_fn(256, || 42);
+//! let design = lock(&m, "mac", &locking, &TaoOptions::default())?;
+//! let wk = design.working_key(&locking);
+//! let case = TestCase::args(&[3, 4, 5]);
+//! let golden = golden_outputs(&design.module, "mac", &case);
+//! let (img, _) = rtl_outputs(&design.fsmd, &case, &wk, &SimOptions::default())?;
+//! assert!(images_equal(&golden, &img));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Design-space exploration
+//!
+//! ```
+//! use tao_repro::hls_dse::{explore, ConfigSpace, DseOptions, Kernel};
+//!
+//! let kernels = vec![Kernel::new(
+//!     "inc", "int inc(int x) { return x + 1; }", "inc", vec![41])];
+//! let report = explore(&kernels, &ConfigSpace::smoke(), &DseOptions::default())?;
+//! assert!(!report.pareto.is_empty());
+//! # Ok::<(), tao_repro::hls_dse::DseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use benchmarks;
+pub use hls_core;
+pub use hls_dse;
+pub use hls_frontend;
+pub use hls_ir;
+pub use rtl;
+pub use tao;
+pub use tao_crypto;

@@ -23,7 +23,12 @@ pub fn gen_program(seed: u64) -> GenProgram {
     writeln!(src, "int f(int a, int b, int c) {{").unwrap();
     writeln!(src, "    int arr[8];").unwrap();
     writeln!(src, "    for (int z = 0; z < 8; z++) arr[z] = a + z * b;").unwrap();
-    let mut ctx = GenCtx { rng: &mut rng, vars: vec!["a".into(), "b".into(), "c".into()], next_var: 0, next_loop: 0 };
+    let mut ctx = GenCtx {
+        rng: &mut rng,
+        vars: vec!["a".into(), "b".into(), "c".into()],
+        next_var: 0,
+        next_loop: 0,
+    };
     let n = ctx.rng.gen_range(3..9);
     for _ in 0..n {
         let s = ctx.stmt(2);
@@ -74,8 +79,8 @@ impl GenCtx<'_> {
         }
         match self.rng.gen_range(0..12) {
             0..=6 => {
-                let op = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"]
-                    [self.rng.gen_range(0..10)];
+                let op =
+                    ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"][self.rng.gen_range(0..10)];
                 let l = self.expr(depth - 1);
                 let r = self.expr(depth - 1);
                 // Keep shift amounts small and well-defined.

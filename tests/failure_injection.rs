@@ -46,12 +46,8 @@ fn validator_catches_key_bit_beyond_width() {
     let (mut d, _) = locked();
     for st in &mut d.fsmd.states {
         if let NextState::Branch { test, then_s, else_s, .. } = st.next {
-            st.next = NextState::Branch {
-                test,
-                key_bit: Some(d.fsmd.key_width + 5),
-                then_s,
-                else_s,
-            };
+            st.next =
+                NextState::Branch { test, key_bit: Some(d.fsmd.key_width + 5), then_s, else_s };
             break;
         }
     }
@@ -61,8 +57,7 @@ fn validator_catches_key_bit_beyond_width() {
 #[test]
 fn validator_catches_const_key_range_overflow() {
     let (mut d, _) = locked();
-    d.fsmd.consts[0].key_xor =
-        Some(KeyRange { lo: d.fsmd.key_width - 1, width: 32 });
+    d.fsmd.consts[0].key_xor = Some(KeyRange { lo: d.fsmd.key_width - 1, width: 32 });
     assert!(d.fsmd.validate().is_err());
 }
 
@@ -89,7 +84,7 @@ fn validator_catches_dangling_constant_source() {
     let (mut d, _) = locked();
     'outer: for st in &mut d.fsmd.states {
         for op in &mut st.ops {
-            for alt in &mut op.alts {
+            if let Some(alt) = op.alts.first_mut() {
                 alt.a = Src::Const(ConstIdx(u32::MAX));
                 break 'outer;
             }

@@ -1,0 +1,120 @@
+//! Property tests of the design-space exploration engine:
+//!
+//! 1. Pareto soundness — no returned front point is dominated by any
+//!    evaluated point, and every off-front point is dominated by some
+//!    front point (completeness);
+//! 2. determinism under parallelism — the report is identical for 1 and N
+//!    worker threads;
+//! 3. every point signs off (correct key reproduces the golden outputs).
+
+use hls_dse::{dominates, explore, ConfigSpace, DseOptions, Kernel};
+use proptest::prelude::*;
+use tao::PlanConfig;
+
+/// A small kernel family parameterized by a seed: varies constants, loop
+/// bounds and branch structure so different spaces see different designs.
+fn kernel_for(seed: u64) -> Kernel {
+    let mul = 3 + (seed % 5) as i64;
+    let add = 7 + (seed % 11) as i64;
+    let bound = 3 + (seed % 4);
+    let source = format!(
+        r#"
+        int f(int a, int b) {{
+            int acc = {add};
+            for (int i = 0; i < {bound}; i++) {{
+                if ((a + i) % 2 == 0) acc += a * {mul} + i;
+                else acc -= b * {mul} - i;
+            }}
+            if (acc < 0) acc = -acc;
+            return acc;
+        }}
+        "#
+    );
+    Kernel::new(format!("k{seed}"), source, "f", vec![seed % 97, (seed / 7) % 89])
+}
+
+/// Spaces of varying shape, always small enough to evaluate quickly.
+fn space_for(seed: u64) -> ConfigSpace {
+    let mut space = ConfigSpace::smoke();
+    if seed.is_multiple_of(2) {
+        space.hls.unroll_factors = vec![1, 2];
+    }
+    if seed.is_multiple_of(3) {
+        space.tao.plans = vec![
+            PlanConfig::techniques(true, true, true),
+            PlanConfig::techniques(true, false, false),
+            PlanConfig::techniques(false, true, true),
+        ];
+    }
+    space.seed = seed ^ 0xDAC2018;
+    space
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pareto_front_is_sound_and_complete(seed in 0u64..1000) {
+        let kernels = vec![kernel_for(seed)];
+        let space = space_for(seed);
+        let report = explore(&kernels, &space, &DseOptions::default()).unwrap();
+        prop_assert!(!report.pareto.is_empty());
+
+        let objs: Vec<_> = report.points.iter().map(|p| p.objectives()).collect();
+        let front: std::collections::BTreeSet<usize> =
+            report.pareto.iter().copied().collect();
+        for &i in &report.pareto {
+            for (j, o) in objs.iter().enumerate() {
+                prop_assert!(
+                    !dominates(o, &objs[i]),
+                    "front point {i} is dominated by point {j}"
+                );
+            }
+        }
+        for (i, o) in objs.iter().enumerate() {
+            if !front.contains(&i) {
+                prop_assert!(
+                    report.pareto.iter().any(|&f| dominates(&objs[f], o)),
+                    "off-front point {i} is not dominated by any front point"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_is_identical_across_worker_counts(seed in 0u64..1000) {
+        let kernels = vec![kernel_for(seed), kernel_for(seed.wrapping_add(1))];
+        let space = space_for(seed);
+        let one = explore(
+            &kernels,
+            &space,
+            &DseOptions { threads: 1, ..DseOptions::default() },
+        )
+        .unwrap();
+        let many = explore(
+            &kernels,
+            &space,
+            &DseOptions { threads: 5, ..DseOptions::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(&one.points, &many.points);
+        prop_assert_eq!(&one.pareto, &many.pareto);
+        // And kernel-major deterministic ordering holds.
+        let n = space.len();
+        for (i, p) in one.points.iter().enumerate() {
+            prop_assert_eq!(p.config_id, i % n);
+            prop_assert_eq!(&p.kernel, &kernels[i / n].name);
+        }
+    }
+
+    #[test]
+    fn every_point_signs_off(seed in 0u64..1000) {
+        let kernels = vec![kernel_for(seed)];
+        let report = explore(&kernels, &space_for(seed), &DseOptions::default()).unwrap();
+        for p in &report.points {
+            prop_assert!(p.correct, "config {} failed sign-off", p.config);
+            prop_assert!(p.key_bits > 0);
+            prop_assert!(p.area_um2 > 0.0);
+        }
+    }
+}

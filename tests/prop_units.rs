@@ -2,7 +2,6 @@
 //! techniques rest on: XOR constant encoding (Eqs. 2–3), AES power-up
 //! round trips, key-bit bookkeeping, and Eq. 1 arithmetic.
 
-
 use hls_core::{KeyBits, KeyRange};
 use proptest::prelude::*;
 use tao_crypto::Aes;

@@ -81,11 +81,7 @@ fn variant_cases_match_key_plan() {
     let locked = verilog::emit(&d.fsmd);
     // Each variant-obfuscated micro-op renders one selector case block.
     let selector_blocks = locked.matches("TAO variant select").count();
-    let variant_ops = d
-        .fsmd
-        .micro_ops()
-        .filter(|(_, op)| op.alts.len() > 1)
-        .count();
+    let variant_ops = d.fsmd.micro_ops().filter(|(_, op)| op.alts.len() > 1).count();
     assert_eq!(selector_blocks, variant_ops);
     assert!(variant_ops > 0);
 }

@@ -1,0 +1,264 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container has no registry access, so this vendored crate implements
+//! the subset of proptest the workspace's property tests use: the
+//! [`proptest!`] macro over `pat in strategy` arguments, `any::<T>()`,
+//! integer-range strategies, `prop::array::uniform{16,24,32}`,
+//! `prop::collection::vec`, the `prop_assert*` macros and
+//! [`prelude::ProptestConfig`]. There is no shrinking: a failing case
+//! panics with the values that produced it (they are reproducible — the
+//! RNG is seeded from the test's module path and name).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy: a recipe for generating one value per test case.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Marker for types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one uniform value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl<A: Arbitrary, B: Arbitrary> Arbitrary for (A, B) {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        (A::arbitrary(rng), B::arbitrary(rng))
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — uniform values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The `prop::` namespace mirrored from upstream.
+pub mod prop {
+    /// Fixed-size array strategies.
+    pub mod array {
+        use super::super::{StdRng, Strategy};
+
+        macro_rules! uniform {
+            ($name:ident, $n:expr) => {
+                /// Strategy producing `[S::Value; N]` from an element strategy.
+                pub fn $name<S: Strategy>(elem: S) -> impl Strategy<Value = [S::Value; $n]>
+                where
+                    S::Value: Default + Copy,
+                {
+                    struct A<S>(S);
+                    impl<S: Strategy> Strategy for A<S>
+                    where
+                        S::Value: Default + Copy,
+                    {
+                        type Value = [S::Value; $n];
+                        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                            let mut out = [S::Value::default(); $n];
+                            for slot in out.iter_mut() {
+                                *slot = self.0.sample(rng);
+                            }
+                            out
+                        }
+                    }
+                    A(elem)
+                }
+            };
+        }
+
+        uniform!(uniform16, 16);
+        uniform!(uniform24, 24);
+        uniform!(uniform32, 32);
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{StdRng, Strategy};
+        use rand::Rng;
+
+        /// Strategy producing a `Vec` with a length drawn from `len`.
+        pub fn vec<S: Strategy>(
+            elem: S,
+            len: std::ops::Range<usize>,
+        ) -> impl Strategy<Value = Vec<S::Value>> {
+            struct V<S> {
+                elem: S,
+                len: std::ops::Range<usize>,
+            }
+            impl<S: Strategy> Strategy for V<S> {
+                type Value = Vec<S::Value>;
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let n = if self.len.is_empty() {
+                        self.len.start
+                    } else {
+                        rng.gen_range(self.len.clone())
+                    };
+                    (0..n).map(|_| self.elem.sample(rng)).collect()
+                }
+            }
+            V { elem, len }
+        }
+    }
+}
+
+/// Runner configuration (subset of upstream's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the fully qualified test name.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let seed = test_name
+        .bytes()
+        .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3));
+    StdRng::seed_from_u64(seed)
+}
+
+/// Everything a property-test file imports.
+pub mod prelude {
+    pub use crate::{any, prop, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body for `config.cases` seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_hold(x in 1u32..500, y in 0usize..10) {
+            prop_assert!((1..500).contains(&x));
+            prop_assert!(y < 10);
+        }
+
+        #[test]
+        fn arrays_and_vecs(a in prop::array::uniform16(any::<u8>()),
+                           v in prop::collection::vec(any::<u64>(), 0..5)) {
+            prop_assert_eq!(a.len(), 16);
+            prop_assert!(v.len() < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_respected(x in any::<u64>()) {
+            let _ = x;
+        }
+    }
+}
