@@ -1,0 +1,50 @@
+//! Times the Verilog-text simulator against the FSMD cycle simulator on
+//! the same locked designs: the cost of executing the foundry-visible
+//! artifact vs the in-memory model (both report cycles/sec throughput).
+
+use bench::locking_key;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hls_core::verilog;
+use rtl::{rtl_outputs, SimOptions, TestCase};
+use vlog::{vlog_outputs, VlogSim};
+
+fn bench_vlog_vs_fsmd(c: &mut Criterion) {
+    let lk = locking_key(0x5eed);
+    let mut g = c.benchmark_group("vlog-vs-fsmd");
+    for name in ["sobel", "gsm"] {
+        let b = benchmarks::by_name(name).unwrap();
+        let m = b.compile().unwrap();
+        let d = tao::lock(&m, b.top, &lk, &tao::TaoOptions::default()).unwrap();
+        let wk = d.working_key(&lk);
+        let stim = &b.stimuli(1, 1)[0];
+        let case = TestCase { args: stim.args.clone(), mem_inputs: stim.resolve(&d.module) };
+        let text = verilog::emit(&d.fsmd);
+        let sim = VlogSim::new(&text).unwrap();
+        let cycles = rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap().1.cycles;
+        g.throughput(Throughput::Elements(cycles));
+        g.bench_function(&format!("{name}-fsmd"), |bench| {
+            bench.iter(|| rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap());
+        });
+        g.bench_function(&format!("{name}-vlog"), |bench| {
+            bench.iter(|| {
+                vlog_outputs(&sim, &case, &wk, &SimOptions::default(), &d.fsmd.mem_of_array)
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_parse_elaborate(c: &mut Criterion) {
+    let lk = locking_key(0x5eed);
+    let b = benchmarks::by_name("gsm").unwrap();
+    let m = b.compile().unwrap();
+    let d = tao::lock(&m, b.top, &lk, &tao::TaoOptions::default()).unwrap();
+    let text = verilog::emit(&d.fsmd);
+    c.bench_function("vlog-parse-elaborate-gsm", |bench| {
+        bench.iter(|| VlogSim::new(&text).unwrap());
+    });
+}
+
+criterion_group!(vlogsim, bench_vlog_vs_fsmd, bench_parse_elaborate);
+criterion_main!(vlogsim);

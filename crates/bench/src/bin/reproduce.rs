@@ -26,6 +26,8 @@ fn main() {
             "attack",
             "unroll",
             "report",
+            "vlog-diff",
+            "dse-smoke",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -83,10 +85,23 @@ fn main() {
                 println!("{report}");
                 assert!(report.points.iter().all(|p| p.correct), "smoke sweep must sign off");
             }
+            "vlog-diff" => {
+                // Three-way differential: all five kernels, correct key +
+                // 8 wrong keys, interpreter vs FSMD sim vs emitted Verilog.
+                let rows = vlog_diff(8);
+                println!("{}", render_vlogdiff(&rows));
+                assert!(vlog_diff_clean(&rows), "differential verification failed: {rows:?}");
+            }
+            "vlog-diff-smoke" => {
+                // CI-sized differential: 2 kernels × (1 correct + 3 wrong).
+                let rows = vlog_diff_smoke();
+                println!("{}", render_vlogdiff(&rows));
+                assert!(vlog_diff_clean(&rows), "differential verification failed: {rows:?}");
+            }
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
-                    "known: table1 fig6 freq cycles validate keymgmt ablate-bi ablate-c ablate-swap ablate-alloc attack unroll report dse dse-smoke all"
+                    "known: table1 fig6 freq cycles validate keymgmt ablate-bi ablate-c ablate-swap ablate-alloc attack unroll report dse dse-smoke vlog-diff vlog-diff-smoke all"
                 );
                 std::process::exit(2);
             }

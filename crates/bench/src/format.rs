@@ -270,6 +270,51 @@ pub fn render_ablate_alloc(rows: &[AblateAllocRow]) -> String {
     out
 }
 
+/// Renders the `vlog-diff` three-way differential table.
+pub fn render_vlogdiff(rows: &[crate::vlogdiff::VlogDiffRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "vlog-diff: three-way differential (interpreter vs FSMD sim vs emitted Verilog)\n",
+    );
+    out.push_str(&format!(
+        "{:10} {:>8} {:>10} {:>6} {:>10} {:>8} {:>9} {:>7} {:>9} {:>8}\n",
+        "Benchmark",
+        "W bits",
+        "cycles",
+        "pairs",
+        "rtl≡vlog",
+        "golden",
+        "corrupt",
+        "clean",
+        "timeouts",
+        "avg HD"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:10} {:>8} {:>10} {:>6} {:>10} {:>8} {:>9} {:>7} {:>9} {:>7.1}%\n",
+            r.name,
+            r.w_bits,
+            r.base_cycles,
+            r.comparisons,
+            if r.rtl_vlog_mismatches == 0 {
+                "ok".to_string()
+            } else {
+                format!("{} ✗", r.rtl_vlog_mismatches)
+            },
+            if r.golden_failures == 0 {
+                "ok".to_string()
+            } else {
+                format!("{} ✗", r.golden_failures)
+            },
+            r.wrong_corrupted,
+            r.wrong_clean,
+            r.timeouts,
+            r.avg_hd * 100.0,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,6 +36,8 @@
 pub mod dse;
 pub mod experiments;
 pub mod format;
+pub mod vlogdiff;
 
 pub use dse::{dse_kernels, dse_sweep, smoke_sweep};
 pub use experiments::*;
+pub use vlogdiff::{vlog_diff, vlog_diff_clean, vlog_diff_smoke, VlogDiffRow};

@@ -89,6 +89,28 @@ pub fn oracle_guided_branch_attack(
     oracle: &[OutputImage],
     opts: &SimOptions,
 ) -> BranchAttackOutcome {
+    let opts = *opts;
+    oracle_guided_branch_attack_with(design, correct_key, cases, oracle, |case, key| {
+        rtl_outputs(&design.fsmd, case, key, &opts).ok().map(|(img, _)| img)
+    })
+}
+
+/// [`oracle_guided_branch_attack`] generalized over the circuit executor:
+/// `run` produces the outputs a candidate key yields on a test case
+/// (`None` when the run does not terminate). The default attack passes
+/// the FSMD simulator; passing a `vlog`-backed closure runs the same
+/// enumeration against the *emitted Verilog text*, showing the attack
+/// surface of the foundry-visible artifact is identical to the model's.
+pub fn oracle_guided_branch_attack_with<F>(
+    design: &LockedDesign,
+    correct_key: &KeyBits,
+    cases: &[TestCase],
+    oracle: &[OutputImage],
+    mut run: F,
+) -> BranchAttackOutcome
+where
+    F: FnMut(&TestCase, &KeyBits) -> Option<OutputImage>,
+{
     let branch_bits: Vec<u32> = design.plan.branch_bits.values().copied().collect();
     let n = branch_bits.len();
     assert!(n <= 24, "branch enumeration limited to 24 bits, got {n}");
@@ -102,11 +124,9 @@ pub fn oracle_guided_branch_attack(
         for (i, &b) in branch_bits.iter().enumerate() {
             key.set_bit(b, (candidate >> i) & 1 == 1);
         }
-        let ok = cases.iter().zip(oracle).all(|(case, want)| {
-            match rtl_outputs(&design.fsmd, case, &key, opts) {
-                Ok((img, _)) => images_equal(want, &img),
-                Err(_) => false,
-            }
+        let ok = cases.iter().zip(oracle).all(|(case, want)| match run(case, &key) {
+            Some(img) => images_equal(want, &img),
+            None => false,
         });
         if ok {
             surviving += 1;

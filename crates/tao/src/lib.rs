@@ -45,9 +45,11 @@ mod keymgmt;
 mod plan;
 mod report;
 mod variants;
+pub mod verify;
 
 pub use attack::{
-    oracle_guided_branch_attack, sensitize_branch_bits, BranchAttackOutcome, KeySpace,
+    oracle_guided_branch_attack, oracle_guided_branch_attack_with, sensitize_branch_bits,
+    BranchAttackOutcome, KeySpace,
 };
 pub use branches::obfuscate_branches;
 pub use constants::obfuscate_constants;
@@ -56,3 +58,4 @@ pub use keymgmt::{KeyManagement, KeyMgmtError, KeyScheme};
 pub use plan::{KeyPlan, PlanConfig};
 pub use report::ObfuscationReport;
 pub use variants::{obfuscate_dfg_variants, VariantOptions};
+pub use verify::{differential_verify, standard_trials, DifferentialReport, KeyTrial};

@@ -1,0 +1,477 @@
+//! Tokenizer for the synthesizable Verilog subset.
+//!
+//! Covers exactly what `hls_core::verilog::emit` produces: identifiers,
+//! sized/unsized numeric literals (with optional `s` signedness flag),
+//! operators, punctuation and `$`-system identifiers. Comments are
+//! skipped; line numbers are tracked for error reporting.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// System identifier such as `$signed`.
+    System(String),
+    /// Numeric literal.
+    Number {
+        /// Declared size in bits (`None` for unsized literals).
+        size: Option<u32>,
+        /// `true` for based literals carrying the `s` flag or for plain
+        /// decimal literals (which are signed per IEEE 1364).
+        signed: bool,
+        /// The value bits (≤ 64 bits in this subset).
+        value: u64,
+        /// `true` when the literal had a base specifier (`'d`, `'h`, …).
+        based: bool,
+    },
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `?`
+    Question,
+    /// `@`
+    At,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `^`
+    Caret,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `<`
+    Lt,
+    /// `<=` (less-equal in expressions, nonblocking assign in statements)
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `>>>`
+    AShr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::System(s) => write!(f, "`${s}`"),
+            Tok::Number { value, .. } => write!(f, "number {value}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description.
+    pub msg: String,
+    /// Source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on malformed literals or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Spanned { tok: $t, line })
+        };
+    }
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let s = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                push!(Tok::Ident(src[s..i].to_string()));
+            }
+            b'$' => {
+                i += 1;
+                let s = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                push!(Tok::System(src[s..i].to_string()));
+            }
+            b'0'..=b'9' | b'\'' => {
+                let (tok, ni) = lex_number(src, i, line)?;
+                push!(tok);
+                i = ni;
+            }
+            b'(' => {
+                push!(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                push!(Tok::RParen);
+                i += 1;
+            }
+            b'[' => {
+                push!(Tok::LBracket);
+                i += 1;
+            }
+            b']' => {
+                push!(Tok::RBracket);
+                i += 1;
+            }
+            b'{' => {
+                push!(Tok::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                push!(Tok::RBrace);
+                i += 1;
+            }
+            b':' => {
+                push!(Tok::Colon);
+                i += 1;
+            }
+            b';' => {
+                push!(Tok::Semi);
+                i += 1;
+            }
+            b',' => {
+                push!(Tok::Comma);
+                i += 1;
+            }
+            b'?' => {
+                push!(Tok::Question);
+                i += 1;
+            }
+            b'@' => {
+                push!(Tok::At);
+                i += 1;
+            }
+            b'+' => {
+                push!(Tok::Plus);
+                i += 1;
+            }
+            b'-' => {
+                push!(Tok::Minus);
+                i += 1;
+            }
+            b'*' => {
+                push!(Tok::Star);
+                i += 1;
+            }
+            b'/' => {
+                push!(Tok::Slash);
+                i += 1;
+            }
+            b'%' => {
+                push!(Tok::Percent);
+                i += 1;
+            }
+            b'^' => {
+                push!(Tok::Caret);
+                i += 1;
+            }
+            b'~' => {
+                push!(Tok::Tilde);
+                i += 1;
+            }
+            b'&' => {
+                if i + 1 < b.len() && b[i + 1] == b'&' {
+                    push!(Tok::AmpAmp);
+                    i += 2;
+                } else {
+                    push!(Tok::Amp);
+                    i += 1;
+                }
+            }
+            b'|' => {
+                if i + 1 < b.len() && b[i + 1] == b'|' {
+                    push!(Tok::PipePipe);
+                    i += 2;
+                } else {
+                    push!(Tok::Pipe);
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(Tok::NotEq);
+                    i += 2;
+                } else {
+                    push!(Tok::Bang);
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(Tok::EqEq);
+                    i += 2;
+                } else {
+                    push!(Tok::Assign);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(Tok::Le);
+                    i += 2;
+                } else if i + 1 < b.len() && b[i + 1] == b'<' {
+                    push!(Tok::Shl);
+                    i += 2;
+                } else {
+                    push!(Tok::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(Tok::Ge);
+                    i += 2;
+                } else if i + 2 < b.len() && b[i + 1] == b'>' && b[i + 2] == b'>' {
+                    push!(Tok::AShr);
+                    i += 3;
+                } else if i + 1 < b.len() && b[i + 1] == b'>' {
+                    push!(Tok::Shr);
+                    i += 2;
+                } else {
+                    push!(Tok::Gt);
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(LexError {
+                    msg: format!("unexpected character `{}`", other as char),
+                    line,
+                })
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+/// Lexes a numeric literal starting at `i`: `123`, `32'd7`, `8'hff`,
+/// `4'b1010`, `32'sd10`, `'d0`.
+fn lex_number(src: &str, i: usize, line: u32) -> Result<(Tok, usize), LexError> {
+    let b = src.as_bytes();
+    let mut j = i;
+    let mut size: Option<u32> = None;
+    if b[j].is_ascii_digit() {
+        let s = j;
+        while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+            j += 1;
+        }
+        let digits: String = src[s..j].chars().filter(|c| *c != '_').collect();
+        let v: u64 =
+            digits.parse().map_err(|_| LexError { msg: format!("bad number `{digits}`"), line })?;
+        if j < b.len() && b[j] == b'\'' {
+            size = Some(v as u32);
+        } else {
+            // Plain decimal literal: signed, unsized (32-bit) per IEEE 1364.
+            return Ok((Tok::Number { size: None, signed: true, value: v, based: false }, j));
+        }
+    }
+    // Based literal: `'` [s] base digits.
+    debug_assert_eq!(b[j], b'\'');
+    j += 1;
+    let mut signed = false;
+    if j < b.len() && (b[j] == b's' || b[j] == b'S') {
+        signed = true;
+        j += 1;
+    }
+    if j >= b.len() {
+        return Err(LexError { msg: "truncated based literal".into(), line });
+    }
+    let radix = match b[j] {
+        b'd' | b'D' => 10,
+        b'h' | b'H' => 16,
+        b'b' | b'B' => 2,
+        b'o' | b'O' => 8,
+        other => {
+            return Err(LexError { msg: format!("bad base `{}`", other as char), line });
+        }
+    };
+    j += 1;
+    let s = j;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    let digits: String = src[s..j].chars().filter(|c| *c != '_').collect();
+    if digits.is_empty() {
+        return Err(LexError { msg: "based literal without digits".into(), line });
+    }
+    let mut value: u64 = 0;
+    for c in digits.chars() {
+        let d = c
+            .to_digit(radix)
+            .ok_or_else(|| LexError { msg: format!("bad digit `{c}` for base {radix}"), line })?;
+        value = value.wrapping_mul(radix as u64).wrapping_add(d as u64);
+    }
+    if let Some(w) = size {
+        if w == 0 || w > 64 {
+            return Err(LexError { msg: format!("unsupported literal width {w}"), line });
+        }
+        if w < 64 {
+            value &= (1u64 << w) - 1;
+        }
+    }
+    Ok((Tok::Number { size, signed, value, based: true }, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            toks("123 32'd7 8'hff 4'b1010 32'sd10 'd0"),
+            vec![
+                Tok::Number { size: None, signed: true, value: 123, based: false },
+                Tok::Number { size: Some(32), signed: false, value: 7, based: true },
+                Tok::Number { size: Some(8), signed: false, value: 255, based: true },
+                Tok::Number { size: Some(4), signed: false, value: 10, based: true },
+                Tok::Number { size: Some(32), signed: true, value: 10, based: true },
+                Tok::Number { size: None, signed: false, value: 0, based: true },
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_comments() {
+        assert_eq!(
+            toks("a <= b >>> 2; // comment\n$signed(x) != ~y"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::AShr,
+                Tok::Number { size: None, signed: true, value: 2, based: false },
+                Tok::Semi,
+                Tok::System("signed".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::NotEq,
+                Tok::Tilde,
+                Tok::Ident("y".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_tracking() {
+        let spanned = lex("a\nb\n  c").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[2].line, 3);
+    }
+
+    #[test]
+    fn widths_mask_values() {
+        assert_eq!(
+            toks("4'hff")[0],
+            Tok::Number { size: Some(4), signed: false, value: 0xf, based: true }
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("3'q0").is_err());
+    }
+}

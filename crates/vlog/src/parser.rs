@@ -1,0 +1,671 @@
+//! Recursive-descent parser for the synthesizable subset.
+
+use crate::ast::*;
+use crate::lexer::{lex, Spanned, Tok};
+use std::fmt;
+
+/// Parse error with source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a single module from Verilog source text.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] (lexical errors are converted) when the text
+/// falls outside the supported subset.
+pub fn parse(src: &str) -> Result<Module, ParseError> {
+    let toks = lex(src).map_err(|e| ParseError { msg: e.msg, line: e.line })?;
+    Parser { toks, pos: 0 }.module()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { msg: msg.into(), line: self.line() })
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.peek() == t {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {t}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.next();
+                Ok(())
+            }
+            other => self.err(format!("expected `{kw}`, found {other}")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn const_u64(&mut self) -> Result<u64, ParseError> {
+        match self.next() {
+            Tok::Number { value, .. } => Ok(value),
+            other => self.err(format!("expected constant, found {other}")),
+        }
+    }
+
+    // ---------------------------------------------------------- module
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        self.expect_kw("module")?;
+        let name = self.ident()?;
+        let mut m = Module {
+            name,
+            ports: Vec::new(),
+            nets: Vec::new(),
+            mems: Vec::new(),
+            params: Vec::new(),
+            assigns: Vec::new(),
+            initials: Vec::new(),
+            always: Vec::new(),
+        };
+        self.expect(&Tok::LParen)?;
+        while !matches!(self.peek(), Tok::RParen) {
+            let dir = if self.at_kw("input") {
+                self.next();
+                Dir::Input
+            } else if self.at_kw("output") {
+                self.next();
+                Dir::Output
+            } else {
+                return self.err("expected `input` or `output`");
+            };
+            let is_reg = if self.at_kw("reg") {
+                self.next();
+                true
+            } else {
+                if self.at_kw("wire") {
+                    self.next();
+                }
+                false
+            };
+            let width = self.opt_range()?;
+            let pname = self.ident()?;
+            m.ports.push(Port { name: pname, dir, width, is_reg });
+            if matches!(self.peek(), Tok::Comma) {
+                self.next();
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::Semi)?;
+
+        while !self.at_kw("endmodule") {
+            if matches!(self.peek(), Tok::Eof) {
+                return self.err("unexpected end of input inside module");
+            }
+            self.item(&mut m)?;
+        }
+        self.next(); // endmodule
+        Ok(m)
+    }
+
+    /// Optional `[msb:lsb]` range; returns the width (`msb - lsb + 1`).
+    fn opt_range(&mut self) -> Result<u32, ParseError> {
+        if !matches!(self.peek(), Tok::LBracket) {
+            return Ok(1);
+        }
+        self.next();
+        let msb = self.const_u64()? as u32;
+        self.expect(&Tok::Colon)?;
+        let lsb = self.const_u64()? as u32;
+        self.expect(&Tok::RBracket)?;
+        if lsb != 0 {
+            return self.err("only `[msb:0]` ranges are supported");
+        }
+        Ok(msb + 1)
+    }
+
+    fn item(&mut self, m: &mut Module) -> Result<(), ParseError> {
+        // `(* attr *)` prefix (only on memory declarations in our subset).
+        let mut external = false;
+        if matches!(self.peek(), Tok::LParen) && matches!(self.peek2(), Tok::Star) {
+            self.next();
+            self.next();
+            let attr = self.ident()?;
+            if attr == "external" {
+                external = true;
+            }
+            self.expect(&Tok::Star)?;
+            self.expect(&Tok::RParen)?;
+        }
+
+        if self.at_kw("localparam") {
+            self.next();
+            let name = self.ident()?;
+            self.expect(&Tok::Assign)?;
+            let value = self.expr()?;
+            self.expect(&Tok::Semi)?;
+            m.params.push((name, value));
+            return Ok(());
+        }
+        if self.at_kw("assign") {
+            self.next();
+            let name = self.ident()?;
+            self.expect(&Tok::Assign)?;
+            let value = self.expr()?;
+            self.expect(&Tok::Semi)?;
+            m.assigns.push((name, value));
+            return Ok(());
+        }
+        if self.at_kw("initial") {
+            self.next();
+            let body = self.stmt()?;
+            m.initials.push(body);
+            return Ok(());
+        }
+        if self.at_kw("always") {
+            self.next();
+            self.expect(&Tok::At)?;
+            self.expect(&Tok::LParen)?;
+            self.expect_kw("posedge")?;
+            let clock = self.ident()?;
+            self.expect(&Tok::RParen)?;
+            let body = self.stmt()?;
+            m.always.push((clock, body));
+            return Ok(());
+        }
+        if self.at_kw("reg") || self.at_kw("wire") {
+            let is_reg = self.at_kw("reg");
+            loop {
+                self.next(); // reg|wire
+                let width = self.opt_range()?;
+                let name = self.ident()?;
+                if matches!(self.peek(), Tok::LBracket) {
+                    // Memory: `name [0:len-1];`
+                    self.next();
+                    let lo = self.const_u64()?;
+                    self.expect(&Tok::Colon)?;
+                    let hi = self.const_u64()?;
+                    self.expect(&Tok::RBracket)?;
+                    if lo != 0 {
+                        return self.err("memories must be declared `[0:len-1]`");
+                    }
+                    self.expect(&Tok::Semi)?;
+                    // The attribute binds to one declaration only; a
+                    // following memory in the same declaration run must
+                    // not inherit it.
+                    let ext = std::mem::take(&mut external);
+                    m.mems.push(Mem {
+                        name,
+                        elem_width: width,
+                        len: hi as usize + 1,
+                        external: ext,
+                    });
+                } else if matches!(self.peek(), Tok::Assign) {
+                    // Wire with initializer: normalize to a continuous assign.
+                    self.next();
+                    let value = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    m.nets.push(Net { name: name.clone(), width, is_reg });
+                    m.assigns.push((name, value));
+                } else {
+                    self.expect(&Tok::Semi)?;
+                    m.nets.push(Net { name, width, is_reg });
+                }
+                // `reg [63:0] a; reg b;` on one line arrive as separate
+                // items; continue only when the next token starts the same
+                // declaration keyword (multi-decl emission style).
+                if (is_reg && self.at_kw("reg")) || (!is_reg && self.at_kw("wire")) {
+                    continue;
+                }
+                break;
+            }
+            return Ok(());
+        }
+        self.err(format!("unsupported module item at {}", self.peek()))
+    }
+
+    // ------------------------------------------------------- statements
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if matches!(self.peek(), Tok::Semi) {
+            self.next();
+            return Ok(Stmt::Null);
+        }
+        if self.at_kw("begin") {
+            self.next();
+            let mut body = Vec::new();
+            while !self.at_kw("end") {
+                if matches!(self.peek(), Tok::Eof) {
+                    return self.err("unexpected end of input inside begin/end");
+                }
+                body.push(self.stmt()?);
+            }
+            self.next();
+            return Ok(Stmt::Block(body));
+        }
+        if self.at_kw("if") {
+            self.next();
+            self.expect(&Tok::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            let then_s = Box::new(self.stmt()?);
+            let else_s = if self.at_kw("else") {
+                self.next();
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If { cond, then_s, else_s });
+        }
+        if self.at_kw("case") {
+            self.next();
+            self.expect(&Tok::LParen)?;
+            let subject = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            let mut arms = Vec::new();
+            let mut default = None;
+            while !self.at_kw("endcase") {
+                if matches!(self.peek(), Tok::Eof) {
+                    return self.err("unexpected end of input inside case");
+                }
+                if self.at_kw("default") {
+                    self.next();
+                    self.expect(&Tok::Colon)?;
+                    default = Some(Box::new(self.stmt()?));
+                } else {
+                    let label = self.expr()?;
+                    self.expect(&Tok::Colon)?;
+                    let body = self.stmt()?;
+                    arms.push((label, body));
+                }
+            }
+            self.next();
+            return Ok(Stmt::Case { subject, arms, default });
+        }
+        // Assignment: `target <= e;` or `target = e;`
+        let base = self.ident()?;
+        let index = if matches!(self.peek(), Tok::LBracket) {
+            self.next();
+            let e = self.expr()?;
+            self.expect(&Tok::RBracket)?;
+            Some(e)
+        } else {
+            None
+        };
+        let target = Target { base, index };
+        match self.next() {
+            Tok::Le => {
+                let value = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::NonBlocking { target, value })
+            }
+            Tok::Assign => {
+                let value = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Blocking { target, value })
+            }
+            other => self.err(format!("expected `<=` or `=`, found {other}")),
+        }
+    }
+
+    // ------------------------------------------------------ expressions
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let c = self.lor()?;
+        if matches!(self.peek(), Tok::Question) {
+            self.next();
+            let t = self.expr()?;
+            self.expect(&Tok::Colon)?;
+            let e = self.expr()?;
+            return Ok(Expr::Cond { c: Box::new(c), t: Box::new(t), e: Box::new(e) });
+        }
+        Ok(c)
+    }
+
+    fn lor(&mut self) -> Result<Expr, ParseError> {
+        let mut a = self.land()?;
+        while matches!(self.peek(), Tok::PipePipe) {
+            self.next();
+            let b = self.land()?;
+            a = Expr::Binary { op: BinOp::LOr, a: Box::new(a), b: Box::new(b) };
+        }
+        Ok(a)
+    }
+
+    fn land(&mut self) -> Result<Expr, ParseError> {
+        let mut a = self.bor()?;
+        while matches!(self.peek(), Tok::AmpAmp) {
+            self.next();
+            let b = self.bor()?;
+            a = Expr::Binary { op: BinOp::LAnd, a: Box::new(a), b: Box::new(b) };
+        }
+        Ok(a)
+    }
+
+    fn bor(&mut self) -> Result<Expr, ParseError> {
+        let mut a = self.bxor()?;
+        while matches!(self.peek(), Tok::Pipe) {
+            self.next();
+            let b = self.bxor()?;
+            a = Expr::Binary { op: BinOp::Or, a: Box::new(a), b: Box::new(b) };
+        }
+        Ok(a)
+    }
+
+    fn bxor(&mut self) -> Result<Expr, ParseError> {
+        let mut a = self.band()?;
+        while matches!(self.peek(), Tok::Caret) {
+            self.next();
+            let b = self.band()?;
+            a = Expr::Binary { op: BinOp::Xor, a: Box::new(a), b: Box::new(b) };
+        }
+        Ok(a)
+    }
+
+    fn band(&mut self) -> Result<Expr, ParseError> {
+        let mut a = self.equality()?;
+        while matches!(self.peek(), Tok::Amp) {
+            self.next();
+            let b = self.equality()?;
+            a = Expr::Binary { op: BinOp::And, a: Box::new(a), b: Box::new(b) };
+        }
+        Ok(a)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut a = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq => BinOp::Eq,
+                Tok::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            self.next();
+            let b = self.relational()?;
+            a = Expr::Binary { op, a: Box::new(a), b: Box::new(b) };
+        }
+        Ok(a)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut a = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.next();
+            let b = self.shift()?;
+            a = Expr::Binary { op, a: Box::new(a), b: Box::new(b) };
+        }
+        Ok(a)
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut a = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                Tok::AShr => BinOp::AShr,
+                _ => break,
+            };
+            self.next();
+            let b = self.additive()?;
+            a = Expr::Binary { op, a: Box::new(a), b: Box::new(b) };
+        }
+        Ok(a)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut a = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let b = self.multiplicative()?;
+            a = Expr::Binary { op, a: Box::new(a), b: Box::new(b) };
+        }
+        Ok(a)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut a = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.next();
+            let b = self.unary()?;
+            a = Expr::Binary { op, a: Box::new(a), b: Box::new(b) };
+        }
+        Ok(a)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            Tok::Tilde => Some(UnOp::Not),
+            Tok::Minus => Some(UnOp::Neg),
+            Tok::Bang => Some(UnOp::LogNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next();
+            let a = self.unary()?;
+            return Ok(Expr::Unary { op, a: Box::new(a) });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Tok::Number { size, signed, value, .. } => Ok(Expr::Num { size, signed, value }),
+            Tok::Ident(base) => {
+                if matches!(self.peek(), Tok::LBracket) {
+                    self.next();
+                    let first = self.expr()?;
+                    if matches!(self.peek(), Tok::Colon) {
+                        self.next();
+                        let lo = self.const_u64()? as u32;
+                        self.expect(&Tok::RBracket)?;
+                        let hi = match first {
+                            Expr::Num { value, .. } => value as u32,
+                            _ => return self.err("part-select bounds must be constants"),
+                        };
+                        return Ok(Expr::Part { base, hi, lo });
+                    }
+                    self.expect(&Tok::RBracket)?;
+                    return Ok(Expr::Select { base, index: Box::new(first) });
+                }
+                Ok(Expr::Ident(base))
+            }
+            Tok::System(s) if s == "signed" => {
+                self.expect(&Tok::LParen)?;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::Signed(Box::new(e)))
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::LBrace => {
+                let first = self.expr()?;
+                if matches!(self.peek(), Tok::LBrace) {
+                    // `{n{e}}` replication.
+                    let n = match first {
+                        Expr::Num { value, .. } => value as u32,
+                        _ => return self.err("replication count must be a constant"),
+                    };
+                    self.next();
+                    let a = self.expr()?;
+                    self.expect(&Tok::RBrace)?;
+                    self.expect(&Tok::RBrace)?;
+                    return Ok(Expr::Repeat { n, a: Box::new(a) });
+                }
+                let mut parts = vec![first];
+                while matches!(self.peek(), Tok::Comma) {
+                    self.next();
+                    parts.push(self.expr()?);
+                }
+                self.expect(&Tok::RBrace)?;
+                Ok(Expr::Concat(parts))
+            }
+            other => self.err(format!("unexpected token {other} in expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_module() {
+        let m = parse(
+            r#"
+            module f (
+                input  wire clk,
+                input  wire rst,
+                input  wire start,
+                input  wire [31:0] arg0,
+                output wire [31:0] ret,
+                output reg  done
+            );
+              reg [1:0] state;
+              localparam S0 = 2'd0;
+              localparam S1 = 2'd1;
+              reg [31:0] r0; // x
+              assign ret = r0;
+              (* external *) reg [31:0] mem0 [0:7]; // buf
+              initial begin
+                mem0[0] = 32'h3;
+              end
+              wire [31:0] const0 = 32'h2a;
+              always @(posedge clk) begin
+                if (rst) begin
+                  state <= S0;
+                  done <= 1'b0;
+                  r0 <= arg0;
+                end else if (start || state != S0) begin
+                  case (state)
+                    S0: begin
+                      r0 <= $signed(r0) + $signed(const0);
+                      state <= S1;
+                    end
+                    S1: begin
+                      done <= 1'b1;
+                    end
+                    default: state <= S0;
+                  endcase
+                end
+              end
+            endmodule
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.name, "f");
+        assert_eq!(m.ports.len(), 6);
+        assert_eq!(m.mems.len(), 1);
+        assert!(m.mems[0].external);
+        assert_eq!(m.mems[0].len, 8);
+        assert_eq!(m.params.len(), 2);
+        assert_eq!(m.assigns.len(), 2); // ret + const0
+        assert_eq!(m.initials.len(), 1);
+        assert_eq!(m.always.len(), 1);
+    }
+
+    #[test]
+    fn parses_expressions() {
+        let m = parse(
+            "module t (input wire clk, output reg done); \
+             reg [31:0] a; reg [31:0] b; \
+             always @(posedge clk) begin \
+               a <= (b == 32'd0) ? {32{1'b1}} : $signed(a) / $signed(b); \
+               b <= a << (b % 32'd32); \
+               a <= {3'd0, b[7:2]}; \
+               done <= (a[0] ^ b[1]) == 1'b1; \
+             end endmodule",
+        )
+        .unwrap();
+        match &m.always[0].1 {
+            Stmt::Block(stmts) => assert_eq!(stmts.len(), 4),
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_attribute_binds_to_one_memory() {
+        let m = parse(
+            "module t (input wire clk, output reg done); \
+             (* external *) reg [31:0] mem0 [0:7]; \
+             reg [31:0] mem1 [0:3]; \
+             always @(posedge clk) done <= 1'b1; endmodule",
+        )
+        .unwrap();
+        assert!(m.mems[0].external, "attributed memory must be external");
+        assert!(!m.mems[1].external, "attribute must not leak to the next memory");
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(parse("module t (input wire clk); forever; endmodule").is_err());
+        assert!(parse("module t (").is_err());
+    }
+}

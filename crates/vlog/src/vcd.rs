@@ -1,0 +1,256 @@
+//! IEEE-1364 VCD (value-change-dump) parsing.
+//!
+//! The `rtl::vcd` tracer serializes FSMD waveforms as VCD text; this
+//! parser closes that loop so tests can verify the dump round-trips:
+//! declared-signal-only value changes, monotonic timestamps, and values
+//! that reconstruct the original per-cycle traces.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A declared VCD variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdVar {
+    /// Identifier code (printable-character shorthand).
+    pub code: String,
+    /// Declared bit width.
+    pub width: u32,
+    /// Signal name.
+    pub name: String,
+}
+
+/// One value change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdChange {
+    /// Timestamp the change occurs at.
+    pub time: u64,
+    /// Identifier code of the changed variable.
+    pub code: String,
+    /// New value (two-state).
+    pub value: u64,
+}
+
+/// A parsed VCD file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vcd {
+    /// Module scope name.
+    pub scope: String,
+    /// Declared variables.
+    pub vars: Vec<VcdVar>,
+    /// Value changes in file order.
+    pub changes: Vec<VcdChange>,
+    /// Every `#t` timestamp in file order (including trailing marks with
+    /// no changes).
+    pub timestamps: Vec<u64>,
+}
+
+/// VCD parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdError {
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for VcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vcd: {}", self.msg)
+    }
+}
+
+impl std::error::Error for VcdError {}
+
+impl Vcd {
+    /// Reconstructs per-variable value sequences: for each timestamp in
+    /// order, the value each variable holds (carrying the previous value
+    /// forward; variables start at 0).
+    pub fn series(&self) -> BTreeMap<String, Vec<u64>> {
+        let mut current: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut out: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for v in &self.vars {
+            current.insert(&v.code, 0);
+            out.insert(v.code.clone(), Vec::new());
+        }
+        let mut ci = 0usize;
+        for &t in &self.timestamps {
+            while ci < self.changes.len() && self.changes[ci].time == t {
+                current.insert(&self.changes[ci].code, self.changes[ci].value);
+                ci += 1;
+            }
+            for v in &self.vars {
+                let val = current[v.code.as_str()];
+                out.get_mut(&v.code).unwrap().push(val);
+            }
+        }
+        out
+    }
+}
+
+/// Parses VCD text.
+///
+/// # Errors
+///
+/// Returns [`VcdError`] on malformed headers, value changes referencing
+/// undeclared identifier codes, or non-monotonic timestamps.
+pub fn parse_vcd(text: &str) -> Result<Vcd, VcdError> {
+    let mut scope = String::new();
+    let mut vars = Vec::new();
+    let mut changes = Vec::new();
+    let mut timestamps: Vec<u64> = Vec::new();
+    let mut in_header = true;
+    let mut known: BTreeMap<String, u32> = BTreeMap::new();
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if in_header {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            match toks.first().copied() {
+                Some("$scope") => {
+                    // `$scope module <name> $end`
+                    if toks.len() >= 3 {
+                        scope = toks[2].to_string();
+                    }
+                }
+                Some("$var") => {
+                    // `$var wire <width> <code> <name> $end`
+                    if toks.len() < 6 || toks[5] != "$end" {
+                        return Err(VcdError { msg: format!("malformed $var: `{line}`") });
+                    }
+                    let width: u32 = toks[2]
+                        .parse()
+                        .map_err(|_| VcdError { msg: format!("bad width in `{line}`") })?;
+                    let code = toks[3].to_string();
+                    if known.insert(code.clone(), width).is_some() {
+                        return Err(VcdError { msg: format!("duplicate code `{code}`") });
+                    }
+                    vars.push(VcdVar { code, width, name: toks[4].to_string() });
+                }
+                Some("$enddefinitions") => in_header = false,
+                Some(s) if s.starts_with('$') => {} // $date, $timescale, $upscope…
+                _ => {
+                    return Err(VcdError { msg: format!("unexpected header line `{line}`") });
+                }
+            }
+            continue;
+        }
+        if let Some(t) = line.strip_prefix('#') {
+            let t: u64 =
+                t.parse().map_err(|_| VcdError { msg: format!("bad timestamp `{line}`") })?;
+            if let Some(&last) = timestamps.last() {
+                if t < last {
+                    return Err(VcdError {
+                        msg: format!("timestamp {t} goes backwards (after {last})"),
+                    });
+                }
+            }
+            timestamps.push(t);
+            continue;
+        }
+        let time = *timestamps.last().ok_or_else(|| VcdError {
+            msg: format!("value change before any timestamp: `{line}`"),
+        })?;
+        if let Some(rest) = line.strip_prefix('b') {
+            // `b<binary> <code>`
+            let mut parts = rest.split_whitespace();
+            let bits = parts
+                .next()
+                .ok_or_else(|| VcdError { msg: format!("malformed change `{line}`") })?;
+            let code = parts
+                .next()
+                .ok_or_else(|| VcdError { msg: format!("missing code in `{line}`") })?;
+            let value = u64::from_str_radix(bits, 2)
+                .map_err(|_| VcdError { msg: format!("bad binary value `{line}`") })?;
+            check_change(&known, code, bits.len() as u32, value)?;
+            changes.push(VcdChange { time, code: code.to_string(), value });
+        } else {
+            // `<0|1><code>` scalar change.
+            let mut chars = line.chars();
+            let v = match chars.next() {
+                Some('0') => 0,
+                Some('1') => 1,
+                other => {
+                    return Err(VcdError { msg: format!("bad scalar change `{line}` ({other:?})") })
+                }
+            };
+            let code: String = chars.collect();
+            check_change(&known, &code, 1, v)?;
+            changes.push(VcdChange { time, code, value: v });
+        }
+    }
+    Ok(Vcd { scope, vars, changes, timestamps })
+}
+
+fn check_change(
+    known: &BTreeMap<String, u32>,
+    code: &str,
+    value_bits: u32,
+    value: u64,
+) -> Result<(), VcdError> {
+    let Some(&width) = known.get(code) else {
+        return Err(VcdError { msg: format!("value change for undeclared code `{code}`") });
+    };
+    let significant = 64 - value.leading_zeros();
+    if significant.max(1) > width {
+        return Err(VcdError {
+            msg: format!(
+                "value {value} ({value_bits} chars) exceeds declared width {width} of `{code}`"
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+$date test $end
+$timescale 1ns $end
+$scope module demo $end
+$var wire 1 ! done $end
+$var wire 8 \" r0_x $end
+$upscope $end
+$enddefinitions $end
+#0
+0!
+b0 \"
+#2
+b101 \"
+#4
+1!
+#6
+";
+
+    #[test]
+    fn parses_sample() {
+        let v = parse_vcd(SAMPLE).unwrap();
+        assert_eq!(v.scope, "demo");
+        assert_eq!(v.vars.len(), 2);
+        assert_eq!(v.changes.len(), 4);
+        assert_eq!(v.timestamps, vec![0, 2, 4, 6]);
+        let series = v.series();
+        assert_eq!(series["!"], vec![0, 0, 1, 1]);
+        assert_eq!(series["\""], vec![0, 5, 5, 5]);
+    }
+
+    #[test]
+    fn rejects_backwards_time() {
+        let bad = SAMPLE.replace("#6", "#1");
+        assert!(parse_vcd(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_undeclared_code() {
+        let bad = SAMPLE.replace("1!", "1Z");
+        assert!(parse_vcd(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_overwide_value() {
+        let bad = SAMPLE.replace("b101 \"", "b111111111 \"");
+        assert!(parse_vcd(&bad).is_err());
+    }
+}

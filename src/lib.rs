@@ -12,7 +12,8 @@
 //! | [`hls_ir`] | IR, optimization passes, interpreter (the golden model) |
 //! | [`hls_core`] | Allocation, scheduling, binding, FSMD synthesis |
 //! | [`rtl`] | Cycle-accurate simulation, area/timing estimation, testbenches |
-//! | [`tao`] | The three obfuscations, key management, attack analysis |
+//! | [`vlog`] | Verilog-subset parser + event-driven simulator for the emitted text |
+//! | [`tao`] | The three obfuscations, key management, attack analysis, differential verify |
 //! | [`tao_crypto`] | Self-contained AES-256 for the NVM key scheme |
 //! | [`benchmarks`] | The five paper kernels + seeded stimuli |
 //! | [`hls_dse`] | Parallel design-space exploration + Pareto extraction |
@@ -47,6 +48,29 @@
 //! assert!(!report.pareto.is_empty());
 //! # Ok::<(), tao_repro::hls_dse::DseError>(())
 //! ```
+//!
+//! ## Executing the emitted Verilog
+//!
+//! The emitted text — the foundry-visible artifact — is executable: the
+//! [`vlog`] crate parses and simulates it on the same interface as the
+//! FSMD simulator, and `tao::verify` runs the three-way differential
+//! oracle (interpreter vs FSMD vs Verilog text) the `reproduce --
+//! vlog-diff` experiment drives over the whole suite.
+//!
+//! ```
+//! use tao_repro::hls_core::{self, KeyBits};
+//! use tao_repro::rtl::SimOptions;
+//! use tao_repro::vlog::VlogSim;
+//!
+//! let m = tao_repro::hls_frontend::compile("int sq(int x) { return x * x; }", "d")?;
+//! let fsmd = hls_core::synthesize(&m, "sq", &hls_core::HlsOptions::default())?;
+//! let sim = VlogSim::new(&hls_core::verilog::emit(&fsmd))?;
+//! let vr = sim.simulate(&[9], &KeyBits::zero(0), &[], &SimOptions::default())?;
+//! let rr = tao_repro::rtl::simulate(&fsmd, &[9], &KeyBits::zero(0), &[], &SimOptions::default())?;
+//! assert_eq!(vr, rr); // bit-for-bit, cycle-for-cycle
+//! assert_eq!(vr.ret, Some(81));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,3 +83,4 @@ pub use hls_ir;
 pub use rtl;
 pub use tao;
 pub use tao_crypto;
+pub use vlog;

@@ -1,0 +1,125 @@
+//! Property-based differential testing of the emitted Verilog on randomly
+//! generated programs: for every generated kernel, stimulus and key, the
+//! Verilog-text simulator must agree with the FSMD simulator *exactly*
+//! (same `SimResult`, same error), and under the correct key both must
+//! reproduce the IR interpreter's outputs.
+
+mod common;
+
+use common::{gen_program, run_golden};
+use hls_core::{verilog, KeyBits};
+use proptest::prelude::*;
+use rtl::{simulate, SimError, SimOptions};
+use vlog::VlogSim;
+
+fn arg_sets() -> Vec<[u64; 3]> {
+    vec![[0, 0, 0], [1, 2, 3], [100, 50, 25], [0x8000_0000, 3, 2]]
+}
+
+fn locking_key(seed: u64) -> KeyBits {
+    let mut s = seed | 1;
+    KeyBits::from_fn(256, || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    })
+}
+
+/// Compares an FSMD run and a Verilog-text run of the same design under
+/// the same stimulus/key: both must produce identical results or
+/// identical errors.
+fn assert_exact_agreement(
+    fsmd: &hls_core::Fsmd,
+    sim: &VlogSim,
+    args: &[u64],
+    key: &KeyBits,
+    opts: &SimOptions,
+    ctx: &str,
+) {
+    let r = simulate(fsmd, args, key, &[], opts);
+    let v = sim.simulate(args, key, &[], opts);
+    match (r, v) {
+        (Ok(rr), Ok(vr)) => assert_eq!(rr, vr, "run diverged: {ctx}"),
+        (Err(re), Err(ve)) => assert_eq!(re, ve, "errors diverged: {ctx}"),
+        (r, v) => panic!("outcome diverged: {r:?} vs {v:?} ({ctx})"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn baseline_text_simulates_exactly_like_the_fsmd(seed in any::<u64>()) {
+        let prog = gen_program(seed);
+        let module = hls_frontend::compile(&prog.source, "p")
+            .unwrap_or_else(|e| panic!("compile: {e}\n{}", prog.source));
+        let fsmd = hls_core::synthesize(&module, "f", &hls_core::HlsOptions::default())
+            .unwrap_or_else(|e| panic!("synthesize: {e}\n{}", prog.source));
+        let sim = VlogSim::new(&verilog::emit(&fsmd))
+            .unwrap_or_else(|e| panic!("emitted text rejected: {e}\n{}", prog.source));
+        for args in arg_sets() {
+            assert_exact_agreement(
+                &fsmd, &sim, &args, &KeyBits::zero(0), &SimOptions::default(), &prog.source,
+            );
+            // Correct-by-construction: the text also matches the golden model.
+            let want = run_golden(&module, &args);
+            let got = sim
+                .simulate(&args, &KeyBits::zero(0), &[], &SimOptions::default())
+                .unwrap_or_else(|e| panic!("vlog sim: {e}\n{}", prog.source));
+            prop_assert_eq!(Some(want), got.ret, "args {:?}\n{}", args, prog.source);
+        }
+    }
+
+    #[test]
+    fn locked_text_agrees_under_correct_and_wrong_keys(seed in any::<u64>()) {
+        let prog = gen_program(seed);
+        let module = hls_frontend::compile(&prog.source, "p").unwrap();
+        let lk = locking_key(seed);
+        let design = tao::lock(&module, "f", &lk, &tao::TaoOptions::default())
+            .unwrap_or_else(|e| panic!("lock: {e}\n{}", prog.source));
+        let sim = VlogSim::new(&verilog::emit(&design.fsmd))
+            .unwrap_or_else(|e| panic!("locked text rejected: {e}\n{}", prog.source));
+        let wk = design.working_key(&lk);
+        // Bounded budget: wrong keys may spin; both layers must agree on
+        // the CycleLimit / snapshot behaviour too.
+        let tight = SimOptions { max_cycles: 50_000, snapshot_on_timeout: false };
+        let snap = SimOptions { max_cycles: 20_000, snapshot_on_timeout: true };
+        for (i, args) in arg_sets().into_iter().enumerate() {
+            // Correct key: exact agreement and golden match.
+            assert_exact_agreement(&design.fsmd, &sim, &args, &wk, &tight, &prog.source);
+            let want = run_golden(&module, &args);
+            let got = sim.simulate(&args, &wk, &[], &SimOptions::default()).unwrap();
+            prop_assert_eq!(Some(want), got.ret, "args {:?}\n{}", args, prog.source);
+
+            // Wrong key (one flipped working-key bit): still exact RTL-level
+            // agreement, in both error and snapshot modes.
+            let mut wrong = wk.clone();
+            let bit = (seed.wrapping_add(i as u64 * 977) % wk.width() as u64) as u32;
+            wrong.set_bit(bit, !wrong.bit(bit));
+            assert_exact_agreement(&design.fsmd, &sim, &args, &wrong, &tight, &prog.source);
+            assert_exact_agreement(&design.fsmd, &sim, &args, &wrong, &snap, &prog.source);
+        }
+    }
+
+    #[test]
+    fn interface_errors_agree(seed in any::<u64>()) {
+        let prog = gen_program(seed);
+        let module = hls_frontend::compile(&prog.source, "p").unwrap();
+        let fsmd = hls_core::synthesize(&module, "f", &hls_core::HlsOptions::default()).unwrap();
+        let sim = VlogSim::new(&verilog::emit(&fsmd)).unwrap();
+        // Arity mismatch reported identically.
+        let r = simulate(&fsmd, &[1], &KeyBits::zero(0), &[], &SimOptions::default());
+        let v = sim.simulate(&[1], &KeyBits::zero(0), &[], &SimOptions::default());
+        prop_assert_eq!(
+            r.unwrap_err(),
+            v.unwrap_err()
+        );
+        // Key width mismatch reported identically.
+        let r = simulate(&fsmd, &[1, 2, 3], &KeyBits::zero(9), &[], &SimOptions::default());
+        let v = sim.simulate(&[1, 2, 3], &KeyBits::zero(9), &[], &SimOptions::default());
+        prop_assert_eq!(matches!(r, Err(SimError::KeyWidthMismatch { .. })),
+                        matches!(v, Err(SimError::KeyWidthMismatch { .. })));
+        prop_assert_eq!(r.unwrap_err(), v.unwrap_err());
+    }
+}

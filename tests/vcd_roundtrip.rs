@@ -1,0 +1,77 @@
+//! VCD round-trip: `rtl::vcd` waveforms must parse back with the `vlog`
+//! crate's VCD reader — monotonically nondecreasing timestamps, value
+//! changes only on declared signals, and per-cycle values that
+//! reconstruct the original traces exactly.
+
+use hls_core::KeyBits;
+use rtl::vcd::trace;
+use vlog::parse_vcd;
+
+fn traced() -> (rtl::Waveform, String) {
+    let m = hls_frontend::compile(
+        "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i * n; return s; }",
+        "t",
+    )
+    .unwrap();
+    let fsmd = hls_core::synthesize(&m, "f", &hls_core::HlsOptions::default()).unwrap();
+    let (wf, _) = trace(&fsmd, &[6], &KeyBits::zero(0), &[], 10_000).unwrap();
+    let text = wf.to_vcd();
+    (wf, text)
+}
+
+#[test]
+fn vcd_parses_with_monotonic_timestamps_and_declared_codes_only() {
+    let (wf, text) = traced();
+    // The parser itself rejects undeclared codes and backwards time; a
+    // clean parse is the first half of the property.
+    let vcd = parse_vcd(&text).unwrap();
+    assert_eq!(vcd.scope, wf.design);
+    assert_eq!(vcd.vars.len(), wf.signals.len());
+    for (var, sig) in vcd.vars.iter().zip(&wf.signals) {
+        assert_eq!(var.name, sig.name);
+        assert_eq!(var.width, sig.width as u32);
+    }
+    assert!(
+        vcd.timestamps.windows(2).all(|w| w[0] <= w[1]),
+        "timestamps must be nondecreasing: {:?}",
+        vcd.timestamps
+    );
+    // Every change references a declared code (enforced by the parser,
+    // asserted once more explicitly).
+    for ch in &vcd.changes {
+        assert!(vcd.vars.iter().any(|v| v.code == ch.code), "undeclared code {}", ch.code);
+    }
+}
+
+#[test]
+fn vcd_reconstructs_the_original_waveform() {
+    let (wf, text) = traced();
+    let vcd = parse_vcd(&text).unwrap();
+    // Replay the dump cycle by cycle (the tracer emits cycle t at time
+    // 2t ns) and compare with the recorded signal values.
+    let mut current: std::collections::BTreeMap<&str, u64> =
+        vcd.vars.iter().map(|v| (v.code.as_str(), 0)).collect();
+    let mut ci = 0usize;
+    for t in 0..wf.cycles {
+        while ci < vcd.changes.len() && vcd.changes[ci].time <= t * 2 {
+            current.insert(&vcd.changes[ci].code, vcd.changes[ci].value);
+            ci += 1;
+        }
+        for (var, sig) in vcd.vars.iter().zip(&wf.signals) {
+            assert_eq!(
+                current[var.code.as_str()],
+                sig.values[t as usize],
+                "signal {} at cycle {t}",
+                sig.name
+            );
+        }
+    }
+}
+
+#[test]
+fn tampered_dumps_are_rejected() {
+    let (_, text) = traced();
+    // Inject a change on an undeclared code.
+    let bad = text.replace("$enddefinitions $end", "$enddefinitions $end\n#0\n1~");
+    assert!(parse_vcd(&bad).is_err());
+}
