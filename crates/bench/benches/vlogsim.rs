@@ -1,12 +1,13 @@
 //! Times the Verilog-text simulator against the FSMD cycle simulator on
-//! the same locked designs: the cost of executing the foundry-visible
-//! artifact vs the in-memory model (both report cycles/sec throughput).
+//! the same locked designs — tree-walking and compiled-tape backends of
+//! each: the cost of executing the foundry-visible artifact vs the
+//! in-memory model (all report cycles/sec throughput).
 
 use bench::locking_key;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hls_core::verilog;
-use rtl::{rtl_outputs, SimOptions, TestCase};
-use vlog::{vlog_outputs, VlogSim};
+use rtl::{rtl_outputs, CompiledFsmd, SimOptions, TestCase};
+use vlog::{vlog_outputs, VlogSim, VlogTape};
 
 fn bench_vlog_vs_fsmd(c: &mut Criterion) {
     let lk = locking_key(0x5eed);
@@ -20,15 +21,27 @@ fn bench_vlog_vs_fsmd(c: &mut Criterion) {
         let case = TestCase { args: stim.args.clone(), mem_inputs: stim.resolve(&d.module) };
         let text = verilog::emit(&d.fsmd);
         let sim = VlogSim::new(&text).unwrap();
+        let tape = VlogTape::compile(&sim).unwrap();
+        let ctape = CompiledFsmd::compile(&d.fsmd);
         let cycles = rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap().1.cycles;
         g.throughput(Throughput::Elements(cycles));
         g.bench_function(&format!("{name}-fsmd"), |bench| {
             bench.iter(|| rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).unwrap());
         });
+        g.bench_function(&format!("{name}-fsmd-tape"), |bench| {
+            let mut runner = ctape.runner();
+            bench.iter(|| runner.run_case(&case, &wk, &SimOptions::default()).unwrap());
+        });
         g.bench_function(&format!("{name}-vlog"), |bench| {
             bench.iter(|| {
                 vlog_outputs(&sim, &case, &wk, &SimOptions::default(), &d.fsmd.mem_of_array)
                     .unwrap()
+            });
+        });
+        g.bench_function(&format!("{name}-vlog-tape"), |bench| {
+            let mut runner = tape.runner();
+            bench.iter(|| {
+                runner.run_case(&case, &wk, &SimOptions::default(), &d.fsmd.mem_of_array).unwrap()
             });
         });
     }

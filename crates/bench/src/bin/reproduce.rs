@@ -98,10 +98,43 @@ fn main() {
                 println!("{}", render_vlogdiff(&rows));
                 assert!(vlog_diff_clean(&rows), "differential verification failed: {rows:?}");
             }
+            "bench-json" => {
+                // Simulator-throughput trajectory artifact: all four
+                // backends on every kernel, written as BENCH_sim.json.
+                let rows = sim_bench();
+                println!("{}", render_sim_bench(&rows));
+                let path = "BENCH_sim.json";
+                std::fs::write(path, sim_bench_json(&rows, "full"))
+                    .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+                println!("wrote {path}");
+                if let Err(violations) = check_floor(&rows, VLOG_TAPE_FLOOR) {
+                    for v in &violations {
+                        eprintln!("FLOOR VIOLATION: {v}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+            "bench-json-smoke" => {
+                // CI regression gate: two kernels; fails when the compiled
+                // Verilog backend drops below the throughput floor.
+                let rows = sim_bench_smoke();
+                println!("{}", render_sim_bench(&rows));
+                let path = "target/BENCH_sim_smoke.json";
+                match std::fs::write(path, sim_bench_json(&rows, "smoke")) {
+                    Ok(()) => println!("wrote {path}"),
+                    Err(e) => eprintln!("could not write {path}: {e}"),
+                }
+                if let Err(violations) = check_floor(&rows, VLOG_TAPE_FLOOR) {
+                    for v in &violations {
+                        eprintln!("FLOOR VIOLATION: {v}");
+                    }
+                    std::process::exit(1);
+                }
+            }
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
-                    "known: table1 fig6 freq cycles validate keymgmt ablate-bi ablate-c ablate-swap ablate-alloc attack unroll report dse dse-smoke vlog-diff vlog-diff-smoke all"
+                    "known: table1 fig6 freq cycles validate keymgmt ablate-bi ablate-c ablate-swap ablate-alloc attack unroll report dse dse-smoke vlog-diff vlog-diff-smoke bench-json bench-json-smoke all"
                 );
                 std::process::exit(2);
             }

@@ -4,7 +4,7 @@ use benchmarks::Benchmark;
 use hls_core::{CostModel, KeyBits};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rtl::{golden_outputs, images_equal, rtl_outputs, SimOptions, TestCase};
+use rtl::{golden_outputs, images_equal, rtl_outputs, CompiledFsmd, SimOptions, TestCase};
 use tao::{KeyScheme, LockedDesign, PlanConfig, TaoOptions, VariantOptions};
 
 /// The paper's locking-key width.
@@ -272,8 +272,12 @@ pub fn validate(n_keys: usize) -> Vec<ValidationRow> {
             let case = test_case(b, &d, 11);
             let golden = golden_outputs(&d.module, b.top, &case);
             let wk = d.working_key(&lk);
+            // The key sweep is the hot loop: compile the tape backend once
+            // and reuse one runner across all wrong keys.
+            let compiled = CompiledFsmd::compile(&d.fsmd);
+            let mut runner = compiled.runner();
             let (img, base_res) =
-                rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).expect("unlock");
+                runner.outputs(&case, &wk, &SimOptions::default()).expect("unlock");
             assert!(
                 images_equal(&golden, &img),
                 "{}: correct key must reproduce the specification",
@@ -293,7 +297,7 @@ pub fn validate(n_keys: usize) -> Vec<ValidationRow> {
                 let wrong_lk = KeyBits::from_fn(LOCKING_KEY_BITS, || rng.gen());
                 let wrong_wk = d.working_key(&wrong_lk);
                 let (wimg, wres) =
-                    rtl_outputs(&d.fsmd, &case, &wrong_wk, &budget).expect("snapshot mode");
+                    runner.outputs(&case, &wrong_wk, &budget).expect("snapshot mode");
                 if images_equal(&golden, &wimg) {
                     wrong_correct += 1;
                 }
@@ -488,8 +492,10 @@ pub fn ablate_swap(n_keys: usize) -> Vec<AblateSwapRow> {
             let case = test_case(&b, &d, 17);
             let golden = golden_outputs(&d.module, b.top, &case);
             let wk = d.working_key(&lk);
-            let (_, base_res) =
-                rtl_outputs(&d.fsmd, &case, &wk, &SimOptions::default()).expect("unlock");
+            // Key sweep on the tape backend: compile once, reuse the runner.
+            let compiled = CompiledFsmd::compile(&d.fsmd);
+            let mut runner = compiled.runner();
+            let (_, base_res) = runner.outputs(&case, &wk, &SimOptions::default()).expect("unlock");
             // Fixed-duration testbench: stuck circuits still yield an
             // output snapshot for the HD metric.
             let budget =
@@ -500,7 +506,7 @@ pub fn ablate_swap(n_keys: usize) -> Vec<AblateSwapRow> {
             let mut hd_n = 0usize;
             for _ in 0..n_keys {
                 let wrong = d.working_key(&KeyBits::from_fn(LOCKING_KEY_BITS, || rng.gen()));
-                let (img, _) = rtl_outputs(&d.fsmd, &case, &wrong, &budget).expect("snapshot mode");
+                let (img, _) = runner.outputs(&case, &wrong, &budget).expect("snapshot mode");
                 if !images_equal(&golden, &img) {
                     corrupted += 1;
                 }

@@ -36,8 +36,13 @@
 pub mod dse;
 pub mod experiments;
 pub mod format;
+pub mod simjson;
 pub mod vlogdiff;
 
 pub use dse::{dse_kernels, dse_sweep, smoke_sweep};
 pub use experiments::*;
+pub use simjson::{
+    check_floor, render_sim_bench, sim_bench, sim_bench_json, sim_bench_smoke, SimBenchRow,
+    VLOG_TAPE_FLOOR,
+};
 pub use vlogdiff::{vlog_diff, vlog_diff_clean, vlog_diff_smoke, VlogDiffRow};

@@ -1,0 +1,239 @@
+//! Machine-readable simulator-throughput benchmark: `BENCH_sim.json`.
+//!
+//! The ROADMAP's north star is "as fast as the hardware allows", so the
+//! simulator backends' throughput is a tracked artifact, not a one-off
+//! Criterion run. `reproduce -- bench-json` measures cycles/second for
+//! all four backends — FSMD tree ([`rtl::simulate`]), FSMD tape
+//! ([`rtl::CompiledFsmd`]), Verilog tree ([`vlog::VlogSim`]), Verilog
+//! tape ([`vlog::VlogTape`]) — on the locked benchmark kernels, and
+//! writes the rows as JSON so the perf trajectory is diffable across
+//! PRs. `reproduce -- bench-json-smoke` runs a CI-sized subset and
+//! *fails* when the compiled Verilog backend drops below the regression
+//! floor relative to the tree walker measured in the same process.
+
+use crate::experiments::{locking_key, test_case};
+use hls_core::verilog;
+use rtl::{rtl_outputs, CompiledFsmd, SimOptions, TestCase};
+use std::time::Instant;
+use tao::TaoOptions;
+use vlog::{vlog_outputs, VlogSim, VlogTape};
+
+/// Smoke mode must beat this ratio of compiled-vs-tree Verilog
+/// throughput, else the CI step fails. The tape backend measures an
+/// order of magnitude faster in release builds; 2x leaves headroom for
+/// noisy CI machines while still catching a de-compiled hot path.
+pub const VLOG_TAPE_FLOOR: f64 = 2.0;
+
+/// One kernel's throughput measurements (cycles simulated per second).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimBenchRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Correct-key latency in cycles (the per-run work unit).
+    pub cycles: u64,
+    /// FSMD tree-walking backend.
+    pub fsmd_tree_cps: f64,
+    /// FSMD compiled-tape backend.
+    pub fsmd_tape_cps: f64,
+    /// Verilog-text tree-walking backend.
+    pub vlog_tree_cps: f64,
+    /// Verilog-text compiled-tape backend.
+    pub vlog_tape_cps: f64,
+}
+
+impl SimBenchRow {
+    /// Compiled-vs-tree speedup of the Verilog backend.
+    pub fn vlog_speedup(&self) -> f64 {
+        self.vlog_tape_cps / self.vlog_tree_cps
+    }
+
+    /// Compiled-vs-tree speedup of the FSMD backend.
+    pub fn fsmd_speedup(&self) -> f64 {
+        self.fsmd_tape_cps / self.fsmd_tree_cps
+    }
+}
+
+/// Times `run` (one full simulation per call) until `min_ms` of wall
+/// clock accumulate, and returns cycles/second.
+fn throughput(cycles_per_run: u64, min_ms: u64, mut run: impl FnMut()) -> f64 {
+    run(); // warm-up, outside the timed window
+    let mut runs = 0u64;
+    let t0 = Instant::now();
+    loop {
+        run();
+        runs += 1;
+        let elapsed = t0.elapsed();
+        if elapsed.as_millis() as u64 >= min_ms {
+            return (runs * cycles_per_run) as f64 / elapsed.as_secs_f64();
+        }
+    }
+}
+
+/// Measures all four backends on one locked kernel.
+fn bench_kernel(name: &str, min_ms: u64) -> SimBenchRow {
+    let b = benchmarks::by_name(name).expect("suite kernel");
+    let lk = locking_key(0x5eed);
+    let m = b.compile().expect("kernel compiles");
+    let d = tao::lock(&m, b.top, &lk, &TaoOptions::default()).expect("lock succeeds");
+    let wk = d.working_key(&lk);
+    let case: TestCase = test_case(&b, &d, 1);
+    let opts = SimOptions::default();
+
+    let text = verilog::emit(&d.fsmd);
+    let vtree = VlogSim::new(&text).expect("emitted text parses");
+    let vtape = VlogTape::compile(&vtree).expect("emitted text tape-compiles");
+    let ctape = CompiledFsmd::compile(&d.fsmd);
+
+    let cycles = rtl_outputs(&d.fsmd, &case, &wk, &opts).expect("correct key runs").1.cycles;
+
+    let fsmd_tree_cps = throughput(cycles, min_ms, || {
+        rtl_outputs(&d.fsmd, &case, &wk, &opts).expect("fsmd tree");
+    });
+    let mut frun = ctape.runner();
+    let fsmd_tape_cps = throughput(cycles, min_ms, || {
+        frun.run_case(&case, &wk, &opts).expect("fsmd tape");
+    });
+    let vlog_tree_cps = throughput(cycles, min_ms, || {
+        vlog_outputs(&vtree, &case, &wk, &opts, &d.fsmd.mem_of_array).expect("vlog tree");
+    });
+    let mut vrun = vtape.runner();
+    let vlog_tape_cps = throughput(cycles, min_ms, || {
+        vrun.run_case(&case, &wk, &opts, &d.fsmd.mem_of_array).expect("vlog tape");
+    });
+
+    SimBenchRow {
+        name: name.to_string(),
+        cycles,
+        fsmd_tree_cps,
+        fsmd_tape_cps,
+        vlog_tree_cps,
+        vlog_tape_cps,
+    }
+}
+
+/// Full sweep: every suite kernel, ~0.4 s per backend measurement.
+pub fn sim_bench() -> Vec<SimBenchRow> {
+    benchmarks::all().iter().map(|b| bench_kernel(b.name, 400)).collect()
+}
+
+/// CI-sized sweep: two kernels, ~0.15 s per backend measurement.
+pub fn sim_bench_smoke() -> Vec<SimBenchRow> {
+    ["sobel", "gsm"].iter().map(|n| bench_kernel(n, 150)).collect()
+}
+
+/// Serializes the rows as the `BENCH_sim.json` artifact.
+pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"tao-repro/bench-sim/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"unit\": \"cycles_per_second\",\n");
+    out.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cycles\": {}, \"fsmd_tree\": {:.0}, \
+             \"fsmd_tape\": {:.0}, \"vlog_tree\": {:.0}, \"vlog_tape\": {:.0}, \
+             \"fsmd_speedup\": {:.2}, \"vlog_speedup\": {:.2}}}{}\n",
+            r.name,
+            r.cycles,
+            r.fsmd_tree_cps,
+            r.fsmd_tape_cps,
+            r.vlog_tree_cps,
+            r.vlog_tape_cps,
+            r.fsmd_speedup(),
+            r.vlog_speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Human-readable table of the same rows.
+pub fn render_sim_bench(rows: &[SimBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Simulator throughput (cycles/s; tape = compiled backend)\n");
+    out.push_str(&format!(
+        "{:<10} {:>9} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}\n",
+        "kernel",
+        "cycles",
+        "fsmd-tree",
+        "fsmd-tape",
+        "speedup",
+        "vlog-tree",
+        "vlog-tape",
+        "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>9} {:>12.0} {:>12.0} {:>7.1}x {:>12.0} {:>12.0} {:>7.1}x\n",
+            r.name,
+            r.cycles,
+            r.fsmd_tree_cps,
+            r.fsmd_tape_cps,
+            r.fsmd_speedup(),
+            r.vlog_tree_cps,
+            r.vlog_tape_cps,
+            r.vlog_speedup(),
+        ));
+    }
+    out
+}
+
+/// `Err` with the offending rows when any kernel's compiled Verilog
+/// backend falls below `floor ×` the tree walker measured in the same
+/// process.
+///
+/// # Errors
+///
+/// Returns the list of violations, one line per failing kernel.
+pub fn check_floor(rows: &[SimBenchRow], floor: f64) -> Result<(), Vec<String>> {
+    let violations: Vec<String> = rows
+        .iter()
+        .filter(|r| r.vlog_speedup() < floor)
+        .map(|r| {
+            format!(
+                "{}: vlog tape {:.0} cycles/s is only {:.2}x the tree backend ({:.0}), floor {floor}x",
+                r.name,
+                r.vlog_tape_cps,
+                r.vlog_speedup(),
+                r.vlog_tree_cps,
+            )
+        })
+        .collect();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_and_floor_check() {
+        let rows = vec![SimBenchRow {
+            name: "k".into(),
+            cycles: 100,
+            fsmd_tree_cps: 1.0e6,
+            fsmd_tape_cps: 3.0e6,
+            vlog_tree_cps: 1.0e6,
+            vlog_tape_cps: 10.0e6,
+        }];
+        let json = sim_bench_json(&rows, "test");
+        assert!(json.contains("\"schema\": \"tao-repro/bench-sim/v1\""));
+        assert!(json.contains("\"vlog_speedup\": 10.00"));
+        assert!(check_floor(&rows, 2.0).is_ok());
+        assert!(check_floor(&rows, 20.0).is_err());
+        assert!(!render_sim_bench(&rows).is_empty());
+    }
+
+    #[test]
+    fn throughput_measures_positive_rates() {
+        let mut n = 0u64;
+        let cps = throughput(10, 1, || n += 1);
+        assert!(cps > 0.0);
+        assert!(n >= 2); // warm-up + at least one timed run
+    }
+}

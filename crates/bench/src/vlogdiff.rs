@@ -10,7 +10,7 @@
 
 use crate::experiments::{locking_key, test_case};
 use benchmarks::Benchmark;
-use rtl::{rtl_outputs, SimOptions, TestCase};
+use rtl::{CompiledFsmd, SimOptions, TestCase};
 use tao::{differential_verify, standard_trials, TaoOptions};
 
 /// One benchmark's differential-verification outcome.
@@ -46,11 +46,12 @@ fn diff_benchmark(b: &Benchmark, n_cases: usize, n_wrong: usize) -> VlogDiffRow 
     let trials = standard_trials(&d, &lk, n_wrong, 0xD1FF ^ b.name.len() as u64);
     let wk = d.working_key(&lk);
     // Budget from the slowest stimulus: a data-dependent case must not
-    // time out under the correct key.
+    // time out under the correct key. One tape runner serves every case.
+    let compiled = CompiledFsmd::compile(&d.fsmd);
+    let mut runner = compiled.runner();
     let base_cycles = cases
         .iter()
-        .map(|c| rtl_outputs(&d.fsmd, c, &wk, &SimOptions::default()).expect("correct key runs"))
-        .map(|(_, r)| r.cycles)
+        .map(|c| runner.run_case(c, &wk, &SimOptions::default()).expect("correct key runs").cycles)
         .max()
         .expect("at least one case");
     // Fixed-duration testbench: stuck wrong-key circuits snapshot their

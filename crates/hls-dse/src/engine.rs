@@ -15,7 +15,9 @@ use crate::space::ConfigSpace;
 use hls_core::{CostModel, Fsmd, HlsError, HlsOptions, KeyBits, Prepared};
 use hls_frontend::FrontendError;
 use hls_ir::Module;
-use rtl::{golden_outputs, images_equal, rtl_outputs, OutputImage, SimError, SimOptions, TestCase};
+use rtl::{
+    golden_outputs, images_equal, CompiledFsmd, OutputImage, SimError, SimOptions, TestCase,
+};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -300,7 +302,10 @@ pub fn explore(
         let design =
             tao::lock_from_baseline(&prep.prepared, &base.baseline, &kernel.top, &lk, &cfg.tao)?;
         let wk = design.working_key(&lk);
-        let (img, res) = rtl_outputs(&design.fsmd, &prep.case, &wk, &opts.sim)?;
+        // Sign-off on the compiled tape backend: flatten the locked FSMD
+        // once, run without per-call allocation or memory clones.
+        let (img, res) =
+            CompiledFsmd::compile(&design.fsmd).runner().outputs(&prep.case, &wk, &opts.sim)?;
 
         let area = rtl::area(&design.fsmd, &cm).total();
         let timing = rtl::timing(&design.fsmd, &cm);

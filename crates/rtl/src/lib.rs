@@ -29,12 +29,14 @@
 
 pub mod area;
 pub mod sim;
+pub mod tape;
 pub mod testbench;
 pub mod timing;
 pub mod vcd;
 
 pub use area::{area, AreaReport, PortStats};
-pub use sim::{simulate, SimError, SimOptions, SimResult};
+pub use sim::{simulate, SimError, SimOptions, SimResult, SimStats};
+pub use tape::{CompiledFsmd, FsmdRunner};
 pub use testbench::{
     count_matches, golden_outputs, images_equal, rtl_outputs, OutputImage, TestCase,
 };

@@ -58,6 +58,22 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
+/// The scalar outcome of one run — what the batch backends return
+/// without cloning memory images. Both the FSMD tape runner
+/// ([`crate::tape::FsmdRunner`]) and the Verilog tape runner speak this
+/// type; the full [`SimResult`] (with memories and registers) is
+/// assembled only when a caller keeps them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Return-register value (`None` for void designs).
+    pub ret: Option<u64>,
+    /// Clock cycles from start to done.
+    pub cycles: u64,
+    /// `true` if the run was cut off by the cycle budget and the state is
+    /// a snapshot (see [`SimOptions::snapshot_on_timeout`]).
+    pub timed_out: bool,
+}
+
 /// Result of a completed simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimResult {
@@ -73,6 +89,13 @@ pub struct SimResult {
     /// Final datapath register values (indexed like `Fsmd::reg_widths`);
     /// the VCD tracer and debugging tests read these.
     pub regs: Vec<u64>,
+}
+
+impl SimResult {
+    /// The scalar outcome without the memory/register images.
+    pub fn stats(&self) -> SimStats {
+        SimStats { ret: self.ret, cycles: self.cycles, timed_out: self.timed_out }
+    }
 }
 
 /// Simulator options.
@@ -289,7 +312,8 @@ pub fn simulate(
 
 /// Hardware-style address wrap: the decoder uses the low address bits; an
 /// out-of-range index aliases into the array instead of trapping.
-fn wrap_index(raw: u64, len: usize) -> usize {
+/// Shared with the tape backend so the two can never desynchronize.
+pub(crate) fn wrap_index(raw: u64, len: usize) -> usize {
     if len == 0 {
         return 0;
     }

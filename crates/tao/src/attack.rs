@@ -18,7 +18,7 @@
 
 use crate::flow::LockedDesign;
 use hls_core::KeyBits;
-use rtl::{images_equal, rtl_outputs, OutputImage, SimOptions, TestCase};
+use rtl::{images_equal, CompiledFsmd, OutputImage, SimOptions, TestCase};
 
 /// Per-technique key-space accounting for a locked design.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,8 +90,12 @@ pub fn oracle_guided_branch_attack(
     opts: &SimOptions,
 ) -> BranchAttackOutcome {
     let opts = *opts;
+    // The enumeration runs the same design under thousands of candidate
+    // keys: compile to the tape backend once and reuse one runner.
+    let compiled = CompiledFsmd::compile(&design.fsmd);
+    let mut runner = compiled.runner();
     oracle_guided_branch_attack_with(design, correct_key, cases, oracle, |case, key| {
-        rtl_outputs(&design.fsmd, case, key, &opts).ok().map(|(img, _)| img)
+        runner.outputs(case, key, &opts).ok().map(|(img, _)| img)
     })
 }
 
@@ -119,8 +123,10 @@ where
     let true_assignment: u64 =
         branch_bits.iter().enumerate().map(|(i, &b)| (correct_key.bit(b) as u64) << i).sum();
 
+    // One key buffer for the whole enumeration: every branch bit is
+    // rewritten per candidate, so no per-trial clone is needed.
+    let mut key = correct_key.clone();
     for candidate in 0..(1u64 << n) {
-        let mut key = correct_key.clone();
         for (i, &b) in branch_bits.iter().enumerate() {
             key.set_bit(b, (candidate >> i) & 1 == 1);
         }
@@ -154,21 +160,27 @@ pub fn sensitize_branch_bits(
     case: &TestCase,
     opts: &SimOptions,
 ) -> Vec<bool> {
+    let compiled = CompiledFsmd::compile(&design.fsmd);
+    let mut runner = compiled.runner();
+    // The correct-key run is loop-invariant: simulate it once. One flip
+    // buffer serves every bit (flip before the run, restore after)
+    // instead of cloning the key per bit.
+    let a = runner.outputs(case, correct_key, opts);
+    let mut flipped = correct_key.clone();
     design
         .plan
         .branch_bits
         .values()
         .map(|&b| {
-            let mut flipped = correct_key.clone();
             flipped.set_bit(b, !flipped.bit(b));
-            let a = rtl_outputs(&design.fsmd, case, correct_key, opts);
-            let x = rtl_outputs(&design.fsmd, case, &flipped, opts);
+            let x = runner.outputs(case, &flipped, opts);
+            flipped.set_bit(b, correct_key.bit(b));
             // "Distinguishable without an oracle" would mean one execution
             // is structurally ill-formed while the other is fine. Both
             // always produce results (or both can exceed any finite
             // budget), so the only separator is comparing against golden
             // outputs — which the foundry does not have.
-            match (a, x) {
+            match (&a, &x) {
                 (Ok(_), Ok(_)) => false,
                 (Err(_), Err(_)) => false,
                 // One side exceeding the budget is not a distinguisher

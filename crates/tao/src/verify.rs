@@ -23,9 +23,9 @@ use crate::flow::LockedDesign;
 use hls_core::{verilog, KeyBits};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rtl::{golden_outputs, images_equal, rtl_outputs, SimOptions, TestCase};
+use rtl::{golden_outputs, images_equal, CompiledFsmd, SimOptions, TestCase};
 use std::fmt;
-use vlog::{vlog_outputs, VlogError, VlogSim};
+use vlog::{VlogError, VlogTape};
 
 /// One working key to drive through the differential testbench.
 #[derive(Debug, Clone)]
@@ -140,7 +140,13 @@ pub fn differential_verify(
     opts: &SimOptions,
 ) -> Result<DifferentialReport, VlogError> {
     let text = verilog::emit(&design.fsmd);
-    let sim = VlogSim::new(&text)?;
+    // Both RTL layers run on their compiled tape backends: elaborate and
+    // flatten once, then reuse the runners' buffers across every
+    // (trial, case) pair.
+    let vtape = VlogTape::new(&text)?;
+    let ctape = CompiledFsmd::compile(&design.fsmd);
+    let mut frun = ctape.runner();
+    let mut vrun = vtape.runner();
     let mut report = DifferentialReport { design: design.top.clone(), ..Default::default() };
     let mut hd_sum = 0.0;
     let mut hd_n = 0usize;
@@ -149,25 +155,33 @@ pub fn differential_verify(
         let golden = golden_outputs(&design.module, &design.top, case);
         for trial in trials {
             report.comparisons += 1;
-            let r = rtl_outputs(&design.fsmd, case, &trial.working_key, opts);
-            let v = vlog_outputs(&sim, case, &trial.working_key, opts, &design.fsmd.mem_of_array);
+            let r = frun.run_case(case, &trial.working_key, opts);
+            let v = vrun.run_case(case, &trial.working_key, opts, &design.fsmd.mem_of_array);
             let image = match (&r, &v) {
-                (Ok((ri, rr)), Ok((vi, vr))) => {
-                    if rr != vr {
+                (Ok(rr), Ok(vr)) => {
+                    // Full-state comparison, as the tree backends'
+                    // `SimResult` equality did: scalar outcome, every
+                    // register, every memory image. The images are built
+                    // once per trial (they clone the written external
+                    // memories) and reused for the golden comparison.
+                    let fi = frun.image(rr);
+                    if rr != vr || frun.regs() != vrun.regs().as_slice() {
                         report.rtl_vlog_mismatches.push(format!(
                             "{}: state diverged (fsmd {} cycles ret {:?} vs vlog {} cycles ret {:?})",
                             trial.label, rr.cycles, rr.ret, vr.cycles, vr.ret
                         ));
-                    } else if !images_equal(ri, vi) {
+                    } else if frun.mems() != vrun.mems() || !images_equal(&fi, &vrun.image(vr)) {
                         report.rtl_vlog_mismatches.push(format!(
-                            "{}: output images diverged ({ri:?} vs {vi:?})",
-                            trial.label
+                            "{}: output images diverged ({:?} vs {:?})",
+                            trial.label,
+                            fi,
+                            vrun.image(vr)
                         ));
                     }
                     if rr.timed_out {
                         report.timeouts += 1;
                     }
-                    Some(ri.clone())
+                    Some(fi)
                 }
                 (Err(re), Err(ve)) => {
                     if re != ve {
@@ -226,6 +240,8 @@ pub fn differential_verify(
 mod tests {
     use super::*;
     use crate::flow::{lock, TaoOptions};
+    use rtl::rtl_outputs;
+    use vlog::{vlog_outputs, VlogSim};
 
     const KERNEL: &str = r#"
         short taps[4] = {3, -1, 4, 1};

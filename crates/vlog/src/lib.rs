@@ -47,8 +47,10 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 pub mod sim;
+pub mod tape;
 pub mod vcd;
 
 pub use parser::{parse, ParseError};
 pub use sim::{vlog_outputs, VlogError, VlogSim};
+pub use tape::{TapeRunner, VlogTape};
 pub use vcd::{parse_vcd, Vcd, VcdChange, VcdError, VcdVar};

@@ -58,7 +58,7 @@ fn err<T>(msg: impl Into<String>) -> Result<T, VlogError> {
 // ------------------------------------------------------------ compiled IR
 
 #[derive(Debug, Clone)]
-enum CExpr {
+pub(crate) enum CExpr {
     Const { value: u64, width: u32, signed: bool, unsz: bool },
     Sig { id: usize, width: u32 },
     SelBit { id: usize, index: Box<CExpr> },
@@ -73,7 +73,7 @@ enum CExpr {
 }
 
 #[derive(Debug, Clone)]
-enum CStmt {
+pub(crate) enum CStmt {
     Block(Vec<CStmt>),
     If { cond: CExpr, then_s: Box<CStmt>, else_s: Option<Box<CStmt>> },
     Case { subject: CExpr, arms: Vec<CStmt>, map: BTreeMap<u64, usize>, default: Option<usize> },
@@ -83,7 +83,7 @@ enum CStmt {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SigKind {
+pub(crate) enum SigKind {
     /// Externally driven port.
     Input,
     /// Procedurally driven register.
@@ -93,10 +93,10 @@ enum SigKind {
 }
 
 #[derive(Debug, Clone)]
-struct Sig {
-    name: String,
-    width: u32,
-    kind: SigKind,
+pub(crate) struct Sig {
+    pub(crate) name: String,
+    pub(crate) width: u32,
+    pub(crate) kind: SigKind,
 }
 
 /// A compiled, elaborated module ready to simulate. Construction parses
@@ -104,30 +104,30 @@ struct Sig {
 /// stimuli concurrently.
 #[derive(Debug, Clone)]
 pub struct VlogSim {
-    name: String,
-    sigs: Vec<Sig>,
-    wires: Vec<CExpr>,
-    mems: Vec<CMem>,
-    body: CStmt,
-    init: Vec<(usize, usize, u64)>,
+    pub(crate) name: String,
+    pub(crate) sigs: Vec<Sig>,
+    pub(crate) wires: Vec<CExpr>,
+    pub(crate) mems: Vec<CMem>,
+    pub(crate) body: CStmt,
+    pub(crate) init: Vec<(usize, usize, u64)>,
     // Port roles.
-    rst: usize,
-    start: usize,
-    args: Vec<usize>,
-    key: Option<(usize, u32)>,
-    ret: Option<(usize, u32)>,
-    done: usize,
+    pub(crate) rst: usize,
+    pub(crate) start: usize,
+    pub(crate) args: Vec<usize>,
+    pub(crate) key: Option<(usize, u32)>,
+    pub(crate) ret: Option<(usize, u32)>,
+    pub(crate) done: usize,
     /// Datapath registers `r{i}` in index order (`usize::MAX` = missing).
-    reg_ids: Vec<usize>,
+    pub(crate) reg_ids: Vec<usize>,
 }
 
 #[derive(Debug, Clone)]
-struct CMem {
-    name: String,
-    elem_width: u32,
-    len: usize,
-    external: bool,
-    written: bool,
+pub(crate) struct CMem {
+    pub(crate) name: String,
+    pub(crate) elem_width: u32,
+    pub(crate) len: usize,
+    pub(crate) external: bool,
+    pub(crate) written: bool,
 }
 
 struct RunState {
@@ -142,7 +142,7 @@ struct Updates {
     mems: Vec<(usize, usize, u64)>,
 }
 
-fn mask(w: u32) -> u64 {
+pub(crate) fn mask(w: u32) -> u64 {
     if w >= 64 {
         u64::MAX
     } else {
@@ -152,7 +152,7 @@ fn mask(w: u32) -> u64 {
 
 /// Widens `bits` (valid at `from` bits) to `to` bits, sign-extending when
 /// the propagated context type is signed.
-fn extend(bits: u64, from: u32, to: u32, signed: bool) -> u64 {
+pub(crate) fn extend(bits: u64, from: u32, to: u32, signed: bool) -> u64 {
     if to <= from {
         return bits & mask(to);
     }
@@ -164,7 +164,7 @@ fn extend(bits: u64, from: u32, to: u32, signed: bool) -> u64 {
     }
 }
 
-fn to_signed(bits: u64, w: u32) -> i64 {
+pub(crate) fn to_signed(bits: u64, w: u32) -> i64 {
     extend(bits, w, 64, true) as i64
 }
 
@@ -271,23 +271,26 @@ impl VlogSim {
             cycles += 1;
             if cycles > opts.max_cycles {
                 if opts.snapshot_on_timeout {
-                    return Ok(self.result(&st, cycles - 1, true));
+                    return Ok(self.result(st, cycles - 1, true));
                 }
                 return Err(SimError::CycleLimit);
             }
             self.posedge(&mut st);
             if st.vals[self.done] & 1 == 1 {
-                return Ok(self.result(&st, cycles, false));
+                return Ok(self.result(st, cycles, false));
             }
         }
     }
 
-    fn result(&self, st: &RunState, cycles: u64, timed_out: bool) -> SimResult {
-        let ret =
-            self.ret.map(|(sig, w)| extend(self.read_sig(sig, st), self.sigs[sig].width, w, false));
+    fn result(&self, st: RunState, cycles: u64, timed_out: bool) -> SimResult {
+        let ret = self
+            .ret
+            .map(|(sig, w)| extend(self.read_sig(sig, &st), self.sigs[sig].width, w, false));
         let regs =
             self.reg_ids.iter().map(|&id| if id == usize::MAX { 0 } else { st.vals[id] }).collect();
-        SimResult { ret, cycles, mems: st.mems.clone(), timed_out, regs }
+        // `st` is owned: the memory images move into the result instead of
+        // being cloned (they are the run's only surviving allocation).
+        SimResult { ret, cycles, mems: st.mems, timed_out, regs }
     }
 
     // ----------------------------------------------------------- engine
@@ -556,7 +559,7 @@ impl VlogSim {
         st.mems[mem].get(idx).copied().unwrap_or(0)
     }
 
-    fn self_width(&self, e: &CExpr) -> u32 {
+    pub(crate) fn self_width(&self, e: &CExpr) -> u32 {
         use ast::BinOp as B;
         match e {
             CExpr::Const { width, unsz, .. } => {
@@ -584,7 +587,7 @@ impl VlogSim {
         }
     }
 
-    fn self_signed(&self, e: &CExpr) -> bool {
+    pub(crate) fn self_signed(&self, e: &CExpr) -> bool {
         use ast::BinOp as B;
         match e {
             CExpr::Const { signed, .. } => *signed,

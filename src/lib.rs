@@ -11,8 +11,8 @@
 //! | [`hls_frontend`] | C-subset front end → IR (paper Fig. 2 "Compiler Steps") |
 //! | [`hls_ir`] | IR, optimization passes, interpreter (the golden model) |
 //! | [`hls_core`] | Allocation, scheduling, binding, FSMD synthesis |
-//! | [`rtl`] | Cycle-accurate simulation, area/timing estimation, testbenches |
-//! | [`vlog`] | Verilog-subset parser + event-driven simulator for the emitted text |
+//! | [`rtl`] | Cycle-accurate simulation (tree + compiled tape backends), area/timing, testbenches |
+//! | [`vlog`] | Verilog-subset parser + simulators for the emitted text (tree + compiled tape) |
 //! | [`tao`] | The three obfuscations, key management, attack analysis, differential verify |
 //! | [`tao_crypto`] | Self-contained AES-256 for the NVM key scheme |
 //! | [`benchmarks`] | The five paper kernels + seeded stimuli |
@@ -69,6 +69,36 @@
 //! let rr = tao_repro::rtl::simulate(&fsmd, &[9], &KeyBits::zero(0), &[], &SimOptions::default())?;
 //! assert_eq!(vr, rr); // bit-for-bit, cycle-for-cycle
 //! assert_eq!(vr.ret, Some(81));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Compiled (tape) backends and the batch API
+//!
+//! Both simulators also compile to linear op-tapes for the hot loops
+//! that run one design under many stimuli and keys (testbenches,
+//! corruptibility sweeps, attacks, DSE sign-off). The tape backends are
+//! bit-for-bit and cycle-for-cycle identical to the tree interpreters —
+//! errors and `CycleLimit` snapshots included — and expose batch
+//! runners that reuse every buffer across runs: compile once, then
+//! [`rtl::FsmdRunner::run_case`] / [`vlog::TapeRunner::run_case`] (or
+//! the `simulate_many` grid helpers) per trial.
+//!
+//! ```
+//! use tao_repro::hls_core::{self, KeyBits};
+//! use tao_repro::rtl::{CompiledFsmd, SimOptions};
+//! use tao_repro::vlog::VlogTape;
+//!
+//! let m = tao_repro::hls_frontend::compile("int sq(int x) { return x * x; }", "d")?;
+//! let fsmd = hls_core::synthesize(&m, "sq", &hls_core::HlsOptions::default())?;
+//! let ctape = CompiledFsmd::compile(&fsmd);
+//! let vtape = VlogTape::new(&hls_core::verilog::emit(&fsmd))?;
+//! let (mut frun, mut vrun) = (ctape.runner(), vtape.runner());
+//! for x in [3u64, 9, 12] {
+//!     let f = frun.run(&[x], &KeyBits::zero(0), &[], &SimOptions::default())?;
+//!     let v = vrun.run(&[x], &KeyBits::zero(0), &[], &SimOptions::default())?;
+//!     assert_eq!(f, v);
+//!     assert_eq!(f.ret, Some(x * x));
+//! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

@@ -1,16 +1,20 @@
 //! Property-based differential testing of the emitted Verilog on randomly
-//! generated programs: for every generated kernel, stimulus and key, the
-//! Verilog-text simulator must agree with the FSMD simulator *exactly*
-//! (same `SimResult`, same error), and under the correct key both must
-//! reproduce the IR interpreter's outputs.
+//! generated programs, across **all four simulator backends**: for every
+//! generated kernel, stimulus and key the FSMD tree walker
+//! (`rtl::simulate`), the FSMD compiled tape (`rtl::CompiledFsmd`), the
+//! Verilog tree walker (`vlog::VlogSim`) and the Verilog compiled tape
+//! (`vlog::VlogTape`) must agree *exactly* — same `SimResult` (return
+//! value, cycle count, memories, registers, timeout flag), same error,
+//! including `CycleLimit` and snapshot-on-timeout behaviour — and under
+//! the correct key all must reproduce the IR interpreter's outputs.
 
 mod common;
 
 use common::{gen_program, run_golden};
 use hls_core::{verilog, KeyBits};
 use proptest::prelude::*;
-use rtl::{simulate, SimError, SimOptions};
-use vlog::VlogSim;
+use rtl::{simulate, CompiledFsmd, SimError, SimOptions, SimResult};
+use vlog::{VlogSim, VlogTape};
 
 fn arg_sets() -> Vec<[u64; 3]> {
     vec![[0, 0, 0], [1, 2, 3], [100, 50, 25], [0x8000_0000, 3, 2]]
@@ -26,23 +30,45 @@ fn locking_key(seed: u64) -> KeyBits {
     })
 }
 
-/// Compares an FSMD run and a Verilog-text run of the same design under
-/// the same stimulus/key: both must produce identical results or
-/// identical errors.
-fn assert_exact_agreement(
-    fsmd: &hls_core::Fsmd,
-    sim: &VlogSim,
-    args: &[u64],
-    key: &KeyBits,
-    opts: &SimOptions,
-    ctx: &str,
-) {
-    let r = simulate(fsmd, args, key, &[], opts);
-    let v = sim.simulate(args, key, &[], opts);
-    match (r, v) {
-        (Ok(rr), Ok(vr)) => assert_eq!(rr, vr, "run diverged: {ctx}"),
-        (Err(re), Err(ve)) => assert_eq!(re, ve, "errors diverged: {ctx}"),
-        (r, v) => panic!("outcome diverged: {r:?} vs {v:?} ({ctx})"),
+/// The four backends of one design, compiled once per test case.
+struct Backends {
+    fsmd: hls_core::Fsmd,
+    ctape: CompiledFsmd,
+    sim: VlogSim,
+    vtape: VlogTape,
+}
+
+impl Backends {
+    fn of(fsmd: hls_core::Fsmd, src: &str) -> Backends {
+        let sim = VlogSim::new(&verilog::emit(&fsmd))
+            .unwrap_or_else(|e| panic!("emitted text rejected: {e}\n{src}"));
+        let vtape = VlogTape::compile(&sim)
+            .unwrap_or_else(|e| panic!("emitted text rejected by tape compiler: {e}\n{src}"));
+        let ctape = CompiledFsmd::compile(&fsmd);
+        Backends { fsmd, ctape, sim, vtape }
+    }
+
+    /// Runs all four backends and asserts exact pairwise agreement;
+    /// returns the common outcome.
+    fn run_all(
+        &self,
+        args: &[u64],
+        key: &KeyBits,
+        opts: &SimOptions,
+        ctx: &str,
+    ) -> Result<SimResult, SimError> {
+        let r_tree = simulate(&self.fsmd, args, key, &[], opts);
+        let r_tape = self.ctape.simulate(args, key, &[], opts);
+        let v_tree = self.sim.simulate(args, key, &[], opts);
+        let v_tape = self.vtape.simulate(args, key, &[], opts);
+        assert_eq!(r_tree, r_tape, "fsmd tree vs fsmd tape diverged: {ctx}");
+        assert_eq!(v_tree, v_tape, "vlog tree vs vlog tape diverged: {ctx}");
+        match (&r_tree, &v_tree) {
+            (Ok(rr), Ok(vr)) => assert_eq!(rr, vr, "fsmd vs vlog run diverged: {ctx}"),
+            (Err(re), Err(ve)) => assert_eq!(re, ve, "fsmd vs vlog errors diverged: {ctx}"),
+            (r, v) => panic!("outcome diverged: {r:?} vs {v:?} ({ctx})"),
+        }
+        r_tree
     }
 }
 
@@ -50,55 +76,97 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
 
     #[test]
-    fn baseline_text_simulates_exactly_like_the_fsmd(seed in any::<u64>()) {
+    fn baseline_backends_simulate_exactly_alike(seed in any::<u64>()) {
         let prog = gen_program(seed);
         let module = hls_frontend::compile(&prog.source, "p")
             .unwrap_or_else(|e| panic!("compile: {e}\n{}", prog.source));
         let fsmd = hls_core::synthesize(&module, "f", &hls_core::HlsOptions::default())
             .unwrap_or_else(|e| panic!("synthesize: {e}\n{}", prog.source));
-        let sim = VlogSim::new(&verilog::emit(&fsmd))
-            .unwrap_or_else(|e| panic!("emitted text rejected: {e}\n{}", prog.source));
+        let backends = Backends::of(fsmd, &prog.source);
         for args in arg_sets() {
-            assert_exact_agreement(
-                &fsmd, &sim, &args, &KeyBits::zero(0), &SimOptions::default(), &prog.source,
-            );
-            // Correct-by-construction: the text also matches the golden model.
+            let got = backends
+                .run_all(&args, &KeyBits::zero(0), &SimOptions::default(), &prog.source)
+                .unwrap_or_else(|e| panic!("baseline run: {e}\n{}", prog.source));
+            // Correct-by-construction: every backend matches the golden model.
             let want = run_golden(&module, &args);
-            let got = sim
-                .simulate(&args, &KeyBits::zero(0), &[], &SimOptions::default())
-                .unwrap_or_else(|e| panic!("vlog sim: {e}\n{}", prog.source));
             prop_assert_eq!(Some(want), got.ret, "args {:?}\n{}", args, prog.source);
         }
     }
 
     #[test]
-    fn locked_text_agrees_under_correct_and_wrong_keys(seed in any::<u64>()) {
+    fn locked_backends_agree_under_correct_and_wrong_keys(seed in any::<u64>()) {
         let prog = gen_program(seed);
         let module = hls_frontend::compile(&prog.source, "p").unwrap();
         let lk = locking_key(seed);
         let design = tao::lock(&module, "f", &lk, &tao::TaoOptions::default())
             .unwrap_or_else(|e| panic!("lock: {e}\n{}", prog.source));
-        let sim = VlogSim::new(&verilog::emit(&design.fsmd))
-            .unwrap_or_else(|e| panic!("locked text rejected: {e}\n{}", prog.source));
         let wk = design.working_key(&lk);
-        // Bounded budget: wrong keys may spin; both layers must agree on
+        let backends = Backends::of(design.fsmd.clone(), &prog.source);
+        // Bounded budget: wrong keys may spin; all backends must agree on
         // the CycleLimit / snapshot behaviour too.
         let tight = SimOptions { max_cycles: 50_000, snapshot_on_timeout: false };
         let snap = SimOptions { max_cycles: 20_000, snapshot_on_timeout: true };
         for (i, args) in arg_sets().into_iter().enumerate() {
             // Correct key: exact agreement and golden match.
-            assert_exact_agreement(&design.fsmd, &sim, &args, &wk, &tight, &prog.source);
+            backends.run_all(&args, &wk, &tight, &prog.source).unwrap();
             let want = run_golden(&module, &args);
-            let got = sim.simulate(&args, &wk, &[], &SimOptions::default()).unwrap();
+            let got = backends
+                .run_all(&args, &wk, &SimOptions::default(), &prog.source)
+                .unwrap();
             prop_assert_eq!(Some(want), got.ret, "args {:?}\n{}", args, prog.source);
 
-            // Wrong key (one flipped working-key bit): still exact RTL-level
-            // agreement, in both error and snapshot modes.
+            // Wrong key (one flipped working-key bit): still exact
+            // four-way agreement, in both error and snapshot modes.
             let mut wrong = wk.clone();
             let bit = (seed.wrapping_add(i as u64 * 977) % wk.width() as u64) as u32;
             wrong.set_bit(bit, !wrong.bit(bit));
-            assert_exact_agreement(&design.fsmd, &sim, &args, &wrong, &tight, &prog.source);
-            assert_exact_agreement(&design.fsmd, &sim, &args, &wrong, &snap, &prog.source);
+            let _ = backends.run_all(&args, &wrong, &tight, &prog.source);
+            let _ = backends.run_all(&args, &wrong, &snap, &prog.source);
+        }
+    }
+
+    #[test]
+    fn batch_runners_match_one_shot_runs(seed in any::<u64>()) {
+        // The batch API (reused runner buffers) must be stateless across
+        // runs: interleaving stimuli and keys on one runner gives the
+        // same results as fresh one-shot simulations.
+        let prog = gen_program(seed);
+        let module = hls_frontend::compile(&prog.source, "p").unwrap();
+        let lk = locking_key(seed ^ 0xba7c4);
+        let design = tao::lock(&module, "f", &lk, &tao::TaoOptions::default()).unwrap();
+        let wk = design.working_key(&lk);
+        let mut wrong = wk.clone();
+        wrong.set_bit((seed % wk.width() as u64) as u32, !wrong.bit((seed % wk.width() as u64) as u32));
+        let backends = Backends::of(design.fsmd.clone(), &prog.source);
+        let opts = SimOptions { max_cycles: 20_000, snapshot_on_timeout: true };
+
+        let mut frun = backends.ctape.runner();
+        let mut vrun = backends.vtape.runner();
+        for key in [&wk, &wrong, &wk] {
+            for args in arg_sets() {
+                let f_batch = frun.run(&args, key, &[], &opts);
+                let v_batch = vrun.run(&args, key, &[], &opts);
+                let one_shot = backends.ctape.simulate(&args, key, &[], &opts);
+                match (&f_batch, &one_shot) {
+                    (Ok(fs), Ok(os)) => {
+                        prop_assert_eq!(fs.ret, os.ret);
+                        prop_assert_eq!(fs.cycles, os.cycles);
+                        prop_assert_eq!(fs.timed_out, os.timed_out);
+                        prop_assert_eq!(frun.mems(), &os.mems[..]);
+                        prop_assert_eq!(frun.regs(), &os.regs[..]);
+                    }
+                    (Err(fe), Err(oe)) => prop_assert_eq!(fe, oe),
+                    (f, o) => panic!("batch vs one-shot diverged: {f:?} vs {o:?}"),
+                }
+                match (&f_batch, &v_batch) {
+                    (Ok(fs), Ok(vs)) => {
+                        prop_assert_eq!(fs, vs);
+                        prop_assert_eq!(frun.mems(), vrun.mems());
+                    }
+                    (Err(fe), Err(ve)) => prop_assert_eq!(fe, ve),
+                    (f, v) => panic!("fsmd vs vlog batch diverged: {f:?} vs {v:?}"),
+                }
+            }
         }
     }
 
@@ -107,19 +175,31 @@ proptest! {
         let prog = gen_program(seed);
         let module = hls_frontend::compile(&prog.source, "p").unwrap();
         let fsmd = hls_core::synthesize(&module, "f", &hls_core::HlsOptions::default()).unwrap();
-        let sim = VlogSim::new(&verilog::emit(&fsmd)).unwrap();
-        // Arity mismatch reported identically.
-        let r = simulate(&fsmd, &[1], &KeyBits::zero(0), &[], &SimOptions::default());
-        let v = sim.simulate(&[1], &KeyBits::zero(0), &[], &SimOptions::default());
-        prop_assert_eq!(
-            r.unwrap_err(),
-            v.unwrap_err()
-        );
+        let backends = Backends::of(fsmd, &prog.source);
+        // Arity mismatch reported identically by all four backends.
+        let errs = [
+            simulate(&backends.fsmd, &[1], &KeyBits::zero(0), &[], &SimOptions::default())
+                .unwrap_err(),
+            backends.ctape.simulate(&[1], &KeyBits::zero(0), &[], &SimOptions::default())
+                .unwrap_err(),
+            backends.sim.simulate(&[1], &KeyBits::zero(0), &[], &SimOptions::default())
+                .unwrap_err(),
+            backends.vtape.simulate(&[1], &KeyBits::zero(0), &[], &SimOptions::default())
+                .unwrap_err(),
+        ];
+        prop_assert!(errs.iter().all(|e| e == &errs[0]), "{errs:?}");
         // Key width mismatch reported identically.
-        let r = simulate(&fsmd, &[1, 2, 3], &KeyBits::zero(9), &[], &SimOptions::default());
-        let v = sim.simulate(&[1, 2, 3], &KeyBits::zero(9), &[], &SimOptions::default());
-        prop_assert_eq!(matches!(r, Err(SimError::KeyWidthMismatch { .. })),
-                        matches!(v, Err(SimError::KeyWidthMismatch { .. })));
-        prop_assert_eq!(r.unwrap_err(), v.unwrap_err());
+        let errs = [
+            simulate(&backends.fsmd, &[1, 2, 3], &KeyBits::zero(9), &[], &SimOptions::default())
+                .unwrap_err(),
+            backends.ctape.simulate(&[1, 2, 3], &KeyBits::zero(9), &[], &SimOptions::default())
+                .unwrap_err(),
+            backends.sim.simulate(&[1, 2, 3], &KeyBits::zero(9), &[], &SimOptions::default())
+                .unwrap_err(),
+            backends.vtape.simulate(&[1, 2, 3], &KeyBits::zero(9), &[], &SimOptions::default())
+                .unwrap_err(),
+        ];
+        prop_assert!(matches!(errs[0], SimError::KeyWidthMismatch { .. }));
+        prop_assert!(errs.iter().all(|e| e == &errs[0]), "{errs:?}");
     }
 }
