@@ -100,19 +100,60 @@ fn main() {
             }
             "bench-json" => {
                 // Simulator-throughput trajectory artifact: all four
-                // backends on every kernel, written as BENCH_sim.json.
+                // backends plus the parallel grid on every kernel,
+                // written as BENCH_sim.json.
                 let rows = sim_bench();
                 println!("{}", render_sim_bench(&rows));
                 let path = "BENCH_sim.json";
                 std::fs::write(path, sim_bench_json(&rows, "full"))
                     .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
                 println!("wrote {path}");
-                if let Err(violations) = check_floor(&rows, VLOG_TAPE_FLOOR) {
+                let mut violations = check_floor(&rows, VLOG_TAPE_FLOOR).err().unwrap_or_default();
+                violations.extend(check_grid_floor(&rows, GRID_FLOOR).err().unwrap_or_default());
+                if !violations.is_empty() {
                     for v in &violations {
                         eprintln!("FLOOR VIOLATION: {v}");
                     }
                     std::process::exit(1);
                 }
+            }
+            "bench-diff" => {
+                // Bench trajectory gate: re-measure the full sweep and
+                // diff it against the checked-in baseline. Absolute
+                // cycles/s deltas are context (the baseline machine is
+                // not the CI machine); the in-process tape-vs-tree
+                // speedup ratios gate, failing on a >30% drop.
+                let baseline_text = std::fs::read_to_string("BENCH_sim.json")
+                    .expect("checked-in BENCH_sim.json baseline");
+                let baseline = parse_sim_bench_json(&baseline_text).expect("baseline parses");
+                let rows = sim_bench();
+                let deltas = diff_sim_bench(&rows, &baseline);
+                println!("{}", render_bench_diff(&deltas));
+                let regs = bench_regressions(&deltas, BENCH_DIFF_MAX_DROP);
+                if !regs.is_empty() {
+                    for r in &regs {
+                        eprintln!(
+                            "BENCH REGRESSION: {} {} fell to {:.0}% of baseline ({:.2} -> {:.2})",
+                            r.kernel,
+                            r.metric,
+                            r.ratio() * 100.0,
+                            r.baseline,
+                            r.fresh,
+                        );
+                    }
+                    std::process::exit(1);
+                }
+                println!(
+                    "bench-diff: {} metrics compared, gating ratios within {:.0}% of baseline",
+                    deltas.len(),
+                    BENCH_DIFF_MAX_DROP * 100.0
+                );
+            }
+            "grid-smoke" => {
+                // CI determinism gate: a small parallel (case × key)
+                // sweep on ≥2 workers must match the sequential grid
+                // bit for bit.
+                println!("{}", grid_smoke());
             }
             "bench-json-smoke" => {
                 // CI regression gate: two kernels; fails when the compiled
@@ -124,7 +165,9 @@ fn main() {
                     Ok(()) => println!("wrote {path}"),
                     Err(e) => eprintln!("could not write {path}: {e}"),
                 }
-                if let Err(violations) = check_floor(&rows, VLOG_TAPE_FLOOR) {
+                let mut violations = check_floor(&rows, VLOG_TAPE_FLOOR).err().unwrap_or_default();
+                violations.extend(check_grid_floor(&rows, GRID_FLOOR).err().unwrap_or_default());
+                if !violations.is_empty() {
                     for v in &violations {
                         eprintln!("FLOOR VIOLATION: {v}");
                     }
@@ -134,7 +177,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
-                    "known: table1 fig6 freq cycles validate keymgmt ablate-bi ablate-c ablate-swap ablate-alloc attack unroll report dse dse-smoke vlog-diff vlog-diff-smoke bench-json bench-json-smoke all"
+                    "known: table1 fig6 freq cycles validate keymgmt ablate-bi ablate-c ablate-swap ablate-alloc attack unroll report dse dse-smoke vlog-diff vlog-diff-smoke bench-json bench-json-smoke bench-diff grid-smoke all"
                 );
                 std::process::exit(2);
             }

@@ -5,6 +5,7 @@ use hls_core::{CostModel, KeyBits};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtl::{golden_outputs, images_equal, rtl_outputs, CompiledFsmd, SimOptions, TestCase};
+use sim_core::GridExec;
 use tao::{KeyScheme, LockedDesign, PlanConfig, TaoOptions, VariantOptions};
 
 /// The paper's locking-key width.
@@ -288,16 +289,24 @@ pub fn validate(n_keys: usize) -> Vec<ValidationRow> {
             let budget =
                 SimOptions { max_cycles: base_res.cycles * 20 + 50_000, snapshot_on_timeout: true };
 
+            // The wrong-key sweep is a 1-case grid: derive the key batch
+            // first (preserving the rng stream), then shard it over the
+            // shared executor with one tape runner per worker.
+            let wrong_wks: Vec<KeyBits> = (0..n_keys.saturating_sub(1))
+                .map(|_| d.working_key(&KeyBits::from_fn(LOCKING_KEY_BITS, || rng.gen())))
+                .collect();
+            let runs = GridExec::default().run(
+                wrong_wks.len(),
+                || compiled.runner(),
+                |r, i| r.outputs(&case, &wrong_wks[i], &budget).expect("snapshot mode"),
+            );
+
             let mut wrong_correct = 0;
             let mut hd_sum = 0.0;
             let mut hd_count = 0usize;
             let mut timeouts = 0;
             let mut latency_changed = 0;
-            for _ in 0..n_keys.saturating_sub(1) {
-                let wrong_lk = KeyBits::from_fn(LOCKING_KEY_BITS, || rng.gen());
-                let wrong_wk = d.working_key(&wrong_lk);
-                let (wimg, wres) =
-                    runner.outputs(&case, &wrong_wk, &budget).expect("snapshot mode");
+            for (wimg, wres) in runs {
                 if images_equal(&golden, &wimg) {
                     wrong_correct += 1;
                 }
@@ -501,12 +510,20 @@ pub fn ablate_swap(n_keys: usize) -> Vec<AblateSwapRow> {
             let budget =
                 SimOptions { max_cycles: base_res.cycles * 20 + 50_000, snapshot_on_timeout: true };
             let mut rng = StdRng::seed_from_u64(p.to_bits());
+            // Derive the wrong-key batch, then shard the 1-case grid over
+            // the shared executor (one tape runner per worker).
+            let wrongs: Vec<KeyBits> = (0..n_keys)
+                .map(|_| d.working_key(&KeyBits::from_fn(LOCKING_KEY_BITS, || rng.gen())))
+                .collect();
+            let runs = GridExec::default().run(
+                wrongs.len(),
+                || compiled.runner(),
+                |r, i| r.outputs(&case, &wrongs[i], &budget).expect("snapshot mode"),
+            );
             let mut corrupted = 0usize;
             let mut hd_sum = 0.0;
             let mut hd_n = 0usize;
-            for _ in 0..n_keys {
-                let wrong = d.working_key(&KeyBits::from_fn(LOCKING_KEY_BITS, || rng.gen()));
-                let (img, _) = runner.outputs(&case, &wrong, &budget).expect("snapshot mode");
+            for (img, _) in runs {
                 if !images_equal(&golden, &img) {
                     corrupted += 1;
                 }

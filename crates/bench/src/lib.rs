@@ -42,7 +42,9 @@ pub mod vlogdiff;
 pub use dse::{dse_kernels, dse_sweep, smoke_sweep};
 pub use experiments::*;
 pub use simjson::{
-    check_floor, render_sim_bench, sim_bench, sim_bench_json, sim_bench_smoke, SimBenchRow,
-    VLOG_TAPE_FLOOR,
+    bench_regressions, check_floor, check_grid_floor, diff_sim_bench, grid_smoke,
+    parse_sim_bench_json, render_bench_diff, render_sim_bench, sim_bench, sim_bench_json,
+    sim_bench_smoke, BaselineRow, BenchDelta, SimBenchRow, BENCH_DIFF_MAX_DROP, GRID_FLOOR,
+    GRID_FLOOR_MIN_WORKERS, VLOG_TAPE_FLOOR,
 };
 pub use vlogdiff::{vlog_diff, vlog_diff_clean, vlog_diff_smoke, VlogDiffRow};

@@ -5,15 +5,26 @@
 //! Criterion run. `reproduce -- bench-json` measures cycles/second for
 //! all four backends — FSMD tree ([`rtl::simulate`]), FSMD tape
 //! ([`rtl::CompiledFsmd`]), Verilog tree ([`vlog::VlogSim`]), Verilog
-//! tape ([`vlog::VlogTape`]) — on the locked benchmark kernels, and
-//! writes the rows as JSON so the perf trajectory is diffable across
-//! PRs. `reproduce -- bench-json-smoke` runs a CI-sized subset and
-//! *fails* when the compiled Verilog backend drops below the regression
-//! floor relative to the tree walker measured in the same process.
+//! tape ([`vlog::VlogTape`]) — plus the **parallel (case × key) grid**
+//! ([`sim_core::GridExec`] over the FSMD tape) on the locked benchmark
+//! kernels, and writes the rows as JSON so the perf trajectory is
+//! diffable across PRs. `reproduce -- bench-json-smoke` runs a CI-sized
+//! subset and *fails* when the compiled Verilog backend drops below the
+//! regression floor relative to the tree walker measured in the same
+//! process.
+//!
+//! `reproduce -- bench-diff` closes the trajectory loop: it re-measures
+//! a fresh full sweep, diffs it against the checked-in `BENCH_sim.json`
+//! baseline per kernel and per backend, and fails when a
+//! machine-independent in-process speedup ratio (tape vs tree) drops by
+//! more than 30%. Absolute cycles/s deltas are printed as context only
+//! — the baseline was recorded on a different machine than CI runs on,
+//! so gating them would flag hardware, not code.
 
 use crate::experiments::{locking_key, test_case};
 use hls_core::verilog;
 use rtl::{rtl_outputs, CompiledFsmd, SimOptions, TestCase};
+use sim_core::GridExec;
 use std::time::Instant;
 use tao::TaoOptions;
 use vlog::{vlog_outputs, VlogSim, VlogTape};
@@ -23,6 +34,19 @@ use vlog::{vlog_outputs, VlogSim, VlogTape};
 /// order of magnitude faster in release builds; 2x leaves headroom for
 /// noisy CI machines while still catching a de-compiled hot path.
 pub const VLOG_TAPE_FLOOR: f64 = 2.0;
+
+/// Grid-vs-single-thread floor: with at least [`GRID_FLOOR_MIN_WORKERS`]
+/// workers the parallel (case × key) grid must deliver at least this
+/// multiple of the single-thread tape throughput.
+pub const GRID_FLOOR: f64 = 2.0;
+
+/// The grid floor only applies on runners with this many cores —
+/// below that, perfect scaling could not reach the floor anyway.
+pub const GRID_FLOOR_MIN_WORKERS: usize = 4;
+
+/// `bench-diff` fails when a tracked throughput metric drops by more
+/// than this fraction against the checked-in baseline.
+pub const BENCH_DIFF_MAX_DROP: f64 = 0.30;
 
 /// One kernel's throughput measurements (cycles simulated per second).
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +63,10 @@ pub struct SimBenchRow {
     pub vlog_tree_cps: f64,
     /// Verilog-text compiled-tape backend.
     pub vlog_tape_cps: f64,
+    /// Parallel (case × key) grid on the FSMD tape backend, all cores.
+    pub grid_cps: f64,
+    /// Worker threads the grid measurement ran with.
+    pub grid_workers: usize,
 }
 
 impl SimBenchRow {
@@ -50,6 +78,11 @@ impl SimBenchRow {
     /// Compiled-vs-tree speedup of the FSMD backend.
     pub fn fsmd_speedup(&self) -> f64 {
         self.fsmd_tape_cps / self.fsmd_tree_cps
+    }
+
+    /// Grid-vs-single-thread-tape speedup (the parallel scaling factor).
+    pub fn grid_speedup(&self) -> f64 {
+        self.grid_cps / self.fsmd_tape_cps
     }
 }
 
@@ -69,7 +102,8 @@ fn throughput(cycles_per_run: u64, min_ms: u64, mut run: impl FnMut()) -> f64 {
     }
 }
 
-/// Measures all four backends on one locked kernel.
+/// Measures all four backends plus the parallel grid on one locked
+/// kernel.
 fn bench_kernel(name: &str, min_ms: u64) -> SimBenchRow {
     let b = benchmarks::by_name(name).expect("suite kernel");
     let lk = locking_key(0x5eed);
@@ -101,6 +135,31 @@ fn bench_kernel(name: &str, min_ms: u64) -> SimBenchRow {
         vrun.run_case(&case, &wk, &opts, &d.fsmd.mem_of_array).expect("vlog tape");
     });
 
+    // Parallel (case × key) grid on the shared executor: the correct key
+    // plus 24 deterministic wrong keys over the stimulus, with the
+    // fixed-duration snapshot budget every sweep consumer uses. 25
+    // trials keep the steal granularity fine enough that a 4-worker
+    // runner can actually approach its ideal scaling (9 trials would cap
+    // it at 3x and leave the 2x CI floor no noise margin). The work unit
+    // is the total simulated cycle count of one whole grid.
+    let mut keys = vec![wk.clone()];
+    for i in 0..24u64 {
+        keys.push(d.working_key(&locking_key(0x6e1d ^ (i + 1))));
+    }
+    let budget = SimOptions { max_cycles: cycles * 4 + 10_000, snapshot_on_timeout: true };
+    let exec = GridExec::default();
+    let cases = std::slice::from_ref(&case);
+    let grid_workers = exec.workers_for(keys.len() * cases.len());
+    let grid_cycles: u64 = exec
+        .grid(&ctape, cases, &keys, &budget)
+        .iter()
+        .flatten()
+        .map(|r| r.as_ref().expect("snapshot mode").cycles)
+        .sum();
+    let grid_cps = throughput(grid_cycles, min_ms, || {
+        exec.grid(&ctape, cases, &keys, &budget);
+    });
+
     SimBenchRow {
         name: name.to_string(),
         cycles,
@@ -108,6 +167,8 @@ fn bench_kernel(name: &str, min_ms: u64) -> SimBenchRow {
         fsmd_tape_cps,
         vlog_tree_cps,
         vlog_tape_cps,
+        grid_cps,
+        grid_workers,
     }
 }
 
@@ -124,7 +185,7 @@ pub fn sim_bench_smoke() -> Vec<SimBenchRow> {
 /// Serializes the rows as the `BENCH_sim.json` artifact.
 pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"tao-repro/bench-sim/v1\",\n");
+    out.push_str("  \"schema\": \"tao-repro/bench-sim/v2\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str("  \"unit\": \"cycles_per_second\",\n");
     out.push_str("  \"kernels\": [\n");
@@ -132,15 +193,19 @@ pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"cycles\": {}, \"fsmd_tree\": {:.0}, \
              \"fsmd_tape\": {:.0}, \"vlog_tree\": {:.0}, \"vlog_tape\": {:.0}, \
-             \"fsmd_speedup\": {:.2}, \"vlog_speedup\": {:.2}}}{}\n",
+             \"grid_cps\": {:.0}, \"grid_workers\": {}, \
+             \"fsmd_speedup\": {:.2}, \"vlog_speedup\": {:.2}, \"grid_speedup\": {:.2}}}{}\n",
             r.name,
             r.cycles,
             r.fsmd_tree_cps,
             r.fsmd_tape_cps,
             r.vlog_tree_cps,
             r.vlog_tape_cps,
+            r.grid_cps,
+            r.grid_workers,
             r.fsmd_speedup(),
             r.vlog_speedup(),
+            r.grid_speedup(),
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -151,9 +216,9 @@ pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
 /// Human-readable table of the same rows.
 pub fn render_sim_bench(rows: &[SimBenchRow]) -> String {
     let mut out = String::new();
-    out.push_str("Simulator throughput (cycles/s; tape = compiled backend)\n");
+    out.push_str("Simulator throughput (cycles/s; tape = compiled backend; grid = parallel case × key sweep)\n");
     out.push_str(&format!(
-        "{:<10} {:>9} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}\n",
+        "{:<10} {:>9} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8} {:>12} {:>8}\n",
         "kernel",
         "cycles",
         "fsmd-tree",
@@ -161,11 +226,13 @@ pub fn render_sim_bench(rows: &[SimBenchRow]) -> String {
         "speedup",
         "vlog-tree",
         "vlog-tape",
-        "speedup"
+        "speedup",
+        "grid",
+        "workers"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<10} {:>9} {:>12.0} {:>12.0} {:>7.1}x {:>12.0} {:>12.0} {:>7.1}x\n",
+            "{:<10} {:>9} {:>12.0} {:>12.0} {:>7.1}x {:>12.0} {:>12.0} {:>7.1}x {:>12.0} {:>8}\n",
             r.name,
             r.cycles,
             r.fsmd_tree_cps,
@@ -174,6 +241,8 @@ pub fn render_sim_bench(rows: &[SimBenchRow]) -> String {
             r.vlog_tree_cps,
             r.vlog_tape_cps,
             r.vlog_speedup(),
+            r.grid_cps,
+            r.grid_workers,
         ));
     }
     out
@@ -207,26 +276,337 @@ pub fn check_floor(rows: &[SimBenchRow], floor: f64) -> Result<(), Vec<String>> 
     }
 }
 
+/// `Err` with the offending rows when a kernel measured with at least
+/// [`GRID_FLOOR_MIN_WORKERS`] workers delivers less than `floor ×` the
+/// single-thread tape throughput. On smaller machines the check passes
+/// vacuously — the floor is a *scaling* gate, meaningful only where
+/// scaling is possible.
+///
+/// # Errors
+///
+/// Returns the list of violations, one line per failing kernel.
+pub fn check_grid_floor(rows: &[SimBenchRow], floor: f64) -> Result<(), Vec<String>> {
+    let violations: Vec<String> = rows
+        .iter()
+        .filter(|r| r.grid_workers >= GRID_FLOOR_MIN_WORKERS && r.grid_speedup() < floor)
+        .map(|r| {
+            format!(
+                "{}: grid {:.0} cycles/s on {} workers is only {:.2}x the single-thread tape \
+                 ({:.0}), floor {floor}x",
+                r.name,
+                r.grid_cps,
+                r.grid_workers,
+                r.grid_speedup(),
+                r.fsmd_tape_cps,
+            )
+        })
+        .collect();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+// ----------------------------------------------------------- bench-diff
+
+/// One kernel row parsed back from a checked-in `BENCH_sim.json`
+/// (metrics as `(key, value)` pairs — tolerant of schema growth).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRow {
+    /// Kernel name.
+    pub name: String,
+    /// Numeric fields of the row, in file order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BaselineRow {
+    /// Looks up one metric by JSON key.
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// Parses the `BENCH_sim.json` artifact (any schema version this repo
+/// has written) back into per-kernel rows. The artifact is our own
+/// single-purpose format — one kernel object per line — so a line
+/// scanner is all the parsing it needs.
+///
+/// # Errors
+///
+/// Returns a description when no kernel rows are found.
+pub fn parse_sim_bench_json(text: &str) -> Result<Vec<BaselineRow>, String> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(name) = json_str_field(line, "name") else { continue };
+        let mut metrics = Vec::new();
+        let mut rest = line;
+        while let Some(q) = rest.find('"') {
+            rest = &rest[q + 1..];
+            let Some(qe) = rest.find('"') else { break };
+            let key = &rest[..qe];
+            rest = &rest[qe + 1..];
+            let Some(colon) = rest.strip_prefix(':').or_else(|| rest.strip_prefix(": ")) else {
+                continue;
+            };
+            let num: String = colon
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            if let Ok(v) = num.parse::<f64>() {
+                metrics.push((key.to_string(), v));
+            }
+        }
+        rows.push(BaselineRow { name, metrics });
+    }
+    if rows.is_empty() {
+        return Err("no kernel rows found in baseline JSON".into());
+    }
+    Ok(rows)
+}
+
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// One (kernel, metric) comparison between a fresh run and the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    /// Kernel name.
+    pub kernel: String,
+    /// Metric key (e.g. `fsmd_tape`).
+    pub metric: String,
+    /// Checked-in baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub fresh: f64,
+    /// Whether this metric gates the run. Absolute cycles/s depend on
+    /// the machine the baseline was recorded on, so only the in-process
+    /// tape-vs-tree speedup ratios — which cancel the machine out —
+    /// fail `bench-diff`; the absolute columns are printed as context.
+    pub gating: bool,
+}
+
+impl BenchDelta {
+    /// fresh / baseline (1.0 = unchanged, < 1 = regression).
+    pub fn ratio(&self) -> f64 {
+        self.fresh / self.baseline
+    }
+}
+
+/// Accessor for one tracked metric of a fresh row.
+type MetricGetter = fn(&SimBenchRow) -> f64;
+
+/// Metrics tracked by `bench-diff`: `(key, getter, gating)`. Absolute
+/// throughputs (including `grid_cps`, which additionally depends on the
+/// core count) are informational; the in-process speedup ratios gate.
+const DIFF_METRICS: [(&str, MetricGetter, bool); 7] = [
+    ("fsmd_tree", |r| r.fsmd_tree_cps, false),
+    ("fsmd_tape", |r| r.fsmd_tape_cps, false),
+    ("vlog_tree", |r| r.vlog_tree_cps, false),
+    ("vlog_tape", |r| r.vlog_tape_cps, false),
+    ("grid_cps", |r| r.grid_cps, false),
+    ("fsmd_speedup", |r| r.fsmd_speedup(), true),
+    ("vlog_speedup", |r| r.vlog_speedup(), true),
+];
+
+/// Compares a fresh sweep against a parsed baseline, kernel by kernel
+/// and metric by metric. Kernels or metrics absent from the baseline are
+/// skipped (new kernels are wins, not regressions).
+pub fn diff_sim_bench(fresh: &[SimBenchRow], baseline: &[BaselineRow]) -> Vec<BenchDelta> {
+    let mut deltas = Vec::new();
+    for row in fresh {
+        let Some(base) = baseline.iter().find(|b| b.name == row.name) else { continue };
+        for (key, get, gating) in DIFF_METRICS {
+            if let Some(bv) = base.metric(key) {
+                if bv > 0.0 {
+                    deltas.push(BenchDelta {
+                        kernel: row.name.clone(),
+                        metric: key.to_string(),
+                        baseline: bv,
+                        fresh: get(row),
+                        gating,
+                    });
+                }
+            }
+        }
+    }
+    deltas
+}
+
+/// The gating deltas regressing by more than `max_drop` (e.g. 0.30 = a
+/// drop below 70% of the baseline speedup ratio). Non-gating (absolute,
+/// machine-dependent) deltas never fail the run.
+pub fn bench_regressions(deltas: &[BenchDelta], max_drop: f64) -> Vec<&BenchDelta> {
+    deltas.iter().filter(|d| d.gating && d.ratio() < 1.0 - max_drop).collect()
+}
+
+/// Human-readable per-kernel delta table (`*` marks gating metrics).
+pub fn render_bench_diff(deltas: &[BenchDelta]) -> String {
+    let mut out = String::new();
+    out.push_str("Throughput vs checked-in BENCH_sim.json baseline (* = gating ratio)\n");
+    out.push_str(&format!(
+        "{:<10} {:<14} {:>14} {:>14} {:>8}\n",
+        "kernel", "metric", "baseline", "fresh", "delta"
+    ));
+    for d in deltas {
+        let marker = if d.gating { "*" } else { "" };
+        out.push_str(&format!(
+            "{:<10} {:<14} {:>14.2} {:>14.2} {:>+7.1}%\n",
+            d.kernel,
+            format!("{}{marker}", d.metric),
+            d.baseline,
+            d.fresh,
+            (d.ratio() - 1.0) * 100.0,
+        ));
+    }
+    out
+}
+
+// ----------------------------------------------------------- grid smoke
+
+/// CI-sized parallel-sweep check: a locked kernel's (case × key) grid on
+/// ≥ 2 workers must be bit-identical to the 1-worker grid (and to the
+/// sequential `simulate_many` wrapper). Returns a human-readable
+/// summary.
+///
+/// # Panics
+///
+/// Panics when the parallel grid diverges from the sequential one — a
+/// determinism bug in the executor or a stateful runner.
+pub fn grid_smoke() -> String {
+    let b = benchmarks::by_name("sobel").expect("suite kernel");
+    let lk = locking_key(0x981d);
+    let m = b.compile().expect("kernel compiles");
+    let d = tao::lock(&m, b.top, &lk, &TaoOptions::default()).expect("lock succeeds");
+    let wk = d.working_key(&lk);
+    let cases: Vec<TestCase> = (0..2u64).map(|s| test_case(&b, &d, 40 + s)).collect();
+    let mut keys = vec![wk];
+    for i in 0..6u64 {
+        keys.push(d.working_key(&locking_key(0x3a0 ^ (i + 1))));
+    }
+    let ctape = CompiledFsmd::compile(&d.fsmd);
+    let budget = SimOptions { max_cycles: 2_000_000, snapshot_on_timeout: true };
+
+    let seq = ctape.simulate_many(&cases, &keys, &budget);
+    let workers = GridExec::default().workers_for(keys.len() * cases.len()).max(2);
+    let t0 = Instant::now();
+    let par = GridExec::new(workers).grid(&ctape, &cases, &keys, &budget);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(par, seq, "parallel grid diverged from sequential simulate_many");
+    let cycles: u64 = par.iter().flatten().map(|r| r.as_ref().expect("snapshot mode").cycles).sum();
+    format!(
+        "grid-smoke: {} trials ({} cases x {} keys) on {} workers, {} cycles, {:.1}M cycles/s, \
+         bit-identical to sequential",
+        cases.len() * keys.len(),
+        cases.len(),
+        keys.len(),
+        workers,
+        cycles,
+        cycles as f64 / secs / 1e6,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_shape_and_floor_check() {
-        let rows = vec![SimBenchRow {
-            name: "k".into(),
+    fn row(name: &str, grid_cps: f64, grid_workers: usize) -> SimBenchRow {
+        SimBenchRow {
+            name: name.into(),
             cycles: 100,
             fsmd_tree_cps: 1.0e6,
             fsmd_tape_cps: 3.0e6,
             vlog_tree_cps: 1.0e6,
             vlog_tape_cps: 10.0e6,
-        }];
+            grid_cps,
+            grid_workers,
+        }
+    }
+
+    #[test]
+    fn json_shape_and_floor_check() {
+        let rows = vec![row("k", 9.0e6, 4)];
         let json = sim_bench_json(&rows, "test");
-        assert!(json.contains("\"schema\": \"tao-repro/bench-sim/v1\""));
+        assert!(json.contains("\"schema\": \"tao-repro/bench-sim/v2\""));
         assert!(json.contains("\"vlog_speedup\": 10.00"));
+        assert!(json.contains("\"grid_cps\": 9000000"));
+        assert!(json.contains("\"grid_workers\": 4"));
         assert!(check_floor(&rows, 2.0).is_ok());
         assert!(check_floor(&rows, 20.0).is_err());
         assert!(!render_sim_bench(&rows).is_empty());
+    }
+
+    #[test]
+    fn grid_floor_applies_only_on_multi_core_runners() {
+        // 3x scaling on 4 workers: passes a 2x floor, fails a 4x floor.
+        let scaled = vec![row("k", 9.0e6, 4)];
+        assert!(check_grid_floor(&scaled, 2.0).is_ok());
+        assert!(check_grid_floor(&scaled, 4.0).is_err());
+        // Same ratio on 1 worker: vacuously fine (no scaling possible).
+        let single = vec![row("k", 2.9e6, 1)];
+        assert!(check_grid_floor(&single, 2.0).is_ok());
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_diff() {
+        let baseline_rows = vec![row("gsm", 9.0e6, 4), row("sobel", 8.0e6, 4)];
+        let json = sim_bench_json(&baseline_rows, "full");
+        let parsed = parse_sim_bench_json(&json).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "gsm");
+        assert_eq!(parsed[0].metric("fsmd_tape"), Some(3.0e6));
+        assert_eq!(parsed[1].metric("grid_cps"), Some(8.0e6));
+
+        // A fresh run 45% slower on one backend of one kernel: the
+        // absolute column reports it, the speedup ratio gates it.
+        let mut fresh = baseline_rows.clone();
+        fresh[1].vlog_tape_cps = 5.5e6;
+        let deltas = diff_sim_bench(&fresh, &parsed);
+        assert_eq!(deltas.len(), 14); // 2 kernels x 7 tracked metrics
+        let regs = bench_regressions(&deltas, BENCH_DIFF_MAX_DROP);
+        assert_eq!(regs.len(), 1);
+        assert_eq!((regs[0].kernel.as_str(), regs[0].metric.as_str()), ("sobel", "vlog_speedup"));
+        assert!(!render_bench_diff(&deltas).is_empty());
+    }
+
+    #[test]
+    fn absolute_throughput_never_gates_across_machines() {
+        // A uniformly 2x-slower machine: every absolute metric halves
+        // but every in-process ratio is unchanged — no regression.
+        let baseline_rows = vec![row("gsm", 9.0e6, 4)];
+        let parsed = parse_sim_bench_json(&sim_bench_json(&baseline_rows, "full")).unwrap();
+        let mut slow = baseline_rows.clone();
+        slow[0].fsmd_tree_cps /= 2.0;
+        slow[0].fsmd_tape_cps /= 2.0;
+        slow[0].vlog_tree_cps /= 2.0;
+        slow[0].vlog_tape_cps /= 2.0;
+        slow[0].grid_cps /= 2.0;
+        let deltas = diff_sim_bench(&slow, &parsed);
+        assert!(deltas.iter().any(|d| !d.gating && d.ratio() < 0.6));
+        assert!(bench_regressions(&deltas, BENCH_DIFF_MAX_DROP).is_empty());
+    }
+
+    #[test]
+    fn old_baselines_without_grid_fields_still_diff() {
+        let old = r#"{
+  "schema": "tao-repro/bench-sim/v1",
+  "kernels": [
+    {"name": "gsm", "cycles": 100, "fsmd_tree": 1000000, "fsmd_tape": 3000000, "vlog_tree": 1000000, "vlog_tape": 10000000, "fsmd_speedup": 3.00, "vlog_speedup": 10.00}
+  ]
+}"#;
+        let parsed = parse_sim_bench_json(old).unwrap();
+        assert_eq!(parsed[0].metric("grid_cps"), None);
+        let fresh = vec![row("gsm", 9.0e6, 4)];
+        let deltas = diff_sim_bench(&fresh, &parsed);
+        // grid_cps is skipped when the baseline predates it (4 absolute
+        // columns + the 2 speedup ratios v1 already recorded).
+        assert_eq!(deltas.len(), 6);
+        assert!(bench_regressions(&deltas, BENCH_DIFF_MAX_DROP).is_empty());
     }
 
     #[test]

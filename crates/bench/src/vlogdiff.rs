@@ -11,6 +11,7 @@
 use crate::experiments::{locking_key, test_case};
 use benchmarks::Benchmark;
 use rtl::{CompiledFsmd, SimOptions, TestCase};
+use sim_core::GridExec;
 use tao::{differential_verify, standard_trials, TaoOptions};
 
 /// One benchmark's differential-verification outcome.
@@ -46,12 +47,18 @@ fn diff_benchmark(b: &Benchmark, n_cases: usize, n_wrong: usize) -> VlogDiffRow 
     let trials = standard_trials(&d, &lk, n_wrong, 0xD1FF ^ b.name.len() as u64);
     let wk = d.working_key(&lk);
     // Budget from the slowest stimulus: a data-dependent case must not
-    // time out under the correct key. One tape runner serves every case.
+    // time out under the correct key. The probe is a 1-key grid on the
+    // shared executor (one tape runner per worker).
     let compiled = CompiledFsmd::compile(&d.fsmd);
-    let mut runner = compiled.runner();
-    let base_cycles = cases
+    let probe = GridExec::default().grid(
+        &compiled,
+        &cases,
+        std::slice::from_ref(&wk),
+        &SimOptions::default(),
+    );
+    let base_cycles = probe[0]
         .iter()
-        .map(|c| runner.run_case(c, &wk, &SimOptions::default()).expect("correct key runs").cycles)
+        .map(|r| r.as_ref().expect("correct key runs").cycles)
         .max()
         .expect("at least one case");
     // Fixed-duration testbench: stuck wrong-key circuits snapshot their

@@ -18,10 +18,9 @@ use hls_ir::Module;
 use rtl::{
     golden_outputs, images_equal, CompiledFsmd, OutputImage, SimError, SimOptions, TestCase,
 };
+use sim_core::GridExec;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use tao::{KeySpace, TaoError};
 
 /// One kernel to sweep: C source plus the stimulus driving latency and
@@ -161,44 +160,19 @@ fn locking_key(seed: u64) -> KeyBits {
     })
 }
 
-/// Resolves the requested worker count (0 = one per available core),
-/// capped at `n` work items.
-fn resolve_workers(threads: usize, n: usize) -> usize {
-    let t = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-    } else {
-        threads
-    };
-    t.min(n.max(1))
-}
-
-/// Work-stealing fan-out: evaluates `f(0..n)` on `threads` workers and
-/// returns the results in index order, or the lowest-index error.
+/// Work-stealing fan-out: evaluates `f(0..n)` on `threads` workers
+/// through the shared [`sim_core::GridExec`] (the same executor every
+/// grid consumer in the workspace uses) and returns the results in index
+/// order, or the lowest-index error.
 fn run_parallel<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, DseError>
 where
     T: Send,
     F: Fn(usize) -> Result<T, DseError> + Sync,
 {
-    let workers = resolve_workers(threads, n);
-
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<Result<T, DseError>>>> = Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(i);
-                slots.lock().expect("dse worker poisoned")[i] = Some(out);
-            });
-        }
-    });
     let mut results = Vec::with_capacity(n);
     let mut first_err: Option<DseError> = None;
-    for slot in slots.into_inner().expect("dse slots poisoned") {
-        match slot.expect("every index evaluated") {
+    for out in GridExec::new(threads).run(n, || (), |(), i| f(i)) {
+        match out {
             Ok(v) => results.push(v),
             Err(e) => {
                 if first_err.is_none() {
@@ -339,7 +313,7 @@ pub fn explore(
         pareto.extend(pareto_front(&objs).into_iter().map(|i| k * n_cfg + i));
     }
 
-    Ok(DseReport { points, pareto, threads: resolve_workers(opts.threads, total) })
+    Ok(DseReport { points, pareto, threads: GridExec::new(opts.threads).workers_for(total) })
 }
 
 #[cfg(test)]

@@ -17,105 +17,11 @@
 
 use hls_core::{Fsmd, FuOp, KeyBits, NextState, Src};
 use hls_ir::Type;
-use std::error::Error;
-use std::fmt;
 
-/// Simulation errors.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SimError {
-    /// The cycle budget was exhausted (wrong keys may alter loop bounds and
-    /// spin forever; the paper observes latency changes under wrong keys).
-    CycleLimit,
-    /// Wrong number of arguments for the design's parameter ports.
-    ArityMismatch {
-        /// Ports on the design.
-        expected: usize,
-        /// Arguments supplied.
-        got: usize,
-    },
-    /// Key port width mismatch.
-    KeyWidthMismatch {
-        /// The design's working-key width.
-        expected: u32,
-        /// Supplied key width.
-        got: u32,
-    },
-}
-
-impl fmt::Display for SimError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SimError::CycleLimit => write!(f, "simulation cycle budget exhausted"),
-            SimError::ArityMismatch { expected, got } => {
-                write!(f, "design has {expected} argument ports, {got} arguments given")
-            }
-            SimError::KeyWidthMismatch { expected, got } => {
-                write!(f, "design expects a {expected}-bit working key, got {got} bits")
-            }
-        }
-    }
-}
-
-impl Error for SimError {}
-
-/// The scalar outcome of one run — what the batch backends return
-/// without cloning memory images. Both the FSMD tape runner
-/// ([`crate::tape::FsmdRunner`]) and the Verilog tape runner speak this
-/// type; the full [`SimResult`] (with memories and registers) is
-/// assembled only when a caller keeps them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SimStats {
-    /// Return-register value (`None` for void designs).
-    pub ret: Option<u64>,
-    /// Clock cycles from start to done.
-    pub cycles: u64,
-    /// `true` if the run was cut off by the cycle budget and the state is
-    /// a snapshot (see [`SimOptions::snapshot_on_timeout`]).
-    pub timed_out: bool,
-}
-
-/// Result of a completed simulation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SimResult {
-    /// Return-register value (`None` for void designs).
-    pub ret: Option<u64>,
-    /// Clock cycles from start to done.
-    pub cycles: u64,
-    /// Final contents of every memory (indexed like `Fsmd::mems`).
-    pub mems: Vec<Vec<u64>>,
-    /// `true` if the run was cut off by the cycle budget and the result is
-    /// a snapshot (see [`SimOptions::snapshot_on_timeout`]).
-    pub timed_out: bool,
-    /// Final datapath register values (indexed like `Fsmd::reg_widths`);
-    /// the VCD tracer and debugging tests read these.
-    pub regs: Vec<u64>,
-}
-
-impl SimResult {
-    /// The scalar outcome without the memory/register images.
-    pub fn stats(&self) -> SimStats {
-        SimStats { ret: self.ret, cycles: self.cycles, timed_out: self.timed_out }
-    }
-}
-
-/// Simulator options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SimOptions {
-    /// Maximum clock cycles before aborting.
-    pub max_cycles: u64,
-    /// When the budget runs out: if `true`, return `Ok` with the current
-    /// register/memory state and `timed_out = true` — exactly what a
-    /// fixed-duration RTL testbench observes from a stuck circuit (the
-    /// paper's ModelSim runs read outputs after a fixed time). If `false`
-    /// (default), return [`SimError::CycleLimit`].
-    pub snapshot_on_timeout: bool,
-}
-
-impl Default for SimOptions {
-    fn default() -> Self {
-        SimOptions { max_cycles: 50_000_000, snapshot_on_timeout: false }
-    }
-}
+// The simulation contract (options, results, errors) is owned by the
+// `sim-core` crate — one definition shared with the `vlog` backend and
+// every grid consumer — and re-exported here unchanged.
+pub use sim_core::{SimError, SimOptions, SimResult, SimStats};
 
 /// Simulates `fsmd` with the given argument values and working key.
 ///

@@ -267,16 +267,46 @@ impl CompiledFsmd {
     /// Batch convenience: every key × every case on one reused runner
     /// (compile once, bind each key once). Returns `grid[k][c]` for key
     /// `k` and case `c`.
+    ///
+    /// This is a thin wrapper over the sequential
+    /// [`sim_core::GridExec`]; pass the compiled design to a parallel
+    /// executor directly to shard the same grid over worker threads with
+    /// bit-identical results.
     pub fn simulate_many(
         &self,
         cases: &[TestCase],
         keys: &[KeyBits],
         opts: &SimOptions,
     ) -> Vec<Vec<Result<SimStats, SimError>>> {
-        let mut runner = self.runner();
-        keys.iter()
-            .map(|key| cases.iter().map(|case| runner.run_case(case, key, opts)).collect())
-            .collect()
+        sim_core::GridExec::sequential().grid(self, cases, keys, opts)
+    }
+}
+
+impl sim_core::Simulator for CompiledFsmd {
+    type Runner<'a> = FsmdRunner<'a>;
+
+    fn new_runner(&self) -> FsmdRunner<'_> {
+        self.runner()
+    }
+}
+
+impl sim_core::BatchRunner for FsmdRunner<'_> {
+    fn run_case(
+        &mut self,
+        case: &TestCase,
+        key: &KeyBits,
+        opts: &SimOptions,
+    ) -> Result<SimStats, SimError> {
+        FsmdRunner::run_case(self, case, key, opts)
+    }
+
+    fn outputs(
+        &mut self,
+        case: &TestCase,
+        key: &KeyBits,
+        opts: &SimOptions,
+    ) -> Result<(OutputImage, SimStats), SimError> {
+        FsmdRunner::outputs(self, case, key, opts)
     }
 }
 
@@ -337,6 +367,36 @@ impl FsmdRunner<'_> {
         mem_overrides: &[(usize, &[u64])],
         opts: &SimOptions,
     ) -> Result<SimStats, SimError> {
+        self.run_traced(args, key, mem_overrides, opts, |_, _, _| {})
+    }
+
+    /// [`FsmdRunner::run`] with a per-cycle change observer: after every
+    /// clock edge, `on_cycle(cycle, regs, done)` receives the 1-based
+    /// cycle count, the post-edge register file and whether the
+    /// controller finished this cycle. The VCD tracer ([`crate::vcd`])
+    /// records waveforms from these change records in a single pass
+    /// instead of replaying the design state by state; the untraced
+    /// [`FsmdRunner::run`] passes a no-op observer that monomorphizes
+    /// away.
+    ///
+    /// Cycles cut off by the budget never reach the observer — their
+    /// clock edge did not happen.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on interface mismatches or an exhausted cycle
+    /// budget (unless `opts.snapshot_on_timeout`).
+    pub fn run_traced<F>(
+        &mut self,
+        args: &[u64],
+        key: &KeyBits,
+        mem_overrides: &[(usize, &[u64])],
+        opts: &SimOptions,
+        mut on_cycle: F,
+    ) -> Result<SimStats, SimError>
+    where
+        F: FnMut(u64, &[u64], bool),
+    {
         let c = self.c;
         if args.len() != c.params.len() {
             return Err(SimError::ArityMismatch { expected: c.params.len(), got: args.len() });
@@ -453,6 +513,8 @@ impl FsmdRunner<'_> {
             for &(m, i, v) in &self.mem_writes {
                 self.mems[m as usize][i as usize] = v;
             }
+
+            on_cycle(cycles, &self.regs, next.is_none());
 
             match next {
                 Some(t) => state = t,

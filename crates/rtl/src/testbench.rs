@@ -9,68 +9,13 @@
 
 use crate::sim::{simulate, SimError, SimOptions, SimResult};
 use hls_core::{Fsmd, FuOp, KeyBits};
-use hls_ir::{ArrayId, Instr, Interpreter, Module, Type};
+use hls_ir::{Instr, Interpreter, Module, Type};
 use std::collections::BTreeSet;
 
-/// One stimulus: argument values plus contents for external input arrays.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct TestCase {
-    /// Scalar arguments of the top function.
-    pub args: Vec<u64>,
-    /// Initial contents for global (external) arrays, by IR array id.
-    pub mem_inputs: Vec<(ArrayId, Vec<u64>)>,
-}
-
-impl TestCase {
-    /// A stimulus with scalar arguments only.
-    pub fn args(args: &[u64]) -> TestCase {
-        TestCase { args: args.to_vec(), mem_inputs: Vec::new() }
-    }
-}
-
-/// The observable outputs of one execution: the return value plus every
-/// external memory image.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct OutputImage {
-    /// Return value and its type, if the design returns one.
-    pub ret: Option<(u64, Type)>,
-    /// `(name, element type, contents)` of each external memory.
-    pub mems: Vec<(String, Type, Vec<u64>)>,
-}
-
-impl OutputImage {
-    /// Serializes the outputs to a bit vector (LSB-first per element) for
-    /// Hamming-distance comparison.
-    pub fn to_bits(&self) -> Vec<bool> {
-        let mut bits = Vec::new();
-        let mut push = |v: u64, w: u8| {
-            for i in 0..w {
-                bits.push((v >> i) & 1 == 1);
-            }
-        };
-        if let Some((v, ty)) = self.ret {
-            push(v, ty.width());
-        }
-        for (_, ty, data) in &self.mems {
-            for &v in data {
-                push(v, ty.width());
-            }
-        }
-        bits
-    }
-
-    /// Hamming distance to another image as `(differing bits, total bits)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the two images have different shapes.
-    pub fn hamming(&self, other: &OutputImage) -> (u64, u64) {
-        let (a, b) = (self.to_bits(), other.to_bits());
-        assert_eq!(a.len(), b.len(), "output images have different shapes");
-        let diff = a.iter().zip(&b).filter(|(x, y)| x != y).count() as u64;
-        (diff, a.len() as u64)
-    }
-}
+// The stimulus and output-image types are owned by `sim-core` (shared
+// with the `vlog` backend and the grid executor) and re-exported here
+// unchanged.
+pub use sim_core::{images_equal, OutputImage, TestCase};
 
 /// Runs the *software specification* (the IR interpreter) on a test case.
 ///
@@ -189,20 +134,6 @@ pub fn count_matches(
             }
         })
         .count()
-}
-
-/// Structural equality of output images that tolerates the RTL reporting
-/// the return type as a raw unsigned register (bit-pattern comparison).
-pub fn images_equal(a: &OutputImage, b: &OutputImage) -> bool {
-    let ra = a.ret.map(|(v, t)| t.truncate(v));
-    let rb = b.ret.map(|(v, t)| t.truncate(v));
-    if ra != rb {
-        return false;
-    }
-    if a.mems.len() != b.mems.len() {
-        return false;
-    }
-    a.mems.iter().zip(&b.mems).all(|((_, _, da), (_, _, db))| da == db)
 }
 
 #[cfg(test)]

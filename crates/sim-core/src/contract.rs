@@ -1,0 +1,217 @@
+//! The simulation contract: what a run consumes and what it produces.
+//!
+//! These types were born in `rtl::sim` / `rtl::testbench` and were
+//! re-exported by `vlog` so the two simulators could be compared
+//! result-for-result. They now live here — the single definition both
+//! backends (and every grid consumer) share — and `rtl` / `vlog`
+//! re-export them unchanged, so no consumer spelling breaks.
+
+use hls_ir::{ArrayId, Type};
+use std::error::Error;
+use std::fmt;
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle budget was exhausted (wrong keys may alter loop bounds and
+    /// spin forever; the paper observes latency changes under wrong keys).
+    CycleLimit,
+    /// Wrong number of arguments for the design's parameter ports.
+    ArityMismatch {
+        /// Ports on the design.
+        expected: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// Key port width mismatch.
+    KeyWidthMismatch {
+        /// The design's working-key width.
+        expected: u32,
+        /// Supplied key width.
+        got: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimit => write!(f, "simulation cycle budget exhausted"),
+            SimError::ArityMismatch { expected, got } => {
+                write!(f, "design has {expected} argument ports, {got} arguments given")
+            }
+            SimError::KeyWidthMismatch { expected, got } => {
+                write!(f, "design expects a {expected}-bit working key, got {got} bits")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The scalar outcome of one run — what the batch backends return
+/// without cloning memory images. Both the FSMD tape runner and the
+/// Verilog tape runner speak this type; the full [`SimResult`] (with
+/// memories and registers) is assembled only when a caller keeps them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Return-register value (`None` for void designs).
+    pub ret: Option<u64>,
+    /// Clock cycles from start to done.
+    pub cycles: u64,
+    /// `true` if the run was cut off by the cycle budget and the state is
+    /// a snapshot (see [`SimOptions::snapshot_on_timeout`]).
+    pub timed_out: bool,
+}
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult {
+    /// Return-register value (`None` for void designs).
+    pub ret: Option<u64>,
+    /// Clock cycles from start to done.
+    pub cycles: u64,
+    /// Final contents of every memory (indexed like the design's memory
+    /// declarations).
+    pub mems: Vec<Vec<u64>>,
+    /// `true` if the run was cut off by the cycle budget and the result is
+    /// a snapshot (see [`SimOptions::snapshot_on_timeout`]).
+    pub timed_out: bool,
+    /// Final datapath register values (indexed like `Fsmd::reg_widths`);
+    /// the VCD tracer and debugging tests read these.
+    pub regs: Vec<u64>,
+}
+
+impl SimResult {
+    /// The scalar outcome without the memory/register images.
+    pub fn stats(&self) -> SimStats {
+        SimStats { ret: self.ret, cycles: self.cycles, timed_out: self.timed_out }
+    }
+}
+
+/// Simulator options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Maximum clock cycles before aborting.
+    pub max_cycles: u64,
+    /// When the budget runs out: if `true`, return `Ok` with the current
+    /// register/memory state and `timed_out = true` — exactly what a
+    /// fixed-duration RTL testbench observes from a stuck circuit (the
+    /// paper's ModelSim runs read outputs after a fixed time). If `false`
+    /// (default), return [`SimError::CycleLimit`].
+    pub snapshot_on_timeout: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { max_cycles: 50_000_000, snapshot_on_timeout: false }
+    }
+}
+
+/// One stimulus: argument values plus contents for external input arrays.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TestCase {
+    /// Scalar arguments of the top function.
+    pub args: Vec<u64>,
+    /// Initial contents for global (external) arrays, by IR array id.
+    pub mem_inputs: Vec<(ArrayId, Vec<u64>)>,
+}
+
+impl TestCase {
+    /// A stimulus with scalar arguments only.
+    pub fn args(args: &[u64]) -> TestCase {
+        TestCase { args: args.to_vec(), mem_inputs: Vec::new() }
+    }
+}
+
+/// The observable outputs of one execution: the return value plus every
+/// external memory image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputImage {
+    /// Return value and its type, if the design returns one.
+    pub ret: Option<(u64, Type)>,
+    /// `(name, element type, contents)` of each external memory.
+    pub mems: Vec<(String, Type, Vec<u64>)>,
+}
+
+impl OutputImage {
+    /// Serializes the outputs to a bit vector (LSB-first per element) for
+    /// Hamming-distance comparison.
+    pub fn to_bits(&self) -> Vec<bool> {
+        let mut bits = Vec::new();
+        let mut push = |v: u64, w: u8| {
+            for i in 0..w {
+                bits.push((v >> i) & 1 == 1);
+            }
+        };
+        if let Some((v, ty)) = self.ret {
+            push(v, ty.width());
+        }
+        for (_, ty, data) in &self.mems {
+            for &v in data {
+                push(v, ty.width());
+            }
+        }
+        bits
+    }
+
+    /// Hamming distance to another image as `(differing bits, total bits)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two images have different shapes.
+    pub fn hamming(&self, other: &OutputImage) -> (u64, u64) {
+        let (a, b) = (self.to_bits(), other.to_bits());
+        assert_eq!(a.len(), b.len(), "output images have different shapes");
+        let diff = a.iter().zip(&b).filter(|(x, y)| x != y).count() as u64;
+        (diff, a.len() as u64)
+    }
+}
+
+/// Structural equality of output images that tolerates the RTL reporting
+/// the return type as a raw unsigned register (bit-pattern comparison).
+pub fn images_equal(a: &OutputImage, b: &OutputImage) -> bool {
+    let ra = a.ret.map(|(v, t)| t.truncate(v));
+    let rb = b.ret.map(|(v, t)| t.truncate(v));
+    if ra != rb {
+        return false;
+    }
+    if a.mems.len() != b.mems.len() {
+        return false;
+    }
+    a.mems.iter().zip(&b.mems).all(|((_, _, da), (_, _, db))| da == db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(ret: u64, mem: &[u64]) -> OutputImage {
+        OutputImage {
+            ret: Some((ret, Type::int(32, false))),
+            mems: vec![("m".into(), Type::int(8, false), mem.to_vec())],
+        }
+    }
+
+    #[test]
+    fn hamming_counts_bit_flips() {
+        let a = img(0, &[0, 0]);
+        let b = img(1, &[0, 3]);
+        let (d, n) = a.hamming(&b);
+        assert_eq!(d, 3);
+        assert_eq!(n, 32 + 16);
+    }
+
+    #[test]
+    fn images_equal_is_bit_pattern_equality() {
+        assert!(images_equal(&img(5, &[1]), &img(5, &[1])));
+        assert!(!images_equal(&img(5, &[1]), &img(5, &[2])));
+        assert!(!images_equal(&img(4, &[1]), &img(5, &[1])));
+    }
+
+    #[test]
+    fn sim_error_displays() {
+        assert!(SimError::CycleLimit.to_string().contains("budget"));
+        assert!(SimError::ArityMismatch { expected: 2, got: 1 }.to_string().contains("2"));
+        assert!(SimError::KeyWidthMismatch { expected: 8, got: 0 }.to_string().contains("8-bit"));
+    }
+}

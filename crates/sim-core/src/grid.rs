@@ -1,0 +1,268 @@
+//! The work-stealing parallel (case × key) grid executor.
+//!
+//! TAO's security loops are embarrassingly parallel grids: corruptibility
+//! sweeps run many wrong keys over a stimulus, differential verification
+//! runs every trial key over every test case, oracle-guided attacks
+//! enumerate candidate keys. [`GridExec`] shards those trials over worker
+//! threads with **one per-worker context** (typically a bound tape
+//! runner), stealing work from a shared atomic cursor, and writes each
+//! trial's result into a slot indexed by trial — so the output is
+//! bit-identical for any worker count and any steal order.
+//!
+//! Trials are ordered **key-major** (`trial = key_idx * n_cases +
+//! case_idx`): consecutive steals by one worker tend to share a key, so
+//! the runner's per-key binding (decrypted constants, selected variant
+//! slices, cached dispatches) is amortized exactly as in the sequential
+//! batch path.
+//!
+//! The generalized [`GridExec::run`] is the same fan-out the `hls-dse`
+//! engine pioneered (preallocated slots + atomic cursor), extended with a
+//! per-worker context factory so stateful runners never cross threads.
+
+use crate::contract::{SimError, SimOptions, SimStats, TestCase};
+use crate::traits::{BatchRunner, Simulator};
+use hls_core::KeyBits;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The parallel grid executor. `threads == 0` requests one worker per
+/// available core; any value yields identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridExec {
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl Default for GridExec {
+    /// One worker per available core.
+    fn default() -> Self {
+        GridExec { threads: 0 }
+    }
+}
+
+impl GridExec {
+    /// An executor with an explicit worker count.
+    pub fn new(threads: usize) -> GridExec {
+        GridExec { threads }
+    }
+
+    /// The strictly sequential executor (one worker, run inline on the
+    /// calling thread — no spawn cost). `simulate_many` in both tape
+    /// modules is a thin wrapper over this.
+    pub fn sequential() -> GridExec {
+        GridExec { threads: 1 }
+    }
+
+    /// Resolves the worker count for `n` work items: the requested thread
+    /// count (or the core count when 0), capped at `n`.
+    pub fn workers_for(&self, n: usize) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        t.min(n.max(1))
+    }
+
+    /// Work-stealing fan-out with per-worker context: evaluates
+    /// `f(ctx, i)` for `i in 0..n` and returns the results in index
+    /// order. `make_ctx` runs once per worker **on that worker's
+    /// thread**, so the context (a tape runner, a scratch key buffer)
+    /// never crosses threads and needs neither `Send` nor `Sync`.
+    ///
+    /// With one worker the loop runs inline on the calling thread —
+    /// sequential consumers pay no synchronization.
+    pub fn run<C, T, M, F>(&self, n: usize, make_ctx: M, f: F) -> Vec<T>
+    where
+        T: Send,
+        M: Fn() -> C + Sync,
+        F: Fn(&mut C, usize) -> T + Sync,
+    {
+        let workers = self.workers_for(n);
+        if workers <= 1 {
+            let mut ctx = make_ctx();
+            return (0..n).map(|i| f(&mut ctx, i)).collect();
+        }
+        // Workers buffer (index, result) pairs locally and publish once
+        // at exit — one lock per worker lifetime, not per trial, so
+        // micro-trials (attack enumerations steal millions) never
+        // serialize on a shared slot lock.
+        let next = AtomicUsize::new(0);
+        let buckets: Vec<Mutex<Vec<(usize, T)>>> =
+            (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+        let (next, make_ctx, f) = (&next, &make_ctx, &f);
+        std::thread::scope(|scope| {
+            for bucket in &buckets {
+                scope.spawn(move || {
+                    let mut ctx = make_ctx();
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&mut ctx, i)));
+                    }
+                    *bucket.lock().expect("grid worker poisoned") = local;
+                });
+            }
+        });
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for bucket in buckets {
+            for (i, out) in bucket.into_inner().expect("grid bucket poisoned") {
+                slots[i] = Some(out);
+            }
+        }
+        slots.into_iter().map(|s| s.expect("every trial evaluated")).collect()
+    }
+
+    /// Runs the full (case × key) grid on `sim`, one minted runner per
+    /// worker, and returns `grid[k][c]` for key `k` and case `c` — the
+    /// same shape (and bit-identical contents) as the sequential
+    /// `simulate_many` batch helpers, for every worker count.
+    pub fn grid<S: Simulator>(
+        &self,
+        sim: &S,
+        cases: &[TestCase],
+        keys: &[KeyBits],
+        opts: &SimOptions,
+    ) -> Vec<Vec<Result<SimStats, SimError>>> {
+        let n_cases = cases.len();
+        if n_cases == 0 || keys.is_empty() {
+            return keys.iter().map(|_| Vec::new()).collect();
+        }
+        let flat = self.run(
+            keys.len() * n_cases,
+            || sim.new_runner(),
+            |runner, i| runner.run_case(&cases[i % n_cases], &keys[i / n_cases], opts),
+        );
+        let mut rows = Vec::with_capacity(keys.len());
+        let mut it = flat.into_iter();
+        for _ in keys {
+            rows.push(it.by_ref().take(n_cases).collect());
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::OutputImage;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Toy backend: `ret = args[0] * 10 + key.bit(0)`, `cycles = args[0]`
+    /// (so tight budgets reproduce `CycleLimit`), wrong arity errors.
+    struct Toy {
+        runners_minted: AtomicUsize,
+    }
+    struct ToyRunner;
+
+    impl Simulator for Toy {
+        type Runner<'a> = ToyRunner;
+        fn new_runner(&self) -> ToyRunner {
+            self.runners_minted.fetch_add(1, Ordering::Relaxed);
+            ToyRunner
+        }
+    }
+
+    impl BatchRunner for ToyRunner {
+        fn run_case(
+            &mut self,
+            case: &TestCase,
+            key: &KeyBits,
+            opts: &SimOptions,
+        ) -> Result<SimStats, SimError> {
+            if case.args.len() != 1 {
+                return Err(SimError::ArityMismatch { expected: 1, got: case.args.len() });
+            }
+            let cycles = case.args[0].max(1);
+            if cycles > opts.max_cycles {
+                return Err(SimError::CycleLimit);
+            }
+            Ok(SimStats {
+                ret: Some(case.args[0] * 10 + key.bit(0) as u64),
+                cycles,
+                timed_out: false,
+            })
+        }
+
+        fn outputs(
+            &mut self,
+            case: &TestCase,
+            key: &KeyBits,
+            opts: &SimOptions,
+        ) -> Result<(OutputImage, SimStats), SimError> {
+            let stats = self.run_case(case, key, opts)?;
+            let ret = stats.ret.map(|v| (v, hls_ir::Type::int(32, false)));
+            Ok((OutputImage { ret, mems: Vec::new() }, stats))
+        }
+    }
+
+    fn toy() -> Toy {
+        Toy { runners_minted: AtomicUsize::new(0) }
+    }
+
+    #[test]
+    fn run_returns_results_in_index_order() {
+        for threads in [1, 2, 7] {
+            let out = GridExec::new(threads).run(20, || (), |_, i| i * i);
+            assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_handles_empty_and_single_item() {
+        assert!(GridExec::default().run(0, || (), |_, i| i).is_empty());
+        assert_eq!(GridExec::new(8).run(1, || (), |_, i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn one_context_per_worker() {
+        let sim = toy();
+        let exec = GridExec::new(3);
+        let cases = [TestCase::args(&[1])];
+        let keys: Vec<KeyBits> = (0..10).map(|_| KeyBits::zero(4)).collect();
+        exec.grid(&sim, &cases, &keys, &SimOptions::default());
+        let minted = sim.runners_minted.load(Ordering::Relaxed);
+        assert!(minted <= 3, "minted {minted} runners for 3 workers");
+        assert!(minted >= 1);
+    }
+
+    #[test]
+    fn grid_shape_and_values_match_for_all_worker_counts() {
+        let sim = toy();
+        let cases = [TestCase::args(&[2]), TestCase::args(&[5]), TestCase::args(&[3, 4])];
+        let keys = [KeyBits::zero(1), KeyBits::from_fn(1, || 1)];
+        let opts = SimOptions { max_cycles: 4, snapshot_on_timeout: false };
+        let seq = GridExec::sequential().grid(&sim, &cases, &keys, &opts);
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[0].len(), 3);
+        // Values: case 0 ok, case 1 exceeds the 4-cycle budget, case 2 is
+        // an interface error; key 1 adds its low bit.
+        assert_eq!(seq[0][0].as_ref().unwrap().ret, Some(20));
+        assert_eq!(seq[1][0].as_ref().unwrap().ret, Some(21));
+        assert_eq!(seq[0][1], Err(SimError::CycleLimit));
+        assert!(matches!(seq[0][2], Err(SimError::ArityMismatch { .. })));
+        for threads in [0, 2, 5] {
+            let par = GridExec::new(threads).grid(&sim, &cases, &keys, &opts);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_grids_keep_their_shape() {
+        let sim = toy();
+        let opts = SimOptions::default();
+        assert!(GridExec::default().grid(&sim, &[], &[KeyBits::zero(1)], &opts)[0].is_empty());
+        assert!(GridExec::default().grid(&sim, &[TestCase::args(&[1])], &[], &opts).is_empty());
+    }
+
+    #[test]
+    fn workers_capped_by_items_and_floor_one() {
+        assert_eq!(GridExec::new(8).workers_for(3), 3);
+        assert_eq!(GridExec::new(2).workers_for(100), 2);
+        assert!(GridExec::default().workers_for(100) >= 1);
+        assert_eq!(GridExec::new(4).workers_for(0), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! The `Simulator` / `BatchRunner` trait pair: the contract a compiled
+//! simulation backend offers to batch consumers.
+//!
+//! A [`Simulator`] is an immutable compiled design ([`rtl::CompiledFsmd`],
+//! a mem-bound [`vlog::VlogTape`]) that can mint any number of
+//! independent [`BatchRunner`]s. A runner owns the mutable execution
+//! state — register files, memory images, per-key bindings — and reuses
+//! it across trials, which is what makes grids cheap: compile once, bind
+//! each key once, allocate nothing per run.
+//!
+//! The split mirrors how [`crate::GridExec`] parallelizes: the simulator
+//! is shared by reference across worker threads, and each worker mints
+//! one runner at start-up **on its own thread** (`Simulator: Sync`; a
+//! runner never crosses threads, so it needs no `Send`).
+//!
+//! [`rtl::CompiledFsmd`]: ../../rtl/tape/struct.CompiledFsmd.html
+//! [`vlog::VlogTape`]: ../../vlog/tape/struct.VlogTape.html
+
+use crate::contract::{OutputImage, SimError, SimOptions, SimStats, TestCase};
+use hls_core::KeyBits;
+
+/// A compiled design that can mint independent per-worker batch runners.
+pub trait Simulator: Sync {
+    /// The per-worker execution state (borrows the compiled design).
+    type Runner<'a>: BatchRunner
+    where
+        Self: 'a;
+
+    /// Mints a fresh runner with its own buffers. Runners are fully
+    /// independent: trials on one never observe another's state.
+    fn new_runner(&self) -> Self::Runner<'_>;
+}
+
+/// Reusable execution state that runs one `(case, key)` trial at a time.
+///
+/// Implementations must be **stateless across runs**: the outcome of a
+/// trial depends only on `(case, key, opts)`, never on what the runner
+/// executed before. That property is what makes [`crate::GridExec`]
+/// results independent of worker count and steal order; the workspace
+/// property tests (`tests/prop_grid.rs`) enforce it.
+pub trait BatchRunner {
+    /// Runs one test case under one working key, returning the scalar
+    /// outcome without cloning memory images.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on interface mismatches or an exhausted cycle
+    /// budget (unless `opts.snapshot_on_timeout`).
+    fn run_case(
+        &mut self,
+        case: &TestCase,
+        key: &KeyBits,
+        opts: &SimOptions,
+    ) -> Result<SimStats, SimError>;
+
+    /// Runs one trial and assembles the observable [`OutputImage`]
+    /// (return value + written external memories).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the underlying run.
+    fn outputs(
+        &mut self,
+        case: &TestCase,
+        key: &KeyBits,
+        opts: &SimOptions,
+    ) -> Result<(OutputImage, SimStats), SimError>;
+}

@@ -19,6 +19,7 @@
 use crate::flow::LockedDesign;
 use hls_core::KeyBits;
 use rtl::{images_equal, CompiledFsmd, OutputImage, SimOptions, TestCase};
+use sim_core::GridExec;
 
 /// Per-technique key-space accounting for a locked design.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +79,10 @@ pub struct BranchAttackOutcome {
 /// how many assignments survive; without the oracle (the paper's actual
 /// model) the attacker cannot even rank candidates.
 ///
+/// The candidate space is sharded over the shared [`sim_core::GridExec`]
+/// — one compiled tape plus one runner and key buffer per worker — and
+/// the outcome is identical for every worker count.
+///
 /// # Panics
 ///
 /// Panics if the design has more than 24 branch bits (enumeration is the
@@ -89,22 +94,74 @@ pub fn oracle_guided_branch_attack(
     oracle: &[OutputImage],
     opts: &SimOptions,
 ) -> BranchAttackOutcome {
-    let opts = *opts;
+    let branch_bits: Vec<u32> = design.plan.branch_bits.values().copied().collect();
+    let n = branch_bits.len();
+    assert!(n <= 24, "branch enumeration limited to 24 bits, got {n}");
     // The enumeration runs the same design under thousands of candidate
-    // keys: compile to the tape backend once and reuse one runner.
+    // keys: compile to the tape backend once; every worker binds its own
+    // runner and rewrites one key buffer per stolen candidate. Workers
+    // steal contiguous candidate *chunks* and reduce each to a survivor
+    // count locally, so memory stays O(chunks) even at the 24-bit cap
+    // (a per-candidate result vector would be 2^24 entries).
+    let total = 1u64 << n;
+    let exec = GridExec::default();
+    let n_chunks = (exec.workers_for(total as usize) * 8).min(total as usize);
+    let chunk = total.div_ceil(n_chunks as u64);
+    let truth = true_assignment(correct_key, &branch_bits);
     let compiled = CompiledFsmd::compile(&design.fsmd);
-    let mut runner = compiled.runner();
-    oracle_guided_branch_attack_with(design, correct_key, cases, oracle, |case, key| {
-        runner.outputs(case, key, &opts).ok().map(|(img, _)| img)
-    })
+    let parts: Vec<(u64, bool)> = exec.run(
+        n_chunks,
+        || (compiled.runner(), correct_key.clone()),
+        |(runner, key), ci| {
+            let (mut surviving, mut true_survives) = (0u64, false);
+            for candidate in (ci as u64 * chunk)..((ci as u64 + 1) * chunk).min(total) {
+                assign_candidate(key, &branch_bits, candidate);
+                let ok = cases.iter().zip(oracle).all(|(case, want)| {
+                    match runner.outputs(case, key, opts) {
+                        Ok((img, _)) => images_equal(want, &img),
+                        Err(_) => false,
+                    }
+                });
+                if ok {
+                    surviving += 1;
+                    if candidate == truth {
+                        true_survives = true;
+                    }
+                }
+            }
+            (surviving, true_survives)
+        },
+    );
+    BranchAttackOutcome {
+        candidates_tried: total,
+        candidates_surviving: parts.iter().map(|(s, _)| s).sum(),
+        true_key_survives: parts.iter().any(|&(_, t)| t),
+    }
+}
+
+/// Writes enumeration candidate `candidate` into the branch bits of
+/// `key` (bit `i` of the candidate drives `branch_bits[i]`). The one
+/// definition of the candidate encoding, shared by the parallel attack
+/// and the closure-driven [`oracle_guided_branch_attack_with`], so the
+/// two can never enumerate different spaces.
+fn assign_candidate(key: &mut KeyBits, branch_bits: &[u32], candidate: u64) {
+    for (i, &b) in branch_bits.iter().enumerate() {
+        key.set_bit(b, (candidate >> i) & 1 == 1);
+    }
+}
+
+/// The candidate index encoding the correct key's branch-bit values.
+fn true_assignment(correct_key: &KeyBits, branch_bits: &[u32]) -> u64 {
+    branch_bits.iter().enumerate().map(|(i, &b)| (correct_key.bit(b) as u64) << i).sum()
 }
 
 /// [`oracle_guided_branch_attack`] generalized over the circuit executor:
 /// `run` produces the outputs a candidate key yields on a test case
-/// (`None` when the run does not terminate). The default attack passes
-/// the FSMD simulator; passing a `vlog`-backed closure runs the same
-/// enumeration against the *emitted Verilog text*, showing the attack
-/// surface of the foundry-visible artifact is identical to the model's.
+/// (`None` when the run does not terminate). The enumeration is
+/// sequential — the closure keeps whatever state it likes. Passing a
+/// `vlog`-backed closure runs the same enumeration against the *emitted
+/// Verilog text*, showing the attack surface of the foundry-visible
+/// artifact is identical to the model's.
 pub fn oracle_guided_branch_attack_with<F>(
     design: &LockedDesign,
     correct_key: &KeyBits,
@@ -120,16 +177,13 @@ where
     assert!(n <= 24, "branch enumeration limited to 24 bits, got {n}");
     let mut surviving = 0u64;
     let mut true_survives = false;
-    let true_assignment: u64 =
-        branch_bits.iter().enumerate().map(|(i, &b)| (correct_key.bit(b) as u64) << i).sum();
+    let true_assignment = true_assignment(correct_key, &branch_bits);
 
     // One key buffer for the whole enumeration: every branch bit is
     // rewritten per candidate, so no per-trial clone is needed.
     let mut key = correct_key.clone();
     for candidate in 0..(1u64 << n) {
-        for (i, &b) in branch_bits.iter().enumerate() {
-            key.set_bit(b, (candidate >> i) & 1 == 1);
-        }
+        assign_candidate(&mut key, &branch_bits, candidate);
         let ok = cases.iter().zip(oracle).all(|(case, want)| match run(case, &key) {
             Some(img) => images_equal(want, &img),
             None => false,

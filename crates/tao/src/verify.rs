@@ -23,7 +23,8 @@ use crate::flow::LockedDesign;
 use hls_core::{verilog, KeyBits};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rtl::{golden_outputs, images_equal, CompiledFsmd, SimOptions, TestCase};
+use rtl::{golden_outputs, images_equal, CompiledFsmd, OutputImage, SimOptions, TestCase};
+use sim_core::GridExec;
 use std::fmt;
 use vlog::{VlogError, VlogTape};
 
@@ -120,9 +121,26 @@ impl fmt::Display for DifferentialReport {
     }
 }
 
+/// One (case, trial) comparison's outcome, produced on a worker thread
+/// and folded into the [`DifferentialReport`] in deterministic trial
+/// order.
+struct TrialOutcome {
+    /// FSMD-vs-Verilog divergence description, if any.
+    mismatch: Option<String>,
+    /// The run counted toward the timeout tally (budget-cut snapshot or
+    /// matching `CycleLimit` errors on both layers).
+    timed_out: bool,
+    /// The FSMD output image when both layers terminated.
+    image: Option<OutputImage>,
+}
+
 /// Runs the three-way differential testbench: every trial key over every
 /// test case, on the FSMD simulator and on the emitted Verilog text, with
 /// the IR interpreter as golden reference for correct-key trials.
+///
+/// The (case × trial) grid is sharded over the shared
+/// [`sim_core::GridExec`] with one pair of tape runners per worker; the
+/// report is bit-identical for every worker count.
 ///
 /// # Errors
 ///
@@ -139,25 +157,45 @@ pub fn differential_verify(
     trials: &[KeyTrial],
     opts: &SimOptions,
 ) -> Result<DifferentialReport, VlogError> {
+    differential_verify_on(design, cases, trials, opts, &GridExec::default())
+}
+
+/// [`differential_verify`] on an explicit executor (worker count of the
+/// caller's choosing; results are identical for every value).
+///
+/// # Errors
+///
+/// Returns [`VlogError`] when the emitted text fails to parse.
+pub fn differential_verify_on(
+    design: &LockedDesign,
+    cases: &[TestCase],
+    trials: &[KeyTrial],
+    opts: &SimOptions,
+    exec: &GridExec,
+) -> Result<DifferentialReport, VlogError> {
     let text = verilog::emit(&design.fsmd);
     // Both RTL layers run on their compiled tape backends: elaborate and
-    // flatten once, then reuse the runners' buffers across every
-    // (trial, case) pair.
+    // flatten once; every worker then mints one runner pair and reuses
+    // its buffers across the (case, trial) pairs it steals.
     let vtape = VlogTape::new(&text)?;
     let ctape = CompiledFsmd::compile(&design.fsmd);
-    let mut frun = ctape.runner();
-    let mut vrun = vtape.runner();
-    let mut report = DifferentialReport { design: design.top.clone(), ..Default::default() };
-    let mut hd_sum = 0.0;
-    let mut hd_n = 0usize;
+    let goldens: Vec<OutputImage> =
+        cases.iter().map(|case| golden_outputs(&design.module, &design.top, case)).collect();
 
-    for case in cases {
-        let golden = golden_outputs(&design.module, &design.top, case);
-        for trial in trials {
-            report.comparisons += 1;
+    // Execution order is key-major (trial index outer) so consecutive
+    // stolen trials share a working key and the runners' per-key
+    // bindings amortize; the fold below re-reads the outcomes in the
+    // report's case-major order.
+    let n_cases = cases.len();
+    let n_trials = trials.len();
+    let outcomes: Vec<TrialOutcome> = exec.run(
+        n_cases * n_trials,
+        || (ctape.runner(), vtape.runner()),
+        |(frun, vrun), i| {
+            let (case, trial) = (&cases[i % n_cases], &trials[i / n_cases]);
             let r = frun.run_case(case, &trial.working_key, opts);
             let v = vrun.run_case(case, &trial.working_key, opts, &design.fsmd.mem_of_array);
-            let image = match (&r, &v) {
+            match (&r, &v) {
                 (Ok(rr), Ok(vr)) => {
                     // Full-state comparison, as the tree backends'
                     // `SimResult` equality did: scalar outcome, every
@@ -165,71 +203,87 @@ pub fn differential_verify(
                     // once per trial (they clone the written external
                     // memories) and reused for the golden comparison.
                     let fi = frun.image(rr);
-                    if rr != vr || frun.regs() != vrun.regs().as_slice() {
-                        report.rtl_vlog_mismatches.push(format!(
+                    let mismatch = if rr != vr || frun.regs() != vrun.regs().as_slice() {
+                        Some(format!(
                             "{}: state diverged (fsmd {} cycles ret {:?} vs vlog {} cycles ret {:?})",
                             trial.label, rr.cycles, rr.ret, vr.cycles, vr.ret
-                        ));
+                        ))
                     } else if frun.mems() != vrun.mems() || !images_equal(&fi, &vrun.image(vr)) {
-                        report.rtl_vlog_mismatches.push(format!(
+                        Some(format!(
                             "{}: output images diverged ({:?} vs {:?})",
                             trial.label,
                             fi,
                             vrun.image(vr)
-                        ));
-                    }
-                    if rr.timed_out {
-                        report.timeouts += 1;
-                    }
-                    Some(fi)
+                        ))
+                    } else {
+                        None
+                    };
+                    TrialOutcome { mismatch, timed_out: rr.timed_out, image: Some(fi) }
                 }
                 (Err(re), Err(ve)) => {
-                    if re != ve {
-                        report.rtl_vlog_mismatches.push(format!(
-                            "{}: errors diverged (fsmd {re} vs vlog {ve})",
-                            trial.label
-                        ));
-                    } else {
-                        report.timeouts += 1;
-                    }
-                    None
+                    let mismatch = (re != ve).then(|| {
+                        format!("{}: errors diverged (fsmd {re} vs vlog {ve})", trial.label)
+                    });
+                    TrialOutcome { timed_out: mismatch.is_none(), mismatch, image: None }
                 }
-                (Ok(_), Err(e)) => {
-                    report
-                        .rtl_vlog_mismatches
-                        .push(format!("{}: fsmd completed but vlog failed ({e})", trial.label));
-                    None
-                }
-                (Err(e), Ok(_)) => {
-                    report
-                        .rtl_vlog_mismatches
-                        .push(format!("{}: vlog completed but fsmd failed ({e})", trial.label));
-                    None
-                }
-            };
-            if trial.expect_golden {
-                match &image {
-                    Some(img) if images_equal(&golden, img) => {}
-                    Some(_) => report
-                        .golden_failures
-                        .push(format!("{}: correct key diverged from golden", trial.label)),
-                    None => report
-                        .golden_failures
-                        .push(format!("{}: correct key did not terminate", trial.label)),
-                }
-            } else if let Some(img) = &image {
-                if images_equal(&golden, img) {
-                    report.wrong_key_clean += 1;
-                } else {
-                    report.wrong_key_corrupted += 1;
-                }
-                let (d, t) = golden.hamming(img);
-                hd_sum += d as f64 / t as f64;
-                hd_n += 1;
+                (Ok(_), Err(e)) => TrialOutcome {
+                    mismatch: Some(format!(
+                        "{}: fsmd completed but vlog failed ({e})",
+                        trial.label
+                    )),
+                    timed_out: false,
+                    image: None,
+                },
+                (Err(e), Ok(_)) => TrialOutcome {
+                    mismatch: Some(format!(
+                        "{}: vlog completed but fsmd failed ({e})",
+                        trial.label
+                    )),
+                    timed_out: false,
+                    image: None,
+                },
+            }
+        },
+    );
+
+    // Deterministic fold in (case-major, trial-minor) order — the same
+    // order the sequential loop reported in.
+    let mut report = DifferentialReport { design: design.top.clone(), ..Default::default() };
+    let mut hd_sum = 0.0;
+    let mut hd_n = 0usize;
+    let mut outcomes: Vec<Option<TrialOutcome>> = outcomes.into_iter().map(Some).collect();
+    for (c, t) in (0..n_cases).flat_map(|c| (0..n_trials).map(move |t| (c, t))) {
+        let out = outcomes[t * n_cases + c].take().expect("one visit per trial");
+        let (golden, trial) = (&goldens[c], &trials[t]);
+        report.comparisons += 1;
+        if let Some(m) = out.mismatch {
+            report.rtl_vlog_mismatches.push(m);
+        }
+        if out.timed_out {
+            report.timeouts += 1;
+        }
+        if trial.expect_golden {
+            match &out.image {
+                Some(img) if images_equal(golden, img) => {}
+                Some(_) => report
+                    .golden_failures
+                    .push(format!("{}: correct key diverged from golden", trial.label)),
+                None => report
+                    .golden_failures
+                    .push(format!("{}: correct key did not terminate", trial.label)),
+            }
+        } else if let Some(img) = &out.image {
+            if images_equal(golden, img) {
+                report.wrong_key_clean += 1;
             } else {
-                // Non-terminating wrong key: corrupted by definition.
                 report.wrong_key_corrupted += 1;
             }
+            let (d, t) = golden.hamming(img);
+            hd_sum += d as f64 / t as f64;
+            hd_n += 1;
+        } else {
+            // Non-terminating wrong key: corrupted by definition.
+            report.wrong_key_corrupted += 1;
         }
     }
     report.avg_wrong_hd = if hd_n > 0 { hd_sum / hd_n as f64 } else { 0.0 };
@@ -277,6 +331,25 @@ mod tests {
         assert!(report.is_clean(), "{report}");
         assert_eq!(report.comparisons, 14);
         assert_eq!(report.wrong_key_corrupted, 12);
+    }
+
+    #[test]
+    fn differential_report_is_identical_across_worker_counts() {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let lk = locking(11);
+        let d = lock(&m, "fir", &lk, &TaoOptions::default()).unwrap();
+        let cases = [TestCase::args(&[2, 7]), TestCase::args(&[0, 1])];
+        let trials = standard_trials(&d, &lk, 4, 0xabc);
+        let budget = SimOptions { max_cycles: 200_000, snapshot_on_timeout: true };
+        let one = differential_verify_on(&d, &cases, &trials, &budget, &GridExec::new(1)).unwrap();
+        let four = differential_verify_on(&d, &cases, &trials, &budget, &GridExec::new(4)).unwrap();
+        assert_eq!(one.comparisons, four.comparisons);
+        assert_eq!(one.rtl_vlog_mismatches, four.rtl_vlog_mismatches);
+        assert_eq!(one.golden_failures, four.golden_failures);
+        assert_eq!(one.wrong_key_clean, four.wrong_key_clean);
+        assert_eq!(one.wrong_key_corrupted, four.wrong_key_corrupted);
+        assert_eq!(one.timeouts, four.timeouts);
+        assert_eq!(one.avg_wrong_hd.to_bits(), four.avg_wrong_hd.to_bits());
     }
 
     #[test]

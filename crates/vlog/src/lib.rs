@@ -10,12 +10,14 @@
 //! nonblocking right-hand sides evaluate against the pre-edge state, all
 //! updates commit at the clock edge.
 //!
-//! The simulator speaks the same [`rtl::SimOptions`] / [`rtl::SimResult`]
-//! / [`rtl::SimError`] interface as the FSMD simulator, so the emitted
-//! *text* — the foundry-visible artifact — can be differentially checked
-//! bit-for-bit and cycle-for-cycle against the in-memory model
-//! (`tao::verify` runs the three-way oracle: IR interpreter vs FSMD vs
-//! Verilog text).
+//! The simulator speaks the shared [`sim_core`] contract
+//! ([`SimOptions`](sim_core::SimOptions) / [`SimResult`](sim_core::SimResult)
+//! / [`SimError`](sim_core::SimError)) — the same interface as the FSMD
+//! simulator — so the emitted *text*, the foundry-visible artifact, can
+//! be differentially checked bit-for-bit and cycle-for-cycle against the
+//! in-memory model (`tao::verify` runs the three-way oracle: IR
+//! interpreter vs FSMD vs Verilog text), and the compiled tape plugs
+//! into the parallel `sim_core::GridExec` via [`VlogTape::with_mems`].
 //!
 //! ## Example
 //!
@@ -52,5 +54,5 @@ pub mod vcd;
 
 pub use parser::{parse, ParseError};
 pub use sim::{vlog_outputs, VlogError, VlogSim};
-pub use tape::{TapeRunner, VlogTape};
+pub use tape::{GridRunner, GridTape, TapeRunner, VlogTape};
 pub use vcd::{parse_vcd, Vcd, VcdChange, VcdError, VcdVar};

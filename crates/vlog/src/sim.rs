@@ -24,7 +24,7 @@
 use crate::ast::{self, Dir, Expr, Module, Stmt};
 use crate::parser::{parse, ParseError};
 use hls_core::KeyBits;
-use rtl::{OutputImage, SimError, SimOptions, SimResult, TestCase};
+use sim_core::{OutputImage, SimError, SimOptions, SimResult, TestCase};
 use std::collections::BTreeMap;
 use std::fmt;
 

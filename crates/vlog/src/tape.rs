@@ -39,7 +39,7 @@
 use crate::ast;
 use crate::sim::{extend, mask, to_signed, CExpr, CStmt, SigKind, VlogError, VlogSim};
 use hls_core::KeyBits;
-use rtl::{OutputImage, SimError, SimOptions, SimResult, SimStats, TestCase};
+use sim_core::{OutputImage, SimError, SimOptions, SimResult, SimStats, TestCase};
 use std::collections::BTreeMap;
 
 fn err<T>(msg: impl Into<String>) -> Result<T, VlogError> {
@@ -329,6 +329,11 @@ impl VlogTape {
     /// Returns `grid[k][c]` for key `k` and case `c`. `mem_of_array`
     /// maps the cases' IR array ids onto this design's memories (as in
     /// [`crate::vlog_outputs`]).
+    ///
+    /// This is a thin wrapper over the sequential
+    /// [`sim_core::GridExec`]; pass [`VlogTape::with_mems`] to a
+    /// parallel executor directly to shard the same grid over worker
+    /// threads with bit-identical results.
     pub fn simulate_many(
         &self,
         cases: &[TestCase],
@@ -336,12 +341,77 @@ impl VlogTape {
         opts: &SimOptions,
         mem_of_array: &BTreeMap<hls_ir::ArrayId, hls_core::MemIdx>,
     ) -> Vec<Vec<Result<SimStats, SimError>>> {
-        let mut runner = self.runner();
-        keys.iter()
-            .map(|key| {
-                cases.iter().map(|case| runner.run_case(case, key, opts, mem_of_array)).collect()
-            })
-            .collect()
+        sim_core::GridExec::sequential().grid(&self.with_mems(mem_of_array), cases, keys, opts)
+    }
+
+    /// Binds this tape to a design's `ArrayId → MemIdx` map, yielding a
+    /// [`GridTape`] that implements the shared [`sim_core::Simulator`]
+    /// contract. The map is the missing half of the grid interface: test
+    /// cases name their input arrays by IR id, and only the synthesized
+    /// design knows which emitted memory each id landed in.
+    pub fn with_mems<'a>(
+        &'a self,
+        mem_of_array: &'a BTreeMap<hls_ir::ArrayId, hls_core::MemIdx>,
+    ) -> GridTape<'a> {
+        GridTape { tape: self, mem_of_array }
+    }
+}
+
+/// A [`VlogTape`] bound to a design's array-to-memory map — the form in
+/// which the Verilog backend enters the shared [`sim_core`] grid
+/// machinery ([`sim_core::GridExec::grid`] and friends). Create with
+/// [`VlogTape::with_mems`].
+#[derive(Debug, Clone, Copy)]
+pub struct GridTape<'a> {
+    tape: &'a VlogTape,
+    mem_of_array: &'a BTreeMap<hls_ir::ArrayId, hls_core::MemIdx>,
+}
+
+impl sim_core::Simulator for GridTape<'_> {
+    type Runner<'a>
+        = GridRunner<'a>
+    where
+        Self: 'a;
+
+    fn new_runner(&self) -> GridRunner<'_> {
+        GridRunner { runner: self.tape.runner(), mem_of_array: self.mem_of_array }
+    }
+}
+
+/// A [`TapeRunner`] carrying its design's array-to-memory map, so it can
+/// resolve [`TestCase`] inputs on its own — the [`sim_core::BatchRunner`]
+/// half of [`GridTape`].
+#[derive(Debug, Clone)]
+pub struct GridRunner<'a> {
+    runner: TapeRunner<'a>,
+    mem_of_array: &'a BTreeMap<hls_ir::ArrayId, hls_core::MemIdx>,
+}
+
+impl<'a> GridRunner<'a> {
+    /// The underlying tape runner (final memory images, register values,
+    /// output assembly).
+    pub fn inner(&mut self) -> &mut TapeRunner<'a> {
+        &mut self.runner
+    }
+}
+
+impl sim_core::BatchRunner for GridRunner<'_> {
+    fn run_case(
+        &mut self,
+        case: &TestCase,
+        key: &KeyBits,
+        opts: &SimOptions,
+    ) -> Result<SimStats, SimError> {
+        self.runner.run_case(case, key, opts, self.mem_of_array)
+    }
+
+    fn outputs(
+        &mut self,
+        case: &TestCase,
+        key: &KeyBits,
+        opts: &SimOptions,
+    ) -> Result<(OutputImage, SimStats), SimError> {
+        self.runner.outputs(case, key, opts, self.mem_of_array)
     }
 }
 

@@ -11,6 +11,7 @@
 //! | [`hls_frontend`] | C-subset front end → IR (paper Fig. 2 "Compiler Steps") |
 //! | [`hls_ir`] | IR, optimization passes, interpreter (the golden model) |
 //! | [`hls_core`] | Allocation, scheduling, binding, FSMD synthesis |
+//! | [`sim_core`] | Shared simulation contract + `Simulator`/`BatchRunner` traits + parallel `GridExec` |
 //! | [`rtl`] | Cycle-accurate simulation (tree + compiled tape backends), area/timing, testbenches |
 //! | [`vlog`] | Verilog-subset parser + simulators for the emitted text (tree + compiled tape) |
 //! | [`tao`] | The three obfuscations, key management, attack analysis, differential verify |
@@ -101,6 +102,38 @@
 //! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! ## The shared simulation layer and the parallel grid executor
+//!
+//! Every backend speaks the [`sim_core`] contract: the types above
+//! (`SimOptions`, `SimResult`, `SimStats`, `SimError`, `TestCase`,
+//! `OutputImage`) have exactly one definition, re-exported by [`rtl`]
+//! and [`vlog`]. On top of it, the [`sim_core::Simulator`] /
+//! [`sim_core::BatchRunner`] trait pair abstracts "a compiled design
+//! that mints per-worker runners", and [`sim_core::GridExec`] shards a
+//! (case × key) grid over work-stealing worker threads — one bound
+//! runner per worker, results in deterministic trial order for **any**
+//! worker count. Corruptibility sweeps, differential verification,
+//! oracle-guided attacks, DSE sign-off and the `vlog-diff` experiment
+//! all run through it.
+//!
+//! ```
+//! use tao_repro::hls_core::{self, KeyBits};
+//! use tao_repro::rtl::{CompiledFsmd, SimOptions, TestCase};
+//! use tao_repro::sim_core::GridExec;
+//!
+//! let m = tao_repro::hls_frontend::compile("int sq(int x) { return x * x; }", "d")?;
+//! let fsmd = hls_core::synthesize(&m, "sq", &hls_core::HlsOptions::default())?;
+//! let ctape = CompiledFsmd::compile(&fsmd);
+//! let cases: Vec<TestCase> = (1u64..=4).map(|x| TestCase::args(&[x])).collect();
+//! let keys = [KeyBits::zero(0)];
+//!
+//! // All cores, one runner per worker — same grid, any worker count.
+//! let par = GridExec::default().grid(&ctape, &cases, &keys, &SimOptions::default());
+//! assert_eq!(par, ctape.simulate_many(&cases, &keys, &SimOptions::default()));
+//! assert_eq!(par[0][3].as_ref().unwrap().ret, Some(16));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -111,6 +144,7 @@ pub use hls_dse;
 pub use hls_frontend;
 pub use hls_ir;
 pub use rtl;
+pub use sim_core;
 pub use tao;
 pub use tao_crypto;
 pub use vlog;
