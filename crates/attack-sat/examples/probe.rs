@@ -1,0 +1,87 @@
+//! Scaling probe for the SAT attack (development aid): prints CNF size,
+//! DIPs and wall time for a few kernels at increasing unroll depths.
+
+use attack_sat::{sat_attack, AttackQuery, OracleResponse, SatAttackOptions};
+use hls_core::{verilog, Fsmd, KeyBits, KeyRange, NextState};
+use rtl::{CompiledFsmd, SimOptions, TestCase};
+use vlog::VlogSim;
+
+fn lock_by_hand(fsmd: &mut Fsmd, key: &KeyBits) {
+    let mut next = 0u32;
+    for c in &mut fsmd.consts {
+        let w = c.storage_width as u32;
+        let range = KeyRange { lo: next, width: w };
+        next += w;
+        let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+        c.bits = (c.bits ^ key.range(range)) & mask;
+        c.key_xor = Some(range);
+    }
+    for st in &mut fsmd.states {
+        if let NextState::Branch { test, key_bit: None, then_s, else_s } = st.next {
+            let bit = next;
+            next += 1;
+            let (then_s, else_s) = if key.bit(bit) { (else_s, then_s) } else { (then_s, else_s) };
+            st.next = NextState::Branch { test, key_bit: Some(bit), then_s, else_s };
+        }
+    }
+    fsmd.key_width = key.width();
+}
+
+fn main() {
+    let src = std::env::args().nth(1).unwrap_or_else(|| {
+        "int f(int a) { int s = 0; for (int i = 0; i < 3; i++) s += a + i; return s; }".into()
+    });
+    let conflicts: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+    let m = hls_frontend::compile(&src, "t").unwrap();
+    let mut fsmd = hls_core::synthesize(&m, "f", &hls_core::HlsOptions::default()).unwrap();
+    let key_bits: u32 = fsmd.consts.iter().map(|c| c.storage_width as u32).sum::<u32>()
+        + fsmd.states.iter().filter(|s| matches!(s.next, NextState::Branch { .. })).count() as u32;
+    let mut s = 0x5EEDu64 | 1;
+    let key = KeyBits::from_fn(key_bits, || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    });
+    lock_by_hand(&mut fsmd, &key);
+    let latency = CompiledFsmd::compile(&fsmd)
+        .runner()
+        .run_case(&TestCase::args(&[7]), &key, &SimOptions::default())
+        .unwrap()
+        .cycles;
+    println!("key bits: {key_bits}, latency: {latency}, states: {}", fsmd.states.len());
+
+    let text = verilog::emit(&fsmd);
+    let sim = VlogSim::new(&text).unwrap();
+    let k = latency as u32 * 2 + 8;
+    let compiled = CompiledFsmd::compile(&fsmd);
+    let mut runner = compiled.runner();
+    let opts = SimOptions { max_cycles: k as u64, snapshot_on_timeout: false };
+    let mut oracle = |q: &AttackQuery| {
+        let case = TestCase { args: q.args.clone(), mem_inputs: Vec::new() };
+        match runner.run_case(&case, &key, &opts) {
+            Ok(stats) => OracleResponse { done: true, ret: stats.ret, mems: Vec::new() },
+            Err(_) => OracleResponse { done: false, ret: None, mems: Vec::new() },
+        }
+    };
+    let out = sat_attack(
+        &sim,
+        &SatAttackOptions {
+            unroll_cycles: k,
+            max_dips: Some(200),
+            conflict_budget: Some(conflicts),
+        },
+        &mut oracle,
+    );
+    println!(
+        "k={k} status={:?} dips={} conflicts={} props={} vars={} clauses={} wall={:?} exact={}",
+        out.status,
+        out.dips,
+        out.conflicts,
+        out.propagations,
+        out.vars,
+        out.clauses,
+        out.wall,
+        out.key.as_ref() == Some(&key),
+    );
+}

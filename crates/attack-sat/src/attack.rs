@@ -1,0 +1,251 @@
+//! The oracle-guided SAT attack (Subramanyan–Ray–Malik style) on a
+//! bounded unrolling of the locked netlist.
+//!
+//! The attacker holds the locked netlist (the foundry's view) and
+//! black-box access to an activated chip (the oracle). A two-copy miter —
+//! shared inputs, two free key vectors — asks the solver for a
+//! *distinguishing input pattern* (DIP): a stimulus on which two keys
+//! disagree. The oracle labels the DIP, both key copies are constrained
+//! to reproduce the label, and the loop repeats. When the miter goes
+//! UNSAT, no two remaining keys disagree on any input — the key space has
+//! collapsed to one observable-equivalence class — and any key satisfying
+//! the accumulated I/O constraints unlocks the chip.
+//!
+//! The observable is the k-cycle-bounded run: `(terminates within k
+//! cycles, output image at the first done cycle)` — exactly what a
+//! fixed-duration testbench (or `simulate` with `max_cycles = k`)
+//! observes, so oracle answers and CNF constraints speak the same
+//! language by construction.
+
+use crate::encode::{Encoder, KeyLits, Unrolling};
+use hls_core::KeyBits;
+use sat::{Gates, SolveOutcome};
+use std::time::{Duration, Instant};
+use vlog::VlogSim;
+
+/// One oracle query: a concrete stimulus for the attacked design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackQuery {
+    /// One value per `arg{i}` port.
+    pub args: Vec<u64>,
+    /// Contents of each free input memory, in [`Encoder::free_mem_ids`]
+    /// order.
+    pub mems: Vec<Vec<u64>>,
+}
+
+/// The oracle's label for a query, in the bounded observable: did the
+/// activated chip finish within the cycle budget, and if so what did it
+/// output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleResponse {
+    /// The run terminated within the attack's cycle bound.
+    pub done: bool,
+    /// `ret` port value (when the design has one and the run terminated).
+    pub ret: Option<u64>,
+    /// Final contents of each external written memory, in
+    /// [`Encoder::out_mem_ids`] order (empty when not terminated).
+    pub mems: Vec<Vec<u64>>,
+}
+
+/// Attack budgets and the unrolling depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatAttackOptions {
+    /// Clock edges to unroll (the observable's cycle bound). Pick it
+    /// above the oracle's correct-key latency — `latency × margin` — or
+    /// the attack recovers a key for a truncated observable.
+    pub unroll_cycles: u32,
+    /// Stop after this many DIPs (`None` = until collapse).
+    pub max_dips: Option<u64>,
+    /// Total solver conflict budget across all calls (`None` = unbounded).
+    pub conflict_budget: Option<u64>,
+}
+
+impl Default for SatAttackOptions {
+    fn default() -> Self {
+        SatAttackOptions { unroll_cycles: 64, max_dips: None, conflict_budget: None }
+    }
+}
+
+/// How the attack ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatAttackStatus {
+    /// The key space collapsed: the recovered key is observable-equivalent
+    /// to the chip's on **every** input within the cycle bound.
+    Recovered,
+    /// The DIP budget ran out first (the returned key satisfies every
+    /// collected I/O constraint but the space had not collapsed).
+    DipBudget,
+    /// The solver conflict budget ran out first.
+    ConflictBudget,
+}
+
+/// The attack's result and effort counters.
+#[derive(Debug, Clone)]
+pub struct SatAttackOutcome {
+    /// Terminal status.
+    pub status: SatAttackStatus,
+    /// The recovered key (present unless the conflict budget died before
+    /// any model was found).
+    pub key: Option<KeyBits>,
+    /// Distinguishing inputs found.
+    pub dips: u64,
+    /// Oracle queries issued (= DIPs; probe queries are the caller's).
+    pub queries: u64,
+    /// Solver conflicts across all solve calls.
+    pub conflicts: u64,
+    /// Solver propagations across all solve calls.
+    pub propagations: u64,
+    /// CNF variables at the end of the attack.
+    pub vars: usize,
+    /// CNF clauses at the end of the attack.
+    pub clauses: usize,
+    /// Wall-clock time of the whole loop (encoding + solving + oracle).
+    pub wall: Duration,
+}
+
+impl SatAttackOutcome {
+    /// DIPs per second of wall time.
+    pub fn dips_per_sec(&self) -> f64 {
+        self.dips as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Conflicts per second of wall time.
+    pub fn conflicts_per_sec(&self) -> f64 {
+        self.conflicts as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs the DIP loop against `oracle` on the elaborated netlist `sim`.
+///
+/// The oracle is any black box honouring the bounded observable —
+/// typically the FSMD tape of the same design bound to the correct
+/// working key, run with `max_cycles = opts.unroll_cycles`.
+///
+/// # Panics
+///
+/// Panics if the oracle responds with a shape that does not match the
+/// design (wrong memory counts), or if the design has no key port.
+pub fn sat_attack(
+    sim: &VlogSim,
+    opts: &SatAttackOptions,
+    oracle: &mut dyn FnMut(&AttackQuery) -> OracleResponse,
+) -> SatAttackOutcome {
+    assert!(sim.key_width() > 0, "design has no working key to recover");
+    let t0 = Instant::now();
+    let enc = Encoder::new(sim);
+    let mut g = Gates::new();
+    let k = opts.unroll_cycles;
+
+    // The miter: two key copies over shared free inputs.
+    let inputs = enc.fresh_inputs(&mut g);
+    let key_a = KeyLits::fresh(&mut g, sim);
+    let key_b = KeyLits::fresh(&mut g, sim);
+    let ua = enc.unroll(&mut g, k, &inputs, &key_a);
+    let ub = enc.unroll(&mut g, k, &inputs, &key_b);
+    let diff = observable_diff(&mut g, &ua, &ub);
+    let act = g.fresh();
+    g.assert_clause(&[!act, diff]);
+
+    let mut dips = 0u64;
+    let free_mem_ids = enc.free_mem_ids();
+    let status = loop {
+        if let Some(max) = opts.max_dips {
+            if dips >= max {
+                break SatAttackStatus::DipBudget;
+            }
+        }
+        set_budget(&mut g, opts);
+        match g.solve_assuming(&[act]) {
+            SolveOutcome::Unsat => break SatAttackStatus::Recovered,
+            SolveOutcome::Budget => break SatAttackStatus::ConflictBudget,
+            SolveOutcome::Sat => {
+                // Extract the DIP, label it, constrain both key copies.
+                let query = AttackQuery {
+                    args: inputs.args.iter().map(|a| a.model_value(&g)).collect(),
+                    mems: inputs
+                        .mems
+                        .iter()
+                        .map(|(_, elems)| elems.iter().map(|e| e.model_value(&g)).collect())
+                        .collect(),
+                };
+                debug_assert_eq!(query.mems.len(), free_mem_ids.len());
+                let resp = oracle(&query);
+                dips += 1;
+                let pinned = enc.pinned_inputs(&mut g, &query.args, &query.mems);
+                for key in [&key_a, &key_b] {
+                    let u = enc.unroll(&mut g, k, &pinned, key);
+                    constrain_to_response(&mut g, &u, &resp);
+                }
+            }
+        }
+    };
+
+    // Any key consistent with every collected I/O pair (the miter's
+    // difference clause is released by leaving `act` free). This model
+    // search runs unbudgeted: the conflict budget governs the collapse
+    // proof, and a space that *did* collapse must still hand back its
+    // key even when the proof spent the budget to the last conflict
+    // (the true key always satisfies the constraints, so this is cheap).
+    g.solver().set_conflict_budget(None);
+    let key = match g.solver().solve() {
+        SolveOutcome::Sat => Some(key_a.model_key(&g)),
+        _ => None,
+    };
+    let stats = g.solver_ref().stats();
+    SatAttackOutcome {
+        status,
+        key,
+        dips,
+        queries: dips,
+        conflicts: stats.conflicts,
+        propagations: stats.propagations,
+        vars: g.solver_ref().num_vars(),
+        clauses: g.solver_ref().num_clauses(),
+        wall: t0.elapsed(),
+    }
+}
+
+fn set_budget(g: &mut Gates, opts: &SatAttackOptions) {
+    let remaining =
+        opts.conflict_budget.map(|total| total.saturating_sub(g.solver_ref().stats().conflicts));
+    g.solver().set_conflict_budget(remaining);
+}
+
+/// The miter's difference observable: the two copies disagree on
+/// termination, or both terminate and any output bit differs.
+fn observable_diff(g: &mut Gates, a: &Unrolling, b: &Unrolling) -> sat::Lit {
+    let done_diff = g.xor(a.done, b.done);
+    let mut out_bits = Vec::new();
+    if let (Some(ra), Some(rb)) = (&a.ret, &b.ret) {
+        out_bits.extend(ra.0.iter().zip(&rb.0).map(|(&x, &y)| (x, y)));
+    }
+    for ((mi, ma), (mj, mb)) in a.out_mems.iter().zip(&b.out_mems) {
+        debug_assert_eq!(mi, mj);
+        for (ea, eb) in ma.iter().zip(mb) {
+            out_bits.extend(ea.0.iter().zip(&eb.0).map(|(&x, &y)| (x, y)));
+        }
+    }
+    let diffs: Vec<sat::Lit> = out_bits.into_iter().map(|(x, y)| g.xor(x, y)).collect();
+    let out_diff = g.or_many(&diffs);
+    let both_done = g.and(a.done, b.done);
+    let out_and_done = g.and(both_done, out_diff);
+    g.or(done_diff, out_and_done)
+}
+
+/// Constrains one pinned-input unrolling to reproduce the oracle's label.
+fn constrain_to_response(g: &mut Gates, u: &Unrolling, resp: &OracleResponse) {
+    if !resp.done {
+        g.assert_true(!u.done);
+        return;
+    }
+    g.assert_true(u.done);
+    if let (Some(rv), Some(want)) = (&u.ret, resp.ret) {
+        rv.pin(g, want);
+    }
+    for (slot, (_, elems)) in u.out_mems.iter().enumerate() {
+        let Some(want) = resp.mems.get(slot) else { continue };
+        for (j, e) in elems.iter().enumerate() {
+            e.pin(g, want.get(j).copied().unwrap_or(0));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Times the SAT attack: DIPs/sec and conflicts/sec on the smoke-sized
+//! key recovery (the `mix` kernel under constants + branches), plus the
+//! raw solver's conflict throughput on a fixed pigeonhole proof.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sat::{SolveOutcome, Solver, Var};
+
+fn bench_attack_effort(c: &mut Criterion) {
+    // One attack run measures its own DIP and conflict counts; iterate
+    // the whole recovery so wall time per element is DIPs/sec.
+    let k = bench::attack_kernels().into_iter().find(|k| k.name == "mix").expect("mix");
+    let plan = tao::PlanConfig::techniques(true, true, false);
+    let m = hls_frontend::compile(k.source, k.name).expect("compiles");
+    let lk = bench::locking_key(0xbe7);
+    let d =
+        tao::lock(&m, k.top, &lk, &tao::TaoOptions { plan, ..Default::default() }).expect("locks");
+    let wk = d.working_key(&lk);
+    let cases: Vec<rtl::TestCase> = k.cases.iter().map(|args| rtl::TestCase::args(args)).collect();
+    let cfg = tao::SatAttackConfig::default();
+    let probe = tao::sat_attack_design(&d, &wk, &cases, &cfg).expect("attack runs");
+    assert!(probe.recovered());
+
+    let mut g = c.benchmark_group("sat-attack");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(probe.outcome.dips.max(1)));
+    g.bench_function("mix-cb-dips", |b| {
+        b.iter(|| tao::sat_attack_design(&d, &wk, &cases, &cfg).expect("attack runs"));
+    });
+    g.throughput(Throughput::Elements(probe.outcome.conflicts.max(1)));
+    g.bench_function("mix-cb-conflicts", |b| {
+        b.iter(|| tao::sat_attack_design(&d, &wk, &cases, &cfg).expect("attack runs"));
+    });
+    g.finish();
+}
+
+fn bench_solver_conflicts(c: &mut Criterion) {
+    // A fixed UNSAT proof: conflicts/sec of the bare CDCL core.
+    let run = || {
+        let (pigeons, holes) = (8usize, 7usize);
+        let mut s = Solver::new();
+        let mut x = vec![vec![Var(0); holes]; pigeons];
+        for p in x.iter_mut() {
+            for h in p.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        for row in &x {
+            let cl: Vec<sat::Lit> = row.iter().map(|v| v.pos()).collect();
+            s.add_clause(&cl);
+        }
+        for h in 0..holes {
+            for (p1, row1) in x.iter().enumerate() {
+                for row2 in x.iter().skip(p1 + 1) {
+                    s.add_clause(&[row1[h].neg(), row2[h].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        s.stats().conflicts
+    };
+    let conflicts = run();
+    let mut g = c.benchmark_group("sat-solver");
+    g.throughput(Throughput::Elements(conflicts));
+    g.bench_function("pigeonhole-8-7", |b| b.iter(run));
+    g.finish();
+}
+
+criterion_group!(satbench, bench_attack_effort, bench_solver_conflicts);
+criterion_main!(satbench);

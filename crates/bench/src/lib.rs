@@ -36,11 +36,16 @@
 pub mod dse;
 pub mod experiments;
 pub mod format;
+pub mod satattack;
 pub mod simjson;
 pub mod vlogdiff;
 
 pub use dse::{dse_kernels, dse_sweep, smoke_sweep};
 pub use experiments::*;
+pub use satattack::{
+    attack_kernels, attack_plans, render_sat_attack, sat_attack_rows, sat_attack_smoke, sat_probe,
+    AttackKernel, SatAttackRow,
+};
 pub use simjson::{
     bench_regressions, check_floor, check_grid_floor, diff_sim_bench, grid_smoke,
     parse_sim_bench_json, render_bench_diff, render_sim_bench, sim_bench, sim_bench_json,

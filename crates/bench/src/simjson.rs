@@ -48,7 +48,11 @@ pub const GRID_FLOOR_MIN_WORKERS: usize = 4;
 /// than this fraction against the checked-in baseline.
 pub const BENCH_DIFF_MAX_DROP: f64 = 0.30;
 
-/// One kernel's throughput measurements (cycles simulated per second).
+/// Unrolled cycles of the bounded SAT-attack effort probe (schema v3).
+pub const SAT_PROBE_UNROLL: u32 = 8;
+
+/// One kernel's throughput measurements (cycles simulated per second)
+/// plus the bounded SAT-attack effort probe (schema v3).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimBenchRow {
     /// Benchmark name.
@@ -67,6 +71,11 @@ pub struct SimBenchRow {
     pub grid_cps: f64,
     /// Worker threads the grid measurement ran with.
     pub grid_workers: usize,
+    /// Distinguishing inputs the bounded SAT-attack probe found within
+    /// its window ([`SAT_PROBE_UNROLL`] cycles) and conflict budget.
+    pub sat_dips: u64,
+    /// Solver conflicts the probe spent.
+    pub sat_conflicts: u64,
 }
 
 impl SimBenchRow {
@@ -103,8 +112,8 @@ fn throughput(cycles_per_run: u64, min_ms: u64, mut run: impl FnMut()) -> f64 {
 }
 
 /// Measures all four backends plus the parallel grid on one locked
-/// kernel.
-fn bench_kernel(name: &str, min_ms: u64) -> SimBenchRow {
+/// kernel, then runs the bounded SAT-attack effort probe.
+fn bench_kernel(name: &str, min_ms: u64, sat_budget: u64) -> SimBenchRow {
     let b = benchmarks::by_name(name).expect("suite kernel");
     let lk = locking_key(0x5eed);
     let m = b.compile().expect("kernel compiles");
@@ -160,6 +169,12 @@ fn bench_kernel(name: &str, min_ms: u64) -> SimBenchRow {
         exec.grid(&ctape, cases, &keys, &budget);
     });
 
+    // Bounded SAT-attack effort (schema v3): the full designs run
+    // thousands of cycles, so the probe measures the budgeted
+    // bounded-window attack — whether any key pair is distinguishable
+    // within the window, and what it costs the solver to decide.
+    let (sat_dips, sat_conflicts) = crate::satattack::sat_probe(name, SAT_PROBE_UNROLL, sat_budget);
+
     SimBenchRow {
         name: name.to_string(),
         cycles,
@@ -169,23 +184,26 @@ fn bench_kernel(name: &str, min_ms: u64) -> SimBenchRow {
         vlog_tape_cps,
         grid_cps,
         grid_workers,
+        sat_dips,
+        sat_conflicts,
     }
 }
 
 /// Full sweep: every suite kernel, ~0.4 s per backend measurement.
 pub fn sim_bench() -> Vec<SimBenchRow> {
-    benchmarks::all().iter().map(|b| bench_kernel(b.name, 400)).collect()
+    benchmarks::all().iter().map(|b| bench_kernel(b.name, 400, 2_000)).collect()
 }
 
-/// CI-sized sweep: two kernels, ~0.15 s per backend measurement.
+/// CI-sized sweep: two kernels, ~0.15 s per backend measurement and a
+/// tighter probe budget.
 pub fn sim_bench_smoke() -> Vec<SimBenchRow> {
-    ["sobel", "gsm"].iter().map(|n| bench_kernel(n, 150)).collect()
+    ["sobel", "gsm"].iter().map(|n| bench_kernel(n, 150, 500)).collect()
 }
 
 /// Serializes the rows as the `BENCH_sim.json` artifact.
 pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"tao-repro/bench-sim/v2\",\n");
+    out.push_str("  \"schema\": \"tao-repro/bench-sim/v3\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str("  \"unit\": \"cycles_per_second\",\n");
     out.push_str("  \"kernels\": [\n");
@@ -194,6 +212,7 @@ pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
             "    {{\"name\": \"{}\", \"cycles\": {}, \"fsmd_tree\": {:.0}, \
              \"fsmd_tape\": {:.0}, \"vlog_tree\": {:.0}, \"vlog_tape\": {:.0}, \
              \"grid_cps\": {:.0}, \"grid_workers\": {}, \
+             \"sat_dips\": {}, \"sat_conflicts\": {}, \
              \"fsmd_speedup\": {:.2}, \"vlog_speedup\": {:.2}, \"grid_speedup\": {:.2}}}{}\n",
             r.name,
             r.cycles,
@@ -203,6 +222,8 @@ pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
             r.vlog_tape_cps,
             r.grid_cps,
             r.grid_workers,
+            r.sat_dips,
+            r.sat_conflicts,
             r.fsmd_speedup(),
             r.vlog_speedup(),
             r.grid_speedup(),
@@ -404,12 +425,17 @@ type MetricGetter = fn(&SimBenchRow) -> f64;
 /// Metrics tracked by `bench-diff`: `(key, getter, gating)`. Absolute
 /// throughputs (including `grid_cps`, which additionally depends on the
 /// core count) are informational; the in-process speedup ratios gate.
-const DIFF_METRICS: [(&str, MetricGetter, bool); 7] = [
+const DIFF_METRICS: [(&str, MetricGetter, bool); 9] = [
     ("fsmd_tree", |r| r.fsmd_tree_cps, false),
     ("fsmd_tape", |r| r.fsmd_tape_cps, false),
     ("vlog_tree", |r| r.vlog_tree_cps, false),
     ("vlog_tape", |r| r.vlog_tape_cps, false),
     ("grid_cps", |r| r.grid_cps, false),
+    // Schema-v3 effort counters: carried through the diff for trajectory
+    // context, never gating (they measure the attack, not this machine,
+    // and legitimately move when solver heuristics change).
+    ("sat_dips", |r| r.sat_dips as f64, false),
+    ("sat_conflicts", |r| r.sat_conflicts as f64, false),
     ("fsmd_speedup", |r| r.fsmd_speedup(), true),
     ("vlog_speedup", |r| r.vlog_speedup(), true),
 ];
@@ -525,6 +551,8 @@ mod tests {
             vlog_tape_cps: 10.0e6,
             grid_cps,
             grid_workers,
+            sat_dips: 2,
+            sat_conflicts: 900,
         }
     }
 
@@ -532,7 +560,9 @@ mod tests {
     fn json_shape_and_floor_check() {
         let rows = vec![row("k", 9.0e6, 4)];
         let json = sim_bench_json(&rows, "test");
-        assert!(json.contains("\"schema\": \"tao-repro/bench-sim/v2\""));
+        assert!(json.contains("\"schema\": \"tao-repro/bench-sim/v3\""));
+        assert!(json.contains("\"sat_dips\": 2"));
+        assert!(json.contains("\"sat_conflicts\": 900"));
         assert!(json.contains("\"vlog_speedup\": 10.00"));
         assert!(json.contains("\"grid_cps\": 9000000"));
         assert!(json.contains("\"grid_workers\": 4"));
@@ -567,7 +597,7 @@ mod tests {
         let mut fresh = baseline_rows.clone();
         fresh[1].vlog_tape_cps = 5.5e6;
         let deltas = diff_sim_bench(&fresh, &parsed);
-        assert_eq!(deltas.len(), 14); // 2 kernels x 7 tracked metrics
+        assert_eq!(deltas.len(), 18); // 2 kernels x 9 tracked metrics
         let regs = bench_regressions(&deltas, BENCH_DIFF_MAX_DROP);
         assert_eq!(regs.len(), 1);
         assert_eq!((regs[0].kernel.as_str(), regs[0].metric.as_str()), ("sobel", "vlog_speedup"));

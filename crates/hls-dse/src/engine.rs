@@ -78,6 +78,23 @@ impl Kernel {
     }
 }
 
+/// Budgets for the optional per-point SAT-attack sign-off phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatSignoff {
+    /// Stop each point's attack after this many distinguishing inputs.
+    pub max_dips: u64,
+    /// Solver conflict budget per point.
+    pub conflict_budget: u64,
+    /// Extra unrolled cycles beyond the point's measured latency.
+    pub slack: u32,
+}
+
+impl Default for SatSignoff {
+    fn default() -> Self {
+        SatSignoff { max_dips: 8, conflict_budget: 50_000, slack: 8 }
+    }
+}
+
 /// Engine options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DseOptions {
@@ -88,11 +105,21 @@ pub struct DseOptions {
     pub sim: SimOptions,
     /// Seed of the deterministic 256-bit locking key shared by the sweep.
     pub locking_seed: u64,
+    /// When set, every point additionally runs a budgeted SAT attack
+    /// against its emitted Verilog and records the measured effort
+    /// (DIPs, conflicts) — upgrading the `attack_effort` axis from an
+    /// estimate to a measurement. Expensive; keep the budgets tight.
+    pub sat_signoff: Option<SatSignoff>,
 }
 
 impl Default for DseOptions {
     fn default() -> Self {
-        DseOptions { threads: 0, sim: SimOptions::default(), locking_seed: 0xD5E }
+        DseOptions {
+            threads: 0,
+            sim: SimOptions::default(),
+            locking_seed: 0xD5E,
+            sat_signoff: None,
+        }
     }
 }
 
@@ -281,6 +308,41 @@ pub fn explore(
         let (img, res) =
             CompiledFsmd::compile(&design.fsmd).runner().outputs(&prep.case, &wk, &opts.sim)?;
 
+        // Optional measured-effort sign-off: a budgeted SAT attack on the
+        // point's emitted Verilog, windowed just above its latency.
+        let sat = match &opts.sat_signoff {
+            None => None,
+            // A plan can legitimately assign zero key bits (e.g. a
+            // branches-only plan on a branch-free kernel): nothing to
+            // attack, the empty key space is trivially collapsed.
+            Some(_) if design.fsmd.key_width == 0 => Some(crate::report::SatEffort {
+                dips: 0,
+                conflicts: 0,
+                recovered: true,
+                functional: true,
+            }),
+            Some(cfg) => {
+                let att = tao::sat_attack_design(
+                    &design,
+                    &wk,
+                    std::slice::from_ref(&prep.case),
+                    &tao::SatAttackConfig {
+                        unroll: Some(res.cycles as u32 + cfg.slack),
+                        slack: cfg.slack,
+                        max_dips: Some(cfg.max_dips),
+                        conflict_budget: Some(cfg.conflict_budget),
+                    },
+                )
+                .map_err(|e| DseError::Tao(TaoError::Internal(e.to_string())))?;
+                Some(crate::report::SatEffort {
+                    dips: att.outcome.dips,
+                    conflicts: att.outcome.conflicts,
+                    recovered: att.recovered(),
+                    functional: att.key_functional,
+                })
+            }
+        };
+
         let area = rtl::area(&design.fsmd, &cm).total();
         let timing = rtl::timing(&design.fsmd, &cm);
         let ks = KeySpace::of(&design);
@@ -302,6 +364,7 @@ pub fn explore(
             key_bits: design.fsmd.key_width,
             attack_effort_log2: attack_effort,
             correct: images_equal(&prep.golden, &img),
+            sat,
         })
     })?;
 
@@ -358,6 +421,60 @@ mod tests {
             .unwrap();
         assert_eq!(one.points, four.points);
         assert_eq!(one.pareto, four.pareto);
+    }
+
+    #[test]
+    fn sat_signoff_records_measured_effort() {
+        // One multiplier-free kernel, two branch/constant plans, tight
+        // budgets: the sign-off must attach measured DIP/conflict counts
+        // to every point, and the numbers must be identical for any
+        // worker count (the attack is deterministic given the point).
+        use crate::space::{HlsKnobs, TaoKnobs};
+        use tao::{KeyScheme, PlanConfig, VariantOptions};
+        let kernels = vec![
+            Kernel::new(
+                "mix",
+                "int mix(int a, int b) { int r = a ^ 9; if (r > b) r = r + b; return r; }",
+                "mix",
+                vec![5, 3],
+            ),
+            // Branch- and constant-free: the branches-only plan assigns
+            // zero key bits, exercising the trivially-collapsed path.
+            Kernel::new("lin", "int lin(int a, int b) { return a + b; }", "lin", vec![2, 7]),
+        ];
+        let space = ConfigSpace {
+            hls: HlsKnobs {
+                allocations: vec![("default".to_string(), hls_core::Allocation::default())],
+                unroll_factors: vec![1],
+            },
+            tao: TaoKnobs {
+                plans: vec![
+                    PlanConfig::techniques(false, true, false),
+                    PlanConfig::techniques(true, true, false),
+                ],
+                variants: vec![VariantOptions::default()],
+                schemes: vec![KeyScheme::AesNvm],
+            },
+            seed: 0xDAC2018,
+        };
+        let opts = DseOptions {
+            sat_signoff: Some(SatSignoff { max_dips: 8, conflict_budget: 20_000, slack: 6 }),
+            ..DseOptions::default()
+        };
+        let rep = explore(&kernels, &space, &opts).unwrap();
+        assert!(rep.points.iter().all(|p| p.sat.is_some()), "every point records effort");
+        for p in &rep.points {
+            let s = p.sat.expect("recorded");
+            assert!(s.recovered || s.dips >= 8 || s.conflicts >= 20_000, "budget honoured: {s:?}");
+            if s.recovered {
+                assert!(s.functional, "a collapsed key space must unlock the chip");
+            }
+        }
+        let jsonl = rep.to_jsonl();
+        assert!(jsonl.contains("\"sat_dips\":"));
+        assert!(jsonl.contains("\"sat_recovered\":"));
+        let again = explore(&kernels, &space, &DseOptions { threads: 3, ..opts }).unwrap();
+        assert_eq!(rep.points, again.points);
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod pareto;
 mod report;
 mod space;
 
-pub use engine::{explore, DseError, DseOptions, Kernel};
+pub use engine::{explore, DseError, DseOptions, Kernel, SatSignoff};
 pub use pareto::{dominates, pareto_front, Objectives};
-pub use report::{DsePoint, DseReport};
+pub use report::{DsePoint, DseReport, SatEffort};
 pub use space::{ConfigSpace, DseConfig, HlsKnobs, TaoKnobs};

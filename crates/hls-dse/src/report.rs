@@ -22,6 +22,22 @@ pub(crate) fn json_escape(s: &str) -> String {
     out
 }
 
+/// Measured SAT-attack effort of one point's sign-off run (recorded when
+/// the sweep enables [`crate::SatSignoff`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatEffort {
+    /// Distinguishing inputs found within the budget.
+    pub dips: u64,
+    /// Solver conflicts spent.
+    pub conflicts: u64,
+    /// The key space collapsed within the budget (the point is
+    /// SAT-attackable at this window).
+    pub recovered: bool,
+    /// The recovered key reproduced the correct key's behaviour on the
+    /// sign-off stimulus.
+    pub functional: bool,
+}
+
 /// One evaluated configuration point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DsePoint {
@@ -49,6 +65,9 @@ pub struct DsePoint {
     /// Whether the locked design reproduced the golden outputs under the
     /// correct key (functional sign-off for this point).
     pub correct: bool,
+    /// Measured SAT-attack effort (`None` when the sweep ran without the
+    /// SAT sign-off phase).
+    pub sat: Option<SatEffort>,
 }
 
 impl DsePoint {
@@ -64,10 +83,17 @@ impl DsePoint {
 
     /// One JSON object (a JSONL line) describing the point.
     pub fn to_json(&self) -> String {
+        let sat = match &self.sat {
+            None => String::new(),
+            Some(s) => format!(
+                ",\"sat_dips\":{},\"sat_conflicts\":{},\"sat_recovered\":{},\"sat_functional\":{}",
+                s.dips, s.conflicts, s.recovered, s.functional
+            ),
+        };
         format!(
             "{{\"kernel\":\"{}\",\"config_id\":{},\"config\":\"{}\",\"area_um2\":{:.1},\
              \"area_overhead\":{:.4},\"latency_cycles\":{},\"fmax_mhz\":{:.1},\
-             \"key_bits\":{},\"attack_effort_log2\":{},\"correct\":{}}}",
+             \"key_bits\":{},\"attack_effort_log2\":{},\"correct\":{}{}}}",
             json_escape(&self.kernel),
             self.config_id,
             json_escape(&self.config),
@@ -78,6 +104,7 @@ impl DsePoint {
             self.key_bits,
             self.attack_effort_log2,
             self.correct,
+            sat,
         )
     }
 }
@@ -163,7 +190,17 @@ impl fmt::Display for DseReport {
                 p.key_bits,
                 p.attack_effort_log2,
                 if p.correct { "yes" } else { "NO" },
-                if on_front.contains(&i) { "  *pareto*" } else { "" },
+                match (&p.sat, on_front.contains(&i)) {
+                    (Some(s), front) => format!(
+                        "  sat[{} dips, {} conflicts, {}]{}",
+                        s.dips,
+                        s.conflicts,
+                        if s.recovered { "recovered" } else { "budget" },
+                        if front { "  *pareto*" } else { "" },
+                    ),
+                    (None, true) => "  *pareto*".to_string(),
+                    (None, false) => String::new(),
+                },
             )?;
         }
         Ok(())
@@ -186,6 +223,7 @@ mod tests {
             key_bits: 100,
             attack_effort_log2: 96,
             correct: true,
+            sat: None,
         }
     }
 

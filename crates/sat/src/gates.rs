@@ -1,0 +1,362 @@
+//! A small CNF-building API: Tseitin gate encoding with constant folding
+//! and structural hashing.
+//!
+//! [`Gates`] wraps a [`Solver`] and hands out literals for logic gates.
+//! Constants fold away (`and(x, ⊥) = ⊥`), repeated structure is hashed to
+//! one literal (`and(a, b)` twice returns the same literal), and trivial
+//! identities short-circuit (`and(a, a) = a`, `and(a, ¬a) = ⊥`). Circuit
+//! encoders — like the netlist bit-blaster in `attack-sat` — build word
+//! structures on top of this layer without ever writing a raw clause.
+
+use crate::solver::{Lit, SolveOutcome, Solver};
+use std::collections::HashMap;
+
+/// Gate kinds used as structural-hash keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum GateOp {
+    And,
+    Xor,
+    Mux,
+}
+
+/// A Tseitin gate builder over a [`Solver`].
+#[derive(Debug, Default)]
+pub struct Gates {
+    solver: Solver,
+    truth: Option<Lit>,
+    /// Structural hash: `(op, a, b, c)` → output literal.
+    cache: HashMap<(GateOp, Lit, Lit, Lit), Lit>,
+}
+
+impl Gates {
+    /// An empty builder with its own fresh solver.
+    pub fn new() -> Gates {
+        Gates::default()
+    }
+
+    /// The constant-true literal (allocated on first use).
+    pub fn tru(&mut self) -> Lit {
+        match self.truth {
+            Some(t) => t,
+            None => {
+                let t = self.solver.new_var().pos();
+                self.solver.add_clause(&[t]);
+                self.truth = Some(t);
+                t
+            }
+        }
+    }
+
+    /// The constant-false literal.
+    pub fn fls(&mut self) -> Lit {
+        !self.tru()
+    }
+
+    /// A constant literal from a boolean.
+    pub fn constant(&mut self, v: bool) -> Lit {
+        if v {
+            self.tru()
+        } else {
+            self.fls()
+        }
+    }
+
+    /// `true` when the literal is the constant with value `v`.
+    pub fn is_const(&self, l: Lit, v: bool) -> bool {
+        match self.truth {
+            Some(t) => l == (if v { t } else { !t }),
+            None => false,
+        }
+    }
+
+    /// The constant value of a literal, if it is one.
+    pub fn const_value(&self, l: Lit) -> Option<bool> {
+        match self.truth {
+            Some(t) if l == t => Some(true),
+            Some(t) if l == !t => Some(false),
+            _ => None,
+        }
+    }
+
+    /// A fresh free literal.
+    pub fn fresh(&mut self) -> Lit {
+        self.solver.new_var().pos()
+    }
+
+    /// `¬a` (no clauses — literals carry their own polarity).
+    pub fn not(&self, a: Lit) -> Lit {
+        !a
+    }
+
+    /// `a ∧ b`.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        match (self.const_value(a), self.const_value(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.fls(),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return self.fls();
+        }
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        let key = (GateOp::And, x, y, x);
+        if let Some(&o) = self.cache.get(&key) {
+            return o;
+        }
+        let o = self.fresh();
+        self.solver.add_clause(&[!o, x]);
+        self.solver.add_clause(&[!o, y]);
+        self.solver.add_clause(&[o, !x, !y]);
+        self.cache.insert(key, o);
+        o
+    }
+
+    /// `a ∨ b`.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        let o = self.and(!a, !b);
+        !o
+    }
+
+    /// `a ⊕ b`.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        match (self.const_value(a), self.const_value(b)) {
+            (Some(va), _) => return if va { !b } else { b },
+            (_, Some(vb)) => return if vb { !a } else { a },
+            _ => {}
+        }
+        if a == b {
+            return self.fls();
+        }
+        if a == !b {
+            return self.tru();
+        }
+        // Canonical form: positive inputs, polarity folded into the output.
+        let (mut x, mut y, mut flip) = (a, b, false);
+        if x.is_neg() {
+            x = !x;
+            flip = !flip;
+        }
+        if y.is_neg() {
+            y = !y;
+            flip = !flip;
+        }
+        let (x, y) = if x <= y { (x, y) } else { (y, x) };
+        let key = (GateOp::Xor, x, y, x);
+        let o = match self.cache.get(&key) {
+            Some(&o) => o,
+            None => {
+                let o = self.fresh();
+                self.solver.add_clause(&[!o, x, y]);
+                self.solver.add_clause(&[!o, !x, !y]);
+                self.solver.add_clause(&[o, !x, y]);
+                self.solver.add_clause(&[o, x, !y]);
+                self.cache.insert(key, o);
+                o
+            }
+        };
+        if flip {
+            !o
+        } else {
+            o
+        }
+    }
+
+    /// `a ↔ b` (XNOR).
+    pub fn iff(&mut self, a: Lit, b: Lit) -> Lit {
+        let x = self.xor(a, b);
+        !x
+    }
+
+    /// `c ? t : e`.
+    pub fn mux(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
+        if let Some(vc) = self.const_value(c) {
+            return if vc { t } else { e };
+        }
+        if t == e {
+            return t;
+        }
+        match (self.const_value(t), self.const_value(e)) {
+            (Some(true), _) => return self.or(c, e),
+            (Some(false), _) => return self.and(!c, e),
+            (_, Some(true)) => return self.or(!c, t),
+            (_, Some(false)) => return self.and(c, t),
+            _ => {}
+        }
+        if t == !e {
+            return self.xor(!c, t); // c ? t : ¬t  ==  ¬(c ⊕ t)
+        }
+        let key = (GateOp::Mux, c, t, e);
+        if let Some(&o) = self.cache.get(&key) {
+            return o;
+        }
+        let o = self.fresh();
+        self.solver.add_clause(&[!c, !t, o]);
+        self.solver.add_clause(&[!c, t, !o]);
+        self.solver.add_clause(&[c, !e, o]);
+        self.solver.add_clause(&[c, e, !o]);
+        // Redundant but propagation-strengthening: t ∧ e → o, ¬t ∧ ¬e → ¬o.
+        self.solver.add_clause(&[!t, !e, o]);
+        self.solver.add_clause(&[t, e, !o]);
+        self.cache.insert(key, o);
+        o
+    }
+
+    /// Conjunction of many literals (⊤ when empty).
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        let mut acc = self.tru();
+        for &l in lits {
+            acc = self.and(acc, l);
+        }
+        acc
+    }
+
+    /// Disjunction of many literals (⊥ when empty).
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        let mut acc = self.fls();
+        for &l in lits {
+            acc = self.or(acc, l);
+        }
+        acc
+    }
+
+    /// Asserts a literal at the top level.
+    pub fn assert_true(&mut self, l: Lit) {
+        self.solver.add_clause(&[l]);
+    }
+
+    /// Asserts a raw clause.
+    pub fn assert_clause(&mut self, lits: &[Lit]) {
+        self.solver.add_clause(lits);
+    }
+
+    /// The underlying solver.
+    pub fn solver(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Read-only access to the underlying solver.
+    pub fn solver_ref(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Solves under assumptions (convenience passthrough).
+    pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> SolveOutcome {
+        self.solver.solve_assuming(assumptions)
+    }
+
+    /// Model value of a literal after a satisfiable solve. Constants
+    /// evaluate to themselves.
+    pub fn model(&self, l: Lit) -> bool {
+        match self.const_value(l) {
+            Some(v) => v,
+            None => self.solver.lit_true(l),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks `f` against `want` on all four input combinations by
+    /// pinning inputs with assumptions.
+    fn check2(
+        mut build: impl FnMut(&mut Gates, Lit, Lit) -> Lit,
+        want: impl Fn(bool, bool) -> bool,
+    ) {
+        let mut g = Gates::new();
+        let (a, b) = (g.fresh(), g.fresh());
+        let o = build(&mut g, a, b);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let assume = [
+                if va { a } else { !a },
+                if vb { b } else { !b },
+                if want(va, vb) { o } else { !o },
+            ];
+            assert_eq!(g.solve_assuming(&assume), SolveOutcome::Sat, "a={va} b={vb}");
+            let bad = [assume[0], assume[1], !assume[2]];
+            assert_eq!(g.solve_assuming(&bad), SolveOutcome::Unsat, "¬(a={va} b={vb})");
+        }
+    }
+
+    #[test]
+    fn gate_truth_tables() {
+        check2(|g, a, b| g.and(a, b), |x, y| x && y);
+        check2(|g, a, b| g.or(a, b), |x, y| x || y);
+        check2(|g, a, b| g.xor(a, b), |x, y| x ^ y);
+        check2(|g, a, b| g.iff(a, b), |x, y| x == y);
+    }
+
+    #[test]
+    fn mux_truth_table() {
+        let mut g = Gates::new();
+        let (c, t, e) = (g.fresh(), g.fresh(), g.fresh());
+        let o = g.mux(c, t, e);
+        for bits in 0..8u32 {
+            let (vc, vt, ve) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            let want = if vc { vt } else { ve };
+            let assume = [
+                if vc { c } else { !c },
+                if vt { t } else { !t },
+                if ve { e } else { !e },
+                if want { o } else { !o },
+            ];
+            assert_eq!(g.solve_assuming(&assume), SolveOutcome::Sat);
+            let bad = [assume[0], assume[1], assume[2], !assume[3]];
+            assert_eq!(g.solve_assuming(&bad), SolveOutcome::Unsat);
+        }
+    }
+
+    #[test]
+    fn constants_fold_without_new_clauses() {
+        let mut g = Gates::new();
+        let a = g.fresh();
+        let t = g.tru();
+        let f = g.fls();
+        let before = g.solver_ref().num_clauses();
+        assert_eq!(g.and(a, t), a);
+        assert_eq!(g.and(a, f), f);
+        assert_eq!(g.or(a, f), a);
+        assert_eq!(g.xor(a, f), a);
+        assert_eq!(g.xor(a, t), !a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), f);
+        assert_eq!(g.xor(a, a), f);
+        assert_eq!(g.mux(t, a, f), a);
+        assert_eq!(g.solver_ref().num_clauses(), before);
+    }
+
+    #[test]
+    fn structural_hashing_reuses_gates() {
+        let mut g = Gates::new();
+        let (a, b) = (g.fresh(), g.fresh());
+        let o1 = g.and(a, b);
+        let o2 = g.and(b, a);
+        assert_eq!(o1, o2);
+        let x1 = g.xor(a, b);
+        let x2 = g.xor(!a, b);
+        assert_eq!(x1, !x2, "xor polarity folds into the output");
+        let vars = g.solver_ref().num_vars();
+        g.and(a, b);
+        g.xor(b, a);
+        assert_eq!(g.solver_ref().num_vars(), vars, "no new vars for cached gates");
+    }
+
+    #[test]
+    fn many_input_helpers() {
+        let mut g = Gates::new();
+        let xs: Vec<Lit> = (0..5).map(|_| g.fresh()).collect();
+        let all = g.and_many(&xs);
+        let any = g.or_many(&xs);
+        let assume_all: Vec<Lit> = xs.iter().copied().chain([!all]).collect();
+        assert_eq!(g.solve_assuming(&assume_all), SolveOutcome::Unsat);
+        let assume_none: Vec<Lit> = xs.iter().map(|&l| !l).chain([any]).collect();
+        assert_eq!(g.solve_assuming(&assume_none), SolveOutcome::Unsat);
+        let empty = g.and_many(&[]);
+        assert!(g.is_const(empty, true));
+    }
+}

@@ -1,0 +1,945 @@
+//! The CDCL solver core.
+//!
+//! A MiniSat-lineage solver: two-watched-literal propagation, VSIDS-style
+//! dynamic variable activity with phase saving, first-UIP conflict-clause
+//! learning, Luby restarts, activity-driven learnt-clause reduction, and
+//! incremental solving under assumptions. Everything lives in safe `std`
+//! Rust; the solver owns its clause arena and can be queried for a model
+//! after every satisfiable call and extended with new variables and
+//! clauses between calls.
+
+use std::fmt;
+
+/// A propositional variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+// `neg` returns this variable's negative literal — a constructor, not a
+// negation of `Var` itself, so `std::ops::Neg` is the wrong shape.
+#[allow(clippy::should_implement_trait)]
+impl Var {
+    /// The positive literal of this variable.
+    pub fn pos(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    pub fn neg(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` when this is the negated polarity.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The opposite-polarity literal of the same variable.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index (for watch lists).
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        self.negate()
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_neg() { "-" } else { "" }, self.var().0)
+    }
+}
+
+/// Outcome of a `solve` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// A satisfying assignment was found (read it with [`Solver::value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget ran out before an answer was reached.
+    Budget,
+}
+
+/// Cumulative search statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+}
+
+const UNDEF: u8 = 0;
+const TRUE: u8 = 1;
+const FALSE: u8 = 2;
+
+const NO_REASON: u32 = u32::MAX;
+
+/// The CDCL solver.
+///
+/// ```
+/// use sat::{SolveOutcome, Solver};
+///
+/// let mut s = Solver::new();
+/// let (a, b) = (s.new_var(), s.new_var());
+/// s.add_clause(&[a.pos(), b.pos()]);
+/// s.add_clause(&[a.neg()]);
+/// assert_eq!(s.solve(), SolveOutcome::Sat);
+/// assert!(!s.value(a) && s.value(b));
+/// // Incremental: learn more, solve again.
+/// s.add_clause(&[b.neg()]);
+/// assert_eq!(s.solve(), SolveOutcome::Unsat);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// `watches[lit.code()]`: clauses currently watching `lit`.
+    watches: Vec<Vec<u32>>,
+    assign: Vec<u8>,
+    /// Saved polarity per variable (phase saving).
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// VSIDS activity per variable plus the indexed max-heap over it.
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: Vec<Var>,
+    heap_pos: Vec<usize>,
+    cla_inc: f64,
+    /// `false` once the clause set is unsatisfiable at level 0.
+    ok: bool,
+    /// Conflict budget for each `solve` call (`None` = unbounded).
+    budget: Option<u64>,
+    stats: SolverStats,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+    /// Learnt-clause count that triggers the next database reduction.
+    next_reduce: usize,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// An empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            cla_inc: 1.0,
+            ok: true,
+            budget: None,
+            stats: SolverStats::default(),
+            seen: Vec::new(),
+            next_reduce: 4000,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(UNDEF);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.seen.push(false);
+        self.heap_pos.push(usize::MAX);
+        self.heap_insert(v);
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original + currently retained learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Search statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Sets the per-`solve` conflict budget (`None` = unbounded).
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+    }
+
+    /// Adds a clause. Returns `false` when the clause set has become
+    /// unsatisfiable at the top level (further calls keep returning
+    /// `false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search (the solver always returns to decision
+    /// level 0 before handing control back, so this only fires on misuse).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert!(self.trail_lim.is_empty(), "add_clause mid-search");
+        if !self.ok {
+            return false;
+        }
+        // Normalize: sort, dedup, drop root-false literals, detect
+        // tautologies and root-true literals.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        let mut out: Vec<Lit> = Vec::with_capacity(c.len());
+        for (i, &l) in c.iter().enumerate() {
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return true; // tautology (x ∨ ¬x)
+            }
+            match self.lit_value(l) {
+                TRUE => return true,
+                FALSE => {}
+                _ => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(out[0], NO_REASON);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach(out, false);
+                true
+            }
+        }
+    }
+
+    /// Solves the current clause set with no assumptions.
+    pub fn solve(&mut self) -> SolveOutcome {
+        self.solve_assuming(&[])
+    }
+
+    /// Solves under the given assumption literals. A later call without
+    /// them sees the same clause set unrestricted — this is what makes
+    /// activation-literal patterns (miter on/off) cheap.
+    pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> SolveOutcome {
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
+        let budget_end = self.budget.map(|b| self.stats.conflicts.saturating_add(b));
+        let mut restart = 0u64;
+        loop {
+            let limit = luby(restart) * 128;
+            match self.search(limit, assumptions, budget_end) {
+                Search::Sat => {
+                    for v in 0..self.num_vars() {
+                        self.phase[v] = self.assign[v] == TRUE;
+                    }
+                    // Leave the model readable but return to level 0 for
+                    // incremental reuse — `value` reads saved phases.
+                    self.cancel_until(0);
+                    return SolveOutcome::Sat;
+                }
+                Search::Unsat => {
+                    self.cancel_until(0);
+                    return SolveOutcome::Unsat;
+                }
+                Search::Budget => {
+                    self.cancel_until(0);
+                    return SolveOutcome::Budget;
+                }
+                Search::Restart => {
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                    restart += 1;
+                }
+            }
+        }
+    }
+
+    /// The model value of `v` after a [`SolveOutcome::Sat`] answer.
+    pub fn value(&self, v: Var) -> bool {
+        self.phase[v.index()]
+    }
+
+    /// The model value of a literal after a [`SolveOutcome::Sat`] answer.
+    pub fn lit_true(&self, l: Lit) -> bool {
+        self.value(l.var()) != l.is_neg()
+    }
+
+    // ------------------------------------------------------------ search
+
+    fn search(
+        &mut self,
+        conflict_limit: u64,
+        assumptions: &[Lit],
+        budget_end: Option<u64>,
+    ) -> Search {
+        let mut conflicts = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Search::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                // Never undo assumption decisions past where the learnt
+                // clause asserts; backtracking *through* assumptions is
+                // fine — the decision loop below re-applies them.
+                self.cancel_until(bt);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    self.enqueue(asserting, NO_REASON);
+                } else {
+                    let cref = self.attach(learnt, true);
+                    self.enqueue(asserting, cref);
+                }
+                self.decay_activities();
+                if self.stats.learnt as usize >= self.next_reduce {
+                    self.reduce_db();
+                }
+                if let Some(end) = budget_end {
+                    if self.stats.conflicts >= end {
+                        return Search::Budget;
+                    }
+                }
+                if conflicts >= conflict_limit {
+                    return Search::Restart;
+                }
+            } else {
+                // Decisions: assumptions first (one per propagation round,
+                // so implication levels stay exact), then VSIDS.
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.lit_value(p) {
+                        TRUE => self.trail_lim.push(self.trail.len()),
+                        FALSE => return Search::Unsat,
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(p, NO_REASON);
+                            break;
+                        }
+                    }
+                }
+                if self.qhead < self.trail.len() {
+                    continue; // an assumption was enqueued: propagate it
+                }
+                let Some(v) = self.pick_branch_var() else {
+                    return Search::Sat;
+                };
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                let lit = if self.phase[v.index()] { v.pos() } else { v.neg() };
+                self.enqueue(lit, NO_REASON);
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn lit_value(&self, l: Lit) -> u8 {
+        match self.assign[l.var().index()] {
+            UNDEF => UNDEF,
+            TRUE => {
+                if l.is_neg() {
+                    FALSE
+                } else {
+                    TRUE
+                }
+            }
+            _ => {
+                if l.is_neg() {
+                    TRUE
+                } else {
+                    FALSE
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.lit_value(l), UNDEF);
+        let v = l.var().index();
+        self.assign[v] = if l.is_neg() { FALSE } else { TRUE };
+        self.phase[v] = !l.is_neg();
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let keep = self.trail_lim[level as usize];
+        for i in (keep..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assign[v.index()] = UNDEF;
+            self.reason[v.index()] = NO_REASON;
+            if self.heap_pos[v.index()] == usize::MAX {
+                self.heap_insert(v);
+            }
+        }
+        self.trail.truncate(keep);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = keep;
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            // Clauses watching ¬p must find a new watch or propagate.
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut keep = 0usize;
+            let mut confl = None;
+            'clauses: for wi in 0..ws.len() {
+                let cref = ws[wi];
+                let c = &mut self.clauses[cref as usize];
+                if c.lits[0] == false_lit {
+                    c.lits.swap(0, 1);
+                }
+                debug_assert_eq!(c.lits[1], false_lit);
+                let first = c.lits[0];
+                if self.lit_value_raw(first) == TRUE {
+                    ws[keep] = cref;
+                    keep += 1;
+                    continue;
+                }
+                for k in 2..self.clauses[cref as usize].lits.len() {
+                    let l = self.clauses[cref as usize].lits[k];
+                    if self.lit_value_raw(l) != FALSE {
+                        let c = &mut self.clauses[cref as usize];
+                        c.lits.swap(1, k);
+                        self.watches[l.code()].push(cref);
+                        continue 'clauses;
+                    }
+                }
+                // No new watch: unit or conflict.
+                ws[keep] = cref;
+                keep += 1;
+                if self.lit_value_raw(first) == FALSE {
+                    confl = Some(cref);
+                    // Copy the rest back and stop.
+                    for j in wi + 1..ws.len() {
+                        ws[keep] = ws[j];
+                        keep += 1;
+                    }
+                    break;
+                }
+                self.enqueue(first, cref);
+            }
+            ws.truncate(keep);
+            self.watches[false_lit.code()] = ws;
+            if confl.is_some() {
+                return confl;
+            }
+        }
+        None
+    }
+
+    /// `lit_value` without borrowing conflicts inside `propagate`.
+    fn lit_value_raw(&self, l: Lit) -> u8 {
+        match self.assign[l.var().index()] {
+            UNDEF => UNDEF,
+            TRUE => {
+                if l.is_neg() {
+                    FALSE
+                } else {
+                    TRUE
+                }
+            }
+            _ => {
+                if l.is_neg() {
+                    TRUE
+                } else {
+                    FALSE
+                }
+            }
+        }
+    }
+
+    /// First-UIP conflict analysis: returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 = asserting lit
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        let mut cref = confl;
+        loop {
+            self.bump_clause(cref);
+            let nlits = self.clauses[cref as usize].lits.len();
+            for k in 0..nlits {
+                let q = self.clauses[cref as usize].lits[k];
+                if Some(q) == p {
+                    continue; // the pivot: the literal this clause implied
+                }
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail back to the next marked literal.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            p = Some(pl);
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            cref = self.reason[pl.var().index()];
+            debug_assert_ne!(cref, NO_REASON);
+        }
+        for &l in &learnt[1..] {
+            self.seen[l.var().index()] = false;
+        }
+        // Backtrack to the second-highest level; move that literal into
+        // watch position 1.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt)
+    }
+
+    fn attach(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        self.watches[lits[0].code()].push(cref);
+        self.watches[lits[1].code()].push(cref);
+        self.clauses.push(Clause { lits, learnt, activity: self.cla_inc });
+        if learnt {
+            self.stats.learnt += 1;
+        }
+        cref
+    }
+
+    /// Halves the learnt-clause database, dropping low-activity clauses
+    /// that are neither reasons nor binary, then rebuilds the watch lists
+    /// and reason references around the compacted arena.
+    fn reduce_db(&mut self) {
+        let mut acts: Vec<f64> = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && c.lits.len() > 2)
+            .map(|c| c.activity)
+            .collect();
+        if acts.is_empty() {
+            self.next_reduce += self.next_reduce / 2;
+            return;
+        }
+        acts.sort_by(|a, b| a.partial_cmp(b).expect("activities are finite"));
+        let cutoff = acts[acts.len() / 2];
+        let mut locked = vec![false; self.clauses.len()];
+        for &r in &self.reason {
+            if r != NO_REASON {
+                locked[r as usize] = true;
+            }
+        }
+        let mut remap: Vec<u32> = vec![NO_REASON; self.clauses.len()];
+        let mut kept: Vec<Clause> = Vec::with_capacity(self.clauses.len());
+        for (i, c) in self.clauses.drain(..).enumerate() {
+            let drop = c.learnt && c.lits.len() > 2 && c.activity < cutoff && !locked[i];
+            if drop {
+                self.stats.learnt -= 1;
+            } else {
+                remap[i] = kept.len() as u32;
+                kept.push(c);
+            }
+        }
+        self.clauses = kept;
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            self.watches[c.lits[0].code()].push(i as u32);
+            self.watches[c.lits[1].code()].push(i as u32);
+        }
+        for r in &mut self.reason {
+            if *r != NO_REASON {
+                *r = remap[*r as usize];
+                debug_assert_ne!(*r, NO_REASON, "reason clause was dropped");
+            }
+        }
+        self.next_reduce += self.next_reduce / 2;
+    }
+
+    // -------------------------------------------------------- activities
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap_update(v);
+    }
+
+    fn bump_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        if c.learnt {
+            c.activity += self.cla_inc;
+            if c.activity > 1e20 {
+                for c in &mut self.clauses {
+                    c.activity *= 1e-20;
+                }
+                self.cla_inc *= 1e-20;
+            }
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+    }
+
+    // -------------------------------------------------- decision heap
+
+    fn heap_insert(&mut self, v: Var) {
+        self.heap_pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.heap_up(self.heap.len() - 1);
+    }
+
+    fn heap_update(&mut self, v: Var) {
+        let pos = self.heap_pos[v.index()];
+        if pos != usize::MAX {
+            self.heap_up(pos);
+        }
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.activity[self.heap[i].index()] <= self.activity[self.heap[parent].index()] {
+                break;
+            }
+            self.heap_swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len()
+                && self.activity[self.heap[l].index()] > self.activity[self.heap[best].index()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && self.activity[self.heap[r].index()] > self.activity[self.heap[best].index()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.heap_pos[self.heap[a].index()] = a;
+        self.heap_pos[self.heap[b].index()] = b;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(&v) = self.heap.first() {
+            let last = self.heap.len() - 1;
+            self.heap_swap(0, last);
+            self.heap.pop();
+            self.heap_pos[v.index()] = usize::MAX;
+            self.heap_down(0);
+            if self.assign[v.index()] == UNDEF {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+enum Search {
+    Sat,
+    Unsat,
+    Budget,
+    Restart,
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …).
+fn luby(i: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    let mut x = i;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[a.pos()]));
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        assert!(s.value(a));
+        assert!(!s.add_clause(&[a.neg()]));
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn models_satisfy_all_clauses() {
+        // Random 3-SAT at a satisfiable-ish density; verify each model.
+        let mut rng = StdRng::seed_from_u64(7);
+        for round in 0..30 {
+            let n = 20 + (round % 10);
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+            let mut clauses = Vec::new();
+            for _ in 0..(3 * n) {
+                let c: Vec<Lit> = (0..3)
+                    .map(|_| {
+                        let v = vars[rng.gen_range(0..n)];
+                        if rng.gen_bool(0.5) {
+                            v.pos()
+                        } else {
+                            v.neg()
+                        }
+                    })
+                    .collect();
+                clauses.push(c.clone());
+                s.add_clause(&c);
+            }
+            if s.solve() == SolveOutcome::Sat {
+                for c in &clauses {
+                    assert!(c.iter().any(|&l| s.lit_true(l)), "model violates {c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_small_formulas() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let n = rng.gen_range(3..9usize);
+            let n_clauses = rng.gen_range(2..24usize);
+            let clauses: Vec<Vec<(usize, bool)>> = (0..n_clauses)
+                .map(|_| {
+                    (0..rng.gen_range(1..4usize))
+                        .map(|_| (rng.gen_range(0..n), rng.gen_bool(0.5)))
+                        .collect()
+                })
+                .collect();
+            let brute = (0..1u32 << n).any(|m| {
+                clauses.iter().all(|c| c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos))
+            });
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+            for c in &clauses {
+                let lits: Vec<Lit> = c
+                    .iter()
+                    .map(|&(v, pos)| if pos { vars[v].pos() } else { vars[v].neg() })
+                    .collect();
+                s.add_clause(&lits);
+            }
+            let got = s.solve();
+            assert_eq!(got == SolveOutcome::Sat, brute, "clauses {clauses:?}");
+        }
+    }
+
+    #[test]
+    fn pigeonhole_is_unsat() {
+        // 4 pigeons, 3 holes: classic resolution-hard-ish UNSAT instance.
+        let (pigeons, holes) = (4usize, 3usize);
+        let mut s = Solver::new();
+        let mut x = vec![vec![Var(0); holes]; pigeons];
+        for p in x.iter_mut() {
+            for h in p.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        for row in &x {
+            let c: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+            s.add_clause(&c);
+        }
+        for h in 0..holes {
+            for (p1, row1) in x.iter().enumerate() {
+                for row2 in x.iter().skip(p1 + 1) {
+                    s.add_clause(&[row1[h].neg(), row2[h].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_restrict_and_release() {
+        let mut s = Solver::new();
+        let (a, b) = (s.new_var(), s.new_var());
+        s.add_clause(&[a.pos(), b.pos()]);
+        assert_eq!(s.solve_assuming(&[a.neg(), b.neg()]), SolveOutcome::Unsat);
+        assert_eq!(s.solve_assuming(&[a.neg()]), SolveOutcome::Sat);
+        assert!(s.value(b));
+        // The same solver, unrestricted, is still satisfiable.
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn conflict_budget_reports_exhaustion() {
+        // Large pigeonhole with a 1-conflict budget must give up.
+        let (pigeons, holes) = (7usize, 6usize);
+        let mut s = Solver::new();
+        let mut x = vec![vec![Var(0); holes]; pigeons];
+        for p in x.iter_mut() {
+            for h in p.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        for row in &x {
+            let c: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+            s.add_clause(&c);
+        }
+        for h in 0..holes {
+            for (p1, row1) in x.iter().enumerate() {
+                for row2 in x.iter().skip(p1 + 1) {
+                    s.add_clause(&[row1[h].neg(), row2[h].neg()]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SolveOutcome::Budget);
+        // Raising the budget finishes the proof.
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let want = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..want.len() as u64).map(luby).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn xor_chain_forces_unique_model() {
+        // x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, … pinned x0 = 0 → alternating model.
+        let n = 24usize;
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        for i in 0..n - 1 {
+            let (a, b) = (vars[i], vars[i + 1]);
+            s.add_clause(&[a.pos(), b.pos()]);
+            s.add_clause(&[a.neg(), b.neg()]);
+        }
+        s.add_clause(&[vars[0].neg()]);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        for (i, v) in vars.iter().enumerate() {
+            assert_eq!(s.value(*v), i % 2 == 1, "bit {i}");
+        }
+    }
+}

@@ -78,7 +78,33 @@ impl GridExec {
         M: Fn() -> C + Sync,
         F: Fn(&mut C, usize) -> T + Sync,
     {
-        let workers = self.workers_for(n);
+        self.run_chunked(n, 1, make_ctx, f)
+    }
+
+    /// [`GridExec::run`] with chunk-granular stealing: the shared cursor
+    /// advances `chunk` trials per steal, and a worker evaluates the whole
+    /// chunk before stealing again. For (case × key) grids with key-major
+    /// trial order, `chunk = n_cases` means **all cases of one key land on
+    /// one worker** — the per-key runner binding happens exactly once
+    /// globally, and sub-millisecond trials stop hammering the cursor.
+    /// Results are slot-indexed and bit-identical to `run` for every
+    /// worker count and chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero while there is work to do.
+    pub fn run_chunked<C, T, M, F>(&self, n: usize, chunk: usize, make_ctx: M, f: F) -> Vec<T>
+    where
+        T: Send,
+        M: Fn() -> C + Sync,
+        F: Fn(&mut C, usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        assert!(chunk > 0, "chunk size must be positive");
+        let n_chunks = n.div_ceil(chunk);
+        let workers = self.workers_for(n_chunks);
         if workers <= 1 {
             let mut ctx = make_ctx();
             return (0..n).map(|i| f(&mut ctx, i)).collect();
@@ -97,11 +123,13 @@ impl GridExec {
                     let mut ctx = make_ctx();
                     let mut local: Vec<(usize, T)> = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
                             break;
                         }
-                        local.push((i, f(&mut ctx, i)));
+                        for i in c * chunk..((c + 1) * chunk).min(n) {
+                            local.push((i, f(&mut ctx, i)));
+                        }
                     }
                     *bucket.lock().expect("grid worker poisoned") = local;
                 });
@@ -120,6 +148,10 @@ impl GridExec {
     /// worker, and returns `grid[k][c]` for key `k` and case `c` — the
     /// same shape (and bit-identical contents) as the sequential
     /// `simulate_many` batch helpers, for every worker count.
+    ///
+    /// Stealing is **key-chunked**: one steal takes all cases of one key,
+    /// so each key is bound exactly once globally and tiny trials don't
+    /// contend on the cursor.
     pub fn grid<S: Simulator>(
         &self,
         sim: &S,
@@ -131,8 +163,9 @@ impl GridExec {
         if n_cases == 0 || keys.is_empty() {
             return keys.iter().map(|_| Vec::new()).collect();
         }
-        let flat = self.run(
+        let flat = self.run_chunked(
             keys.len() * n_cases,
+            n_cases,
             || sim.new_runner(),
             |runner, i| runner.run_case(&cases[i % n_cases], &keys[i / n_cases], opts),
         );
@@ -256,6 +289,34 @@ mod tests {
         let opts = SimOptions::default();
         assert!(GridExec::default().grid(&sim, &[], &[KeyBits::zero(1)], &opts)[0].is_empty());
         assert!(GridExec::default().grid(&sim, &[TestCase::args(&[1])], &[], &opts).is_empty());
+    }
+
+    #[test]
+    fn chunked_results_match_single_trial_stealing() {
+        for threads in [1, 2, 5] {
+            for chunk in [1, 3, 4, 20, 100] {
+                let single = GridExec::new(threads).run(20, || (), |_, i| 3 * i + 1);
+                let chunked =
+                    GridExec::new(threads).run_chunked(20, chunk, || (), |_, i| 3 * i + 1);
+                assert_eq!(single, chunked, "threads={threads} chunk={chunk}");
+            }
+        }
+        assert!(GridExec::new(4).run_chunked(0, 7, || (), |_, i| i).is_empty());
+    }
+
+    #[test]
+    fn chunked_grid_binds_each_key_on_one_worker() {
+        // With chunk = n_cases, all cases of a key run on one worker: the
+        // worker count never exceeds the key count even with more threads.
+        let sim = toy();
+        let cases = [TestCase::args(&[1]), TestCase::args(&[2]), TestCase::args(&[3])];
+        let keys = [KeyBits::zero(1), KeyBits::from_fn(1, || 1)];
+        let exec = GridExec::new(6);
+        let par = exec.grid(&sim, &cases, &keys, &SimOptions::default());
+        let minted = sim.runners_minted.load(Ordering::Relaxed);
+        assert!(minted <= keys.len(), "minted {minted} runners for {} key chunks", keys.len());
+        let seq = GridExec::sequential().grid(&sim, &cases, &keys, &SimOptions::default());
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -17,9 +17,13 @@
 //!   (Sec. 3.2.2) that are indistinguishable without reference outputs.
 
 use crate::flow::LockedDesign;
-use hls_core::KeyBits;
+use attack_sat::{AttackQuery, OracleResponse, SatAttackOptions, SatAttackOutcome};
+use hls_core::{verilog, KeyBits};
+use hls_ir::ArrayId;
 use rtl::{images_equal, CompiledFsmd, OutputImage, SimOptions, TestCase};
 use sim_core::GridExec;
+use std::time::{Duration, Instant};
+use vlog::{VlogError, VlogSim};
 
 /// Per-technique key-space accounting for a locked design.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -245,6 +249,221 @@ pub fn sensitize_branch_bits(
         .collect()
 }
 
+// ------------------------------------------------------------ SAT attack
+
+/// Options for the design-level SAT attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatAttackConfig {
+    /// Explicit unrolling depth, or `None` to probe the correct-key
+    /// latency over the given cases and add [`SatAttackConfig::slack`].
+    pub unroll: Option<u32>,
+    /// Extra cycles on top of the probed latency (room for wrong keys
+    /// whose last distinguishing write lands late).
+    pub slack: u32,
+    /// Stop after this many DIPs.
+    pub max_dips: Option<u64>,
+    /// Total solver conflict budget.
+    pub conflict_budget: Option<u64>,
+}
+
+impl Default for SatAttackConfig {
+    fn default() -> Self {
+        SatAttackConfig { unroll: None, slack: 8, max_dips: None, conflict_budget: None }
+    }
+}
+
+/// Result of [`sat_attack_design`]: the raw attack outcome plus the
+/// design-house-side verification only this crate can perform (it holds
+/// the true working key).
+#[derive(Debug, Clone)]
+pub struct SatDesignAttack {
+    /// The DIP loop's outcome and effort counters.
+    pub outcome: SatAttackOutcome,
+    /// The unrolling depth used (the bounded observable's cycle budget).
+    pub unroll: u32,
+    /// The recovered key equals the true working key bit for bit.
+    pub key_exact: bool,
+    /// The recovered key reproduces the true key's outputs on every
+    /// verification case (the equivalence-class guarantee; `key_exact`
+    /// additionally requires every key bit to be observable).
+    pub key_functional: bool,
+}
+
+impl SatDesignAttack {
+    /// `true` when the key space collapsed (the attack ran to completion
+    /// rather than hitting a DIP or conflict budget).
+    pub fn recovered(&self) -> bool {
+        self.outcome.status == attack_sat::SatAttackStatus::Recovered
+    }
+}
+
+/// Runs the SAT-based oracle-guided attack against a locked design's
+/// *emitted Verilog text*, with the FSMD tape bound to the correct
+/// working key as the oracle (the activated chip), and verifies the
+/// recovered key against the truth.
+///
+/// `cases` drive the latency probe (when `cfg.unroll` is `None`) and the
+/// functional verification of the recovered key. The attacker's input
+/// space is every argument port plus every pure-input external memory;
+/// oracle queries run through the design's own array map, exactly like a
+/// testbench stimulus.
+///
+/// # Errors
+///
+/// Returns [`VlogError`] when the emitted text fails to parse — itself a
+/// differential finding.
+///
+/// # Panics
+///
+/// Panics if the design has no key bits or the correct key fails to
+/// terminate on a probe case (both are flow bugs, not attack outcomes).
+pub fn sat_attack_design(
+    design: &LockedDesign,
+    correct_key: &KeyBits,
+    cases: &[TestCase],
+    cfg: &SatAttackConfig,
+) -> Result<SatDesignAttack, VlogError> {
+    let text = verilog::emit(&design.fsmd);
+    let sim = VlogSim::new(&text)?;
+    let compiled = CompiledFsmd::compile(&design.fsmd);
+
+    // Bound the observable window: the attacker measures the activated
+    // chip's latency on a few stimuli and adds slack.
+    let mut probe = compiled.runner();
+    let unroll = match cfg.unroll {
+        Some(k) => k,
+        None => {
+            let worst = cases
+                .iter()
+                .map(|c| {
+                    probe
+                        .run_case(c, correct_key, &SimOptions::default())
+                        .expect("correct key terminates on probe cases")
+                        .cycles
+                })
+                .max()
+                .unwrap_or(64);
+            worst as u32 + cfg.slack
+        }
+    };
+
+    let enc = attack_sat::Encoder::new(&sim);
+    let free_mems = enc.free_mem_ids();
+    let out_mems = enc.out_mem_ids();
+    let array_of_mem = invert_mem_map(design);
+    let oracle_opts = SimOptions { max_cycles: unroll as u64, snapshot_on_timeout: false };
+    let mut oracle_runner = compiled.runner();
+    let mut oracle = |q: &AttackQuery| {
+        let case = TestCase {
+            args: q.args.clone(),
+            mem_inputs: free_mems
+                .iter()
+                .zip(&q.mems)
+                .filter_map(|(&mi, data)| Some((*array_of_mem.get(&mi)?, data.clone())))
+                .collect(),
+        };
+        match oracle_runner.run_case(&case, correct_key, &oracle_opts) {
+            Ok(stats) => OracleResponse {
+                done: true,
+                ret: stats.ret,
+                mems: out_mems.iter().map(|&mi| oracle_runner.mems()[mi].clone()).collect(),
+            },
+            Err(rtl::SimError::CycleLimit) => {
+                OracleResponse { done: false, ret: None, mems: Vec::new() }
+            }
+            Err(e) => panic!("oracle query failed: {e}"),
+        }
+    };
+
+    let opts = SatAttackOptions {
+        unroll_cycles: unroll,
+        max_dips: cfg.max_dips,
+        conflict_budget: cfg.conflict_budget,
+    };
+    let outcome = attack_sat::sat_attack(&sim, &opts, &mut oracle);
+
+    // Design-house verification: bit-exactness and functional parity in
+    // the attack's own observable — done-within-k plus the output image.
+    // Latency is deliberately *not* compared: keys differing only in
+    // cycle count are CNF-indistinguishable by construction, so a
+    // collapsed class may legitimately contain both.
+    let (key_exact, key_functional) = match &outcome.key {
+        Some(got) => {
+            let exact = got == correct_key;
+            let mut runner = compiled.runner();
+            let functional = cases.iter().all(|c| {
+                let want = runner.outputs(c, correct_key, &oracle_opts);
+                let have = runner.outputs(c, got, &oracle_opts);
+                match (want, have) {
+                    (Ok((wi, _)), Ok((hi, _))) => images_equal(&wi, &hi),
+                    (Err(we), Err(he)) => we == he,
+                    _ => false,
+                }
+            });
+            (exact, functional)
+        }
+        None => (false, false),
+    };
+    Ok(SatDesignAttack { outcome, unroll, key_exact, key_functional })
+}
+
+/// MemIdx → ArrayId, the inverse of the design's array map.
+fn invert_mem_map(design: &LockedDesign) -> std::collections::BTreeMap<usize, ArrayId> {
+    design.fsmd.mem_of_array.iter().map(|(&aid, &mi)| (mi.0 as usize, aid)).collect()
+}
+
+// ------------------------------------------------------- attack comparison
+
+/// Side-by-side effort of the two oracle-guided attacks on one design:
+/// the branch-bit enumeration (the weak attacker the repo has always
+/// measured) vs the SAT attack (the literature's canonical adversary).
+#[derive(Debug, Clone)]
+pub struct AttackComparison {
+    /// Branch enumeration outcome (`None` when the design has no branch
+    /// bits or too many to enumerate).
+    pub branch: Option<BranchAttackOutcome>,
+    /// Oracle queries the enumeration spent (candidates × cases).
+    pub branch_queries: u64,
+    /// Wall time of the enumeration.
+    pub branch_wall: Duration,
+    /// The SAT attack's outcome and verification.
+    pub sat: SatDesignAttack,
+}
+
+impl AttackComparison {
+    /// `true` when the SAT attack recovered a key the branch attack
+    /// cannot even rank: full-key recovery vs branch-bit survival.
+    pub fn sat_strictly_stronger(&self) -> bool {
+        self.sat.key_functional
+            && self.branch.as_ref().map(|b| b.candidates_surviving > 1).unwrap_or(true)
+    }
+}
+
+/// Runs both attacks on one locked design and reports their efforts side
+/// by side: the branch enumeration needs `candidates × cases` simulations
+/// and only ever resolves branch bits; the SAT attack queries the oracle
+/// once per DIP and recovers the whole working key.
+pub fn compare_attacks(
+    design: &LockedDesign,
+    correct_key: &KeyBits,
+    cases: &[TestCase],
+    oracle: &[OutputImage],
+    sim_opts: &SimOptions,
+    sat_cfg: &SatAttackConfig,
+) -> Result<AttackComparison, VlogError> {
+    let n_branch = design.plan.branch_bits.len();
+    let (branch, branch_queries, branch_wall) = if n_branch > 0 && n_branch <= 24 {
+        let t0 = Instant::now();
+        let out = oracle_guided_branch_attack(design, correct_key, cases, oracle, sim_opts);
+        let queries = out.candidates_tried * cases.len() as u64;
+        (Some(out), queries, t0.elapsed())
+    } else {
+        (None, 0, Duration::ZERO)
+    };
+    let sat = sat_attack_design(design, correct_key, cases, sat_cfg)?;
+    Ok(AttackComparison { branch, branch_queries, branch_wall, sat })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +551,85 @@ mod tests {
             distinguishable.iter().all(|&d| !d),
             "no branch bit may be recoverable without reference outputs"
         );
+    }
+
+    #[test]
+    fn sat_attack_recovers_branch_key_exactly() {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let lk = locking(6);
+        let d = lock(&m, "f", &lk, &branch_only()).unwrap();
+        let wk = d.working_key(&lk);
+        assert!(wk.width() >= 2, "kernel keeps its two conditionals");
+        let cases: Vec<TestCase> = [(9u64, 3u64), (3, 9), (200, 1)]
+            .iter()
+            .map(|&(a, b)| TestCase::args(&[a, b]))
+            .collect();
+        let att = sat_attack_design(&d, &wk, &cases, &SatAttackConfig::default()).unwrap();
+        assert_eq!(att.outcome.status, attack_sat::SatAttackStatus::Recovered);
+        assert!(att.key_exact, "branch polarities are fully observable");
+        assert!(att.key_functional);
+        assert!(att.outcome.dips >= 1, "wrong polarities must be distinguishable");
+    }
+
+    #[test]
+    fn sat_attack_recovers_constants_and_branches() {
+        // XOR-masked constants plus branch polarities: every key bit is
+        // individually observable, so full exact recovery is required —
+        // the upgrade over the branch enumeration, which cannot even
+        // rank constant bits. The branch must test `r` (not `a`): with
+        // `a > b` the two constants' MSBs form a genuine two-key
+        // equivalence class (carries never propagate past the MSB, so
+        // flipping bit 31 of both constants is invisible) and the attack
+        // correctly collapses to the class instead of the point.
+        let src = r#"
+            int g(int a, int b) {
+                int r = a ^ 21;
+                if (r > b) r = r + b;
+                else r = r - b;
+                return r ^ 5;
+            }
+        "#;
+        let m = hls_frontend::compile(src, "t").unwrap();
+        let lk = locking(7);
+        let opts = TaoOptions {
+            plan: PlanConfig { dfg_variants: false, ..PlanConfig::default() },
+            ..TaoOptions::default()
+        };
+        let d = lock(&m, "g", &lk, &opts).unwrap();
+        let wk = d.working_key(&lk);
+        assert!(wk.width() > 32, "constants dominate the key");
+        let cases: Vec<TestCase> =
+            [(5u64, 2u64), (2, 5)].iter().map(|&(a, b)| TestCase::args(&[a, b])).collect();
+        let att = sat_attack_design(&d, &wk, &cases, &SatAttackConfig::default()).unwrap();
+        assert_eq!(att.outcome.status, attack_sat::SatAttackStatus::Recovered);
+        let got = att.outcome.key.as_ref().expect("key recovered");
+        assert!(att.key_exact, "all {} key bits observable, got hd {}", wk.width(), {
+            got.hamming_distance(&wk)
+        });
+        assert!(att.key_functional);
+    }
+
+    #[test]
+    fn attack_comparison_shows_sat_strictly_stronger() {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let lk = locking(8);
+        let d = lock(&m, "f", &lk, &branch_only()).unwrap();
+        let wk = d.working_key(&lk);
+        let cases: Vec<TestCase> =
+            [(9u64, 3u64), (3, 9)].iter().map(|&(a, b)| TestCase::args(&[a, b])).collect();
+        let oracle: Vec<_> = cases.iter().map(|c| golden_outputs(&d.module, "f", c)).collect();
+        let sim_opts = SimOptions { max_cycles: 100_000, snapshot_on_timeout: true };
+        let cmp = compare_attacks(&d, &wk, &cases, &oracle, &sim_opts, &SatAttackConfig::default())
+            .unwrap();
+        let br = cmp.branch.as_ref().expect("branch space enumerable");
+        assert!(br.true_key_survives);
+        assert!(cmp.branch_queries >= br.candidates_tried);
+        assert!(cmp.sat.key_functional);
+        // The SAT attack answers with *one* key for the whole space and
+        // needs orders of magnitude fewer oracle queries than the
+        // enumeration needs simulations.
+        assert!(cmp.sat.outcome.queries < cmp.branch_queries);
+        assert!(cmp.sat_strictly_stronger() || br.candidates_surviving == 1);
     }
 
     #[test]

@@ -48,8 +48,9 @@ mod variants;
 pub mod verify;
 
 pub use attack::{
-    oracle_guided_branch_attack, oracle_guided_branch_attack_with, sensitize_branch_bits,
-    BranchAttackOutcome, KeySpace,
+    compare_attacks, oracle_guided_branch_attack, oracle_guided_branch_attack_with,
+    sat_attack_design, sensitize_branch_bits, AttackComparison, BranchAttackOutcome, KeySpace,
+    SatAttackConfig, SatDesignAttack,
 };
 pub use branches::obfuscate_branches;
 pub use constants::obfuscate_constants;

@@ -182,14 +182,15 @@ pub fn differential_verify_on(
     let goldens: Vec<OutputImage> =
         cases.iter().map(|case| golden_outputs(&design.module, &design.top, case)).collect();
 
-    // Execution order is key-major (trial index outer) so consecutive
-    // stolen trials share a working key and the runners' per-key
-    // bindings amortize; the fold below re-reads the outcomes in the
-    // report's case-major order.
+    // Execution order is key-major (trial index outer) and stealing is
+    // key-chunked — one steal takes all cases of one trial key, so each
+    // key is bound exactly once globally; the fold below re-reads the
+    // outcomes in the report's case-major order.
     let n_cases = cases.len();
     let n_trials = trials.len();
-    let outcomes: Vec<TrialOutcome> = exec.run(
+    let outcomes: Vec<TrialOutcome> = exec.run_chunked(
         n_cases * n_trials,
+        n_cases.max(1),
         || (ctape.runner(), vtape.runner()),
         |(frun, vrun), i| {
             let (case, trial) = (&cases[i % n_cases], &trials[i / n_cases]);

@@ -53,6 +53,6 @@ pub mod tape;
 pub mod vcd;
 
 pub use parser::{parse, ParseError};
-pub use sim::{vlog_outputs, VlogError, VlogSim};
+pub use sim::{vlog_outputs, CExpr, CMem, CStmt, Sig, SigKind, VlogError, VlogSim};
 pub use tape::{GridRunner, GridTape, TapeRunner, VlogTape};
 pub use vcd::{parse_vcd, Vcd, VcdChange, VcdError, VcdVar};

@@ -56,47 +56,167 @@ fn err<T>(msg: impl Into<String>) -> Result<T, VlogError> {
 }
 
 // ------------------------------------------------------------ compiled IR
+//
+// The elaborated netlist: every identifier resolved to a dense signal or
+// memory id, every localparam folded, every `case` labelled with its
+// dispatch map. This is the form the tape compiler (`crate::tape`) *and*
+// external encoders (the `attack-sat` CNF bit-blaster) consume, so the
+// types are public; [`VlogSim`] exposes read-only views below.
 
+/// An elaborated expression (identifiers resolved, parameters folded).
 #[derive(Debug, Clone)]
-pub(crate) enum CExpr {
-    Const { value: u64, width: u32, signed: bool, unsz: bool },
-    Sig { id: usize, width: u32 },
-    SelBit { id: usize, index: Box<CExpr> },
-    SelMem { mem: usize, index: Box<CExpr>, elem_width: u32 },
-    PartSig { id: usize, hi: u32, lo: u32 },
-    Unary { op: ast::UnOp, a: Box<CExpr> },
-    Binary { op: ast::BinOp, a: Box<CExpr>, b: Box<CExpr> },
-    Cond { c: Box<CExpr>, t: Box<CExpr>, e: Box<CExpr> },
+pub enum CExpr {
+    /// Numeric literal.
+    Const {
+        /// Value bits.
+        value: u64,
+        /// Declared width (32 when unsized).
+        width: u32,
+        /// Signed literal.
+        signed: bool,
+        /// Originally unsized (self-size 32, but fills any context).
+        unsz: bool,
+    },
+    /// Whole-signal read.
+    Sig {
+        /// Signal id (index into [`VlogSim::sigs`]).
+        id: usize,
+        /// The signal's declared width.
+        width: u32,
+    },
+    /// Dynamic bit-select `sig[e]`.
+    SelBit {
+        /// Signal id.
+        id: usize,
+        /// Index expression (self-determined).
+        index: Box<CExpr>,
+    },
+    /// Memory element read `mem[e]`.
+    SelMem {
+        /// Memory id (index into [`VlogSim::cmems`]).
+        mem: usize,
+        /// Index expression (self-determined).
+        index: Box<CExpr>,
+        /// The memory's element width.
+        elem_width: u32,
+    },
+    /// Constant part-select `sig[hi:lo]`.
+    PartSig {
+        /// Signal id.
+        id: usize,
+        /// High bit.
+        hi: u32,
+        /// Low bit.
+        lo: u32,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: ast::UnOp,
+        /// Operand.
+        a: Box<CExpr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: ast::BinOp,
+        /// Left operand.
+        a: Box<CExpr>,
+        /// Right operand.
+        b: Box<CExpr>,
+    },
+    /// Conditional `c ? t : e`.
+    Cond {
+        /// Condition (self-determined).
+        c: Box<CExpr>,
+        /// Then-value.
+        t: Box<CExpr>,
+        /// Else-value.
+        e: Box<CExpr>,
+    },
+    /// `$signed(e)` reinterpretation.
     Signed(Box<CExpr>),
+    /// Concatenation (parts MSB-first).
     Concat(Vec<CExpr>),
-    Repeat { n: u32, a: Box<CExpr> },
+    /// Replication `{n{e}}`.
+    Repeat {
+        /// Replication count.
+        n: u32,
+        /// Replicated expression.
+        a: Box<CExpr>,
+    },
 }
 
+/// An elaborated procedural statement.
 #[derive(Debug, Clone)]
-pub(crate) enum CStmt {
+pub enum CStmt {
+    /// Statement sequence.
     Block(Vec<CStmt>),
-    If { cond: CExpr, then_s: Box<CStmt>, else_s: Option<Box<CStmt>> },
-    Case { subject: CExpr, arms: Vec<CStmt>, map: BTreeMap<u64, usize>, default: Option<usize> },
-    AssignSig { id: usize, width: u32, value: CExpr },
-    AssignMem { mem: usize, index: CExpr, elem_width: u32, value: CExpr },
+    /// Two-way branch on a self-determined condition.
+    If {
+        /// Condition (true when nonzero).
+        cond: CExpr,
+        /// Taken when true.
+        then_s: Box<CStmt>,
+        /// Taken when false.
+        else_s: Option<Box<CStmt>>,
+    },
+    /// `case` dispatch.
+    Case {
+        /// Dispatch subject (self-determined).
+        subject: CExpr,
+        /// Arm bodies (the default arm, when present, is the entry
+        /// `default` points at).
+        arms: Vec<CStmt>,
+        /// Label value → arm index (first arm wins for duplicate labels).
+        map: BTreeMap<u64, usize>,
+        /// Index of the `default:` arm body in `arms`.
+        default: Option<usize>,
+    },
+    /// Nonblocking signal assignment.
+    AssignSig {
+        /// Target signal id.
+        id: usize,
+        /// Target width (the value truncates to it).
+        width: u32,
+        /// Right-hand side.
+        value: CExpr,
+    },
+    /// Nonblocking memory-element assignment.
+    AssignMem {
+        /// Target memory id.
+        mem: usize,
+        /// Element index (self-determined; out-of-range writes drop).
+        index: CExpr,
+        /// Element width.
+        elem_width: u32,
+        /// Right-hand side.
+        value: CExpr,
+    },
+    /// Null statement.
     Null,
 }
 
+/// How a signal is driven.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum SigKind {
+pub enum SigKind {
     /// Externally driven port.
     Input,
     /// Procedurally driven register.
     Reg,
-    /// Continuously driven net (index into `wires`).
+    /// Continuously driven net (index into the wire table).
     Wire(usize),
 }
 
+/// One elaborated scalar signal.
 #[derive(Debug, Clone)]
-pub(crate) struct Sig {
-    pub(crate) name: String,
-    pub(crate) width: u32,
-    pub(crate) kind: SigKind,
+pub struct Sig {
+    /// Source name.
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+    /// Driver kind.
+    pub kind: SigKind,
 }
 
 /// A compiled, elaborated module ready to simulate. Construction parses
@@ -121,13 +241,19 @@ pub struct VlogSim {
     pub(crate) reg_ids: Vec<usize>,
 }
 
+/// One elaborated memory.
 #[derive(Debug, Clone)]
-pub(crate) struct CMem {
-    pub(crate) name: String,
-    pub(crate) elem_width: u32,
-    pub(crate) len: usize,
-    pub(crate) external: bool,
-    pub(crate) written: bool,
+pub struct CMem {
+    /// Source name.
+    pub name: String,
+    /// Element width in bits.
+    pub elem_width: u32,
+    /// Element count.
+    pub len: usize,
+    /// Carried an `(* external *)` attribute (accelerator I/O).
+    pub external: bool,
+    /// The module writes this memory somewhere in its body.
+    pub written: bool,
 }
 
 struct RunState {
@@ -204,6 +330,72 @@ impl VlogSim {
     /// Indices of memories the module writes (store targets in the text).
     pub fn written_mems(&self) -> Vec<usize> {
         self.mems.iter().enumerate().filter(|(_, m)| m.written).map(|(i, _)| i).collect()
+    }
+
+    // ------------------------------------------- elaborated netlist view
+    //
+    // Read-only access to the compiled design, for external encoders
+    // (the `attack-sat` CNF bit-blaster walks exactly this form).
+
+    /// All elaborated signals, indexed by signal id.
+    pub fn sigs(&self) -> &[Sig] {
+        &self.sigs
+    }
+
+    /// Continuous-assign right-hand sides, indexed by [`SigKind::Wire`].
+    pub fn wires(&self) -> &[CExpr] {
+        &self.wires
+    }
+
+    /// All elaborated memories, indexed by memory id.
+    pub fn cmems(&self) -> &[CMem] {
+        &self.mems
+    }
+
+    /// The single `always @(posedge clk)` process body.
+    pub fn body(&self) -> &CStmt {
+        &self.body
+    }
+
+    /// Constant memory loads from `initial` blocks: `(mem, index, value)`.
+    pub fn init_image(&self) -> &[(usize, usize, u64)] {
+        &self.init
+    }
+
+    /// Signal id of the `rst` port.
+    pub fn rst_id(&self) -> usize {
+        self.rst
+    }
+
+    /// Signal id of the `start` port.
+    pub fn start_id(&self) -> usize {
+        self.start
+    }
+
+    /// Signal id of the `done` port.
+    pub fn done_id(&self) -> usize {
+        self.done
+    }
+
+    /// Signal ids of the `arg{i}` ports, in argument order.
+    pub fn arg_ids(&self) -> &[usize] {
+        &self.args
+    }
+
+    /// Signal id and width of the `working_key` port, when present.
+    pub fn key_sig(&self) -> Option<(usize, u32)> {
+        self.key
+    }
+
+    /// Signal id and declared width of the `ret` port, when present.
+    pub fn ret_sig(&self) -> Option<(usize, u32)> {
+        self.ret
+    }
+
+    /// Datapath-register signal ids `r{i}` in index order (`usize::MAX`
+    /// marks a register the text never declares).
+    pub fn reg_id_table(&self) -> &[usize] {
+        &self.reg_ids
     }
 
     /// Simulates the module with the given argument values and working
@@ -559,7 +751,11 @@ impl VlogSim {
         st.mems[mem].get(idx).copied().unwrap_or(0)
     }
 
-    pub(crate) fn self_width(&self, e: &CExpr) -> u32 {
+    /// IEEE-1364 self-determined size of an elaborated expression — the
+    /// context width at which conditions, indices, shift amounts and case
+    /// subjects evaluate. Public so external encoders apply the same
+    /// sizing rules the simulator does.
+    pub fn self_width(&self, e: &CExpr) -> u32 {
         use ast::BinOp as B;
         match e {
             CExpr::Const { width, unsz, .. } => {
@@ -587,7 +783,10 @@ impl VlogSim {
         }
     }
 
-    pub(crate) fn self_signed(&self, e: &CExpr) -> bool {
+    /// Self-determined signedness of an elaborated expression (the
+    /// conjunction rule: an operation is signed only if every operand
+    /// is). Public for the same reason as [`VlogSim::self_width`].
+    pub fn self_signed(&self, e: &CExpr) -> bool {
         use ast::BinOp as B;
         match e {
             CExpr::Const { signed, .. } => *signed,

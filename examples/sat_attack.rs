@@ -1,0 +1,82 @@
+//! Runs the SAT-based oracle-guided attack end to end on one small
+//! locked kernel and prints the DIP loop's effort next to the branch
+//! enumeration's.
+//!
+//! ```text
+//! cargo run --release --example sat_attack
+//! ```
+
+use tao_repro::hls_core::KeyBits;
+use tao_repro::rtl::{golden_outputs, SimOptions, TestCase};
+use tao_repro::tao::{compare_attacks, lock, KeySpace, PlanConfig, SatAttackConfig, TaoOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src = r#"
+        int mix(int a, int b) {
+            int r = a ^ 21;
+            if (r > b) r = r + b;
+            else r = r - b;
+            return r ^ 5;
+        }
+    "#;
+    let m = tao_repro::hls_frontend::compile(src, "mix")?;
+
+    // Lock with constants + branches (every key bit observable).
+    let mut s = 0xd1b_u64 | 1;
+    let locking = KeyBits::from_fn(256, || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    });
+    let opts = TaoOptions {
+        plan: PlanConfig { dfg_variants: false, ..PlanConfig::default() },
+        ..TaoOptions::default()
+    };
+    let design = lock(&m, "mix", &locking, &opts)?;
+    let wk = design.working_key(&locking);
+    let ks = KeySpace::of(&design);
+    println!(
+        "locked `mix`: {} key bits ({} constant, {} branch)",
+        wk.width(),
+        ks.constant_bits,
+        ks.branch_bits
+    );
+
+    let cases: Vec<TestCase> =
+        [[5u64, 2u64], [2, 5], [1000, 1]].iter().map(|a| TestCase::args(a)).collect();
+    let oracle: Vec<_> = cases.iter().map(|c| golden_outputs(&design.module, "mix", c)).collect();
+    let sim_opts = SimOptions { max_cycles: 100_000, snapshot_on_timeout: true };
+
+    let cmp =
+        compare_attacks(&design, &wk, &cases, &oracle, &sim_opts, &SatAttackConfig::default())?;
+
+    println!(
+        "\nSAT attack:   {} DIPs, {} oracle queries, {} conflicts, {:.1} ms → {}",
+        cmp.sat.outcome.dips,
+        cmp.sat.outcome.queries,
+        cmp.sat.outcome.conflicts,
+        cmp.sat.outcome.wall.as_secs_f64() * 1e3,
+        if cmp.sat.key_exact {
+            "exact working key recovered"
+        } else {
+            "equivalence class recovered"
+        },
+    );
+    if let Some(br) = &cmp.branch {
+        println!(
+            "branch enum:  {} candidates × {} cases = {} simulations, {:.1} ms → {} survivors \
+             (branch bits only)",
+            br.candidates_tried,
+            cases.len(),
+            cmp.branch_queries,
+            cmp.branch_wall.as_secs_f64() * 1e3,
+            br.candidates_surviving,
+        );
+    }
+    println!(
+        "\nThe paper's defense is the threat model: the foundry has no oracle. Granted one, \
+         the SAT attack collapses the key space; denied it, neither attack can even rank keys."
+    );
+    Ok(())
+}

@@ -16,8 +16,10 @@
 //! | [`vlog`] | Verilog-subset parser + simulators for the emitted text (tree + compiled tape) |
 //! | [`tao`] | The three obfuscations, key management, attack analysis, differential verify |
 //! | [`tao_crypto`] | Self-contained AES-256 for the NVM key scheme |
+//! | [`sat`] | CDCL SAT solver (watched literals, VSIDS, 1-UIP, restarts, assumptions) + Tseitin gate layer |
+//! | [`attack_sat`] | SAT-based oracle-guided key recovery: netlist bit-blasting + the DIP loop |
 //! | [`benchmarks`] | The five paper kernels + seeded stimuli |
-//! | [`hls_dse`] | Parallel design-space exploration + Pareto extraction |
+//! | [`hls_dse`] | Parallel design-space exploration + Pareto extraction (optional SAT-effort sign-off) |
 //!
 //! ## Quick start
 //!
@@ -103,6 +105,40 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! ## SAT-based oracle-guided key recovery
+//!
+//! The [`sat`] crate is a self-contained CDCL solver; [`attack_sat`]
+//! Tseitin-encodes the **emitted Verilog netlist** over a bounded
+//! k-cycle unrolling and runs the distinguishing-input (DIP) loop of
+//! the canonical SAT attack. [`tao::sat_attack_design`] wires it to a
+//! locked design with the FSMD tape as the oracle and verifies the
+//! recovered key against the truth:
+//!
+//! ```
+//! use tao_repro::hls_core::KeyBits;
+//! use tao_repro::rtl::TestCase;
+//! use tao_repro::tao::{lock, sat_attack_design, PlanConfig, SatAttackConfig, TaoOptions};
+//!
+//! let m = tao_repro::hls_frontend::compile(
+//!     "int f(int a, int b) { int r = a ^ 9; if (r > b) r = r + b; return r; }", "d")?;
+//! let locking = KeyBits::from_fn(256, || 0x5eed_cafe_f00d_1234);
+//! let opts = TaoOptions {
+//!     plan: PlanConfig { dfg_variants: false, ..PlanConfig::default() },
+//!     ..TaoOptions::default()
+//! };
+//! let design = lock(&m, "f", &locking, &opts)?;
+//! let wk = design.working_key(&locking);
+//!
+//! // The attacker holds the netlist and a black-box activated chip;
+//! // the DIP loop collapses the key space to the working key.
+//! let cases = [TestCase::args(&[5, 3]), TestCase::args(&[3, 5])];
+//! let attack = sat_attack_design(&design, &wk, &cases, &SatAttackConfig::default())?;
+//! assert!(attack.recovered());
+//! assert!(attack.key_functional);
+//! assert_eq!(attack.outcome.key.as_ref(), Some(&wk));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! ## The shared simulation layer and the parallel grid executor
 //!
 //! Every backend speaks the [`sim_core`] contract: the types above
@@ -138,12 +174,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use attack_sat;
 pub use benchmarks;
 pub use hls_core;
 pub use hls_dse;
 pub use hls_frontend;
 pub use hls_ir;
 pub use rtl;
+pub use sat;
 pub use sim_core;
 pub use tao;
 pub use tao_crypto;

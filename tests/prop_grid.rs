@@ -87,6 +87,28 @@ fn assert_grid_deterministic(f: &GridFixture, opts: &SimOptions, ctx: &str) {
     for cell in &seq.last().expect("wrong-width key row")[..3] {
         assert!(matches!(cell, Err(SimError::KeyWidthMismatch { .. })), "{ctx}");
     }
+
+    // Chunk-granular stealing (the `grid` fast path steals all cases of
+    // one key per steal) is bit-identical to single-trial stealing for
+    // every chunk size and worker count — including chunks that do not
+    // divide the trial count.
+    let n = f.keys.len() * f.cases.len();
+    let n_cases = f.cases.len();
+    let flat_seq: Vec<_> = seq.iter().flatten().cloned().collect();
+    for workers in [3usize] {
+        for chunk in [1usize, n_cases, n_cases + 1] {
+            let flat = GridExec::new(workers).run_chunked(
+                n,
+                chunk,
+                || ctape.runner(),
+                |runner, i| runner.run_case(&f.cases[i % n_cases], &f.keys[i / n_cases], opts),
+            );
+            assert_eq!(
+                flat, flat_seq,
+                "chunked steal diverged (workers={workers} chunk={chunk}): {ctx}"
+            );
+        }
+    }
 }
 
 proptest! {
