@@ -70,6 +70,7 @@ fn main() {
             unroll_cycles: k,
             max_dips: Some(200),
             conflict_budget: Some(conflicts),
+            ..Default::default()
         },
         &mut oracle,
     );

@@ -48,7 +48,7 @@ pub struct OracleResponse {
 }
 
 /// Attack budgets and the unrolling depth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SatAttackOptions {
     /// Clock edges to unroll (the observable's cycle bound). Pick it
     /// above the oracle's correct-key latency — `latency × margin` — or
@@ -58,11 +58,22 @@ pub struct SatAttackOptions {
     pub max_dips: Option<u64>,
     /// Total solver conflict budget across all calls (`None` = unbounded).
     pub conflict_budget: Option<u64>,
+    /// Telemetry handle (disabled by default). Enabled, the attack
+    /// records an `attack.sat` span wrapping per-DIP `attack.dip` spans
+    /// (conflict delta and accumulated CNF growth as args), forwards the
+    /// handle into the CDCL solver, and samples `attack.clauses` /
+    /// `attack.vars` after every iteration.
+    pub obs: obs::Obs,
 }
 
 impl Default for SatAttackOptions {
     fn default() -> Self {
-        SatAttackOptions { unroll_cycles: 64, max_dips: None, conflict_budget: None }
+        SatAttackOptions {
+            unroll_cycles: 64,
+            max_dips: None,
+            conflict_budget: None,
+            obs: obs::Obs::off(),
+        }
     }
 }
 
@@ -132,20 +143,31 @@ pub fn sat_attack(
 ) -> SatAttackOutcome {
     assert!(sim.key_width() > 0, "design has no working key to recover");
     let t0 = Instant::now();
+    let obs = &opts.obs;
+    let mut attack_span = obs.span("attack.sat");
     let enc = Encoder::new(sim);
     let mut g = Gates::new();
+    g.solver().set_obs(obs.clone());
     let k = opts.unroll_cycles;
 
     // The miter: two key copies over shared free inputs.
-    let inputs = enc.fresh_inputs(&mut g);
-    let key_a = KeyLits::fresh(&mut g, sim);
-    let key_b = KeyLits::fresh(&mut g, sim);
-    let ua = enc.unroll(&mut g, k, &inputs, &key_a);
-    let ub = enc.unroll(&mut g, k, &inputs, &key_b);
-    let diff = observable_diff(&mut g, &ua, &ub);
-    let act = g.fresh();
-    g.assert_clause(&[!act, diff]);
+    let (inputs, key_a, key_b, act) = {
+        let mut encode_span = obs.span("attack.encode");
+        let inputs = enc.fresh_inputs(&mut g);
+        let key_a = KeyLits::fresh(&mut g, sim);
+        let key_b = KeyLits::fresh(&mut g, sim);
+        let ua = enc.unroll(&mut g, k, &inputs, &key_a);
+        let ub = enc.unroll(&mut g, k, &inputs, &key_b);
+        let diff = observable_diff(&mut g, &ua, &ub);
+        let act = g.fresh();
+        g.assert_clause(&[!act, diff]);
+        encode_span.arg("unroll", u64::from(k));
+        encode_span.arg("vars", g.solver_ref().num_vars() as u64);
+        encode_span.arg("clauses", g.solver_ref().num_clauses() as u64);
+        (inputs, key_a, key_b, act)
+    };
 
+    let dip_counter = obs.counter("attack.dips");
     let mut dips = 0u64;
     let free_mem_ids = enc.free_mem_ids();
     let status = loop {
@@ -155,7 +177,16 @@ pub fn sat_attack(
             }
         }
         set_budget(&mut g, opts);
-        match g.solve_assuming(&[act]) {
+        let mut dip_span = obs.span("attack.dip");
+        let conflicts_before = g.solver_ref().stats().conflicts;
+        let outcome = g.solve_assuming(&[act]);
+        if dip_span.recording() {
+            dip_span.arg("dip", dips);
+            dip_span.arg("conflict_delta", g.solver_ref().stats().conflicts - conflicts_before);
+            dip_span.arg("vars", g.solver_ref().num_vars() as u64);
+            dip_span.arg("clauses", g.solver_ref().num_clauses() as u64);
+        }
+        match outcome {
             SolveOutcome::Unsat => break SatAttackStatus::Recovered,
             SolveOutcome::Budget => break SatAttackStatus::ConflictBudget,
             SolveOutcome::Sat => {
@@ -169,12 +200,25 @@ pub fn sat_attack(
                         .collect(),
                 };
                 debug_assert_eq!(query.mems.len(), free_mem_ids.len());
-                let resp = oracle(&query);
+                let resp = {
+                    let _oracle_span = obs.span("attack.oracle");
+                    oracle(&query)
+                };
                 dips += 1;
-                let pinned = enc.pinned_inputs(&mut g, &query.args, &query.mems);
-                for key in [&key_a, &key_b] {
-                    let u = enc.unroll(&mut g, k, &pinned, key);
-                    constrain_to_response(&mut g, &u, &resp);
+                dip_counter.inc();
+                {
+                    let _pin_span = obs.span("attack.constrain");
+                    let pinned = enc.pinned_inputs(&mut g, &query.args, &query.mems);
+                    for key in [&key_a, &key_b] {
+                        let u = enc.unroll(&mut g, k, &pinned, key);
+                        constrain_to_response(&mut g, &u, &resp);
+                    }
+                }
+                // Accumulated-constraint growth: two more pinned
+                // unrollings per DIP.
+                if obs.enabled() {
+                    obs.sample("attack.vars", g.solver_ref().num_vars() as u64);
+                    obs.sample("attack.clauses", g.solver_ref().num_clauses() as u64);
                 }
             }
         }
@@ -187,10 +231,20 @@ pub fn sat_attack(
     // key even when the proof spent the budget to the last conflict
     // (the true key always satisfies the constraints, so this is cheap).
     g.solver().set_conflict_budget(None);
-    let key = match g.solver().solve() {
-        SolveOutcome::Sat => Some(key_a.model_key(&g)),
-        _ => None,
+    let key = {
+        let _model_span = obs.span("attack.model");
+        match g.solver().solve() {
+            SolveOutcome::Sat => Some(key_a.model_key(&g)),
+            _ => None,
+        }
     };
+    if attack_span.recording() {
+        let stats = g.solver_ref().stats();
+        attack_span.arg("dips", dips);
+        attack_span.arg("conflicts", stats.conflicts);
+        attack_span.arg("vars", g.solver_ref().num_vars() as u64);
+        attack_span.arg("clauses", g.solver_ref().num_clauses() as u64);
+    }
     let stats = g.solver_ref().stats();
     SatAttackOutcome {
         status,

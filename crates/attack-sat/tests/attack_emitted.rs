@@ -156,6 +156,49 @@ fn recovered_key_is_functionally_correct_even_with_loops() {
 }
 
 #[test]
+fn telemetry_never_changes_the_attack() {
+    // The zero-cost contract, checked end to end: the identical attack
+    // with telemetry disabled, recording into a no-op sink, and
+    // recording into a real Chrome-trace sink must produce bit-identical
+    // outcomes — same key, same DIPs, same solver effort counters.
+    let mut fsmd = synth("int f(int a, int b) { return (a ^ 21) + (b ^ 300); }", "f");
+    let key_bits: u32 = fsmd.consts.iter().map(|c| c.storage_width as u32).sum();
+    let key = xorshift_key(key_bits, 0xA11CE);
+    lock_by_hand(&mut fsmd, &key);
+    let text = verilog::emit(&fsmd);
+    let sim = VlogSim::new(&text).expect("emitted text parses");
+    let compiled = CompiledFsmd::compile(&fsmd);
+    let sink = std::sync::Arc::new(obs::ChromeTraceSink::new());
+
+    let mut outcomes = Vec::new();
+    for o in [obs::Obs::off(), obs::Obs::noop(), obs::Obs::new(std::sync::Arc::clone(&sink))] {
+        let mut runner = compiled.runner();
+        let opts = SimOptions { max_cycles: 16, snapshot_on_timeout: false };
+        let mut oracle = |q: &AttackQuery| {
+            let case = TestCase { args: q.args.clone(), mem_inputs: Vec::new() };
+            match runner.run_case(&case, &key, &opts) {
+                Ok(stats) => OracleResponse { done: true, ret: stats.ret, mems: Vec::new() },
+                Err(_) => OracleResponse { done: false, ret: None, mems: Vec::new() },
+            }
+        };
+        let out = sat_attack(
+            &sim,
+            &SatAttackOptions { unroll_cycles: 16, obs: o, ..Default::default() },
+            &mut oracle,
+        );
+        outcomes.push((out.status, out.key, out.dips, out.conflicts, out.propagations, out.vars));
+    }
+    assert_eq!(outcomes[0], outcomes[1], "no-op sink changed the attack");
+    assert_eq!(outcomes[0], outcomes[2], "recording sink changed the attack");
+    assert_eq!(outcomes[0].0, SatAttackStatus::Recovered);
+    // And the recording run actually recorded the attack spans.
+    let trace = sink.to_json();
+    for span in ["attack.sat", "attack.dip", "sat.solve"] {
+        assert!(trace.contains(span), "trace missing `{span}`");
+    }
+}
+
+#[test]
 fn dip_budget_stops_early_with_partial_key() {
     let mut fsmd = synth("int f(int a, int b) { return a * 77 + b * 13; }", "f");
     let key_bits: u32 = fsmd.consts.iter().map(|c| c.storage_width as u32).sum();
@@ -176,7 +219,7 @@ fn dip_budget_stops_early_with_partial_key() {
     };
     let out = sat_attack(
         &sim,
-        &SatAttackOptions { unroll_cycles: 16, max_dips: Some(0), conflict_budget: None },
+        &SatAttackOptions { unroll_cycles: 16, max_dips: Some(0), ..Default::default() },
         &mut oracle,
     );
     assert_eq!(out.status, SatAttackStatus::DipBudget);

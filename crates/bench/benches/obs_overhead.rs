@@ -1,0 +1,54 @@
+//! A/B check of the telemetry layer's zero-cost claim: the same grid of
+//! (case × key) trials on the FSMD tape backend with (a) a plain
+//! uninstrumented executor, (b) an executor carrying a disabled `Obs`
+//! handle (the default everywhere), and (c) a no-op-sink handle with
+//! every span/counter live. (a) and (b) must be within noise of each
+//! other — the disabled handle is one never-taken branch at grid entry —
+//! and (c) bounds the worst-case cost of leaving instrumentation on.
+
+use bench::locking_key;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rtl::{CompiledFsmd, SimOptions, TestCase};
+use sim_core::GridExec;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let lk = locking_key(0x5eed);
+    let b = benchmarks::by_name("sobel").unwrap();
+    let m = b.compile().unwrap();
+    let d = tao::lock(&m, b.top, &lk, &tao::TaoOptions::default()).unwrap();
+    let wk = d.working_key(&lk);
+    let stim = &b.stimuli(1, 1)[0];
+    let case = TestCase { args: stim.args.clone(), mem_inputs: stim.resolve(&d.module) };
+    let ctape = CompiledFsmd::compile(&d.fsmd);
+    let mut keys = vec![wk.clone()];
+    for i in 1..9u64 {
+        keys.push(d.working_key(&locking_key(0x6e1d ^ i)));
+    }
+    let budget = SimOptions { max_cycles: 2_000_000, snapshot_on_timeout: true };
+    let cases = std::slice::from_ref(&case);
+    let cycles: u64 = GridExec::sequential()
+        .grid(&ctape, cases, &keys, &budget)
+        .iter()
+        .flatten()
+        .map(|r| r.as_ref().unwrap().cycles)
+        .sum();
+
+    let mut g = c.benchmark_group("obs-overhead");
+    g.throughput(Throughput::Elements(cycles));
+    let plain = GridExec::default();
+    g.bench_function("grid-uninstrumented", |bench| {
+        bench.iter(|| plain.grid(&ctape, cases, &keys, &budget));
+    });
+    let off = GridExec::default().with_obs(obs::Obs::off());
+    g.bench_function("grid-obs-off", |bench| {
+        bench.iter(|| off.grid(&ctape, cases, &keys, &budget));
+    });
+    let noop = GridExec::default().with_obs(obs::Obs::noop());
+    g.bench_function("grid-obs-noop-sink", |bench| {
+        bench.iter(|| noop.grid(&ctape, cases, &keys, &budget));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

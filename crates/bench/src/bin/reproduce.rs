@@ -10,7 +10,15 @@ use bench::format::*;
 use bench::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `profile <kernel>` consumes its operand before dispatch.
+    let mut profile_kernel_name = String::from("sobel");
+    if let Some(i) = args.iter().position(|a| a == "profile") {
+        if let Some(name) = args.get(i + 1).filter(|a| benchmarks::by_name(a).is_some()) {
+            profile_kernel_name = name.clone();
+            args.remove(i + 1);
+        }
+    }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "table1",
@@ -146,34 +154,61 @@ fn main() {
             "bench-diff" => {
                 // Bench trajectory gate: re-measure the full sweep and
                 // diff it against the checked-in baseline. Absolute
-                // cycles/s deltas are context (the baseline machine is
-                // not the CI machine); the in-process tape-vs-tree
-                // speedup ratios gate, failing on a >30% drop.
+                // cycles/s deltas and the grid scaling curve are context
+                // (the baseline machine is not the CI machine); the
+                // in-process tape-vs-tree speedup ratios gate at a >30%
+                // drop and the SAT-attack effort counters at a >50%
+                // drop.
                 let baseline_text = std::fs::read_to_string("BENCH_sim.json")
                     .expect("checked-in BENCH_sim.json baseline");
                 let baseline = parse_sim_bench_json(&baseline_text).expect("baseline parses");
                 let rows = sim_bench();
                 let deltas = diff_sim_bench(&rows, &baseline);
                 println!("{}", render_bench_diff(&deltas));
-                let regs = bench_regressions(&deltas, BENCH_DIFF_MAX_DROP);
+                let regs = bench_regressions(&deltas);
                 if !regs.is_empty() {
                     for r in &regs {
                         eprintln!(
-                            "BENCH REGRESSION: {} {} fell to {:.0}% of baseline ({:.2} -> {:.2})",
+                            "BENCH REGRESSION: {} {} fell to {:.0}% of baseline \
+                             ({:.2} -> {:.2}, tolerance {:.0}%)",
                             r.kernel,
                             r.metric,
                             r.ratio() * 100.0,
                             r.baseline,
                             r.fresh,
+                            r.max_drop.unwrap_or(0.0) * 100.0,
                         );
                     }
                     std::process::exit(1);
                 }
                 println!(
-                    "bench-diff: {} metrics compared, gating ratios within {:.0}% of baseline",
+                    "bench-diff: {} metrics compared; speedup ratios within {:.0}% and \
+                     SAT effort within {:.0}% of baseline",
                     deltas.len(),
-                    BENCH_DIFF_MAX_DROP * 100.0
+                    BENCH_DIFF_MAX_DROP * 100.0,
+                    SAT_EFFORT_MAX_DROP * 100.0
                 );
+            }
+            "profile" => {
+                // One instrumented pass over grid + SAT + DSE with the
+                // obs telemetry layer on, exported as a Chrome trace
+                // (chrome://tracing or ui.perfetto.dev) plus the metric
+                // registry's summary table.
+                let rep = profile_kernel(&profile_kernel_name, false);
+                let path = "target/trace.json";
+                std::fs::write(path, &rep.trace_json)
+                    .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+                println!("{}", rep.summary);
+                println!(
+                    "profile[{}]: {} grid trials, {} DIPs, {} DSE points",
+                    rep.kernel, rep.grid_trials, rep.sat_dips, rep.dse_points
+                );
+                println!("wrote {path} (load in chrome://tracing or ui.perfetto.dev)");
+            }
+            "profile-smoke" => {
+                // CI gate: tight-budget profile pass; asserts the trace
+                // is well-formed and covers grid, SAT and DSE spans.
+                println!("{}", profile_smoke());
             }
             "grid-smoke" => {
                 // CI determinism gate: a small parallel (case × key)
@@ -203,7 +238,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
-                    "known: table1 fig6 freq cycles validate keymgmt ablate-bi ablate-c ablate-swap ablate-alloc attack unroll report dse dse-smoke vlog-diff vlog-diff-smoke bench-json bench-json-smoke bench-diff grid-smoke sat-attack sat-smoke all"
+                    "known: table1 fig6 freq cycles validate keymgmt ablate-bi ablate-c ablate-swap ablate-alloc attack unroll report dse dse-smoke vlog-diff vlog-diff-smoke bench-json bench-json-smoke bench-diff grid-smoke profile profile-smoke sat-attack sat-smoke all"
                 );
                 std::process::exit(2);
             }

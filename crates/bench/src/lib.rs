@@ -36,12 +36,14 @@
 pub mod dse;
 pub mod experiments;
 pub mod format;
+pub mod profile;
 pub mod satattack;
 pub mod simjson;
 pub mod vlogdiff;
 
 pub use dse::{dse_kernels, dse_sweep, smoke_sweep};
 pub use experiments::*;
+pub use profile::{check_trace, profile_kernel, profile_smoke, ProfileReport, REQUIRED_SPANS};
 pub use satattack::{
     attack_kernels, attack_plans, render_sat_attack, sat_attack_rows, sat_attack_smoke, sat_probe,
     AttackKernel, SatAttackRow,
@@ -49,7 +51,7 @@ pub use satattack::{
 pub use simjson::{
     bench_regressions, check_floor, check_grid_floor, diff_sim_bench, grid_smoke,
     parse_sim_bench_json, render_bench_diff, render_sim_bench, sim_bench, sim_bench_json,
-    sim_bench_smoke, BaselineRow, BenchDelta, SimBenchRow, BENCH_DIFF_MAX_DROP, GRID_FLOOR,
-    GRID_FLOOR_MIN_WORKERS, VLOG_TAPE_FLOOR,
+    sim_bench_smoke, BaselineRow, BenchDelta, SimBenchRow, BENCH_DIFF_MAX_DROP, GRID_CURVE_WORKERS,
+    GRID_FLOOR, GRID_FLOOR_MIN_WORKERS, SAT_EFFORT_MAX_DROP, VLOG_TAPE_FLOOR,
 };
 pub use vlogdiff::{vlog_diff, vlog_diff_clean, vlog_diff_smoke, VlogDiffRow};

@@ -48,11 +48,24 @@ pub const GRID_FLOOR_MIN_WORKERS: usize = 4;
 /// than this fraction against the checked-in baseline.
 pub const BENCH_DIFF_MAX_DROP: f64 = 0.30;
 
+/// `bench-diff` fails when a SAT-attack effort counter (`sat_dips`,
+/// `sat_conflicts`) drops by more than this fraction against the
+/// baseline: a halved effort means the lock got drastically easier to
+/// break, which is a security regression, not noise. The threshold is
+/// looser than the throughput gate because solver heuristics
+/// legitimately wander.
+pub const SAT_EFFORT_MAX_DROP: f64 = 0.50;
+
 /// Unrolled cycles of the bounded SAT-attack effort probe (schema v3).
 pub const SAT_PROBE_UNROLL: u32 = 8;
 
+/// Worker counts the grid scaling curve samples (schema v4), capped at
+/// the machine's core count.
+pub const GRID_CURVE_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
 /// One kernel's throughput measurements (cycles simulated per second)
-/// plus the bounded SAT-attack effort probe (schema v3).
+/// plus the bounded SAT-attack effort probe (schema v3) and the grid
+/// scaling curve (schema v4).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimBenchRow {
     /// Benchmark name.
@@ -76,6 +89,13 @@ pub struct SimBenchRow {
     pub sat_dips: u64,
     /// Solver conflicts the probe spent.
     pub sat_conflicts: u64,
+    /// Grid scaling curve: `(workers, cycles/s)` at the
+    /// [`GRID_CURVE_WORKERS`] counts the machine can actually run.
+    /// Recorded only on runners with at least
+    /// [`GRID_FLOOR_MIN_WORKERS`] cores — a 1-core curve measures the
+    /// steal overhead, not the scaling — and empty elsewhere, so
+    /// single-core CI never rewrites the checked-in curve.
+    pub grid_curve: Vec<(usize, f64)>,
 }
 
 impl SimBenchRow {
@@ -169,6 +189,21 @@ fn bench_kernel(name: &str, min_ms: u64, sat_budget: u64) -> SimBenchRow {
         exec.grid(&ctape, cases, &keys, &budget);
     });
 
+    // Grid scaling curve (schema v4): the same grid re-measured at
+    // fixed worker counts, so the trajectory records *how* the executor
+    // scales, not just its best case. Multi-core runners only.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut grid_curve = Vec::new();
+    if cores >= GRID_FLOOR_MIN_WORKERS {
+        for &w in GRID_CURVE_WORKERS.iter().filter(|&&w| w <= cores) {
+            let wexec = GridExec::new(w);
+            let cps = throughput(grid_cycles, min_ms, || {
+                wexec.grid(&ctape, cases, &keys, &budget);
+            });
+            grid_curve.push((w, cps));
+        }
+    }
+
     // Bounded SAT-attack effort (schema v3): the full designs run
     // thousands of cycles, so the probe measures the budgeted
     // bounded-window attack — whether any key pair is distinguishable
@@ -186,6 +221,7 @@ fn bench_kernel(name: &str, min_ms: u64, sat_budget: u64) -> SimBenchRow {
         grid_workers,
         sat_dips,
         sat_conflicts,
+        grid_curve,
     }
 }
 
@@ -203,15 +239,17 @@ pub fn sim_bench_smoke() -> Vec<SimBenchRow> {
 /// Serializes the rows as the `BENCH_sim.json` artifact.
 pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"tao-repro/bench-sim/v3\",\n");
+    out.push_str("  \"schema\": \"tao-repro/bench-sim/v4\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str("  \"unit\": \"cycles_per_second\",\n");
     out.push_str("  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let curve: String =
+            r.grid_curve.iter().map(|(w, cps)| format!("\"grid_w{w}\": {cps:.0}, ")).collect();
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"cycles\": {}, \"fsmd_tree\": {:.0}, \
              \"fsmd_tape\": {:.0}, \"vlog_tree\": {:.0}, \"vlog_tape\": {:.0}, \
-             \"grid_cps\": {:.0}, \"grid_workers\": {}, \
+             \"grid_cps\": {:.0}, \"grid_workers\": {}, {}\
              \"sat_dips\": {}, \"sat_conflicts\": {}, \
              \"fsmd_speedup\": {:.2}, \"vlog_speedup\": {:.2}, \"grid_speedup\": {:.2}}}{}\n",
             r.name,
@@ -222,6 +260,7 @@ pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
             r.vlog_tape_cps,
             r.grid_cps,
             r.grid_workers,
+            curve,
             r.sat_dips,
             r.sat_conflicts,
             r.fsmd_speedup(),
@@ -265,6 +304,14 @@ pub fn render_sim_bench(rows: &[SimBenchRow]) -> String {
             r.grid_cps,
             r.grid_workers,
         ));
+        if !r.grid_curve.is_empty() {
+            let pts: Vec<String> = r
+                .grid_curve
+                .iter()
+                .map(|(w, cps)| format!("w{w}={:.1}x", cps / r.fsmd_tape_cps))
+                .collect();
+            out.push_str(&format!("           scaling: {}\n", pts.join(" ")));
+        }
     }
     out
 }
@@ -405,11 +452,14 @@ pub struct BenchDelta {
     pub baseline: f64,
     /// Freshly measured value.
     pub fresh: f64,
-    /// Whether this metric gates the run. Absolute cycles/s depend on
-    /// the machine the baseline was recorded on, so only the in-process
-    /// tape-vs-tree speedup ratios — which cancel the machine out —
-    /// fail `bench-diff`; the absolute columns are printed as context.
-    pub gating: bool,
+    /// Maximum tolerated fractional drop before this delta fails the
+    /// run, or `None` for context-only metrics. Absolute cycles/s
+    /// depend on the machine the baseline was recorded on, so only the
+    /// machine-independent metrics gate: the in-process tape-vs-tree
+    /// speedup ratios (at [`BENCH_DIFF_MAX_DROP`]) and the SAT-attack
+    /// effort counters (at [`SAT_EFFORT_MAX_DROP`]); the absolute
+    /// columns and the grid scaling curve are printed as context.
+    pub max_drop: Option<f64>,
 }
 
 impl BenchDelta {
@@ -417,37 +467,50 @@ impl BenchDelta {
     pub fn ratio(&self) -> f64 {
         self.fresh / self.baseline
     }
+
+    /// Whether this metric can fail the run.
+    pub fn gating(&self) -> bool {
+        self.max_drop.is_some()
+    }
+
+    /// Whether this delta regresses past its own threshold.
+    pub fn regressed(&self) -> bool {
+        self.max_drop.is_some_and(|d| self.ratio() < 1.0 - d)
+    }
 }
 
 /// Accessor for one tracked metric of a fresh row.
 type MetricGetter = fn(&SimBenchRow) -> f64;
 
-/// Metrics tracked by `bench-diff`: `(key, getter, gating)`. Absolute
-/// throughputs (including `grid_cps`, which additionally depends on the
-/// core count) are informational; the in-process speedup ratios gate.
-const DIFF_METRICS: [(&str, MetricGetter, bool); 9] = [
-    ("fsmd_tree", |r| r.fsmd_tree_cps, false),
-    ("fsmd_tape", |r| r.fsmd_tape_cps, false),
-    ("vlog_tree", |r| r.vlog_tree_cps, false),
-    ("vlog_tape", |r| r.vlog_tape_cps, false),
-    ("grid_cps", |r| r.grid_cps, false),
-    // Schema-v3 effort counters: carried through the diff for trajectory
-    // context, never gating (they measure the attack, not this machine,
-    // and legitimately move when solver heuristics change).
-    ("sat_dips", |r| r.sat_dips as f64, false),
-    ("sat_conflicts", |r| r.sat_conflicts as f64, false),
-    ("fsmd_speedup", |r| r.fsmd_speedup(), true),
-    ("vlog_speedup", |r| r.vlog_speedup(), true),
+/// Metrics tracked by `bench-diff`: `(key, getter, max tolerated
+/// fractional drop)`. Absolute throughputs (including `grid_cps`, which
+/// additionally depends on the core count) are informational (`None`);
+/// the in-process speedup ratios gate at [`BENCH_DIFF_MAX_DROP`], and
+/// the SAT-attack effort counters — machine-independent measures of how
+/// hard the lock resists — gate at the looser [`SAT_EFFORT_MAX_DROP`].
+const DIFF_METRICS: [(&str, MetricGetter, Option<f64>); 9] = [
+    ("fsmd_tree", |r| r.fsmd_tree_cps, None),
+    ("fsmd_tape", |r| r.fsmd_tape_cps, None),
+    ("vlog_tree", |r| r.vlog_tree_cps, None),
+    ("vlog_tape", |r| r.vlog_tape_cps, None),
+    ("grid_cps", |r| r.grid_cps, None),
+    ("sat_dips", |r| r.sat_dips as f64, Some(SAT_EFFORT_MAX_DROP)),
+    ("sat_conflicts", |r| r.sat_conflicts as f64, Some(SAT_EFFORT_MAX_DROP)),
+    ("fsmd_speedup", |r| r.fsmd_speedup(), Some(BENCH_DIFF_MAX_DROP)),
+    ("vlog_speedup", |r| r.vlog_speedup(), Some(BENCH_DIFF_MAX_DROP)),
 ];
 
 /// Compares a fresh sweep against a parsed baseline, kernel by kernel
 /// and metric by metric. Kernels or metrics absent from the baseline are
-/// skipped (new kernels are wins, not regressions).
+/// skipped (new kernels are wins, not regressions). Grid scaling-curve
+/// points (`grid_w{n}`, schema v4) diff as context only when both sides
+/// measured them — the baseline machine's curve says nothing about this
+/// machine's.
 pub fn diff_sim_bench(fresh: &[SimBenchRow], baseline: &[BaselineRow]) -> Vec<BenchDelta> {
     let mut deltas = Vec::new();
     for row in fresh {
         let Some(base) = baseline.iter().find(|b| b.name == row.name) else { continue };
-        for (key, get, gating) in DIFF_METRICS {
+        for (key, get, max_drop) in DIFF_METRICS {
             if let Some(bv) = base.metric(key) {
                 if bv > 0.0 {
                     deltas.push(BenchDelta {
@@ -455,7 +518,21 @@ pub fn diff_sim_bench(fresh: &[SimBenchRow], baseline: &[BaselineRow]) -> Vec<Be
                         metric: key.to_string(),
                         baseline: bv,
                         fresh: get(row),
-                        gating,
+                        max_drop,
+                    });
+                }
+            }
+        }
+        for &(w, cps) in &row.grid_curve {
+            let key = format!("grid_w{w}");
+            if let Some(bv) = base.metric(&key) {
+                if bv > 0.0 {
+                    deltas.push(BenchDelta {
+                        kernel: row.name.clone(),
+                        metric: key,
+                        baseline: bv,
+                        fresh: cps,
+                        max_drop: None,
                     });
                 }
             }
@@ -464,11 +541,12 @@ pub fn diff_sim_bench(fresh: &[SimBenchRow], baseline: &[BaselineRow]) -> Vec<Be
     deltas
 }
 
-/// The gating deltas regressing by more than `max_drop` (e.g. 0.30 = a
-/// drop below 70% of the baseline speedup ratio). Non-gating (absolute,
-/// machine-dependent) deltas never fail the run.
-pub fn bench_regressions(deltas: &[BenchDelta], max_drop: f64) -> Vec<&BenchDelta> {
-    deltas.iter().filter(|d| d.gating && d.ratio() < 1.0 - max_drop).collect()
+/// The gating deltas regressing past their own per-metric threshold
+/// (e.g. a speedup ratio below 70% of baseline, or a SAT effort counter
+/// below 50%). Non-gating (absolute, machine-dependent) deltas never
+/// fail the run.
+pub fn bench_regressions(deltas: &[BenchDelta]) -> Vec<&BenchDelta> {
+    deltas.iter().filter(|d| d.regressed()).collect()
 }
 
 /// Human-readable per-kernel delta table (`*` marks gating metrics).
@@ -480,7 +558,7 @@ pub fn render_bench_diff(deltas: &[BenchDelta]) -> String {
         "kernel", "metric", "baseline", "fresh", "delta"
     ));
     for d in deltas {
-        let marker = if d.gating { "*" } else { "" };
+        let marker = if d.gating() { "*" } else { "" };
         out.push_str(&format!(
             "{:<10} {:<14} {:>14.2} {:>14.2} {:>+7.1}%\n",
             d.kernel,
@@ -553,6 +631,7 @@ mod tests {
             grid_workers,
             sat_dips: 2,
             sat_conflicts: 900,
+            grid_curve: Vec::new(),
         }
     }
 
@@ -560,7 +639,7 @@ mod tests {
     fn json_shape_and_floor_check() {
         let rows = vec![row("k", 9.0e6, 4)];
         let json = sim_bench_json(&rows, "test");
-        assert!(json.contains("\"schema\": \"tao-repro/bench-sim/v3\""));
+        assert!(json.contains("\"schema\": \"tao-repro/bench-sim/v4\""));
         assert!(json.contains("\"sat_dips\": 2"));
         assert!(json.contains("\"sat_conflicts\": 900"));
         assert!(json.contains("\"vlog_speedup\": 10.00"));
@@ -598,10 +677,59 @@ mod tests {
         fresh[1].vlog_tape_cps = 5.5e6;
         let deltas = diff_sim_bench(&fresh, &parsed);
         assert_eq!(deltas.len(), 18); // 2 kernels x 9 tracked metrics
-        let regs = bench_regressions(&deltas, BENCH_DIFF_MAX_DROP);
+        let regs = bench_regressions(&deltas);
         assert_eq!(regs.len(), 1);
         assert_eq!((regs[0].kernel.as_str(), regs[0].metric.as_str()), ("sobel", "vlog_speedup"));
         assert!(!render_bench_diff(&deltas).is_empty());
+    }
+
+    #[test]
+    fn sat_effort_drop_gates_at_its_own_threshold() {
+        let baseline_rows = vec![row("gsm", 9.0e6, 4)];
+        let parsed = parse_sim_bench_json(&sim_bench_json(&baseline_rows, "full")).unwrap();
+        // A 40% conflict drop is within the 50% effort tolerance…
+        let mut fresh = baseline_rows.clone();
+        fresh[0].sat_conflicts = 540;
+        assert!(bench_regressions(&diff_sim_bench(&fresh, &parsed)).is_empty());
+        // …but losing more than half the effort fails the run.
+        fresh[0].sat_conflicts = 400;
+        let deltas = diff_sim_bench(&fresh, &parsed);
+        let regs = bench_regressions(&deltas);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "sat_conflicts");
+        assert_eq!(regs[0].max_drop, Some(SAT_EFFORT_MAX_DROP));
+        // Dropping every DIP trips the companion counter too.
+        fresh[0].sat_dips = 0;
+        assert_eq!(bench_regressions(&diff_sim_bench(&fresh, &parsed)).len(), 2);
+    }
+
+    #[test]
+    fn grid_curve_round_trips_as_context() {
+        let mut base = row("gsm", 9.0e6, 4);
+        base.grid_curve = vec![(1, 3.0e6), (2, 5.5e6), (4, 9.0e6)];
+        let json = sim_bench_json(&[base.clone()], "full");
+        assert!(json.contains("\"grid_w1\": 3000000"));
+        assert!(json.contains("\"grid_w4\": 9000000"));
+        let parsed = parse_sim_bench_json(&json).unwrap();
+        assert_eq!(parsed[0].metric("grid_w2"), Some(5.5e6));
+
+        // A fresh curve half as steep: reported, never gating.
+        let mut fresh = base.clone();
+        fresh.grid_curve = vec![(1, 3.0e6), (2, 3.1e6), (4, 3.2e6)];
+        let deltas = diff_sim_bench(&[fresh], &parsed);
+        let curve: Vec<_> = deltas.iter().filter(|d| d.metric.starts_with("grid_w")).collect();
+        assert_eq!(curve.len(), 3);
+        assert!(curve.iter().all(|d| !d.gating()));
+        assert!(bench_regressions(&deltas).is_empty());
+
+        // A 1-core fresh run measures no curve: the baseline's points
+        // are skipped, not treated as regressions.
+        let mut flat = base.clone();
+        flat.grid_curve.clear();
+        let deltas = diff_sim_bench(&[flat], &parsed);
+        assert!(deltas.iter().all(|d| !d.metric.starts_with("grid_w")));
+        // The scaling line only renders when a curve was measured.
+        assert!(render_sim_bench(&[base]).contains("scaling: w1=1.0x"));
     }
 
     #[test]
@@ -617,8 +745,8 @@ mod tests {
         slow[0].vlog_tape_cps /= 2.0;
         slow[0].grid_cps /= 2.0;
         let deltas = diff_sim_bench(&slow, &parsed);
-        assert!(deltas.iter().any(|d| !d.gating && d.ratio() < 0.6));
-        assert!(bench_regressions(&deltas, BENCH_DIFF_MAX_DROP).is_empty());
+        assert!(deltas.iter().any(|d| !d.gating() && d.ratio() < 0.6));
+        assert!(bench_regressions(&deltas).is_empty());
     }
 
     #[test]
@@ -636,7 +764,7 @@ mod tests {
         // grid_cps is skipped when the baseline predates it (4 absolute
         // columns + the 2 speedup ratios v1 already recorded).
         assert_eq!(deltas.len(), 6);
-        assert!(bench_regressions(&deltas, BENCH_DIFF_MAX_DROP).is_empty());
+        assert!(bench_regressions(&deltas).is_empty());
     }
 
     #[test]

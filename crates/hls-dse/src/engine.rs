@@ -110,6 +110,12 @@ pub struct DseOptions {
     /// (DIPs, conflicts) — upgrading the `attack_effort` axis from an
     /// estimate to a measurement. Expensive; keep the budgets tight.
     pub sat_signoff: Option<SatSignoff>,
+    /// Telemetry handle (disabled by default). Enabled, the sweep
+    /// records per-phase `dse.*` spans with point throughput, the
+    /// `dse.prepared` / `dse.baselines` / `dse.points` and memo
+    /// hit/miss counters, and forwards the handle into the grid
+    /// executor and the sign-off SAT attack.
+    pub obs: obs::Obs,
 }
 
 impl Default for DseOptions {
@@ -119,6 +125,7 @@ impl Default for DseOptions {
             sim: SimOptions::default(),
             locking_seed: 0xD5E,
             sat_signoff: None,
+            obs: obs::Obs::off(),
         }
     }
 }
@@ -191,14 +198,14 @@ fn locking_key(seed: u64) -> KeyBits {
 /// through the shared [`sim_core::GridExec`] (the same executor every
 /// grid consumer in the workspace uses) and returns the results in index
 /// order, or the lowest-index error.
-fn run_parallel<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, DseError>
+fn run_parallel<T, F>(exec: &GridExec, n: usize, f: F) -> Result<Vec<T>, DseError>
 where
     T: Send,
     F: Fn(usize) -> Result<T, DseError> + Sync,
 {
     let mut results = Vec::with_capacity(n);
     let mut first_err: Option<DseError> = None;
-    for out in GridExec::new(threads).run(n, || (), |(), i| f(i)) {
+    for out in exec.run(n, || (), |(), i| f(i)) {
         match out {
             Ok(v) => results.push(v),
             Err(e) => {
@@ -248,19 +255,30 @@ pub fn explore(
     }
     let cm = CostModel::default();
     let lk = locking_key(opts.locking_seed);
+    let obs = &opts.obs;
+    let exec = GridExec::new(opts.threads).with_obs(obs.clone());
+    let mut sweep_span = obs.span("dse.explore");
+    let memo_hits = obs.counter("dse.memo_hits");
+    let memo_misses = obs.counter("dse.memo_misses");
 
     // Phase 0 — front end, once per kernel.
-    let modules: Vec<Module> = kernels
-        .iter()
-        .map(|k| hls_frontend::compile(&k.source, &k.name).map_err(DseError::from))
-        .collect::<Result<_, _>>()?;
+    let modules: Vec<Module> = {
+        let mut span = obs.span("dse.frontend");
+        span.arg("kernels", kernels.len() as u64);
+        kernels
+            .iter()
+            .map(|k| hls_frontend::compile(&k.source, &k.name).map_err(DseError::from))
+            .collect::<Result<_, _>>()?
+    };
 
     // Phase 1 — prepare once per (kernel, unroll).
     let n_unroll = space.hls.unroll_factors.len();
     let prepared_keys: Vec<(usize, u32)> = (0..kernels.len())
         .flat_map(|k| space.hls.unroll_factors.iter().map(move |&u| (k, u)))
         .collect();
-    let prepared_slots: Vec<PreparedSlot> = run_parallel(prepared_keys.len(), opts.threads, |i| {
+    let mut prepare_span = obs.span("dse.prepare");
+    prepare_span.arg("slots", prepared_keys.len() as u64);
+    let prepared_slots: Vec<PreparedSlot> = run_parallel(&exec, prepared_keys.len(), |i| {
         let (k, unroll) = prepared_keys[i];
         let kernel = &kernels[k];
         let hls = HlsOptions::default().with_unroll(unroll);
@@ -269,13 +287,18 @@ pub fn explore(
         let golden = golden_outputs(&prepared.module, &kernel.top, &case);
         Ok(PreparedSlot { prepared, case, golden })
     })?;
+    obs.counter("dse.prepared").add(prepared_slots.len() as u64);
+    memo_misses.add(prepared_slots.len() as u64);
+    drop(prepare_span);
 
     // Phase 2 — schedule/bind once per (kernel, unroll, allocation).
     let n_alloc = space.hls.allocations.len();
     let baseline_keys: Vec<(usize, usize, usize)> = (0..kernels.len())
         .flat_map(|k| (0..n_unroll).flat_map(move |u| (0..n_alloc).map(move |a| (k, u, a))))
         .collect();
-    let baseline_slots: Vec<BaselineSlot> = run_parallel(baseline_keys.len(), opts.threads, |i| {
+    let mut schedule_span = obs.span("dse.schedule");
+    schedule_span.arg("slots", baseline_keys.len() as u64);
+    let baseline_slots: Vec<BaselineSlot> = run_parallel(&exec, baseline_keys.len(), |i| {
         let (k, u, a) = baseline_keys[i];
         let prepared_idx = k * n_unroll + u;
         let slot = &prepared_slots[prepared_idx];
@@ -288,11 +311,20 @@ pub fn explore(
         let baseline_area = rtl::area(&baseline, &cm).total();
         Ok(BaselineSlot { prepared_idx, baseline, baseline_area })
     })?;
+    obs.counter("dse.baselines").add(baseline_slots.len() as u64);
+    memo_misses.add(baseline_slots.len() as u64);
+    drop(schedule_span);
 
     // Phase 3 — lock + evaluate every lattice point of every kernel.
     let n_cfg = space.len();
     let total = kernels.len() * n_cfg;
-    let points: Vec<DsePoint> = run_parallel(total, opts.threads, |i| {
+    let mut eval_span = obs.span("dse.evaluate");
+    eval_span.arg("points", total as u64);
+    let point_counter = obs.counter("dse.points");
+    let point_ns = obs.histogram("dse.point_ns");
+    let points: Vec<DsePoint> = run_parallel(&exec, total, |i| {
+        let t0 = obs.now_ns();
+        let _point_span = obs.span("dse.point");
         let (k, cfg_id) = (i / n_cfg, i % n_cfg);
         let kernel = &kernels[k];
         let cfg = space.point(cfg_id);
@@ -331,6 +363,7 @@ pub fn explore(
                         slack: cfg.slack,
                         max_dips: Some(cfg.max_dips),
                         conflict_budget: Some(cfg.conflict_budget),
+                        obs: obs.clone(),
                     },
                 )
                 .map_err(|e| DseError::Tao(TaoError::Internal(e.to_string())))?;
@@ -353,7 +386,7 @@ pub fn explore(
             + ks.variant_bits
             + if ks.branch_bits > 20 { ks.branch_bits } else { 0 };
 
-        Ok(DsePoint {
+        let point = DsePoint {
             kernel: kernel.name.clone(),
             config_id: cfg_id,
             config: cfg.describe(),
@@ -365,8 +398,15 @@ pub fn explore(
             attack_effort_log2: attack_effort,
             correct: images_equal(&prep.golden, &img),
             sat,
-        })
+        };
+        // Each point reuses one prepared slot and one baseline slot
+        // built in the earlier phases — the pipeline-prefix memo hits.
+        memo_hits.add(2);
+        point_counter.inc();
+        point_ns.record(obs.now_ns().saturating_sub(t0));
+        Ok(point)
     })?;
+    drop(eval_span);
 
     // Per-kernel Pareto fronts over the deterministic point order.
     let mut pareto = Vec::new();
@@ -376,7 +416,9 @@ pub fn explore(
         pareto.extend(pareto_front(&objs).into_iter().map(|i| k * n_cfg + i));
     }
 
-    Ok(DseReport { points, pareto, threads: GridExec::new(opts.threads).workers_for(total) })
+    sweep_span.arg("points", points.len() as u64);
+    sweep_span.arg("pareto", pareto.len() as u64);
+    Ok(DseReport { points, pareto, threads: exec.workers_for(total) })
 }
 
 #[cfg(test)]

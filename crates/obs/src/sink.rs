@@ -1,0 +1,318 @@
+//! Event sinks: where spans and samples go.
+//!
+//! [`NoopSink`] is the zero-cost default — an empty inline method behind
+//! one `Option` check in the [`crate::Obs`] handle. [`JsonlSink`] buffers
+//! one JSON object per event (a machine-greppable event log), and
+//! [`ChromeTraceSink`] accumulates Chrome `trace_event` objects whose
+//! [`ChromeTraceSink::to_json`] output opens directly in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// One telemetry event, borrowed from the emitting site (sinks that keep
+/// events copy what they need).
+#[derive(Debug, Clone, Copy)]
+pub enum Event<'a> {
+    /// A span opened: `parent` is the enclosing span on the same thread.
+    SpanBegin {
+        /// Process-unique span id.
+        id: u64,
+        /// Enclosing span id on this thread, if any.
+        parent: Option<u64>,
+        /// Static span name (e.g. `"grid.worker"`).
+        name: &'a str,
+        /// Telemetry thread id (dense, assigned at first use).
+        tid: u64,
+        /// Nanoseconds since the `Obs` epoch.
+        ts_ns: u64,
+    },
+    /// A span closed. `ts_ns` is the end time; `ts_ns - dur_ns` the start.
+    SpanEnd {
+        /// Process-unique span id (matches the begin event).
+        id: u64,
+        /// Static span name.
+        name: &'a str,
+        /// Telemetry thread id.
+        tid: u64,
+        /// End time in nanoseconds since the epoch.
+        ts_ns: u64,
+        /// Elapsed nanoseconds.
+        dur_ns: u64,
+        /// Key/value payload attached while the span was open.
+        args: &'a [(&'a str, u64)],
+    },
+    /// A point-in-time sample of a named series (a counter over time).
+    Sample {
+        /// Series name (e.g. `"sat.conflicts"`).
+        name: &'a str,
+        /// Telemetry thread id.
+        tid: u64,
+        /// Sample time in nanoseconds since the epoch.
+        ts_ns: u64,
+        /// Sampled value.
+        value: u64,
+    },
+}
+
+/// A telemetry event consumer. Implementations must be cheap and
+/// thread-safe: events arrive concurrently from every instrumented
+/// worker thread.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn event(&self, ev: &Event<'_>);
+}
+
+impl<S: Sink + ?Sized> Sink for std::sync::Arc<S> {
+    #[inline]
+    fn event(&self, ev: &Event<'_>) {
+        (**self).event(ev);
+    }
+}
+
+/// Discards every event. With the handle disabled this sink is never even
+/// reached; it exists so "enabled but unobserved" A/B runs measure pure
+/// instrumentation cost.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    #[inline]
+    fn event(&self, _ev: &Event<'_>) {}
+}
+
+/// Appends one JSON object per event to an in-memory buffer.
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    buf: Mutex<String>,
+}
+
+impl JsonlSink {
+    /// An empty sink.
+    pub fn new() -> JsonlSink {
+        JsonlSink::default()
+    }
+
+    /// The buffered JSONL text so far.
+    pub fn contents(&self) -> String {
+        self.buf.lock().expect("jsonl sink poisoned").clone()
+    }
+}
+
+impl Sink for JsonlSink {
+    fn event(&self, ev: &Event<'_>) {
+        let mut line = String::with_capacity(96);
+        match ev {
+            Event::SpanBegin { id, parent, name, tid, ts_ns } => {
+                let _ = write!(line, r#"{{"ev":"b","id":{id},"name":{}"#, json_str(name));
+                if let Some(p) = parent {
+                    let _ = write!(line, r#","parent":{p}"#);
+                }
+                let _ = write!(line, r#","tid":{tid},"ts_ns":{ts_ns}}}"#);
+            }
+            Event::SpanEnd { id, name, tid, ts_ns, dur_ns, args } => {
+                let _ = write!(
+                    line,
+                    r#"{{"ev":"e","id":{id},"name":{},"tid":{tid},"ts_ns":{ts_ns},"dur_ns":{dur_ns}"#,
+                    json_str(name)
+                );
+                for (k, v) in *args {
+                    let _ = write!(line, r#",{}:{v}"#, json_str(k));
+                }
+                line.push('}');
+            }
+            Event::Sample { name, tid, ts_ns, value } => {
+                let _ = write!(
+                    line,
+                    r#"{{"ev":"s","name":{},"tid":{tid},"ts_ns":{ts_ns},"value":{value}}}"#,
+                    json_str(name)
+                );
+            }
+        }
+        line.push('\n');
+        self.buf.lock().expect("jsonl sink poisoned").push_str(&line);
+    }
+}
+
+/// One recorded Chrome trace entry (complete span or counter sample).
+#[derive(Debug, Clone)]
+enum ChromeEvent {
+    Complete { name: String, tid: u64, start_ns: u64, dur_ns: u64, args: Vec<(String, u64)> },
+    Counter { name: String, tid: u64, ts_ns: u64, value: u64 },
+}
+
+/// Accumulates Chrome `trace_event` objects. Span-begin events are
+/// dropped — the matching end carries start, duration and args, which is
+/// exactly a `ph:"X"` *complete* event; samples become `ph:"C"` counter
+/// tracks.
+#[derive(Debug, Default)]
+pub struct ChromeTraceSink {
+    events: Mutex<Vec<ChromeEvent>>,
+}
+
+impl ChromeTraceSink {
+    /// An empty sink.
+    pub fn new() -> ChromeTraceSink {
+        ChromeTraceSink::default()
+    }
+
+    /// Recorded event count (spans + samples).
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace sink poisoned").len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the trace as a Chrome `trace_event` JSON object
+    /// (`{"traceEvents": [...]}`, timestamps in microseconds). Events are
+    /// sorted by start time so per-thread timestamps read monotonically.
+    pub fn to_json(&self) -> String {
+        let mut evs = self.events.lock().expect("trace sink poisoned").clone();
+        evs.sort_by_key(|e| match e {
+            ChromeEvent::Complete { start_ns, .. } => *start_ns,
+            ChromeEvent::Counter { ts_ns, .. } => *ts_ns,
+        });
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, ev) in evs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            match ev {
+                ChromeEvent::Complete { name, tid, start_ns, dur_ns, args } => {
+                    let _ = write!(
+                        out,
+                        r#"{{"name":{},"ph":"X","pid":1,"tid":{tid},"ts":{},"dur":{}"#,
+                        json_str(name),
+                        micros(*start_ns),
+                        micros(*dur_ns),
+                    );
+                    out.push_str(",\"args\":{");
+                    for (j, (k, v)) in args.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{}:{v}", json_str(k));
+                    }
+                    out.push_str("}}");
+                }
+                ChromeEvent::Counter { name, tid, ts_ns, value } => {
+                    let _ = write!(
+                        out,
+                        r#"{{"name":{},"ph":"C","pid":1,"tid":{tid},"ts":{},"args":{{"value":{value}}}}}"#,
+                        json_str(name),
+                        micros(*ts_ns),
+                    );
+                }
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn event(&self, ev: &Event<'_>) {
+        let rec = match ev {
+            // The complete event at span end carries everything.
+            Event::SpanBegin { .. } => return,
+            Event::SpanEnd { name, tid, ts_ns, dur_ns, args, .. } => ChromeEvent::Complete {
+                name: name.to_string(),
+                tid: *tid,
+                start_ns: ts_ns - dur_ns,
+                dur_ns: *dur_ns,
+                args: args.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            },
+            Event::Sample { name, tid, ts_ns, value } => ChromeEvent::Counter {
+                name: name.to_string(),
+                tid: *tid,
+                ts_ns: *ts_ns,
+                value: *value,
+            },
+        };
+        self.events.lock().expect("trace sink poisoned").push(rec);
+    }
+}
+
+/// Nanoseconds rendered as decimal microseconds with nanosecond
+/// precision (`1234` → `1.234`), Chrome's native `ts`/`dur` unit.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// A JSON string literal (quotes + escapes) for `s`.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let s = JsonlSink::new();
+        s.event(&Event::SpanBegin { id: 1, parent: None, name: "a", tid: 1, ts_ns: 10 });
+        s.event(&Event::SpanEnd {
+            id: 1,
+            name: "a",
+            tid: 1,
+            ts_ns: 30,
+            dur_ns: 20,
+            args: &[("k", 7)],
+        });
+        s.event(&Event::Sample { name: "c", tid: 1, ts_ns: 31, value: 9 });
+        let text = s.contents();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains(r#""ev":"b""#));
+        assert!(text.contains(r#""dur_ns":20"#));
+        assert!(text.contains(r#""k":7"#));
+        assert!(text.contains(r#""value":9"#));
+    }
+
+    #[test]
+    fn chrome_sink_emits_complete_and_counter_events() {
+        let s = ChromeTraceSink::new();
+        s.event(&Event::SpanBegin { id: 1, parent: None, name: "outer", tid: 1, ts_ns: 1000 });
+        s.event(&Event::SpanEnd {
+            id: 1,
+            name: "outer",
+            tid: 1,
+            ts_ns: 5000,
+            dur_ns: 4000,
+            args: &[("n", 3)],
+        });
+        s.event(&Event::Sample { name: "conflicts", tid: 1, ts_ns: 2500, value: 42 });
+        let json = s.to_json();
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains(r#""ph":"C""#));
+        assert!(json.contains(r#""ts":1.000"#));
+        assert!(json.contains(r#""dur":4.000"#));
+        assert!(json.contains(r#""n":3"#));
+        assert_eq!(s.len(), 2, "begin folded into the complete event");
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\n"), r#""a\"b\\c\n""#);
+        assert_eq!(json_str("plain"), r#""plain""#);
+    }
+}

@@ -1,0 +1,127 @@
+//! Well-formedness of the Chrome trace_event export, checked through the
+//! crate's own JSON parser: the file parses, every event carries the
+//! required fields, complete-event timestamps are monotone per thread,
+//! and spans nest properly (intervals on one thread are disjoint or
+//! contained, never partially overlapping).
+
+use obs::json::Value;
+use obs::{ChromeTraceSink, Obs};
+use std::sync::Arc;
+
+fn field(ev: &Value, key: &str) -> f64 {
+    ev.get(key).and_then(|v| v.as_f64()).unwrap_or_else(|| panic!("event missing `{key}`: {ev:?}"))
+}
+
+/// Builds a trace with nested spans on several threads plus counter
+/// samples, and returns the parsed `traceEvents`.
+fn build_trace() -> Vec<Value> {
+    let sink = Arc::new(ChromeTraceSink::new());
+    let obs = Obs::new(Arc::clone(&sink));
+    {
+        let mut outer = obs.span("outer");
+        outer.arg("trials", 3);
+        for i in 0..3u64 {
+            let _inner = obs.span("inner");
+            obs.sample("progress", i);
+            let _leaf = obs.span("leaf");
+        }
+    }
+    let threads: Vec<_> = (0..3)
+        .map(|_| {
+            let obs = obs.clone();
+            std::thread::spawn(move || {
+                let _w = obs.span("worker");
+                for i in 0..2u64 {
+                    let _t = obs.span("trial");
+                    obs.sample("worker.progress", i);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let text = sink.to_json();
+    let v = obs::json::parse(&text).expect("trace parses as JSON");
+    v.get("traceEvents").and_then(|e| e.as_arr()).expect("traceEvents array").to_vec()
+}
+
+#[test]
+fn every_event_is_well_formed() {
+    let events = build_trace();
+    assert!(!events.is_empty());
+    for ev in &events {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).expect("ph");
+        assert!(ph == "X" || ph == "C", "unexpected phase {ph}");
+        assert!(ev.get("name").and_then(|n| n.as_str()).is_some());
+        assert_eq!(field(ev, "pid"), 1.0);
+        assert!(field(ev, "tid") >= 1.0);
+        assert!(field(ev, "ts") >= 0.0);
+        if ph == "X" {
+            assert!(field(ev, "dur") >= 0.0, "complete events carry a duration");
+        }
+    }
+    // Both the spans and the counter samples made it out.
+    let names: Vec<&str> = events.iter().filter_map(|e| e.get("name")?.as_str()).collect();
+    for want in ["outer", "inner", "leaf", "worker", "trial", "progress", "worker.progress"] {
+        assert!(names.contains(&want), "missing event `{want}`");
+    }
+}
+
+#[test]
+fn timestamps_are_monotone_per_thread() {
+    let events = build_trace();
+    let mut last: std::collections::BTreeMap<u64, f64> = Default::default();
+    for ev in &events {
+        let tid = field(ev, "tid") as u64;
+        let ts = field(ev, "ts");
+        if let Some(&prev) = last.get(&tid) {
+            assert!(ts >= prev, "tid {tid} went backwards: {prev} -> {ts}");
+        }
+        last.insert(tid, ts);
+    }
+    // The three worker threads and the main thread have distinct tids.
+    assert!(last.len() >= 4, "expected >= 4 threads, saw {:?}", last.keys());
+}
+
+#[test]
+fn spans_nest_without_partial_overlap() {
+    let events = build_trace();
+    let mut by_tid: std::collections::BTreeMap<u64, Vec<(f64, f64, String)>> = Default::default();
+    for ev in &events {
+        if ev.get("ph").and_then(|p| p.as_str()) != Some("X") {
+            continue;
+        }
+        let name = ev.get("name").and_then(|n| n.as_str()).unwrap().to_string();
+        by_tid.entry(field(ev, "tid") as u64).or_default().push((
+            field(ev, "ts"),
+            field(ev, "ts") + field(ev, "dur"),
+            name,
+        ));
+    }
+    for (tid, spans) in &by_tid {
+        for (i, a) in spans.iter().enumerate() {
+            for b in &spans[i + 1..] {
+                let disjoint = a.1 <= b.0 || b.1 <= a.0;
+                let contained = (a.0 <= b.0 && b.1 <= a.1) || (b.0 <= a.0 && a.1 <= b.1);
+                assert!(
+                    disjoint || contained,
+                    "tid {tid}: `{}` [{}, {}] partially overlaps `{}` [{}, {}]",
+                    a.2,
+                    a.0,
+                    a.1,
+                    b.2,
+                    b.0,
+                    b.1
+                );
+            }
+        }
+    }
+    // The parent args survived the export.
+    let outer = events
+        .iter()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("outer"))
+        .expect("outer span");
+    assert_eq!(outer.get("args").and_then(|a| a.get("trials")).and_then(|v| v.as_f64()), Some(3.0));
+}

@@ -8,79 +8,8 @@
 
 use crate::sim::{SimError, SimOptions, SimResult};
 use hls_core::{Fsmd, KeyBits};
-use std::fmt::Write as _;
 
-/// One signal's trace: value per recorded cycle.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SignalTrace {
-    /// Signal name (Verilog-compatible).
-    pub name: String,
-    /// Bit width.
-    pub width: u8,
-    /// One value per cycle.
-    pub values: Vec<u64>,
-}
-
-/// A captured waveform.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Waveform {
-    /// Design name (VCD module scope).
-    pub design: String,
-    /// Traced signals: `state`, `done`, then every register.
-    pub signals: Vec<SignalTrace>,
-    /// Number of recorded cycles.
-    pub cycles: u64,
-}
-
-impl Waveform {
-    /// Serializes the waveform as VCD text.
-    pub fn to_vcd(&self) -> String {
-        let mut out = String::new();
-        writeln!(out, "$date generated by the TAO reproduction $end").unwrap();
-        writeln!(out, "$timescale 1ns $end").unwrap();
-        writeln!(out, "$scope module {} $end", self.design).unwrap();
-        // VCD identifier codes: printable characters from '!'.
-        let code = |i: usize| -> String {
-            let mut i = i;
-            let mut s = String::new();
-            loop {
-                s.push((b'!' + (i % 94) as u8) as char);
-                i /= 94;
-                if i == 0 {
-                    break;
-                }
-            }
-            s
-        };
-        for (i, sig) in self.signals.iter().enumerate() {
-            writeln!(out, "$var wire {} {} {} $end", sig.width, code(i), sig.name).unwrap();
-        }
-        writeln!(out, "$upscope $end").unwrap();
-        writeln!(out, "$enddefinitions $end").unwrap();
-        // Dump changes; clock period arbitrary at 2 ns (the paper target).
-        let mut last: Vec<Option<u64>> = vec![None; self.signals.len()];
-        for t in 0..self.cycles as usize {
-            let mut changes = String::new();
-            for (i, sig) in self.signals.iter().enumerate() {
-                let v = sig.values[t];
-                if last[i] != Some(v) {
-                    if sig.width == 1 {
-                        writeln!(changes, "{}{}", v & 1, code(i)).unwrap();
-                    } else {
-                        writeln!(changes, "b{:b} {}", v, code(i)).unwrap();
-                    }
-                    last[i] = Some(v);
-                }
-            }
-            if !changes.is_empty() {
-                writeln!(out, "#{}", t * 2).unwrap();
-                out.push_str(&changes);
-            }
-        }
-        writeln!(out, "#{}", self.cycles * 2).unwrap();
-        out
-    }
-}
+pub use sim_core::wave::{SignalTrace, Waveform};
 
 /// Runs the simulator while recording a [`Waveform`] (done flag and every
 /// datapath register, each cycle).
@@ -134,9 +63,7 @@ pub fn trace(
     Ok((wf, full))
 }
 
-fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
-}
+use sim_core::wave::sanitize_signal_name as sanitize;
 
 #[cfg(test)]
 mod tests {

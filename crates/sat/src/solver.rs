@@ -155,6 +155,9 @@ pub struct Solver {
     seen: Vec<bool>,
     /// Learnt-clause count that triggers the next database reduction.
     next_reduce: usize,
+    /// Telemetry handle (disabled by default): `sat.solve` spans plus
+    /// conflict/propagation/learnt-DB samples at every restart.
+    obs: obs::Obs,
 }
 
 impl Default for Solver {
@@ -186,7 +189,18 @@ impl Solver {
             stats: SolverStats::default(),
             seen: Vec::new(),
             next_reduce: 4000,
+            obs: obs::Obs::off(),
         }
+    }
+
+    /// Attaches a telemetry handle. Enabled, every solve call records a
+    /// `sat.solve` span (with effort deltas as args), bumps the
+    /// `sat.conflicts` / `sat.decisions` / `sat.propagations` /
+    /// `sat.restarts` counters, and samples the cumulative effort plus
+    /// the learnt-DB size at each restart — the solver's progress over
+    /// time without touching the search itself.
+    pub fn set_obs(&mut self, obs: obs::Obs) {
+        self.obs = obs;
     }
 
     /// Allocates a fresh variable.
@@ -283,9 +297,11 @@ impl Solver {
         if !self.ok {
             return SolveOutcome::Unsat;
         }
+        let mut span = self.obs.span("sat.solve");
+        let before = self.stats;
         let budget_end = self.budget.map(|b| self.stats.conflicts.saturating_add(b));
         let mut restart = 0u64;
-        loop {
+        let outcome = loop {
             let limit = luby(restart) * 128;
             match self.search(limit, assumptions, budget_end) {
                 Search::Sat => {
@@ -295,23 +311,43 @@ impl Solver {
                     // Leave the model readable but return to level 0 for
                     // incremental reuse — `value` reads saved phases.
                     self.cancel_until(0);
-                    return SolveOutcome::Sat;
+                    break SolveOutcome::Sat;
                 }
                 Search::Unsat => {
                     self.cancel_until(0);
-                    return SolveOutcome::Unsat;
+                    break SolveOutcome::Unsat;
                 }
                 Search::Budget => {
                     self.cancel_until(0);
-                    return SolveOutcome::Budget;
+                    break SolveOutcome::Budget;
                 }
                 Search::Restart => {
                     self.stats.restarts += 1;
+                    if self.obs.enabled() {
+                        self.obs.sample("sat.conflicts", self.stats.conflicts);
+                        self.obs.sample("sat.propagations", self.stats.propagations);
+                        self.obs.sample("sat.decisions", self.stats.decisions);
+                        self.obs.sample("sat.learnt", self.stats.learnt);
+                    }
                     self.cancel_until(0);
                     restart += 1;
                 }
             }
+        };
+        if span.recording() {
+            let d = self.stats;
+            span.arg("conflicts", d.conflicts - before.conflicts);
+            span.arg("decisions", d.decisions - before.decisions);
+            span.arg("propagations", d.propagations - before.propagations);
+            span.arg("learnt", d.learnt);
+            self.obs.counter("sat.solves").inc();
+            self.obs.counter("sat.conflicts").add(d.conflicts - before.conflicts);
+            self.obs.counter("sat.decisions").add(d.decisions - before.decisions);
+            self.obs.counter("sat.propagations").add(d.propagations - before.propagations);
+            self.obs.counter("sat.restarts").add(d.restarts - before.restarts);
+            self.obs.gauge("sat.learnt").set(d.learnt);
         }
+        outcome
     }
 
     /// The model value of `v` after a [`SolveOutcome::Sat`] answer.

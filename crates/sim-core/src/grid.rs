@@ -22,35 +22,56 @@
 use crate::contract::{SimError, SimOptions, SimStats, TestCase};
 use crate::traits::{BatchRunner, Simulator};
 use hls_core::KeyBits;
+use obs::Obs;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The parallel grid executor. `threads == 0` requests one worker per
 /// available core; any value yields identical results.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Telemetry is off by default; [`GridExec::with_obs`] attaches an
+/// [`obs::Obs`] handle, after which every fan-out records `grid.run` /
+/// `grid.worker` spans (per-worker steal counts, busy vs. idle nanos),
+/// the `grid.steals` / `grid.trials` counters and the `grid.trial_ns`
+/// latency histogram. The disabled path is the exact uninstrumented
+/// loop — no clock reads, no atomics beyond the work cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GridExec {
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    obs: Obs,
 }
 
 impl Default for GridExec {
     /// One worker per available core.
     fn default() -> Self {
-        GridExec { threads: 0 }
+        GridExec { threads: 0, obs: Obs::off() }
     }
 }
 
 impl GridExec {
     /// An executor with an explicit worker count.
     pub fn new(threads: usize) -> GridExec {
-        GridExec { threads }
+        GridExec { threads, obs: Obs::off() }
     }
 
     /// The strictly sequential executor (one worker, run inline on the
     /// calling thread — no spawn cost). `simulate_many` in both tape
     /// modules is a thin wrapper over this.
     pub fn sequential() -> GridExec {
-        GridExec { threads: 1 }
+        GridExec::new(1)
+    }
+
+    /// Attaches a telemetry handle; results are bit-identical with any
+    /// handle (enforced by the no-op-equivalence tests).
+    pub fn with_obs(mut self, obs: Obs) -> GridExec {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached telemetry handle (disabled unless set).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Resolves the worker count for `n` work items: the requested thread
@@ -105,6 +126,9 @@ impl GridExec {
         assert!(chunk > 0, "chunk size must be positive");
         let n_chunks = n.div_ceil(chunk);
         let workers = self.workers_for(n_chunks);
+        if self.obs.enabled() {
+            return self.run_chunked_obs(n, chunk, n_chunks, workers, make_ctx, f);
+        }
         if workers <= 1 {
             let mut ctx = make_ctx();
             return (0..n).map(|i| f(&mut ctx, i)).collect();
@@ -135,13 +159,105 @@ impl GridExec {
                 });
             }
         });
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        for bucket in buckets {
-            for (i, out) in bucket.into_inner().expect("grid bucket poisoned") {
-                slots[i] = Some(out);
-            }
+        collect_slots(n, buckets)
+    }
+
+    /// The instrumented twin of [`GridExec::run_chunked`]'s body: same
+    /// cursor, same chunking, same slot-indexed results — plus spans,
+    /// counters and the per-trial latency histogram. Kept separate so the
+    /// disabled path never reads a clock.
+    fn run_chunked_obs<C, T, M, F>(
+        &self,
+        n: usize,
+        chunk: usize,
+        n_chunks: usize,
+        workers: usize,
+        make_ctx: M,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        M: Fn() -> C + Sync,
+        F: Fn(&mut C, usize) -> T + Sync,
+    {
+        let obs = &self.obs;
+        let mut run_span = obs.span("grid.run");
+        run_span.arg("trials", n as u64);
+        run_span.arg("chunk", chunk as u64);
+        run_span.arg("workers", workers as u64);
+        let steals = obs.counter("grid.steals");
+        let trials = obs.counter("grid.trials");
+        let trial_ns = obs.histogram("grid.trial_ns");
+        let chunk_trials = obs.histogram("grid.chunk_trials");
+        obs.gauge("grid.workers").fetch_max(workers as u64);
+        chunk_trials.record(chunk.min(n) as u64);
+        if workers <= 1 {
+            let mut wspan = obs.span("grid.worker");
+            let start = obs.now_ns();
+            let mut ctx = make_ctx();
+            let mut busy = 0u64;
+            let out = (0..n)
+                .map(|i| {
+                    let t0 = obs.now_ns();
+                    let r = f(&mut ctx, i);
+                    let dt = obs.now_ns().saturating_sub(t0);
+                    busy += dt;
+                    trial_ns.record(dt);
+                    r
+                })
+                .collect();
+            steals.add(n_chunks as u64);
+            trials.add(n as u64);
+            wspan.arg("steals", n_chunks as u64);
+            wspan.arg("trials", n as u64);
+            wspan.arg("busy_ns", busy);
+            wspan.arg("idle_ns", obs.now_ns().saturating_sub(start).saturating_sub(busy));
+            return out;
         }
-        slots.into_iter().map(|s| s.expect("every trial evaluated")).collect()
+        let next = AtomicUsize::new(0);
+        let buckets: Vec<Mutex<Vec<(usize, T)>>> =
+            (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+        {
+            let (next, make_ctx, f) = (&next, &make_ctx, &f);
+            let (steals, trials, trial_ns) = (&steals, &trials, &trial_ns);
+            std::thread::scope(|scope| {
+                for bucket in &buckets {
+                    scope.spawn(move || {
+                        let mut wspan = obs.span("grid.worker");
+                        let start = obs.now_ns();
+                        let mut ctx = make_ctx();
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        let (mut n_steals, mut n_trials, mut busy) = (0u64, 0u64, 0u64);
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= n_chunks {
+                                break;
+                            }
+                            n_steals += 1;
+                            for i in c * chunk..((c + 1) * chunk).min(n) {
+                                let t0 = obs.now_ns();
+                                local.push((i, f(&mut ctx, i)));
+                                let dt = obs.now_ns().saturating_sub(t0);
+                                busy += dt;
+                                n_trials += 1;
+                                trial_ns.record(dt);
+                            }
+                        }
+                        steals.add(n_steals);
+                        trials.add(n_trials);
+                        wspan.arg("steals", n_steals);
+                        wspan.arg("trials", n_trials);
+                        wspan.arg("busy_ns", busy);
+                        wspan.arg(
+                            "idle_ns",
+                            obs.now_ns().saturating_sub(start).saturating_sub(busy),
+                        );
+                        *bucket.lock().expect("grid worker poisoned") = local;
+                    });
+                }
+            });
+        }
+        collect_slots(n, buckets)
     }
 
     /// Runs the full (case × key) grid on `sim`, one minted runner per
@@ -176,6 +292,17 @@ impl GridExec {
         }
         rows
     }
+}
+
+/// Drains per-worker buckets into index-ordered results.
+fn collect_slots<T>(n: usize, buckets: Vec<Mutex<Vec<(usize, T)>>>) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for bucket in buckets {
+        for (i, out) in bucket.into_inner().expect("grid bucket poisoned") {
+            slots[i] = Some(out);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("every trial evaluated")).collect()
 }
 
 #[cfg(test)]
@@ -317,6 +444,32 @@ mod tests {
         assert!(minted <= keys.len(), "minted {minted} runners for {} key chunks", keys.len());
         let seq = GridExec::sequential().grid(&sim, &cases, &keys, &SimOptions::default());
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn instrumented_runs_are_bit_identical_and_count_everything() {
+        // No-op-sink equivalence: the instrumented executor returns the
+        // same slot-ordered results, and concurrent worker increments on
+        // the shared counters land exactly (trials from 4 workers sum to
+        // the grid size).
+        let sim = toy();
+        let cases: Vec<TestCase> = (1..=5).map(|x| TestCase::args(&[x])).collect();
+        let keys: Vec<KeyBits> = (0..8).map(|i| KeyBits::from_fn(1, || i & 1)).collect();
+        let opts = SimOptions::default();
+        let plain = GridExec::new(4).grid(&sim, &cases, &keys, &opts);
+        let o = Obs::noop();
+        let exec = GridExec::new(4).with_obs(o.clone());
+        assert!(exec.obs().enabled());
+        let seen = exec.grid(&sim, &cases, &keys, &opts);
+        assert_eq!(seen, plain);
+        assert_eq!(o.counter("grid.trials").get(), (cases.len() * keys.len()) as u64);
+        assert_eq!(o.counter("grid.steals").get(), keys.len() as u64);
+        assert_eq!(o.histogram("grid.trial_ns").count(), (cases.len() * keys.len()) as u64);
+        // The sequential instrumented path counts identically.
+        let o1 = Obs::noop();
+        let seq = GridExec::sequential().with_obs(o1.clone()).grid(&sim, &cases, &keys, &opts);
+        assert_eq!(seq, plain);
+        assert_eq!(o1.counter("grid.trials").get(), (cases.len() * keys.len()) as u64);
     }
 
     #[test]

@@ -64,9 +64,11 @@
 pub mod contract;
 pub mod grid;
 pub mod traits;
+pub mod wave;
 
 pub use contract::{
     images_equal, OutputImage, SimError, SimOptions, SimResult, SimStats, TestCase,
 };
 pub use grid::GridExec;
 pub use traits::{BatchRunner, Simulator};
+pub use wave::{SignalTrace, Waveform};

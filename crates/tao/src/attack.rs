@@ -252,7 +252,7 @@ pub fn sensitize_branch_bits(
 // ------------------------------------------------------------ SAT attack
 
 /// Options for the design-level SAT attack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SatAttackConfig {
     /// Explicit unrolling depth, or `None` to probe the correct-key
     /// latency over the given cases and add [`SatAttackConfig::slack`].
@@ -264,11 +264,20 @@ pub struct SatAttackConfig {
     pub max_dips: Option<u64>,
     /// Total solver conflict budget.
     pub conflict_budget: Option<u64>,
+    /// Telemetry handle, forwarded into the DIP loop and its CDCL solver
+    /// (disabled by default).
+    pub obs: obs::Obs,
 }
 
 impl Default for SatAttackConfig {
     fn default() -> Self {
-        SatAttackConfig { unroll: None, slack: 8, max_dips: None, conflict_budget: None }
+        SatAttackConfig {
+            unroll: None,
+            slack: 8,
+            max_dips: None,
+            conflict_budget: None,
+            obs: obs::Obs::off(),
+        }
     }
 }
 
@@ -379,6 +388,7 @@ pub fn sat_attack_design(
         unroll_cycles: unroll,
         max_dips: cfg.max_dips,
         conflict_budget: cfg.conflict_budget,
+        obs: cfg.obs.clone(),
     };
     let outcome = attack_sat::sat_attack(&sim, &opts, &mut oracle);
 

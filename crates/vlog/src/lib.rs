@@ -39,8 +39,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! The `vcd` module parses IEEE-1364 value-change dumps, closing the same
-//! loop for `rtl::vcd` waveforms.
+//! The `vcd` module captures IEEE-1364 value-change dumps from the
+//! compiled tape ([`trace_tape`]) and parses them back ([`parse_vcd`]),
+//! closing the same loop for `rtl::vcd` waveforms.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,4 +56,4 @@ pub mod vcd;
 pub use parser::{parse, ParseError};
 pub use sim::{vlog_outputs, CExpr, CMem, CStmt, Sig, SigKind, VlogError, VlogSim};
 pub use tape::{GridRunner, GridTape, TapeRunner, VlogTape};
-pub use vcd::{parse_vcd, Vcd, VcdChange, VcdError, VcdVar};
+pub use vcd::{parse_vcd, trace_tape, SignalTrace, Vcd, VcdChange, VcdError, VcdVar, Waveform};

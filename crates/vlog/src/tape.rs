@@ -242,6 +242,9 @@ pub struct VlogTape {
     ret_width: u32,
     done: usize,
     reg_ids: Vec<usize>,
+    /// Declared width of each datapath register (`r{i}` in index order;
+    /// 1 for indices the module never declared).
+    reg_widths: Vec<u32>,
 }
 
 impl VlogTape {
@@ -279,6 +282,11 @@ impl VlogTape {
     /// Declared working-key width (0 when the design has no key port).
     pub fn key_width(&self) -> u32 {
         self.key.map(|(_, w)| w).unwrap_or(0)
+    }
+
+    /// Declared width of each datapath register (`r{i}` in index order).
+    pub fn reg_widths(&self) -> &[u32] {
+        &self.reg_widths
     }
 
     /// A fresh batch runner borrowing this tape.
@@ -456,6 +464,40 @@ impl TapeRunner<'_> {
         mem_overrides: &[(usize, &[u64])],
         opts: &SimOptions,
     ) -> Result<SimStats, SimError> {
+        self.run_inner::<false, _>(args, key, mem_overrides, opts, |_, _, _| {})
+    }
+
+    /// Runs one stimulus while reporting the post-edge register file to
+    /// `observe` after every counted cycle, mirroring
+    /// `rtl::FsmdRunner::run_traced`. The observer receives the 1-based
+    /// cycle number, the datapath registers (`r{i}` in index order) and
+    /// the done flag; cycles cut by the budget are never reported. The
+    /// untraced [`TapeRunner::run`] monomorphizes the same loop with the
+    /// observer compiled out, so tracing costs nothing when unused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on interface mismatches or an exhausted
+    /// cycle budget (unless `opts.snapshot_on_timeout`).
+    pub fn run_traced<F: FnMut(u64, &[u64], bool)>(
+        &mut self,
+        args: &[u64],
+        key: &KeyBits,
+        mem_overrides: &[(usize, &[u64])],
+        opts: &SimOptions,
+        observe: F,
+    ) -> Result<SimStats, SimError> {
+        self.run_inner::<true, _>(args, key, mem_overrides, opts, observe)
+    }
+
+    fn run_inner<const TRACED: bool, F: FnMut(u64, &[u64], bool)>(
+        &mut self,
+        args: &[u64],
+        key: &KeyBits,
+        mem_overrides: &[(usize, &[u64])],
+        opts: &SimOptions,
+        mut observe: F,
+    ) -> Result<SimStats, SimError> {
         let t = self.t;
         if args.len() != t.args.len() {
             return Err(SimError::ArityMismatch { expected: t.args.len(), got: args.len() });
@@ -511,6 +553,9 @@ impl TapeRunner<'_> {
         self.v[t.rst] = 0;
         self.v[t.start] = 1;
 
+        // Scratch register file for the observer — allocated once per
+        // run, and only on the traced instantiation.
+        let mut scratch: Vec<u64> = if TRACED { vec![0; t.reg_ids.len()] } else { Vec::new() };
         let mut cycles = 0u64;
         loop {
             cycles += 1;
@@ -521,7 +566,14 @@ impl TapeRunner<'_> {
                 return Err(SimError::CycleLimit);
             }
             self.posedge();
-            if self.v[t.done] & 1 == 1 {
+            let done = self.v[t.done] & 1 == 1;
+            if TRACED {
+                for (slot, &id) in scratch.iter_mut().zip(&t.reg_ids) {
+                    *slot = if id == usize::MAX { 0 } else { self.v[id] };
+                }
+                observe(cycles, &scratch, done);
+            }
+            if done {
                 return Ok(self.stats(cycles, false));
             }
         }
@@ -1044,6 +1096,11 @@ impl<'a> TapeCompiler<'a> {
             ret,
             ret_width: sim.ret.map(|(_, w)| w).unwrap_or(0),
             done: sim.done,
+            reg_widths: sim
+                .reg_ids
+                .iter()
+                .map(|&id| if id == usize::MAX { 1 } else { sim.sigs[id].width })
+                .collect(),
             reg_ids: sim.reg_ids.clone(),
         })
     }

@@ -20,6 +20,7 @@
 //! | [`attack_sat`] | SAT-based oracle-guided key recovery: netlist bit-blasting + the DIP loop |
 //! | [`benchmarks`] | The five paper kernels + seeded stimuli |
 //! | [`hls_dse`] | Parallel design-space exploration + Pareto extraction (optional SAT-effort sign-off) |
+//! | [`obs`] | Zero-cost structured telemetry: spans, metrics, Chrome-trace export |
 //!
 //! ## Quick start
 //!
@@ -170,6 +171,44 @@
 //! assert_eq!(par[0][3].as_ref().unwrap().ret, Some(16));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! ## Observability
+//!
+//! The [`obs`] crate threads zero-cost structured telemetry through the
+//! heavy subsystems: hand any of [`sim_core::GridExec`],
+//! [`tao::SatAttackConfig`], [`attack_sat::SatAttackOptions`] or
+//! [`hls_dse::DseOptions`] an enabled [`obs::Obs`] and the run records
+//! RAII spans (per-worker steal/idle accounting, per-DIP solver effort,
+//! per-phase DSE throughput), counters and log-linear latency
+//! histograms into a pluggable sink — including a Chrome `trace.json`
+//! loadable in `chrome://tracing` or <https://ui.perfetto.dev>. The
+//! default handle is disabled and costs one never-taken branch;
+//! disabled runs are bit-identical to uninstrumented ones.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tao_repro::hls_core::{self, KeyBits};
+//! use tao_repro::obs::{ChromeTraceSink, Obs};
+//! use tao_repro::rtl::{CompiledFsmd, SimOptions, TestCase};
+//! use tao_repro::sim_core::GridExec;
+//!
+//! let m = tao_repro::hls_frontend::compile("int sq(int x) { return x * x; }", "d")?;
+//! let fsmd = hls_core::synthesize(&m, "sq", &hls_core::HlsOptions::default())?;
+//! let ctape = CompiledFsmd::compile(&fsmd);
+//! let cases: Vec<TestCase> = (1u64..=4).map(|x| TestCase::args(&[x])).collect();
+//! let keys = [KeyBits::zero(0)];
+//!
+//! let sink = Arc::new(ChromeTraceSink::new());
+//! let obs = Obs::new(Arc::clone(&sink));
+//! let grid = GridExec::default().with_obs(obs.clone());
+//! let traced = grid.grid(&ctape, &cases, &keys, &SimOptions::default());
+//! // Telemetry never changes results…
+//! assert_eq!(traced, GridExec::default().grid(&ctape, &cases, &keys, &SimOptions::default()));
+//! // …and the run left a span trail plus a trial counter behind.
+//! assert!(sink.to_json().contains("grid.run"));
+//! assert_eq!(obs.counter("grid.trials").get(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -180,6 +219,7 @@ pub use hls_core;
 pub use hls_dse;
 pub use hls_frontend;
 pub use hls_ir;
+pub use obs;
 pub use rtl;
 pub use sat;
 pub use sim_core;
