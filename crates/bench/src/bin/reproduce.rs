@@ -9,37 +9,97 @@
 use bench::format::*;
 use bench::*;
 
+/// Every dispatchable experiment name (plus the `all` expander).
+const KNOWN: &[&str] = &[
+    "table1",
+    "fig6",
+    "freq",
+    "cycles",
+    "validate",
+    "keymgmt",
+    "ablate-bi",
+    "ablate-c",
+    "ablate-swap",
+    "ablate-alloc",
+    "attack",
+    "unroll",
+    "report",
+    "dse",
+    "dse-smoke",
+    "vlog-diff",
+    "vlog-diff-smoke",
+    "bench-json",
+    "bench-json-smoke",
+    "bench-diff",
+    "grid-smoke",
+    "spec-smoke",
+    "profile",
+    "profile-smoke",
+    "sat-attack",
+    "sat-smoke",
+    "all",
+];
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // `profile <kernel>` consumes its operand before dispatch.
+    // `profile <kernel>` consumes its operand before dispatch. An operand
+    // that names no kernel is an error, not a silent fall-through to the
+    // default (which used to profile sobel *and* re-dispatch the operand
+    // as a bogus experiment).
     let mut profile_kernel_name = String::from("sobel");
     if let Some(i) = args.iter().position(|a| a == "profile") {
-        if let Some(name) = args.get(i + 1).filter(|a| benchmarks::by_name(a).is_some()) {
-            profile_kernel_name = name.clone();
-            args.remove(i + 1);
+        match args.get(i + 1) {
+            Some(name) if benchmarks::by_name(name).is_some() => {
+                profile_kernel_name = name.clone();
+                args.remove(i + 1);
+            }
+            // Next token is another experiment (or absent): keep default.
+            Some(name) if KNOWN.contains(&name.as_str()) => {}
+            None => {}
+            Some(name) => {
+                let kernels: Vec<&str> = benchmarks::all().iter().map(|b| b.name).collect();
+                eprintln!("unknown profile kernel `{name}`");
+                eprintln!("known kernels: {}", kernels.join(" "));
+                std::process::exit(2);
+            }
         }
     }
-    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec![
-            "table1",
-            "fig6",
-            "freq",
-            "cycles",
-            "validate",
-            "keymgmt",
-            "ablate-bi",
-            "ablate-c",
-            "ablate-swap",
-            "ablate-alloc",
-            "attack",
-            "unroll",
-            "report",
-            "vlog-diff",
-            "dse-smoke",
-            "sat-attack",
-        ]
+    const ALL: &[&str] = &[
+        "table1",
+        "fig6",
+        "freq",
+        "cycles",
+        "validate",
+        "keymgmt",
+        "ablate-bi",
+        "ablate-c",
+        "ablate-swap",
+        "ablate-alloc",
+        "attack",
+        "unroll",
+        "report",
+        "vlog-diff",
+        "dse-smoke",
+        "sat-attack",
+    ];
+    // `all` expands in place, keeping any explicitly named experiments
+    // around it (it used to silently drop them).
+    let wanted: Vec<&str> = if args.is_empty() {
+        ALL.to_vec()
     } else {
-        args.iter().map(|s| s.as_str()).collect()
+        let mut w: Vec<&str> = Vec::new();
+        for a in &args {
+            if a == "all" {
+                for e in ALL {
+                    if !w.contains(e) {
+                        w.push(e);
+                    }
+                }
+            } else if !w.contains(&a.as_str()) {
+                w.push(a.as_str());
+            }
+        }
+        w
     };
 
     for what in wanted {
@@ -144,6 +204,7 @@ fn main() {
                 println!("wrote {path}");
                 let mut violations = check_floor(&rows, VLOG_TAPE_FLOOR).err().unwrap_or_default();
                 violations.extend(check_grid_floor(&rows, GRID_FLOOR).err().unwrap_or_default());
+                violations.extend(check_spec_floor(&rows, SPEC_FLOOR).err().unwrap_or_default());
                 if !violations.is_empty() {
                     for v in &violations {
                         eprintln!("FLOOR VIOLATION: {v}");
@@ -216,6 +277,12 @@ fn main() {
                 // bit for bit.
                 println!("{}", grid_smoke());
             }
+            "spec-smoke" => {
+                // CI specialization gate: a grid sweep on the threaded
+                // specialized backend must match the sequential tape
+                // grid bit for bit (locked design, correct + wrong keys).
+                println!("{}", spec_smoke());
+            }
             "bench-json-smoke" => {
                 // CI regression gate: two kernels; fails when the compiled
                 // Verilog backend drops below the throughput floor.
@@ -228,6 +295,7 @@ fn main() {
                 }
                 let mut violations = check_floor(&rows, VLOG_TAPE_FLOOR).err().unwrap_or_default();
                 violations.extend(check_grid_floor(&rows, GRID_FLOOR).err().unwrap_or_default());
+                violations.extend(check_spec_floor(&rows, SPEC_FLOOR).err().unwrap_or_default());
                 if !violations.is_empty() {
                     for v in &violations {
                         eprintln!("FLOOR VIOLATION: {v}");
@@ -237,9 +305,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown experiment `{other}`");
-                eprintln!(
-                    "known: table1 fig6 freq cycles validate keymgmt ablate-bi ablate-c ablate-swap ablate-alloc attack unroll report dse dse-smoke vlog-diff vlog-diff-smoke bench-json bench-json-smoke bench-diff grid-smoke profile profile-smoke sat-attack sat-smoke all"
-                );
+                eprintln!("known: {}", KNOWN.join(" "));
                 std::process::exit(2);
             }
         }

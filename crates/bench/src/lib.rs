@@ -49,9 +49,10 @@ pub use satattack::{
     AttackKernel, SatAttackRow,
 };
 pub use simjson::{
-    bench_regressions, check_floor, check_grid_floor, diff_sim_bench, grid_smoke,
+    bench_regressions, check_floor, check_grid_floor, check_spec_floor, diff_sim_bench, grid_smoke,
     parse_sim_bench_json, render_bench_diff, render_sim_bench, sim_bench, sim_bench_json,
-    sim_bench_smoke, BaselineRow, BenchDelta, SimBenchRow, BENCH_DIFF_MAX_DROP, GRID_CURVE_WORKERS,
-    GRID_FLOOR, GRID_FLOOR_MIN_WORKERS, SAT_EFFORT_MAX_DROP, VLOG_TAPE_FLOOR,
+    sim_bench_smoke, spec_smoke, BaselineRow, BenchDelta, SimBenchRow, BENCH_DIFF_MAX_DROP,
+    GRID_CURVE_WORKERS, GRID_FLOOR, GRID_FLOOR_MIN_WORKERS, SAT_EFFORT_MAX_DROP, SPEC_FLOOR,
+    VLOG_TAPE_FLOOR,
 };
 pub use vlogdiff::{vlog_diff, vlog_diff_clean, vlog_diff_smoke, VlogDiffRow};

@@ -3,9 +3,11 @@
 //! The ROADMAP's north star is "as fast as the hardware allows", so the
 //! simulator backends' throughput is a tracked artifact, not a one-off
 //! Criterion run. `reproduce -- bench-json` measures cycles/second for
-//! all four backends — FSMD tree ([`rtl::simulate`]), FSMD tape
-//! ([`rtl::CompiledFsmd`]), Verilog tree ([`vlog::VlogSim`]), Verilog
-//! tape ([`vlog::VlogTape`]) — plus the **parallel (case × key) grid**
+//! all five backends — FSMD tree ([`rtl::simulate`]), FSMD tape
+//! ([`rtl::CompiledFsmd`]), the bind-time specialized threaded code
+//! ([`rtl::SpecFsmd`], schema v5), Verilog tree ([`vlog::VlogSim`]),
+//! Verilog tape ([`vlog::VlogTape`]) — plus the **parallel (case × key)
+//! grid**
 //! ([`sim_core::GridExec`] over the FSMD tape) on the locked benchmark
 //! kernels, and writes the rows as JSON so the perf trajectory is
 //! diffable across PRs. `reproduce -- bench-json-smoke` runs a CI-sized
@@ -23,7 +25,7 @@
 
 use crate::experiments::{locking_key, test_case};
 use hls_core::verilog;
-use rtl::{rtl_outputs, CompiledFsmd, SimOptions, TestCase};
+use rtl::{rtl_outputs, CompiledFsmd, SimOptions, SpecFsmd, TestCase};
 use sim_core::GridExec;
 use std::time::Instant;
 use tao::TaoOptions;
@@ -34,6 +36,12 @@ use vlog::{vlog_outputs, VlogSim, VlogTape};
 /// order of magnitude faster in release builds; 2x leaves headroom for
 /// noisy CI machines while still catching a de-compiled hot path.
 pub const VLOG_TAPE_FLOOR: f64 = 2.0;
+
+/// The bind-time specialized backend ([`rtl::SpecFsmd`]) must beat this
+/// multiple of the FSMD tape backend measured in the same process, else
+/// the CI step fails: the threaded-code lowering exists to out-dispatch
+/// the tape interpreter, and this floor is the contract (schema v5).
+pub const SPEC_FLOOR: f64 = 1.5;
 
 /// Grid-vs-single-thread floor: with at least [`GRID_FLOOR_MIN_WORKERS`]
 /// workers the parallel (case × key) grid must deliver at least this
@@ -76,6 +84,8 @@ pub struct SimBenchRow {
     pub fsmd_tree_cps: f64,
     /// FSMD compiled-tape backend.
     pub fsmd_tape_cps: f64,
+    /// Bind-time specialized threaded-code backend (schema v5).
+    pub spec_cps: f64,
     /// Verilog-text tree-walking backend.
     pub vlog_tree_cps: f64,
     /// Verilog-text compiled-tape backend.
@@ -112,6 +122,12 @@ impl SimBenchRow {
     /// Grid-vs-single-thread-tape speedup (the parallel scaling factor).
     pub fn grid_speedup(&self) -> f64 {
         self.grid_cps / self.fsmd_tape_cps
+    }
+
+    /// Specialized-vs-tape speedup of the FSMD backend (what bind-time
+    /// lowering buys over the already-compiled interpreter).
+    pub fn spec_speedup(&self) -> f64 {
+        self.spec_cps / self.fsmd_tape_cps
     }
 }
 
@@ -152,10 +168,34 @@ fn bench_kernel(name: &str, min_ms: u64, sat_budget: u64) -> SimBenchRow {
     let fsmd_tree_cps = throughput(cycles, min_ms, || {
         rtl_outputs(&d.fsmd, &case, &wk, &opts).expect("fsmd tree");
     });
+    // Specialized threaded code (schema v5): bind once per key, then
+    // dispatch through pre-resolved fn-pointer handlers. The reused
+    // runner matches the batch pattern every sweep consumer uses.
+    //
+    // The spec floor gates on the in-process spec/tape *ratio*, so the
+    // two backends are measured as six *paired* rounds of adjacent short
+    // windows and the pair with the median ratio is kept: both numbers
+    // of the reported pair come from the same machine state (frequency,
+    // co-tenant load), so a scheduler stall or boost window hitting only
+    // one backend's sample can no longer move the gated ratio, and the
+    // median rejects the outlier rounds entirely.
+    let spec = SpecFsmd::compile(&d.fsmd);
     let mut frun = ctape.runner();
-    let fsmd_tape_cps = throughput(cycles, min_ms, || {
-        frun.run_case(&case, &wk, &opts).expect("fsmd tape");
-    });
+    let mut srun = spec.runner();
+    let win = (min_ms / 2).max(50);
+    let mut pairs: Vec<(f64, f64)> = (0..6)
+        .map(|_| {
+            let t = throughput(cycles, win, || {
+                frun.run_case(&case, &wk, &opts).expect("fsmd tape");
+            });
+            let s = throughput(cycles, win, || {
+                srun.run_case(&case, &wk, &opts).expect("spec");
+            });
+            (t, s)
+        })
+        .collect();
+    pairs.sort_by(|x, y| (x.1 / x.0).total_cmp(&(y.1 / y.0)));
+    let (fsmd_tape_cps, spec_cps) = pairs[pairs.len() / 2];
     let vlog_tree_cps = throughput(cycles, min_ms, || {
         vlog_outputs(&vtree, &case, &wk, &opts, &d.fsmd.mem_of_array).expect("vlog tree");
     });
@@ -215,6 +255,7 @@ fn bench_kernel(name: &str, min_ms: u64, sat_budget: u64) -> SimBenchRow {
         cycles,
         fsmd_tree_cps,
         fsmd_tape_cps,
+        spec_cps,
         vlog_tree_cps,
         vlog_tape_cps,
         grid_cps,
@@ -239,7 +280,7 @@ pub fn sim_bench_smoke() -> Vec<SimBenchRow> {
 /// Serializes the rows as the `BENCH_sim.json` artifact.
 pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"tao-repro/bench-sim/v4\",\n");
+    out.push_str("  \"schema\": \"tao-repro/bench-sim/v5\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str("  \"unit\": \"cycles_per_second\",\n");
     out.push_str("  \"kernels\": [\n");
@@ -248,14 +289,17 @@ pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
             r.grid_curve.iter().map(|(w, cps)| format!("\"grid_w{w}\": {cps:.0}, ")).collect();
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"cycles\": {}, \"fsmd_tree\": {:.0}, \
-             \"fsmd_tape\": {:.0}, \"vlog_tree\": {:.0}, \"vlog_tape\": {:.0}, \
+             \"fsmd_tape\": {:.0}, \"spec_cps\": {:.0}, \"vlog_tree\": {:.0}, \
+             \"vlog_tape\": {:.0}, \
              \"grid_cps\": {:.0}, \"grid_workers\": {}, {}\
              \"sat_dips\": {}, \"sat_conflicts\": {}, \
-             \"fsmd_speedup\": {:.2}, \"vlog_speedup\": {:.2}, \"grid_speedup\": {:.2}}}{}\n",
+             \"fsmd_speedup\": {:.2}, \"spec_speedup\": {:.2}, \"vlog_speedup\": {:.2}, \
+             \"grid_speedup\": {:.2}}}{}\n",
             r.name,
             r.cycles,
             r.fsmd_tree_cps,
             r.fsmd_tape_cps,
+            r.spec_cps,
             r.vlog_tree_cps,
             r.vlog_tape_cps,
             r.grid_cps,
@@ -264,6 +308,7 @@ pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
             r.sat_dips,
             r.sat_conflicts,
             r.fsmd_speedup(),
+            r.spec_speedup(),
             r.vlog_speedup(),
             r.grid_speedup(),
             if i + 1 < rows.len() { "," } else { "" },
@@ -276,13 +321,18 @@ pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
 /// Human-readable table of the same rows.
 pub fn render_sim_bench(rows: &[SimBenchRow]) -> String {
     let mut out = String::new();
-    out.push_str("Simulator throughput (cycles/s; tape = compiled backend; grid = parallel case × key sweep)\n");
+    out.push_str(
+        "Simulator throughput (cycles/s; tape = compiled backend; spec = bind-time \
+         specialized threaded code; grid = parallel case × key sweep)\n",
+    );
     out.push_str(&format!(
-        "{:<10} {:>9} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8} {:>12} {:>8}\n",
+        "{:<10} {:>9} {:>12} {:>12} {:>8} {:>12} {:>8} {:>12} {:>12} {:>8} {:>12} {:>8}\n",
         "kernel",
         "cycles",
         "fsmd-tree",
         "fsmd-tape",
+        "speedup",
+        "spec",
         "speedup",
         "vlog-tree",
         "vlog-tape",
@@ -292,12 +342,15 @@ pub fn render_sim_bench(rows: &[SimBenchRow]) -> String {
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<10} {:>9} {:>12.0} {:>12.0} {:>7.1}x {:>12.0} {:>12.0} {:>7.1}x {:>12.0} {:>8}\n",
+            "{:<10} {:>9} {:>12.0} {:>12.0} {:>7.1}x {:>12.0} {:>7.1}x {:>12.0} {:>12.0} \
+             {:>7.1}x {:>12.0} {:>8}\n",
             r.name,
             r.cycles,
             r.fsmd_tree_cps,
             r.fsmd_tape_cps,
             r.fsmd_speedup(),
+            r.spec_cps,
+            r.spec_speedup(),
             r.vlog_tree_cps,
             r.vlog_tape_cps,
             r.vlog_speedup(),
@@ -334,6 +387,36 @@ pub fn check_floor(rows: &[SimBenchRow], floor: f64) -> Result<(), Vec<String>> 
                 r.vlog_tape_cps,
                 r.vlog_speedup(),
                 r.vlog_tree_cps,
+            )
+        })
+        .collect();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// `Err` with the offending rows when any kernel's bind-time specialized
+/// backend falls below `floor ×` the FSMD tape backend measured in the
+/// same process (schema v5). Both run in one process on one machine, so
+/// the ratio is machine-independent and gates unconditionally.
+///
+/// # Errors
+///
+/// Returns the list of violations, one line per failing kernel.
+pub fn check_spec_floor(rows: &[SimBenchRow], floor: f64) -> Result<(), Vec<String>> {
+    let violations: Vec<String> = rows
+        .iter()
+        .filter(|r| r.spec_speedup() < floor)
+        .map(|r| {
+            format!(
+                "{}: specialized backend {:.0} cycles/s is only {:.2}x the fsmd tape \
+                 ({:.0}), floor {floor}x",
+                r.name,
+                r.spec_cps,
+                r.spec_speedup(),
+                r.fsmd_tape_cps,
             )
         })
         .collect();
@@ -488,15 +571,17 @@ type MetricGetter = fn(&SimBenchRow) -> f64;
 /// the in-process speedup ratios gate at [`BENCH_DIFF_MAX_DROP`], and
 /// the SAT-attack effort counters — machine-independent measures of how
 /// hard the lock resists — gate at the looser [`SAT_EFFORT_MAX_DROP`].
-const DIFF_METRICS: [(&str, MetricGetter, Option<f64>); 9] = [
+const DIFF_METRICS: [(&str, MetricGetter, Option<f64>); 11] = [
     ("fsmd_tree", |r| r.fsmd_tree_cps, None),
     ("fsmd_tape", |r| r.fsmd_tape_cps, None),
+    ("spec_cps", |r| r.spec_cps, None),
     ("vlog_tree", |r| r.vlog_tree_cps, None),
     ("vlog_tape", |r| r.vlog_tape_cps, None),
     ("grid_cps", |r| r.grid_cps, None),
     ("sat_dips", |r| r.sat_dips as f64, Some(SAT_EFFORT_MAX_DROP)),
     ("sat_conflicts", |r| r.sat_conflicts as f64, Some(SAT_EFFORT_MAX_DROP)),
     ("fsmd_speedup", |r| r.fsmd_speedup(), Some(BENCH_DIFF_MAX_DROP)),
+    ("spec_speedup", |r| r.spec_speedup(), Some(BENCH_DIFF_MAX_DROP)),
     ("vlog_speedup", |r| r.vlog_speedup(), Some(BENCH_DIFF_MAX_DROP)),
 ];
 
@@ -615,6 +700,52 @@ pub fn grid_smoke() -> String {
     )
 }
 
+// ----------------------------------------------------------- spec smoke
+
+/// CI-sized specialization check: a locked kernel's (case × key) grid on
+/// the bind-time specialized backend must be bit-identical to the
+/// sequential tape grid (`simulate_many`) — same stats, same errors,
+/// correct key and wrong keys alike. Returns a human-readable summary.
+///
+/// # Panics
+///
+/// Panics when the specialized grid diverges from the tape — a lowering
+/// bug (folded constant, elided arm, hazard routing) or a stateful
+/// runner.
+pub fn spec_smoke() -> String {
+    let b = benchmarks::by_name("sobel").expect("suite kernel");
+    let lk = locking_key(0x51ec);
+    let m = b.compile().expect("kernel compiles");
+    let d = tao::lock(&m, b.top, &lk, &TaoOptions::default()).expect("lock succeeds");
+    let wk = d.working_key(&lk);
+    let cases: Vec<TestCase> = (0..2u64).map(|s| test_case(&b, &d, 60 + s)).collect();
+    let mut keys = vec![wk];
+    for i in 0..6u64 {
+        keys.push(d.working_key(&locking_key(0x77b ^ (i + 1))));
+    }
+    let ctape = CompiledFsmd::compile(&d.fsmd);
+    let spec = SpecFsmd::from_compiled(ctape.clone());
+    let budget = SimOptions { max_cycles: 2_000_000, snapshot_on_timeout: true };
+
+    let seq = ctape.simulate_many(&cases, &keys, &budget);
+    let workers = GridExec::default().workers_for(keys.len() * cases.len()).max(2);
+    let t0 = Instant::now();
+    let sg = GridExec::new(workers).grid(&spec, &cases, &keys, &budget);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(sg, seq, "specialized grid diverged from sequential tape simulate_many");
+    let cycles: u64 = sg.iter().flatten().map(|r| r.as_ref().expect("snapshot mode").cycles).sum();
+    format!(
+        "spec-smoke: {} trials ({} cases x {} keys) on {} workers, {} cycles, {:.1}M cycles/s, \
+         specialized backend bit-identical to sequential tape",
+        cases.len() * keys.len(),
+        cases.len(),
+        keys.len(),
+        workers,
+        cycles,
+        cycles as f64 / secs / 1e6,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,6 +756,7 @@ mod tests {
             cycles: 100,
             fsmd_tree_cps: 1.0e6,
             fsmd_tape_cps: 3.0e6,
+            spec_cps: 6.0e6,
             vlog_tree_cps: 1.0e6,
             vlog_tape_cps: 10.0e6,
             grid_cps,
@@ -639,15 +771,30 @@ mod tests {
     fn json_shape_and_floor_check() {
         let rows = vec![row("k", 9.0e6, 4)];
         let json = sim_bench_json(&rows, "test");
-        assert!(json.contains("\"schema\": \"tao-repro/bench-sim/v4\""));
+        assert!(json.contains("\"schema\": \"tao-repro/bench-sim/v5\""));
         assert!(json.contains("\"sat_dips\": 2"));
         assert!(json.contains("\"sat_conflicts\": 900"));
         assert!(json.contains("\"vlog_speedup\": 10.00"));
+        assert!(json.contains("\"spec_cps\": 6000000"));
+        assert!(json.contains("\"spec_speedup\": 2.00"));
         assert!(json.contains("\"grid_cps\": 9000000"));
         assert!(json.contains("\"grid_workers\": 4"));
         assert!(check_floor(&rows, 2.0).is_ok());
         assert!(check_floor(&rows, 20.0).is_err());
         assert!(!render_sim_bench(&rows).is_empty());
+    }
+
+    #[test]
+    fn spec_floor_gates_the_specialization_ratio() {
+        // 2x over the tape: passes the 1.5x floor, fails a 3x floor.
+        let rows = vec![row("k", 9.0e6, 4)];
+        assert!(check_spec_floor(&rows, SPEC_FLOOR).is_ok());
+        assert!(check_spec_floor(&rows, 3.0).is_err());
+        // A de-specialized backend (slower than the tape) always fails.
+        let mut slow = rows.clone();
+        slow[0].spec_cps = 2.0e6;
+        let err = check_spec_floor(&slow, SPEC_FLOOR).unwrap_err();
+        assert!(err[0].contains("only 0.67x"), "{err:?}");
     }
 
     #[test]
@@ -676,7 +823,7 @@ mod tests {
         let mut fresh = baseline_rows.clone();
         fresh[1].vlog_tape_cps = 5.5e6;
         let deltas = diff_sim_bench(&fresh, &parsed);
-        assert_eq!(deltas.len(), 18); // 2 kernels x 9 tracked metrics
+        assert_eq!(deltas.len(), 22); // 2 kernels x 11 tracked metrics
         let regs = bench_regressions(&deltas);
         assert_eq!(regs.len(), 1);
         assert_eq!((regs[0].kernel.as_str(), regs[0].metric.as_str()), ("sobel", "vlog_speedup"));
@@ -741,6 +888,7 @@ mod tests {
         let mut slow = baseline_rows.clone();
         slow[0].fsmd_tree_cps /= 2.0;
         slow[0].fsmd_tape_cps /= 2.0;
+        slow[0].spec_cps /= 2.0;
         slow[0].vlog_tree_cps /= 2.0;
         slow[0].vlog_tape_cps /= 2.0;
         slow[0].grid_cps /= 2.0;

@@ -31,7 +31,7 @@ use std::collections::BTreeMap;
 /// Operand source with the constant index pre-resolved into the runner's
 /// decrypted-constant table.
 #[derive(Debug, Clone, Copy)]
-enum TSrc {
+pub(crate) enum TSrc {
     Reg(u32),
     Const(u32),
     None,
@@ -39,52 +39,52 @@ enum TSrc {
 
 /// One flattened micro-operation (one alternative of one FSMD micro-op).
 #[derive(Debug, Clone, Copy)]
-struct TOp {
-    op: FuOp,
-    ty: Type,
+pub(crate) struct TOp {
+    pub(crate) op: FuOp,
+    pub(crate) ty: Type,
     /// Destination register (`u32::MAX` = discarded result / store).
-    dst: u32,
-    a: TSrc,
-    b: TSrc,
-    latency: u8,
+    pub(crate) dst: u32,
+    pub(crate) a: TSrc,
+    pub(crate) b: TSrc,
+    pub(crate) latency: u8,
 }
 
 /// Next-state logic with compile-time structure (key bit resolved at
 /// bind time into [`FsmdRunner::branch_xor`]).
 #[derive(Debug, Clone, Copy)]
-enum TNext {
+pub(crate) enum TNext {
     Goto(u32),
     Branch { test: u32, then_s: u32, else_s: u32 },
     Done,
 }
 
 #[derive(Debug, Clone)]
-struct TState {
+pub(crate) struct TState {
     /// First entry in [`CompiledFsmd::variants`] for this state.
-    var_base: u32,
+    pub(crate) var_base: u32,
     /// Number of variant slices (1 for unobfuscated states).
-    n_variants: u32,
-    variant_key: Option<KeyRange>,
-    branch_key_bit: Option<u32>,
-    next: TNext,
+    pub(crate) n_variants: u32,
+    pub(crate) variant_key: Option<KeyRange>,
+    pub(crate) branch_key_bit: Option<u32>,
+    pub(crate) next: TNext,
 }
 
 #[derive(Debug, Clone)]
-struct TMem {
-    name: String,
-    elem_ty: Type,
-    len: usize,
-    init: Option<Vec<u64>>,
-    external: bool,
-    written: bool,
+pub(crate) struct TMem {
+    pub(crate) name: String,
+    pub(crate) elem_ty: Type,
+    pub(crate) len: usize,
+    pub(crate) init: Option<Vec<u64>>,
+    pub(crate) external: bool,
+    pub(crate) written: bool,
 }
 
 /// Constant-store entry with the decryption recipe resolved.
 #[derive(Debug, Clone, Copy)]
-struct TConst {
-    bits: u64,
-    key_xor: Option<KeyRange>,
-    mask: u64,
+pub(crate) struct TConst {
+    pub(crate) bits: u64,
+    pub(crate) key_xor: Option<KeyRange>,
+    pub(crate) mask: u64,
 }
 
 /// A compiled FSMD: the design flattened into an op arena with one
@@ -93,19 +93,19 @@ struct TConst {
 /// (or the one-shot [`CompiledFsmd::simulate`]).
 #[derive(Debug, Clone)]
 pub struct CompiledFsmd {
-    states: Vec<TState>,
+    pub(crate) states: Vec<TState>,
     /// `(start, len)` slices into `ops`, indexed via `TState::var_base`.
-    variants: Vec<(u32, u32)>,
-    ops: Vec<TOp>,
-    consts: Vec<TConst>,
-    mems: Vec<TMem>,
-    mem_of_array: BTreeMap<ArrayId, u32>,
-    entry: u32,
-    params: Vec<u32>,
-    ret_reg: Option<u32>,
-    ret_ty: Option<Type>,
-    reg_masks: Vec<u64>,
-    key_width: u32,
+    pub(crate) variants: Vec<(u32, u32)>,
+    pub(crate) ops: Vec<TOp>,
+    pub(crate) consts: Vec<TConst>,
+    pub(crate) mems: Vec<TMem>,
+    pub(crate) mem_of_array: BTreeMap<ArrayId, u32>,
+    pub(crate) entry: u32,
+    pub(crate) params: Vec<u32>,
+    pub(crate) ret_reg: Option<u32>,
+    pub(crate) ret_ty: Option<Type>,
+    pub(crate) reg_masks: Vec<u64>,
+    pub(crate) key_width: u32,
 }
 
 impl CompiledFsmd {

@@ -218,6 +218,18 @@ pub struct VlogTape {
     /// (the working key and the argument ports), in topological order:
     /// evaluated once per run instead of once per cycle.
     run_const_wires: Vec<u32>,
+    /// The key-only subset of `run_const_wires` (no argument-port
+    /// reads), in topological order: their values are a pure function of
+    /// the working key, so [`TapeRunner`] caches them across runs and
+    /// restores instead of re-evaluating while the key is unchanged —
+    /// the vlog side of bind-time specialization (TAO's
+    /// decrypt-constant nets all land here).
+    pub(crate) key_const_wires: Vec<u32>,
+    /// The remaining (argument-dependent) run-constant wires, in
+    /// topological order; evaluated per run even on a key-cache hit.
+    /// Safe to evaluate after restoring the key-constant wires: a
+    /// key-constant wire can never depend on an argument-dependent one.
+    arg_const_wires: Vec<u32>,
     body_seg: Vec<Op>,
     dense: Vec<DenseTable>,
     sparse: Vec<SparseTable>,
@@ -289,6 +301,11 @@ impl VlogTape {
         &self.reg_widths
     }
 
+    /// Number of run-constant wires (evaluated once per run).
+    pub(crate) fn run_const_wire_count(&self) -> usize {
+        self.run_const_wires.len()
+    }
+
     /// A fresh batch runner borrowing this tape.
     pub fn runner(&self) -> TapeRunner<'_> {
         let mut v = vec![0u64; self.pool_base as usize + self.pool.len()];
@@ -303,6 +320,7 @@ impl VlogTape {
             wstamp: vec![0; self.n_sigs],
             stamp: 0,
             switch_cache: vec![u32::MAX; self.n_caches as usize],
+            key_cache: None,
         }
     }
 
@@ -446,6 +464,10 @@ pub struct TapeRunner<'a> {
     stamp: u64,
     /// Resolved targets of run-cached switches (`u32::MAX` = invalid).
     switch_cache: Vec<u32>,
+    /// Bind-time specialization state: the key-constant wire values of
+    /// the last bound key, restored instead of re-evaluated while the
+    /// key is unchanged (see [`crate::spec`]).
+    key_cache: Option<crate::spec::KeyConstCache>,
 }
 
 impl TapeRunner<'_> {
@@ -539,11 +561,35 @@ impl TapeRunner<'_> {
         }
 
         // Run-stable wires: evaluate once, mark fresh forever (their
-        // inputs cannot change until the next run).
-        for &w in &t.run_const_wires {
-            let (s, e) = t.wire_span[w as usize];
-            self.run_seg(&t.wire_ops[s as usize..e as usize]);
-            self.wstamp[w as usize] = u64::MAX;
+        // inputs cannot change until the next run). The key-only subset
+        // is additionally stable across *runs* under an unchanged key,
+        // so on a key-cache hit its values restore without touching the
+        // evaluation segments at all — the batch pattern (one key, many
+        // stimuli) decrypts TAO constants once per key, not once per run.
+        match self.key_cache.as_ref().filter(|c| c.matches(key)) {
+            Some(cache) => {
+                for (&w, &v) in t.key_const_wires.iter().zip(cache.vals()) {
+                    self.v[t.n_sigs + w as usize] = v;
+                    self.wstamp[w as usize] = u64::MAX;
+                }
+                for &w in &t.arg_const_wires {
+                    let (s, e) = t.wire_span[w as usize];
+                    self.run_seg(&t.wire_ops[s as usize..e as usize]);
+                    self.wstamp[w as usize] = u64::MAX;
+                }
+            }
+            None => {
+                for &w in &t.run_const_wires {
+                    let (s, e) = t.wire_span[w as usize];
+                    self.run_seg(&t.wire_ops[s as usize..e as usize]);
+                    self.wstamp[w as usize] = u64::MAX;
+                }
+                if !t.key_const_wires.is_empty() {
+                    let vals =
+                        t.key_const_wires.iter().map(|&w| self.v[t.n_sigs + w as usize]).collect();
+                    self.key_cache = Some(crate::spec::KeyConstCache::new(key.clone(), vals));
+                }
+            }
         }
 
         // Reset edge: rst high, start low.
@@ -973,6 +1019,8 @@ struct TapeCompiler<'a> {
     pool_map: BTreeMap<u64, u32>,
     /// Per-signal run-constant flags (wire-kind signals only).
     run_const: Vec<bool>,
+    /// Per-signal key-only-constant flags (subset of `run_const`).
+    key_const: Vec<bool>,
     /// First scratch index of the active region (body, then wires).
     scratch_base: u32,
     sp: u32,
@@ -991,6 +1039,7 @@ impl<'a> TapeCompiler<'a> {
             pool: Vec::new(),
             pool_map: BTreeMap::new(),
             run_const: vec![false; n],
+            key_const: vec![false; n],
             scratch_base: 2 * n as u32,
             sp: 2 * n as u32,
             frame: 2 * n as u32,
@@ -1004,11 +1053,19 @@ impl<'a> TapeCompiler<'a> {
         // happens once per run, not per cycle.
         let order = c.levelize()?;
         let mut run_const_wires = Vec::new();
+        let mut key_const_wires = Vec::new();
+        let mut arg_const_wires = Vec::new();
         for &sig_id in &order {
             let SigKind::Wire(widx) = sim.sigs[sig_id].kind else { unreachable!() };
             if c.is_run_const(&sim.wires[widx]) {
                 c.run_const[sig_id] = true;
                 run_const_wires.push(sig_id as u32);
+                if c.is_key_const(&sim.wires[widx]) {
+                    c.key_const[sig_id] = true;
+                    key_const_wires.push(sig_id as u32);
+                } else {
+                    arg_const_wires.push(sig_id as u32);
+                }
             }
         }
 
@@ -1070,6 +1127,8 @@ impl<'a> TapeCompiler<'a> {
             closures,
             closure_of,
             run_const_wires,
+            key_const_wires,
+            arg_const_wires,
             body_seg,
             dense: c.dense,
             sparse: c.sparse,
@@ -1163,24 +1222,43 @@ impl<'a> TapeCompiler<'a> {
     /// change every cycle, so any such read disqualifies the wire.
     fn is_run_const(&self, e: &CExpr) -> bool {
         let sim = self.sim;
-        let stable_sig = |id: usize| {
+        self.is_stable(e, &|id: usize| {
             matches!(sim.key, Some((kid, _)) if kid == id)
                 || sim.args.contains(&id)
                 || (matches!(sim.sigs[id].kind, SigKind::Wire(_)) && self.run_const[id])
-        };
+        })
+    }
+
+    /// Whether `e` reads only key-stable state: constants, the working
+    /// key, and wires already known key-constant — the strict subset of
+    /// [`TapeCompiler::is_run_const`] that excludes the argument ports,
+    /// so the value survives across *runs* while the key is unchanged.
+    fn is_key_const(&self, e: &CExpr) -> bool {
+        let sim = self.sim;
+        self.is_stable(e, &|id: usize| {
+            matches!(sim.key, Some((kid, _)) if kid == id)
+                || (matches!(sim.sigs[id].kind, SigKind::Wire(_)) && self.key_const[id])
+        })
+    }
+
+    fn is_stable(&self, e: &CExpr, stable_sig: &dyn Fn(usize) -> bool) -> bool {
         match e {
             CExpr::Const { .. } => true,
             CExpr::Sig { id, .. } | CExpr::PartSig { id, .. } => stable_sig(*id),
-            CExpr::SelBit { id, index } => stable_sig(*id) && self.is_run_const(index),
+            CExpr::SelBit { id, index } => stable_sig(*id) && self.is_stable(index, stable_sig),
             CExpr::SelMem { .. } => false,
             CExpr::Unary { a, .. } | CExpr::Signed(a) | CExpr::Repeat { a, .. } => {
-                self.is_run_const(a)
+                self.is_stable(a, stable_sig)
             }
-            CExpr::Binary { a, b, .. } => self.is_run_const(a) && self.is_run_const(b),
+            CExpr::Binary { a, b, .. } => {
+                self.is_stable(a, stable_sig) && self.is_stable(b, stable_sig)
+            }
             CExpr::Cond { c, t, e } => {
-                self.is_run_const(c) && self.is_run_const(t) && self.is_run_const(e)
+                self.is_stable(c, stable_sig)
+                    && self.is_stable(t, stable_sig)
+                    && self.is_stable(e, stable_sig)
             }
-            CExpr::Concat(parts) => parts.iter().all(|p| self.is_run_const(p)),
+            CExpr::Concat(parts) => parts.iter().all(|p| self.is_stable(p, stable_sig)),
         }
     }
 
@@ -2074,6 +2152,57 @@ mod tests {
             s
         });
         assert_backends_agree(src, &[], &key2, &SimOptions::default());
+    }
+
+    #[test]
+    fn key_cache_restores_identically_across_runs_and_rebinds() {
+        // const0/const1 are key-only (cache across runs); mix0 reads an
+        // argument port, so it stays per-run even on a cache hit.
+        let src = r#"
+            module t (
+                input  wire clk,
+                input  wire rst,
+                input  wire start,
+                input  wire [15:0] working_key,
+                input  wire [31:0] arg0,
+                output wire [31:0] ret,
+                output reg  done
+            );
+              reg [31:0] r0;
+              assign ret = r0;
+              wire [31:0] const0 = 32'hbeef ^ {16'd0, working_key[15:0]};
+              wire [31:0] const1 = const0 + 32'd7;
+              wire [31:0] mix0 = const1 ^ arg0;
+              always @(posedge clk) begin
+                if (rst) begin
+                  done <= 1'b0;
+                end else if (start) begin
+                  r0 <= mix0 + {31'd0, working_key[3]};
+                  done <= 1'b1;
+                end
+              end
+            endmodule
+        "#;
+        let tape = VlogTape::new(src).unwrap();
+        let report = crate::spec::specialization_report(&tape);
+        assert_eq!(report.key_const_wires, 2, "const0 and const1 are key-only");
+        assert_eq!(report.run_const_wires, 3, "mix0 is run-constant but arg-dependent");
+
+        let mut ka = KeyBits::zero(16);
+        ka.set_bit(3, true);
+        ka.set_bit(9, true);
+        let mut kb = KeyBits::zero(16);
+        kb.set_bit(0, true);
+        let opts = SimOptions::default();
+        let mut runner = tape.runner();
+        // Miss, hit (same key, new args), rebind, and hit again — every
+        // run must equal a fresh one-shot.
+        for (key, arg) in [(&ka, 3u64), (&ka, 0xffff_0001), (&kb, 3), (&ka, 3)] {
+            let got = runner.run(&[arg], key, &[], &opts).unwrap();
+            let want = tape.simulate(&[arg], key, &[], &opts).unwrap();
+            assert_eq!((got.ret, got.cycles), (want.ret, want.cycles), "key={key:?} arg={arg}");
+            assert_eq!(runner.regs(), want.regs);
+        }
     }
 
     #[test]

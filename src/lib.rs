@@ -87,6 +87,16 @@
 //! [`rtl::FsmdRunner::run_case`] / [`vlog::TapeRunner::run_case`] (or
 //! the `simulate_many` grid helpers) per trial.
 //!
+//! A third FSMD backend, [`rtl::SpecFsmd`], goes one step further:
+//! when a key is bound it *re-lowers* the tape into threaded code
+//! specialized to that key — decrypting obfuscated constants once,
+//! deleting the DFG-variant arms the key never takes, folding and
+//! propagating what the bound constants make static, and fusing the
+//! remainder into pre-resolved function-pointer handlers. Work that
+//! never happens under the bound key is simply not simulated. The
+//! runner rebinds automatically when the key changes, so it drops into
+//! any (case × key) sweep unchanged.
+//!
 //! ```
 //! use tao_repro::hls_core::{self, KeyBits};
 //! use tao_repro::rtl::{CompiledFsmd, SimOptions};
@@ -102,6 +112,26 @@
 //!     let v = vrun.run(&[x], &KeyBits::zero(0), &[], &SimOptions::default())?;
 //!     assert_eq!(f, v);
 //!     assert_eq!(f.ret, Some(x * x));
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Bind-and-run on the specialized backend — same results, fewer ops
+//! executed per cycle on locked designs:
+//!
+//! ```
+//! use tao_repro::hls_core::{self, KeyBits};
+//! use tao_repro::rtl::{CompiledFsmd, SimOptions, SpecFsmd};
+//!
+//! let m = tao_repro::hls_frontend::compile("int sq(int x) { return x * x; }", "d")?;
+//! let fsmd = hls_core::synthesize(&m, "sq", &hls_core::HlsOptions::default())?;
+//! let ctape = CompiledFsmd::compile(&fsmd);
+//! let spec = SpecFsmd::from_compiled(ctape.clone()); // or SpecFsmd::compile(&fsmd)
+//! let mut srun = spec.runner(); // binds lazily; rebinds when the key changes
+//! let mut trun = ctape.runner();
+//! for x in [3u64, 9, 12] {
+//!     let s = srun.run(&[x], &KeyBits::zero(0), &[], &SimOptions::default())?;
+//!     assert_eq!(s, trun.run(&[x], &KeyBits::zero(0), &[], &SimOptions::default())?);
 //! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
