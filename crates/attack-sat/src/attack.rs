@@ -20,6 +20,8 @@
 use crate::encode::{Encoder, KeyLits, Unrolling};
 use hls_core::KeyBits;
 use sat::{Gates, SolveOutcome};
+use sim_core::ctrl::{Budget, CancelKind};
+use sim_core::faultpoint;
 use std::time::{Duration, Instant};
 use vlog::VlogSim;
 
@@ -58,6 +60,17 @@ pub struct SatAttackOptions {
     pub max_dips: Option<u64>,
     /// Total solver conflict budget across all calls (`None` = unbounded).
     pub conflict_budget: Option<u64>,
+    /// Total solver propagation ("step") budget across all calls
+    /// (`None` = unbounded) — bounds UNSAT-hard collapse proofs that
+    /// rack up few conflicts.
+    pub step_budget: Option<u64>,
+    /// Cooperative cancellation + wall-clock deadline: checked before
+    /// every DIP iteration and forwarded into the CDCL solver (which
+    /// observes it at its own cadence), so a cancelled or expired attack
+    /// stops mid-proof and still returns its partial effort and
+    /// accumulated I/O constraints. Also carries the armed fault plan
+    /// for the `attack.oracle` site (coordinate = DIP ordinal).
+    pub budget: Budget,
     /// Telemetry handle (disabled by default). Enabled, the attack
     /// records an `attack.sat` span wrapping per-DIP `attack.dip` spans
     /// (conflict delta and accumulated CNF growth as args), forwards the
@@ -72,8 +85,41 @@ impl Default for SatAttackOptions {
             unroll_cycles: 64,
             max_dips: None,
             conflict_budget: None,
+            step_budget: None,
+            budget: Budget::unlimited(),
             obs: obs::Obs::off(),
         }
+    }
+}
+
+/// What exhausted an attack that did not reach collapse. In every case
+/// the outcome still carries the DIPs found, the accumulated I/O
+/// constraints, the effort counters, and a key satisfying every
+/// constraint collected so far — partial, internally consistent results
+/// instead of vanishing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustCause {
+    /// [`SatAttackOptions::max_dips`] ran out.
+    DipBudget,
+    /// [`SatAttackOptions::conflict_budget`] ran out.
+    ConflictBudget,
+    /// [`SatAttackOptions::step_budget`] (propagations) ran out.
+    StepBudget,
+    /// The [`SatAttackOptions::budget`] wall-clock deadline expired.
+    Deadline,
+    /// The [`SatAttackOptions::budget`] token was cancelled.
+    Cancelled,
+}
+
+impl std::fmt::Display for ExhaustCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExhaustCause::DipBudget => "dip budget",
+            ExhaustCause::ConflictBudget => "conflict budget",
+            ExhaustCause::StepBudget => "step budget",
+            ExhaustCause::Deadline => "deadline",
+            ExhaustCause::Cancelled => "cancelled",
+        })
     }
 }
 
@@ -83,11 +129,29 @@ pub enum SatAttackStatus {
     /// The key space collapsed: the recovered key is observable-equivalent
     /// to the chip's on **every** input within the cycle bound.
     Recovered,
-    /// The DIP budget ran out first (the returned key satisfies every
-    /// collected I/O constraint but the space had not collapsed).
-    DipBudget,
-    /// The solver conflict budget ran out first.
-    ConflictBudget,
+    /// A budget ran out or the attack was cancelled before collapse; the
+    /// cause says which. The returned key satisfies every collected I/O
+    /// constraint but the space had not provably collapsed.
+    Exhausted(ExhaustCause),
+}
+
+impl SatAttackStatus {
+    /// `true` when the key space provably collapsed.
+    pub fn is_recovered(&self) -> bool {
+        matches!(self, SatAttackStatus::Recovered)
+    }
+}
+
+/// One accumulated I/O constraint: a distinguishing input and the
+/// oracle's label for it. The conjunction of all pairs is exactly what
+/// the attack knows about the true key; exhausted attacks hand the list
+/// back so a later run (or a resumed one) can start from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoConstraint {
+    /// The distinguishing input queried.
+    pub query: AttackQuery,
+    /// What the activated chip answered.
+    pub response: OracleResponse,
 }
 
 /// The attack's result and effort counters.
@@ -112,6 +176,10 @@ pub struct SatAttackOutcome {
     pub clauses: usize,
     /// Wall-clock time of the whole loop (encoding + solving + oracle).
     pub wall: Duration,
+    /// Every (DIP, oracle label) pair accumulated, in discovery order —
+    /// the attack's learned constraints, returned even (especially) when
+    /// the attack was exhausted or cancelled mid-run.
+    pub constraints: Vec<IoConstraint>,
 }
 
 impl SatAttackOutcome {
@@ -148,6 +216,10 @@ pub fn sat_attack(
     let enc = Encoder::new(sim);
     let mut g = Gates::new();
     g.solver().set_obs(obs.clone());
+    // The solver observes the same cooperative budget at its own check
+    // cadence, so a cancel or deadline lands mid-solve, not only between
+    // DIPs.
+    g.solver().set_ctrl(opts.budget.clone());
     let k = opts.unroll_cycles;
 
     // The miter: two key copies over shared free inputs.
@@ -169,11 +241,18 @@ pub fn sat_attack(
 
     let dip_counter = obs.counter("attack.dips");
     let mut dips = 0u64;
+    let mut constraints: Vec<IoConstraint> = Vec::new();
     let free_mem_ids = enc.free_mem_ids();
     let status = loop {
+        if let Some(kind) = opts.budget.exceeded() {
+            break SatAttackStatus::Exhausted(match kind {
+                CancelKind::Cancelled => ExhaustCause::Cancelled,
+                CancelKind::DeadlineExpired => ExhaustCause::Deadline,
+            });
+        }
         if let Some(max) = opts.max_dips {
             if dips >= max {
-                break SatAttackStatus::DipBudget;
+                break SatAttackStatus::Exhausted(ExhaustCause::DipBudget);
             }
         }
         set_budget(&mut g, opts);
@@ -188,7 +267,22 @@ pub fn sat_attack(
         }
         match outcome {
             SolveOutcome::Unsat => break SatAttackStatus::Recovered,
-            SolveOutcome::Budget => break SatAttackStatus::ConflictBudget,
+            SolveOutcome::Budget => {
+                // The solver reports one `Budget` for both resource
+                // budgets; attribute it to the one that actually ran dry.
+                let conflicts_spent = g.solver_ref().stats().conflicts;
+                let cause = match opts.conflict_budget {
+                    Some(total) if conflicts_spent >= total => ExhaustCause::ConflictBudget,
+                    _ => ExhaustCause::StepBudget,
+                };
+                break SatAttackStatus::Exhausted(cause);
+            }
+            SolveOutcome::Cancelled => {
+                break SatAttackStatus::Exhausted(match opts.budget.exceeded() {
+                    Some(CancelKind::DeadlineExpired) => ExhaustCause::Deadline,
+                    _ => ExhaustCause::Cancelled,
+                });
+            }
             SolveOutcome::Sat => {
                 // Extract the DIP, label it, constrain both key copies.
                 let query = AttackQuery {
@@ -200,6 +294,7 @@ pub fn sat_attack(
                         .collect(),
                 };
                 debug_assert_eq!(query.mems.len(), free_mem_ids.len());
+                opts.budget.fault_hit(faultpoint::sites::ATTACK_ORACLE, dips);
                 let resp = {
                     let _oracle_span = obs.span("attack.oracle");
                     oracle(&query)
@@ -220,17 +315,20 @@ pub fn sat_attack(
                     obs.sample("attack.vars", g.solver_ref().num_vars() as u64);
                     obs.sample("attack.clauses", g.solver_ref().num_clauses() as u64);
                 }
+                constraints.push(IoConstraint { query, response: resp });
             }
         }
     };
 
     // Any key consistent with every collected I/O pair (the miter's
     // difference clause is released by leaving `act` free). This model
-    // search runs unbudgeted: the conflict budget governs the collapse
-    // proof, and a space that *did* collapse must still hand back its
-    // key even when the proof spent the budget to the last conflict
-    // (the true key always satisfies the constraints, so this is cheap).
+    // search runs unbudgeted and un-cancelled: the budgets govern the
+    // collapse proof, and an exhausted or cancelled attack must still
+    // hand back a key consistent with its partial constraints (the true
+    // key always satisfies them, so this is cheap).
     g.solver().set_conflict_budget(None);
+    g.solver().set_step_budget(None);
+    g.solver().set_ctrl(Budget::unlimited());
     let key = {
         let _model_span = obs.span("attack.model");
         match g.solver().solve() {
@@ -256,13 +354,16 @@ pub fn sat_attack(
         vars: g.solver_ref().num_vars(),
         clauses: g.solver_ref().num_clauses(),
         wall: t0.elapsed(),
+        constraints,
     }
 }
 
 fn set_budget(g: &mut Gates, opts: &SatAttackOptions) {
-    let remaining =
-        opts.conflict_budget.map(|total| total.saturating_sub(g.solver_ref().stats().conflicts));
+    let stats = g.solver_ref().stats();
+    let remaining = opts.conflict_budget.map(|total| total.saturating_sub(stats.conflicts));
     g.solver().set_conflict_budget(remaining);
+    let steps_left = opts.step_budget.map(|total| total.saturating_sub(stats.propagations));
+    g.solver().set_step_budget(steps_left);
 }
 
 /// The miter's difference observable: the two copies disagree on

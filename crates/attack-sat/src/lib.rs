@@ -76,7 +76,8 @@ pub mod bitvec;
 pub mod encode;
 
 pub use attack::{
-    sat_attack, AttackQuery, OracleResponse, SatAttackOptions, SatAttackOutcome, SatAttackStatus,
+    sat_attack, AttackQuery, ExhaustCause, IoConstraint, OracleResponse, SatAttackOptions,
+    SatAttackOutcome, SatAttackStatus,
 };
 pub use bitvec::Bv;
 pub use encode::{EncInputs, Encoder, KeyLits, Unrolling};

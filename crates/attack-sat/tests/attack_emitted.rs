@@ -5,7 +5,9 @@
 //! this crate's tests stay below `tao` in the dependency order; the
 //! full-flow attacks live in `tao`'s own tests and `tests/prop_cnf.rs`.
 
-use attack_sat::{sat_attack, AttackQuery, OracleResponse, SatAttackOptions, SatAttackStatus};
+use attack_sat::{
+    sat_attack, AttackQuery, ExhaustCause, OracleResponse, SatAttackOptions, SatAttackStatus,
+};
 use hls_core::{verilog, Fsmd, KeyBits, KeyRange, NextState};
 use rtl::{CompiledFsmd, SimOptions, TestCase};
 use vlog::VlogSim;
@@ -222,7 +224,56 @@ fn dip_budget_stops_early_with_partial_key() {
         &SatAttackOptions { unroll_cycles: 16, max_dips: Some(0), ..Default::default() },
         &mut oracle,
     );
-    assert_eq!(out.status, SatAttackStatus::DipBudget);
+    assert_eq!(out.status, SatAttackStatus::Exhausted(ExhaustCause::DipBudget));
     assert_eq!(out.dips, 0);
+    assert!(out.constraints.is_empty(), "no DIPs were queried");
     assert!(out.key.is_some(), "an unconstrained key model still exists");
+}
+
+#[test]
+fn cancelling_the_attack_returns_partial_but_consistent_results() {
+    use sim_core::Budget;
+    let mut fsmd = synth("int f(int a, int b) { return (a ^ 21) + (b ^ 300); }", "f");
+    let key_bits: u32 = fsmd.consts.iter().map(|c| c.storage_width as u32).sum();
+    let key = xorshift_key(key_bits, 0xD00D);
+    lock_by_hand(&mut fsmd, &key);
+
+    let text = verilog::emit(&fsmd);
+    let sim = VlogSim::new(&text).expect("parses");
+    let compiled = CompiledFsmd::compile(&fsmd);
+    let mut runner = compiled.runner();
+    let sim_opts = SimOptions { max_cycles: 16, snapshot_on_timeout: false };
+
+    // The oracle itself pulls the plug after the first labelled DIP —
+    // the caller-visible shape of a user hitting ^C mid-attack.
+    let budget = Budget::unlimited();
+    let cancel = budget.token().clone();
+    let mut oracle = |q: &AttackQuery| {
+        cancel.cancel();
+        let case = TestCase { args: q.args.clone(), mem_inputs: Vec::new() };
+        match runner.run_case(&case, &key, &sim_opts) {
+            Ok(stats) => OracleResponse { done: true, ret: stats.ret, mems: Vec::new() },
+            Err(_) => OracleResponse { done: false, ret: None, mems: Vec::new() },
+        }
+    };
+    let out = sat_attack(
+        &sim,
+        &SatAttackOptions { unroll_cycles: 16, budget, ..Default::default() },
+        &mut oracle,
+    );
+    assert_eq!(out.status, SatAttackStatus::Exhausted(ExhaustCause::Cancelled));
+    assert_eq!(out.dips, 1, "exactly the in-flight DIP completed");
+    assert_eq!(out.constraints.len(), 1, "the labelled DIP is handed back");
+    assert_eq!(out.queries, out.constraints.len() as u64);
+    // The partial key still satisfies every constraint collected so far.
+    let partial = out.key.expect("a model over the partial constraints exists");
+    for c in &out.constraints {
+        let case = TestCase { args: c.query.args.clone(), mem_inputs: Vec::new() };
+        let mut check = compiled.runner();
+        let got = match check.run_case(&case, &partial, &sim_opts) {
+            Ok(stats) => OracleResponse { done: true, ret: stats.ret, mems: Vec::new() },
+            Err(_) => OracleResponse { done: false, ret: None, mems: Vec::new() },
+        };
+        assert_eq!(got, c.response, "partial key violates a returned constraint");
+    }
 }

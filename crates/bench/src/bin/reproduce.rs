@@ -37,6 +37,7 @@ const KNOWN: &[&str] = &[
     "profile-smoke",
     "sat-attack",
     "sat-smoke",
+    "chaos-smoke",
     "all",
 ];
 
@@ -270,6 +271,13 @@ fn main() {
                 // CI gate: tight-budget profile pass; asserts the trace
                 // is well-formed and covers grid, SAT and DSE spans.
                 println!("{}", profile_smoke());
+            }
+            "chaos-smoke" => {
+                // CI robustness gate: deterministic fault injection over
+                // grid, SAT, attack and DSE — panics isolated per slot,
+                // cancellation drains to consistent partial results, the
+                // process never aborts.
+                println!("{}", chaos_smoke());
             }
             "grid-smoke" => {
                 // CI determinism gate: a small parallel (case × key)

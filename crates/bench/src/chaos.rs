@@ -1,0 +1,167 @@
+//! The chaos smoke: one deterministic fault-injection pass over every
+//! long-running loop in the workspace — grid sweeps, the CDCL solver,
+//! the DIP attack and the DSE engine — asserting the degradation
+//! guarantees the `sim_core::ctrl` control plane promises: a panicking
+//! trial injures only its own slot, a cancelled sweep drains to a
+//! consistent partial result, and the process never aborts.
+//!
+//! Every fault is injected by logical coordinate through a seeded
+//! [`FaultPlan`] armed on the governing [`Budget`], so the same work item
+//! dies at every worker count and the surviving slots can be compared
+//! bit for bit against a fault-free reference run.
+
+use crate::experiments::locking_key;
+use hls_dse::{ConfigSpace, DseOptions, Kernel};
+use rtl::{CompiledFsmd, SimOptions, TestCase};
+use sim_core::faultpoint::sites;
+use sim_core::{Budget, FaultPlan, GridExec, SimError};
+use std::time::Duration;
+use tao::{ExhaustCause, SatAttackConfig, SatAttackStatus, TaoOptions};
+
+const KERNEL: &str = r#"
+    int mix(int a, int b) {
+        int r = a ^ 21;
+        if (r > b) r = r + b;
+        else r = r - b;
+        return r ^ 5;
+    }
+"#;
+
+/// Runs the whole chaos pass and returns a human-readable summary.
+///
+/// # Panics
+///
+/// Panics when any degradation guarantee is violated — an injured trial
+/// escaping its slot, a cancelled loop losing completed work, or a fault
+/// escalating past its isolation boundary.
+pub fn chaos_smoke() -> String {
+    sim_core::faultpoint::install_quiet_hook();
+    let mut lines = Vec::new();
+
+    let m = hls_frontend::compile(KERNEL, "mix").expect("kernel compiles");
+    let lk = locking_key(0xC4A05);
+    let d = tao::lock(&m, "mix", &lk, &TaoOptions::default()).expect("lock succeeds");
+    let wk = d.working_key(&lk);
+    let cases = [TestCase::args(&[5, 2]), TestCase::args(&[2, 5])];
+    let mut keys = vec![wk.clone()];
+    for i in 0..5u64 {
+        keys.push(d.working_key(&locking_key(0xB0 ^ (i + 1))));
+    }
+    let ctape = CompiledFsmd::compile(&d.fsmd);
+    let opts = SimOptions { max_cycles: 100_000, snapshot_on_timeout: true };
+    let reference = ctape.simulate_many(&cases, &keys, &opts);
+    let n_cases = cases.len();
+    let total = n_cases * keys.len();
+
+    // --- grid: one panicking trial per worker count ---------------------
+    let panic_coord = 3u64;
+    for workers in [1usize, 2, 5] {
+        let plan = FaultPlan::new().panic_at(sites::GRID_TRIAL, panic_coord);
+        let budget = Budget::unlimited().with_faults(plan);
+        let rows = GridExec::new(workers).grid_budgeted(&ctape, &cases, &keys, &opts, &budget);
+        for (i, got) in rows.iter().flatten().enumerate() {
+            if i as u64 == panic_coord {
+                assert!(
+                    matches!(got, Err(SimError::WorkerPanic { .. })),
+                    "workers={workers}: injured trial {i} must report WorkerPanic, got {got:?}"
+                );
+            } else {
+                assert_eq!(
+                    got,
+                    &reference[i / n_cases][i % n_cases],
+                    "workers={workers}: surviving trial {i} diverged from fault-free run"
+                );
+            }
+        }
+    }
+    lines.push(format!(
+        "grid-panic: trial {panic_coord}/{total} injured at workers 1/2/5, \
+         all other slots bit-identical to fault-free"
+    ));
+
+    // --- grid: spurious cancellation drains to a prefix on one worker ---
+    let plan = FaultPlan::new().cancel_at(sites::GRID_TRIAL, 2);
+    let budget = Budget::unlimited().with_faults(plan);
+    let rows = GridExec::new(1).grid_budgeted(&ctape, &cases, &keys, &opts, &budget);
+    let flat: Vec<_> = rows.iter().flatten().collect();
+    let done = flat.iter().take_while(|r| !matches!(r, Err(SimError::Cancelled))).count();
+    assert!(done < total, "cancellation must skip a tail");
+    assert!(done >= 3, "the in-flight chunk still completes");
+    for (i, got) in flat.iter().enumerate() {
+        if i < done {
+            assert_eq!(*got, &reference[i / n_cases][i % n_cases], "prefix trial {i} diverged");
+        } else {
+            assert!(matches!(got, Err(SimError::Cancelled)), "tail trial {i} must be Cancelled");
+        }
+    }
+    lines.push(format!(
+        "grid-cancel: drained after {done}/{total} trials, prefix bit-identical, \
+         tail reported Cancelled"
+    ));
+
+    // --- attack: expired deadline / step budget / mid-run cancel --------
+    let att = |cfg: &SatAttackConfig| {
+        tao::sat_attack_design(&d, &wk, &[TestCase::args(&[5, 2])], cfg)
+            .expect("emitted text parses")
+    };
+    let expired = att(&SatAttackConfig {
+        budget: Budget::unlimited().with_deadline_after(Duration::ZERO),
+        ..SatAttackConfig::default()
+    });
+    assert_eq!(expired.outcome.status, SatAttackStatus::Exhausted(ExhaustCause::Deadline));
+    assert!(expired.outcome.key.is_some(), "even an expired attack hands back a model");
+
+    let stepped = att(&SatAttackConfig { step_budget: Some(50), ..SatAttackConfig::default() });
+    assert_eq!(stepped.outcome.status, SatAttackStatus::Exhausted(ExhaustCause::StepBudget));
+
+    let cancelled = att(&SatAttackConfig {
+        budget: Budget::unlimited()
+            .with_faults(FaultPlan::new().cancel_at(sites::ATTACK_ORACLE, 0)),
+        ..SatAttackConfig::default()
+    });
+    assert_eq!(cancelled.outcome.status, SatAttackStatus::Exhausted(ExhaustCause::Cancelled));
+    assert_eq!(cancelled.outcome.dips, 1, "the in-flight DIP completes before draining");
+    assert_eq!(cancelled.outcome.constraints.len(), 1, "its I/O constraint is handed back");
+    lines.push(format!(
+        "sat-attack: deadline/step-budget/cancel all degrade to Exhausted partials \
+         ({} constraint retained after mid-run cancel)",
+        cancelled.outcome.constraints.len()
+    ));
+
+    // --- DSE: cancel mid-sweep, keep the partial front ------------------
+    let kernels = vec![Kernel::new("mix", KERNEL, "mix", vec![5, 2])];
+    let space = ConfigSpace::smoke();
+    let full = hls_dse::explore(&kernels, &space, &DseOptions::default()).expect("full sweep");
+    let dse_opts = DseOptions {
+        threads: 1,
+        budget: Budget::unlimited().with_faults(FaultPlan::new().cancel_at(sites::DSE_POINT, 1)),
+        ..DseOptions::default()
+    };
+    let part = hls_dse::explore(&kernels, &space, &dse_opts).expect("partial sweep");
+    assert!(part.was_cancelled);
+    assert!(part.skipped > 0, "cancellation must skip points");
+    assert_eq!(part.points.as_slice(), &full.points[..part.points.len()], "completed prefix");
+    assert!(part.pareto.iter().all(|&i| i < part.points.len()), "front indexes completed points");
+    lines.push(format!(
+        "dse-cancel: {}/{} points kept with a sound partial front ({} on it), {} skipped",
+        part.points.len(),
+        full.points.len(),
+        part.pareto.len(),
+        part.skipped
+    ));
+
+    format!("chaos-smoke: all degradation guarantees held\n  {}", lines.join("\n  "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_smoke_passes() {
+        let summary = chaos_smoke();
+        assert!(summary.contains("all degradation guarantees held"));
+        assert!(summary.contains("grid-panic"));
+        assert!(summary.contains("dse-cancel"));
+    }
+}

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod dse;
 pub mod experiments;
 pub mod format;
@@ -41,6 +42,7 @@ pub mod satattack;
 pub mod simjson;
 pub mod vlogdiff;
 
+pub use chaos::chaos_smoke;
 pub use dse::{dse_kernels, dse_sweep, smoke_sweep};
 pub use experiments::*;
 pub use profile::{check_trace, profile_kernel, profile_smoke, ProfileReport, REQUIRED_SPANS};

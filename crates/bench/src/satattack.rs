@@ -247,14 +247,41 @@ pub fn render_sat_attack(rows: &[SatAttackRow]) -> String {
             r.cmp.sat.outcome.dips,
             r.cmp.sat.outcome.conflicts,
             r.cmp.sat.outcome.wall.as_secs_f64() * 1e3,
-            if r.recovered() { "collapse" } else { "budget" },
+            render_status(r.cmp.sat.outcome.status),
             if r.cmp.sat.key_exact { "yes" } else { "no" },
             if r.cmp.sat.key_functional { "yes" } else { "no" },
             bq,
             bms,
         ));
+        // An exhausted attack is a *partial* result, not a blank row: say
+        // what stopped it and what it still hands back.
+        if let tao::SatAttackStatus::Exhausted(cause) = r.cmp.sat.outcome.status {
+            out.push_str(&format!(
+                "{:<8} {:<5} partial: stopped on {cause}; {} I/O constraints retained, \
+                 key {}\n",
+                "",
+                "",
+                r.cmp.sat.outcome.constraints.len(),
+                if r.cmp.sat.outcome.key.is_some() { "consistent-so-far" } else { "none" },
+            ));
+        }
     }
     out
+}
+
+/// Compact status cell: `collapse` on recovery, the exhaust cause
+/// otherwise.
+fn render_status(status: tao::SatAttackStatus) -> &'static str {
+    match status {
+        tao::SatAttackStatus::Recovered => "collapse",
+        tao::SatAttackStatus::Exhausted(cause) => match cause {
+            tao::ExhaustCause::DipBudget => "dips",
+            tao::ExhaustCause::ConflictBudget => "conflict",
+            tao::ExhaustCause::StepBudget => "steps",
+            tao::ExhaustCause::Deadline => "deadline",
+            tao::ExhaustCause::Cancelled => "cancel",
+        },
+    }
 }
 
 /// Bounded-window SAT-attack probe for one paper benchmark: encodes a

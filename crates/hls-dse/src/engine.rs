@@ -18,7 +18,8 @@ use hls_ir::Module;
 use rtl::{
     golden_outputs, images_equal, CompiledFsmd, OutputImage, SimError, SimOptions, TestCase,
 };
-use sim_core::GridExec;
+use sim_core::faultpoint::sites;
+use sim_core::{Budget, GridExec, TrialCell};
 use std::error::Error;
 use std::fmt;
 use tao::{KeySpace, TaoError};
@@ -110,6 +111,14 @@ pub struct DseOptions {
     /// (DIPs, conflicts) — upgrading the `attack_effort` axis from an
     /// estimate to a measurement. Expensive; keep the budgets tight.
     pub sat_signoff: Option<SatSignoff>,
+    /// Cooperative cancellation + wall-clock deadline. Checked at every
+    /// phase boundary and per evaluated point: a cancelled or expired
+    /// sweep returns the partial front explored so far (with
+    /// [`DseReport::was_cancelled`] set) instead of vanishing. Also
+    /// forwarded into the per-point SAT sign-off and the grid executor,
+    /// and carries the armed fault plan for the `dse.phase` / `dse.point`
+    /// sites.
+    pub budget: Budget,
     /// Telemetry handle (disabled by default). Enabled, the sweep
     /// records per-phase `dse.*` spans with point throughput, the
     /// `dse.prepared` / `dse.baselines` / `dse.points` and memo
@@ -125,6 +134,7 @@ impl Default for DseOptions {
             sim: SimOptions::default(),
             locking_seed: 0xD5E,
             sat_signoff: None,
+            budget: Budget::unlimited(),
             obs: obs::Obs::off(),
         }
     }
@@ -256,12 +266,28 @@ pub fn explore(
     let cm = CostModel::default();
     let lk = locking_key(opts.locking_seed);
     let obs = &opts.obs;
+    let budget = &opts.budget;
     let exec = GridExec::new(opts.threads).with_obs(obs.clone());
     let mut sweep_span = obs.span("dse.explore");
     let memo_hits = obs.counter("dse.memo_hits");
     let memo_misses = obs.counter("dse.memo_misses");
+    let total = kernels.len() * space.len();
+    // Cancellation before any point was evaluated: everything skipped,
+    // nothing on the front — a partial report, not an error.
+    let drained = |threads| DseReport {
+        points: Vec::new(),
+        pareto: Vec::new(),
+        threads,
+        was_cancelled: true,
+        skipped: total,
+        panics: 0,
+    };
 
     // Phase 0 — front end, once per kernel.
+    budget.fault_hit(sites::DSE_PHASE, 0);
+    if budget.is_exceeded() {
+        return Ok(drained(exec.workers_for(total)));
+    }
     let modules: Vec<Module> = {
         let mut span = obs.span("dse.frontend");
         span.arg("kernels", kernels.len() as u64);
@@ -272,6 +298,10 @@ pub fn explore(
     };
 
     // Phase 1 — prepare once per (kernel, unroll).
+    budget.fault_hit(sites::DSE_PHASE, 1);
+    if budget.is_exceeded() {
+        return Ok(drained(exec.workers_for(total)));
+    }
     let n_unroll = space.hls.unroll_factors.len();
     let prepared_keys: Vec<(usize, u32)> = (0..kernels.len())
         .flat_map(|k| space.hls.unroll_factors.iter().map(move |&u| (k, u)))
@@ -292,6 +322,10 @@ pub fn explore(
     drop(prepare_span);
 
     // Phase 2 — schedule/bind once per (kernel, unroll, allocation).
+    budget.fault_hit(sites::DSE_PHASE, 2);
+    if budget.is_exceeded() {
+        return Ok(drained(exec.workers_for(total)));
+    }
     let n_alloc = space.hls.allocations.len();
     let baseline_keys: Vec<(usize, usize, usize)> = (0..kernels.len())
         .flat_map(|k| (0..n_unroll).flat_map(move |u| (0..n_alloc).map(move |a| (k, u, a))))
@@ -315,110 +349,168 @@ pub fn explore(
     memo_misses.add(baseline_slots.len() as u64);
     drop(schedule_span);
 
-    // Phase 3 — lock + evaluate every lattice point of every kernel.
+    // Phase 3 — lock + evaluate every lattice point of every kernel,
+    // under the cooperative budget: workers drain at chunk granularity
+    // once cancelled, and a panicking point injures only its own cell.
+    budget.fault_hit(sites::DSE_PHASE, 3);
     let n_cfg = space.len();
-    let total = kernels.len() * n_cfg;
     let mut eval_span = obs.span("dse.evaluate");
     eval_span.arg("points", total as u64);
     let point_counter = obs.counter("dse.points");
     let point_ns = obs.histogram("dse.point_ns");
-    let points: Vec<DsePoint> = run_parallel(&exec, total, |i| {
-        let t0 = obs.now_ns();
-        let _point_span = obs.span("dse.point");
-        let (k, cfg_id) = (i / n_cfg, i % n_cfg);
-        let kernel = &kernels[k];
-        let cfg = space.point(cfg_id);
-        let baseline_idx = (k * n_unroll + cfg.unroll_idx) * n_alloc + cfg.alloc_idx;
-        let base = &baseline_slots[baseline_idx];
-        let prep = &prepared_slots[base.prepared_idx];
+    let cells: Vec<TrialCell<Result<DsePoint, DseError>>> = exec.run_cells(
+        total,
+        1,
+        budget,
+        || (),
+        |(), i| {
+            budget.fault_hit(sites::DSE_POINT, i as u64);
+            let t0 = obs.now_ns();
+            let _point_span = obs.span("dse.point");
+            let (k, cfg_id) = (i / n_cfg, i % n_cfg);
+            let kernel = &kernels[k];
+            let cfg = space.point(cfg_id);
+            let baseline_idx = (k * n_unroll + cfg.unroll_idx) * n_alloc + cfg.alloc_idx;
+            let base = &baseline_slots[baseline_idx];
+            let prep = &prepared_slots[base.prepared_idx];
 
-        let design =
-            tao::lock_from_baseline(&prep.prepared, &base.baseline, &kernel.top, &lk, &cfg.tao)?;
-        let wk = design.working_key(&lk);
-        // Sign-off on the compiled tape backend: flatten the locked FSMD
-        // once, run without per-call allocation or memory clones.
-        let (img, res) =
-            CompiledFsmd::compile(&design.fsmd).runner().outputs(&prep.case, &wk, &opts.sim)?;
+            let design = tao::lock_from_baseline(
+                &prep.prepared,
+                &base.baseline,
+                &kernel.top,
+                &lk,
+                &cfg.tao,
+            )?;
+            let wk = design.working_key(&lk);
+            // Sign-off on the compiled tape backend: flatten the locked FSMD
+            // once, run without per-call allocation or memory clones.
+            let (img, res) =
+                CompiledFsmd::compile(&design.fsmd).runner().outputs(&prep.case, &wk, &opts.sim)?;
 
-        // Optional measured-effort sign-off: a budgeted SAT attack on the
-        // point's emitted Verilog, windowed just above its latency.
-        let sat = match &opts.sat_signoff {
-            None => None,
-            // A plan can legitimately assign zero key bits (e.g. a
-            // branches-only plan on a branch-free kernel): nothing to
-            // attack, the empty key space is trivially collapsed.
-            Some(_) if design.fsmd.key_width == 0 => Some(crate::report::SatEffort {
-                dips: 0,
-                conflicts: 0,
-                recovered: true,
-                functional: true,
-            }),
-            Some(cfg) => {
-                let att = tao::sat_attack_design(
-                    &design,
-                    &wk,
-                    std::slice::from_ref(&prep.case),
-                    &tao::SatAttackConfig {
-                        unroll: Some(res.cycles as u32 + cfg.slack),
-                        slack: cfg.slack,
-                        max_dips: Some(cfg.max_dips),
-                        conflict_budget: Some(cfg.conflict_budget),
-                        obs: obs.clone(),
-                    },
-                )
-                .map_err(|e| DseError::Tao(TaoError::Internal(e.to_string())))?;
-                Some(crate::report::SatEffort {
-                    dips: att.outcome.dips,
-                    conflicts: att.outcome.conflicts,
-                    recovered: att.recovered(),
-                    functional: att.key_functional,
-                })
-            }
-        };
+            // Optional measured-effort sign-off: a budgeted SAT attack on the
+            // point's emitted Verilog, windowed just above its latency.
+            let sat = match &opts.sat_signoff {
+                None => None,
+                // A plan can legitimately assign zero key bits (e.g. a
+                // branches-only plan on a branch-free kernel): nothing to
+                // attack, the empty key space is trivially collapsed.
+                Some(_) if design.fsmd.key_width == 0 => Some(crate::report::SatEffort {
+                    dips: 0,
+                    conflicts: 0,
+                    recovered: true,
+                    functional: true,
+                }),
+                Some(cfg) => {
+                    let att = tao::sat_attack_design(
+                        &design,
+                        &wk,
+                        std::slice::from_ref(&prep.case),
+                        &tao::SatAttackConfig {
+                            unroll: Some(res.cycles as u32 + cfg.slack),
+                            slack: cfg.slack,
+                            max_dips: Some(cfg.max_dips),
+                            conflict_budget: Some(cfg.conflict_budget),
+                            step_budget: None,
+                            // Share the sweep's budget: cancelling the sweep
+                            // also stops an in-flight sign-off attack.
+                            budget: budget.clone(),
+                            obs: obs.clone(),
+                        },
+                    )
+                    .map_err(|e| DseError::Tao(TaoError::Internal(e.to_string())))?;
+                    Some(crate::report::SatEffort {
+                        dips: att.outcome.dips,
+                        conflicts: att.outcome.conflicts,
+                        recovered: att.recovered(),
+                        functional: att.key_functional,
+                    })
+                }
+            };
 
-        let area = rtl::area(&design.fsmd, &cm).total();
-        let timing = rtl::timing(&design.fsmd, &cm);
-        let ks = KeySpace::of(&design);
-        // Branch bits are the one sub-exponential term: an oracle-guided
-        // attacker enumerates them when few (Sec. 4.3), so only large
-        // branch spaces contribute to the practical effort.
-        let attack_effort = ks.constant_bits
-            + ks.variant_bits
-            + if ks.branch_bits > 20 { ks.branch_bits } else { 0 };
+            let area = rtl::area(&design.fsmd, &cm).total();
+            let timing = rtl::timing(&design.fsmd, &cm);
+            let ks = KeySpace::of(&design);
+            // Branch bits are the one sub-exponential term: an oracle-guided
+            // attacker enumerates them when few (Sec. 4.3), so only large
+            // branch spaces contribute to the practical effort.
+            let attack_effort = ks.constant_bits
+                + ks.variant_bits
+                + if ks.branch_bits > 20 { ks.branch_bits } else { 0 };
 
-        let point = DsePoint {
-            kernel: kernel.name.clone(),
-            config_id: cfg_id,
-            config: cfg.describe(),
-            area_um2: area,
-            area_overhead: area / base.baseline_area - 1.0,
-            latency_cycles: res.cycles,
-            fmax_mhz: timing.fmax_mhz,
-            key_bits: design.fsmd.key_width,
-            attack_effort_log2: attack_effort,
-            correct: images_equal(&prep.golden, &img),
-            sat,
-        };
-        // Each point reuses one prepared slot and one baseline slot
-        // built in the earlier phases — the pipeline-prefix memo hits.
-        memo_hits.add(2);
-        point_counter.inc();
-        point_ns.record(obs.now_ns().saturating_sub(t0));
-        Ok(point)
-    })?;
+            let point = DsePoint {
+                kernel: kernel.name.clone(),
+                config_id: cfg_id,
+                config: cfg.describe(),
+                area_um2: area,
+                area_overhead: area / base.baseline_area - 1.0,
+                latency_cycles: res.cycles,
+                fmax_mhz: timing.fmax_mhz,
+                key_bits: design.fsmd.key_width,
+                attack_effort_log2: attack_effort,
+                correct: images_equal(&prep.golden, &img),
+                sat,
+            };
+            // Each point reuses one prepared slot and one baseline slot
+            // built in the earlier phases — the pipeline-prefix memo hits.
+            memo_hits.add(2);
+            point_counter.inc();
+            point_ns.record(obs.now_ns().saturating_sub(t0));
+            Ok(point)
+        },
+    );
     drop(eval_span);
 
-    // Per-kernel Pareto fronts over the deterministic point order.
+    // Fold the cells: completed points in deterministic index order,
+    // panicked and skipped ones tallied. A point-level *error* (not
+    // panic, not skip) still fails the sweep — an unsound point means the
+    // flow itself is broken, budget or no budget.
+    let mut points = Vec::new();
+    let mut kernel_of = Vec::new();
+    let mut skipped = 0usize;
+    let mut panics = 0usize;
+    let mut first_err: Option<DseError> = None;
+    for (i, cell) in cells.into_iter().enumerate() {
+        match cell {
+            TrialCell::Done(Ok(p)) => {
+                kernel_of.push(i / n_cfg);
+                points.push(p);
+            }
+            TrialCell::Done(Err(e)) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+            TrialCell::Panicked { .. } => panics += 1,
+            TrialCell::Skipped => skipped += 1,
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    // Per-kernel Pareto fronts over the points that actually completed —
+    // grouped by kernel index, not sliced by position, so a partial
+    // (cancelled or injured) sweep still yields a sound front over the
+    // evaluated subset.
     let mut pareto = Vec::new();
     for k in 0..kernels.len() {
-        let objs: Vec<_> =
-            points[k * n_cfg..(k + 1) * n_cfg].iter().map(|p| p.objectives()).collect();
-        pareto.extend(pareto_front(&objs).into_iter().map(|i| k * n_cfg + i));
+        let idxs: Vec<usize> = (0..points.len()).filter(|&j| kernel_of[j] == k).collect();
+        let objs: Vec<_> = idxs.iter().map(|&j| points[j].objectives()).collect();
+        pareto.extend(pareto_front(&objs).into_iter().map(|j| idxs[j]));
     }
 
     sweep_span.arg("points", points.len() as u64);
     sweep_span.arg("pareto", pareto.len() as u64);
-    Ok(DseReport { points, pareto, threads: exec.workers_for(total) })
+    sweep_span.arg("skipped", skipped as u64);
+    sweep_span.arg("panics", panics as u64);
+    Ok(DseReport {
+        points,
+        pareto,
+        threads: exec.workers_for(total),
+        was_cancelled: budget.is_exceeded(),
+        skipped,
+        panics,
+    })
 }
 
 #[cfg(test)]
@@ -517,6 +609,70 @@ mod tests {
         assert!(jsonl.contains("\"sat_recovered\":"));
         let again = explore(&kernels, &space, &DseOptions { threads: 3, ..opts }).unwrap();
         assert_eq!(rep.points, again.points);
+    }
+
+    #[test]
+    fn a_cancelled_sweep_returns_the_prefix_it_explored() {
+        let space = ConfigSpace::smoke();
+        let full = explore(&kernels(), &space, &DseOptions::default()).unwrap();
+        // A spurious cancellation injected at point 2: with one worker
+        // the sweep drains after finishing it, skipping the rest.
+        let plan = sim_core::FaultPlan::new().cancel_at(sites::DSE_POINT, 2);
+        let opts = DseOptions {
+            threads: 1,
+            budget: Budget::unlimited().with_faults(plan),
+            ..DseOptions::default()
+        };
+        let part = explore(&kernels(), &space, &opts).unwrap();
+        assert!(part.was_cancelled);
+        assert_eq!(part.panics, 0);
+        assert_eq!(part.points.len() + part.skipped, full.points.len());
+        assert!(part.skipped > 0, "cancellation must actually skip the tail");
+        // Completed points are bit-identical to their full-run
+        // counterparts (a prefix, since one worker drains in order).
+        assert_eq!(part.points.as_slice(), &full.points[..part.points.len()]);
+        // The partial front is sound over the completed subset: every
+        // index is in range and no listed point is dominated by another
+        // completed one.
+        for &i in &part.pareto {
+            assert!(i < part.points.len());
+        }
+        let objs: Vec<_> = part.points.iter().map(|p| p.objectives()).collect();
+        assert_eq!(part.pareto, crate::pareto::pareto_front(&objs));
+    }
+
+    #[test]
+    fn a_panicking_point_injures_only_its_own_cell() {
+        sim_core::faultpoint::install_quiet_hook();
+        let space = ConfigSpace::smoke();
+        let full = explore(&kernels(), &space, &DseOptions::default()).unwrap();
+        let mut expect = full.points.clone();
+        expect.remove(1);
+        for threads in [1, 2, 5] {
+            let plan = sim_core::FaultPlan::new().panic_at(sites::DSE_POINT, 1);
+            let opts = DseOptions {
+                threads,
+                budget: Budget::unlimited().with_faults(plan),
+                ..DseOptions::default()
+            };
+            let part = explore(&kernels(), &space, &opts).unwrap();
+            assert_eq!(part.panics, 1, "threads={threads}");
+            assert_eq!(part.skipped, 0, "threads={threads}");
+            assert!(!part.was_cancelled);
+            assert_eq!(part.points, expect, "survivors bit-identical at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn a_pre_cancelled_sweep_drains_before_any_phase() {
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let opts = DseOptions { budget, ..DseOptions::default() };
+        let space = ConfigSpace::smoke();
+        let rep = explore(&kernels(), &space, &opts).unwrap();
+        assert!(rep.was_cancelled);
+        assert!(rep.points.is_empty() && rep.pareto.is_empty());
+        assert_eq!(rep.skipped, space.len());
     }
 
     #[test]

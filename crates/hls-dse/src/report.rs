@@ -122,6 +122,14 @@ pub struct DseReport {
     pub pareto: Vec<usize>,
     /// Worker threads used (informational; does not affect results).
     pub threads: usize,
+    /// The sweep's [`crate::DseOptions::budget`] was cancelled or expired
+    /// before every point ran: `points` and `pareto` cover the partial
+    /// subset explored so far.
+    pub was_cancelled: bool,
+    /// Points never evaluated because the budget ran out first.
+    pub skipped: usize,
+    /// Points whose evaluation panicked (isolated to their own cell).
+    pub panics: usize,
 }
 
 impl DseReport {
@@ -156,10 +164,20 @@ impl fmt::Display for DseReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "DSE sweep: {} points, {} on the Pareto front ({} threads)",
+            "DSE sweep: {} points, {} on the Pareto front ({} threads){}",
             self.points.len(),
             self.pareto.len(),
-            self.threads
+            self.threads,
+            if self.was_cancelled || self.skipped > 0 || self.panics > 0 {
+                format!(
+                    " — PARTIAL: {} skipped, {} panicked{}",
+                    self.skipped,
+                    self.panics,
+                    if self.was_cancelled { ", budget cancelled/expired" } else { "" }
+                )
+            } else {
+                String::new()
+            }
         )?;
         writeln!(
             f,
@@ -233,6 +251,9 @@ mod tests {
             points: vec![point("a", 0, 10.0, 5), point("a", 1, 20.0, 9)],
             pareto: vec![0],
             threads: 4,
+            was_cancelled: false,
+            skipped: 0,
+            panics: 0,
         };
         let jsonl = rep.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
@@ -249,6 +270,9 @@ mod tests {
             points: vec![point("k", 0, 10.0, 5), point("k", 1, 20.0, 9)],
             pareto: vec![0],
             threads: 1,
+            was_cancelled: false,
+            skipped: 0,
+            panics: 0,
         };
         let text = rep.to_string();
         assert!(text.contains("*pareto*"));
@@ -272,6 +296,9 @@ mod tests {
             points: vec![point("a", 0, 1.0, 1), point("b", 0, 1.0, 1)],
             pareto: vec![0, 1],
             threads: 1,
+            was_cancelled: false,
+            skipped: 0,
+            panics: 0,
         };
         assert_eq!(rep.pareto_of("a").len(), 1);
         assert_eq!(rep.pareto_of("b").len(), 1);

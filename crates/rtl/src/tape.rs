@@ -280,6 +280,20 @@ impl CompiledFsmd {
     ) -> Vec<Vec<Result<SimStats, SimError>>> {
         sim_core::GridExec::sequential().grid(self, cases, keys, opts)
     }
+
+    /// [`CompiledFsmd::simulate_many`] under a cooperative
+    /// [`sim_core::Budget`]: a cancelled or expired sweep drains at the
+    /// next key boundary and reports the unvisited slots as
+    /// [`SimError::Cancelled`] instead of vanishing.
+    pub fn simulate_many_budgeted(
+        &self,
+        cases: &[TestCase],
+        keys: &[KeyBits],
+        opts: &SimOptions,
+        budget: &sim_core::Budget,
+    ) -> Vec<Vec<Result<SimStats, SimError>>> {
+        sim_core::GridExec::sequential().grid_budgeted(self, cases, keys, opts, budget)
+    }
 }
 
 impl sim_core::Simulator for CompiledFsmd {

@@ -80,8 +80,15 @@ pub enum SolveOutcome {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
-    /// The conflict budget ran out before an answer was reached.
+    /// A resource budget (conflicts via [`Solver::set_conflict_budget`],
+    /// propagations via [`Solver::set_step_budget`]) ran out before an
+    /// answer was reached.
     Budget,
+    /// The attached [`sim_core::Budget`] stopped the search: its token
+    /// was cancelled or its wall-clock deadline expired (see
+    /// [`Solver::set_ctrl`]). The solver is back at decision level 0 and
+    /// remains usable.
+    Cancelled,
 }
 
 /// Cumulative search statistics.
@@ -150,6 +157,17 @@ pub struct Solver {
     ok: bool,
     /// Conflict budget for each `solve` call (`None` = unbounded).
     budget: Option<u64>,
+    /// Propagation-count budget for each `solve` call (`None` =
+    /// unbounded) — bounds UNSAT-hard instances that rack up few
+    /// conflicts.
+    step_budget: Option<u64>,
+    /// Cooperative cancellation + wall-clock deadline, checked every
+    /// [`CTRL_CHECK_MASK`]+1 search iterations and carrying the
+    /// `sat.propagate` fault site.
+    ctrl: sim_core::Budget,
+    /// Monotonic count of control checks performed (the fault-site
+    /// coordinate), cumulative across restarts and solve calls.
+    ctrl_ticks: u64,
     stats: SolverStats,
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
@@ -186,6 +204,9 @@ impl Solver {
             cla_inc: 1.0,
             ok: true,
             budget: None,
+            step_budget: None,
+            ctrl: sim_core::Budget::unlimited(),
+            ctrl_ticks: 0,
             stats: SolverStats::default(),
             seen: Vec::new(),
             next_reduce: 4000,
@@ -237,6 +258,30 @@ impl Solver {
     /// Sets the per-`solve` conflict budget (`None` = unbounded).
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.budget = budget;
+    }
+
+    /// Sets the per-`solve` propagation-count ("step") budget (`None` =
+    /// unbounded). Complements the conflict budget: an UNSAT-hard
+    /// instance can propagate forever while racking up few conflicts,
+    /// and a step budget still bounds it. Exhaustion reports
+    /// [`SolveOutcome::Budget`], exactly like the conflict budget.
+    pub fn set_step_budget(&mut self, steps: Option<u64>) {
+        self.step_budget = steps;
+    }
+
+    /// Attaches a cooperative control handle: the search observes the
+    /// budget's cancellation token and wall-clock deadline at a fixed
+    /// iteration cadence (and at every restart) and returns
+    /// [`SolveOutcome::Cancelled`] when either trips, leaving the solver
+    /// at level 0 and reusable. Enabled telemetry bumps a
+    /// `sat.cancelled` counter per cancelled solve.
+    pub fn set_ctrl(&mut self, ctrl: sim_core::Budget) {
+        self.ctrl = ctrl;
+    }
+
+    /// The attached control handle.
+    pub fn ctrl(&self) -> &sim_core::Budget {
+        &self.ctrl
     }
 
     /// Adds a clause. Returns `false` when the clause set has become
@@ -300,10 +345,11 @@ impl Solver {
         let mut span = self.obs.span("sat.solve");
         let before = self.stats;
         let budget_end = self.budget.map(|b| self.stats.conflicts.saturating_add(b));
+        let step_end = self.step_budget.map(|b| self.stats.propagations.saturating_add(b));
         let mut restart = 0u64;
         let outcome = loop {
             let limit = luby(restart) * 128;
-            match self.search(limit, assumptions, budget_end) {
+            match self.search(limit, assumptions, budget_end, step_end) {
                 Search::Sat => {
                     for v in 0..self.num_vars() {
                         self.phase[v] = self.assign[v] == TRUE;
@@ -320,6 +366,13 @@ impl Solver {
                 Search::Budget => {
                     self.cancel_until(0);
                     break SolveOutcome::Budget;
+                }
+                Search::Cancelled => {
+                    self.cancel_until(0);
+                    if self.obs.enabled() {
+                        self.obs.counter("sat.cancelled").inc();
+                    }
+                    break SolveOutcome::Cancelled;
                 }
                 Search::Restart => {
                     self.stats.restarts += 1;
@@ -362,14 +415,40 @@ impl Solver {
 
     // ------------------------------------------------------------ search
 
+    /// Iterations between cooperative-control checks (power of two minus
+    /// one, used as a mask). Frequent enough that a deadline or cancel
+    /// stops a propagation-heavy search within microseconds; rare enough
+    /// that an unlimited budget costs one branch per iteration.
+    const CTRL_CHECK_MASK: u64 = 255;
+
     fn search(
         &mut self,
         conflict_limit: u64,
         assumptions: &[Lit],
         budget_end: Option<u64>,
+        step_end: Option<u64>,
     ) -> Search {
         let mut conflicts = 0u64;
         loop {
+            // Cooperative control: the step budget is a plain compare
+            // every iteration; the deadline/cancel check (which may read
+            // the clock) and the `sat.propagate` fault site run every
+            // `CTRL_CHECK_MASK + 1` iterations, with the cumulative
+            // check ordinal as the fault coordinate.
+            if let Some(end) = step_end {
+                if self.stats.propagations >= end {
+                    return Search::Budget;
+                }
+            }
+            if self.ctrl_ticks & Self::CTRL_CHECK_MASK == 0 {
+                let ord = self.ctrl_ticks >> 8;
+                self.ctrl.fault_hit(sim_core::faultpoint::sites::SAT_PROPAGATE, ord);
+                if self.ctrl.is_exceeded() {
+                    self.ctrl_ticks += 1;
+                    return Search::Cancelled;
+                }
+            }
+            self.ctrl_ticks += 1;
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts += 1;
@@ -789,6 +868,7 @@ enum Search {
     Sat,
     Unsat,
     Budget,
+    Cancelled,
     Restart,
 }
 
@@ -952,6 +1032,86 @@ mod tests {
         // Raising the budget finishes the proof.
         s.set_conflict_budget(None);
         assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    /// A pigeonhole instance (UNSAT, propagation-heavy) for the budget
+    /// and cancellation tests.
+    fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+        let mut s = Solver::new();
+        let mut x = vec![vec![Var(0); holes]; pigeons];
+        for p in x.iter_mut() {
+            for h in p.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        for row in &x {
+            let c: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+            s.add_clause(&c);
+        }
+        for h in 0..holes {
+            for (p1, row1) in x.iter().enumerate() {
+                for row2 in x.iter().skip(p1 + 1) {
+                    s.add_clause(&[row1[h].neg(), row2[h].neg()]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn step_budget_bounds_propagation_heavy_search() {
+        let mut s = pigeonhole(8, 7);
+        s.set_step_budget(Some(1));
+        assert_eq!(s.solve(), SolveOutcome::Budget);
+        // Lifting the step budget finishes the proof on the same solver.
+        s.set_step_budget(None);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_and_solver_stays_usable() {
+        use sim_core::{Budget, Deadline};
+        let mut s = pigeonhole(8, 7);
+        s.set_ctrl(Budget::with_deadline(Deadline::at(std::time::Instant::now())));
+        assert_eq!(s.solve(), SolveOutcome::Cancelled);
+        s.set_ctrl(Budget::unlimited());
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_search() {
+        let ctrl = sim_core::Budget::unlimited();
+        let mut s = pigeonhole(8, 7);
+        s.set_ctrl(ctrl.clone());
+        ctrl.cancel();
+        assert_eq!(s.solve(), SolveOutcome::Cancelled);
+        assert!(s.ctrl().is_exceeded());
+        // Swapping in a fresh handle lets the same solver finish.
+        s.set_ctrl(sim_core::Budget::unlimited());
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn cancelled_solves_bump_the_obs_counter() {
+        let o = obs::Obs::noop();
+        let ctrl = sim_core::Budget::unlimited();
+        ctrl.cancel();
+        let mut s = pigeonhole(7, 6);
+        s.set_obs(o.clone());
+        s.set_ctrl(ctrl);
+        assert_eq!(s.solve(), SolveOutcome::Cancelled);
+        assert_eq!(o.counter("sat.cancelled").get(), 1);
+    }
+
+    #[test]
+    fn injected_fault_cancels_at_the_sat_site() {
+        use sim_core::faultpoint::{sites, FaultPlan};
+        let ctrl = sim_core::Budget::unlimited()
+            .with_faults(FaultPlan::new().cancel_at(sites::SAT_PROPAGATE, 0));
+        let mut s = pigeonhole(8, 7);
+        s.set_ctrl(ctrl.clone());
+        assert_eq!(s.solve(), SolveOutcome::Cancelled);
+        assert_eq!(ctrl.faults_fired(), vec![(sites::SAT_PROPAGATE.to_string(), 0)]);
     }
 
     #[test]

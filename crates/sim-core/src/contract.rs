@@ -30,6 +30,17 @@ pub enum SimError {
         /// Supplied key width.
         got: u32,
     },
+    /// The worker thread evaluating this trial panicked; the panic was
+    /// caught at the trial boundary and the rest of the sweep completed.
+    /// Carries the stringified panic payload.
+    WorkerPanic {
+        /// The panic payload (message), stringified at the catch site.
+        payload: String,
+    },
+    /// The trial was never evaluated: the sweep's
+    /// [`Budget`](crate::ctrl::Budget) was cancelled or its deadline
+    /// expired before a worker reached this slot.
+    Cancelled,
 }
 
 impl fmt::Display for SimError {
@@ -42,6 +53,10 @@ impl fmt::Display for SimError {
             SimError::KeyWidthMismatch { expected, got } => {
                 write!(f, "design expects a {expected}-bit working key, got {got} bits")
             }
+            SimError::WorkerPanic { payload } => {
+                write!(f, "worker panicked evaluating this trial: {payload}")
+            }
+            SimError::Cancelled => write!(f, "trial skipped: sweep budget cancelled or expired"),
         }
     }
 }
@@ -213,5 +228,7 @@ mod tests {
         assert!(SimError::CycleLimit.to_string().contains("budget"));
         assert!(SimError::ArityMismatch { expected: 2, got: 1 }.to_string().contains("2"));
         assert!(SimError::KeyWidthMismatch { expected: 8, got: 0 }.to_string().contains("8-bit"));
+        assert!(SimError::WorkerPanic { payload: "boom".into() }.to_string().contains("boom"));
+        assert!(SimError::Cancelled.to_string().contains("skipped"));
     }
 }

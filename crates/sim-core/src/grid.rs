@@ -18,13 +18,136 @@
 //! The generalized [`GridExec::run`] is the same fan-out the `hls-dse`
 //! engine pioneered (preallocated slots + atomic cursor), extended with a
 //! per-worker context factory so stateful runners never cross threads.
+//!
+//! ## Robustness
+//!
+//! The cell-level entry points ([`GridExec::run_cells`],
+//! [`GridExec::grid_budgeted`], and [`GridExec::grid`] built on them)
+//! are panic-isolated and budget-aware: each trial body runs under
+//! `catch_unwind`, so one dying trial becomes a per-slot
+//! [`TrialCell::Panicked`] (surfaced as [`SimError::WorkerPanic`] by the
+//! grid) while every other slot completes bit-identically; a cancelled
+//! or expired [`Budget`] makes workers drain at the next chunk boundary,
+//! leaving unreached slots as [`TrialCell::Skipped`]
+//! ([`SimError::Cancelled`]). Results stay slot-indexed and
+//! worker-count-invariant even when trials die. All result mutexes
+//! recover from poisoning via [`PoisonError::into_inner`] — a worker
+//! panic can never abort the sweep.
+
+// The lint wall for this hot path: no `unwrap`/`expect` — every lock is
+// poison-recovered and every slot outcome is an explicit cell.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::contract::{SimError, SimOptions, SimStats, TestCase};
+use crate::ctrl::Budget;
+use crate::faultpoint;
 use crate::traits::{BatchRunner, Simulator};
 use hls_core::KeyBits;
 use obs::Obs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+
+/// The outcome of one grid trial under the panic-isolated, budgeted
+/// executor: the value, a caught panic, or never-reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialCell<T> {
+    /// The trial completed and produced `T` (which may itself be an
+    /// application-level `Err`).
+    Done(T),
+    /// The trial body panicked; the panic was caught at the trial
+    /// boundary and the rest of the sweep continued.
+    Panicked {
+        /// The stringified panic payload.
+        payload: String,
+    },
+    /// The sweep's [`Budget`] was exhausted before any worker reached
+    /// this slot.
+    Skipped,
+}
+
+impl<T> TrialCell<T> {
+    /// `true` for [`TrialCell::Done`].
+    pub fn is_done(&self) -> bool {
+        matches!(self, TrialCell::Done(_))
+    }
+
+    /// The completed value, if any.
+    pub fn as_done(&self) -> Option<&T> {
+        match self {
+            TrialCell::Done(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Consumes the cell into the completed value, if any.
+    pub fn into_done(self) -> Option<T> {
+        match self {
+            TrialCell::Done(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Recovers the protected value whether or not the mutex was poisoned.
+/// Works on both `lock()` guards and `into_inner()` values: a poisoned
+/// grid mutex only ever means "a worker panicked mid-publish", and the
+/// per-trial cells already carry that outcome.
+/// Per-worker result buckets: each worker pushes `(trial index, cell)`
+/// pairs under its own lock, drained slot-indexed at the end.
+type CellBuckets<T> = Vec<Mutex<Vec<(usize, TrialCell<T>)>>>;
+
+fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Stringifies a caught panic payload (`String` and `&str` payloads kept
+/// verbatim, anything else labeled).
+fn payload_string(p: Box<dyn std::any::Any + Send>) -> String {
+    match p.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// Evaluates one trial with panic isolation. The worker's context is
+/// minted lazily (and re-minted after a panic, since an unwound trial
+/// may have left the shared runner mid-run); minting itself is caught,
+/// so a dying factory injures only the trials that needed it.
+fn eval_cell<C, T, M, F>(
+    ctx_slot: &mut Option<C>,
+    make_ctx: &M,
+    f: &F,
+    budget: &Budget,
+    i: usize,
+) -> TrialCell<T>
+where
+    M: Fn() -> C,
+    F: Fn(&mut C, usize) -> T,
+{
+    if ctx_slot.is_none() {
+        match catch_unwind(AssertUnwindSafe(make_ctx)) {
+            Ok(c) => *ctx_slot = Some(c),
+            Err(p) => return TrialCell::Panicked { payload: payload_string(p) },
+        }
+    }
+    let Some(ctx) = ctx_slot.as_mut() else {
+        return TrialCell::Panicked { payload: "worker context unavailable".to_string() };
+    };
+    match catch_unwind(AssertUnwindSafe(|| {
+        budget.fault_hit(faultpoint::sites::GRID_TRIAL, i as u64);
+        f(ctx, i)
+    })) {
+        Ok(v) => TrialCell::Done(v),
+        Err(p) => {
+            *ctx_slot = None;
+            TrialCell::Panicked { payload: payload_string(p) }
+        }
+    }
+}
 
 /// The parallel grid executor. `threads == 0` requests one worker per
 /// available core; any value yields identical results.
@@ -33,7 +156,9 @@ use std::sync::Mutex;
 /// [`obs::Obs`] handle, after which every fan-out records `grid.run` /
 /// `grid.worker` spans (per-worker steal counts, busy vs. idle nanos),
 /// the `grid.steals` / `grid.trials` counters and the `grid.trial_ns`
-/// latency histogram. The disabled path is the exact uninstrumented
+/// latency histogram; the cell paths additionally count `grid.panics`
+/// (caught trial panics) and `grid.cancelled` (slots skipped by an
+/// exhausted budget). The disabled path is the exact uninstrumented
 /// loop — no clock reads, no atomics beyond the work cursor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GridExec {
@@ -93,6 +218,12 @@ impl GridExec {
     ///
     /// With one worker the loop runs inline on the calling thread —
     /// sequential consumers pay no synchronization.
+    ///
+    /// # Panics
+    ///
+    /// This is the *infallible* fast path: a panicking `f` propagates to
+    /// the caller (after the other workers drain). Loops that must
+    /// survive dying trials use [`GridExec::run_cells`].
     pub fn run<C, T, M, F>(&self, n: usize, make_ctx: M, f: F) -> Vec<T>
     where
         T: Send,
@@ -113,7 +244,8 @@ impl GridExec {
     ///
     /// # Panics
     ///
-    /// Panics if `chunk` is zero while there is work to do.
+    /// Panics if `chunk` is zero while there is work to do, and
+    /// propagates panics from `f` (see [`GridExec::run`]).
     pub fn run_chunked<C, T, M, F>(&self, n: usize, chunk: usize, make_ctx: M, f: F) -> Vec<T>
     where
         T: Send,
@@ -155,7 +287,7 @@ impl GridExec {
                             local.push((i, f(&mut ctx, i)));
                         }
                     }
-                    *bucket.lock().expect("grid worker poisoned") = local;
+                    *unpoison(bucket.lock()) = local;
                 });
             }
         });
@@ -252,12 +384,212 @@ impl GridExec {
                             "idle_ns",
                             obs.now_ns().saturating_sub(start).saturating_sub(busy),
                         );
-                        *bucket.lock().expect("grid worker poisoned") = local;
+                        *unpoison(bucket.lock()) = local;
                     });
                 }
             });
         }
         collect_slots(n, buckets)
+    }
+
+    /// The panic-isolated, budget-aware fan-out: evaluates `f(ctx, i)`
+    /// for `i in 0..n` with chunk-granular stealing, each trial body
+    /// under `catch_unwind`, and returns one [`TrialCell`] per slot —
+    /// worker-count-invariant even when trials die.
+    ///
+    /// - A panicking trial yields [`TrialCell::Panicked`] in its own
+    ///   slot; the worker re-mints its context and keeps going, so the
+    ///   rest of the chunk (and sweep) still completes.
+    /// - Workers check `budget` before every steal and drain when it is
+    ///   cancelled or past its deadline; unreached slots come back
+    ///   [`TrialCell::Skipped`]. With one worker the completed set is a
+    ///   strict prefix (chunk-granular) of the trial order.
+    /// - The [`faultpoint::sites::GRID_TRIAL`] site fires inside the
+    ///   catch scope with the trial index as its coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero while there is work to do. Trial
+    /// panics never propagate.
+    pub fn run_cells<C, T, M, F>(
+        &self,
+        n: usize,
+        chunk: usize,
+        budget: &Budget,
+        make_ctx: M,
+        f: F,
+    ) -> Vec<TrialCell<T>>
+    where
+        T: Send,
+        M: Fn() -> C + Sync,
+        F: Fn(&mut C, usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        assert!(chunk > 0, "chunk size must be positive");
+        let n_chunks = n.div_ceil(chunk);
+        let workers = self.workers_for(n_chunks);
+        if self.obs.enabled() {
+            return self.run_cells_obs(n, chunk, n_chunks, workers, budget, make_ctx, f);
+        }
+        if workers <= 1 {
+            let mut out: Vec<TrialCell<T>> = Vec::with_capacity(n);
+            let mut ctx: Option<C> = None;
+            for c in 0..n_chunks {
+                if budget.is_exceeded() {
+                    break;
+                }
+                for i in c * chunk..((c + 1) * chunk).min(n) {
+                    out.push(eval_cell(&mut ctx, &make_ctx, &f, budget, i));
+                }
+            }
+            out.resize_with(n, || TrialCell::Skipped);
+            return out;
+        }
+        let next = AtomicUsize::new(0);
+        let buckets: CellBuckets<T> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+        let (next, make_ctx, f) = (&next, &make_ctx, &f);
+        std::thread::scope(|scope| {
+            for bucket in &buckets {
+                scope.spawn(move || {
+                    let mut ctx: Option<C> = None;
+                    let mut local: Vec<(usize, TrialCell<T>)> = Vec::new();
+                    loop {
+                        if budget.is_exceeded() {
+                            break;
+                        }
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        for i in c * chunk..((c + 1) * chunk).min(n) {
+                            local.push((i, eval_cell(&mut ctx, make_ctx, f, budget, i)));
+                        }
+                    }
+                    *unpoison(bucket.lock()) = local;
+                });
+            }
+        });
+        collect_cells(n, buckets)
+    }
+
+    /// The instrumented twin of [`GridExec::run_cells`]: same cursor,
+    /// chunking, isolation and slot discipline, plus the `grid.*` spans
+    /// and counters and the cell-path extras (`grid.panics`,
+    /// `grid.cancelled`).
+    #[allow(clippy::too_many_arguments)]
+    fn run_cells_obs<C, T, M, F>(
+        &self,
+        n: usize,
+        chunk: usize,
+        n_chunks: usize,
+        workers: usize,
+        budget: &Budget,
+        make_ctx: M,
+        f: F,
+    ) -> Vec<TrialCell<T>>
+    where
+        T: Send,
+        M: Fn() -> C + Sync,
+        F: Fn(&mut C, usize) -> T + Sync,
+    {
+        let obs = &self.obs;
+        let mut run_span = obs.span("grid.run");
+        run_span.arg("trials", n as u64);
+        run_span.arg("chunk", chunk as u64);
+        run_span.arg("workers", workers as u64);
+        let steals = obs.counter("grid.steals");
+        let trials = obs.counter("grid.trials");
+        let trial_ns = obs.histogram("grid.trial_ns");
+        let chunk_trials = obs.histogram("grid.chunk_trials");
+        obs.gauge("grid.workers").fetch_max(workers as u64);
+        chunk_trials.record(chunk.min(n) as u64);
+        let out = if workers <= 1 {
+            let mut wspan = obs.span("grid.worker");
+            let start = obs.now_ns();
+            let mut ctx: Option<C> = None;
+            let mut out: Vec<TrialCell<T>> = Vec::with_capacity(n);
+            let (mut n_steals, mut busy) = (0u64, 0u64);
+            for c in 0..n_chunks {
+                if budget.is_exceeded() {
+                    break;
+                }
+                n_steals += 1;
+                for i in c * chunk..((c + 1) * chunk).min(n) {
+                    let t0 = obs.now_ns();
+                    out.push(eval_cell(&mut ctx, &make_ctx, &f, budget, i));
+                    let dt = obs.now_ns().saturating_sub(t0);
+                    busy += dt;
+                    trial_ns.record(dt);
+                }
+            }
+            steals.add(n_steals);
+            trials.add(out.len() as u64);
+            wspan.arg("steals", n_steals);
+            wspan.arg("trials", out.len() as u64);
+            wspan.arg("busy_ns", busy);
+            wspan.arg("idle_ns", obs.now_ns().saturating_sub(start).saturating_sub(busy));
+            out.resize_with(n, || TrialCell::Skipped);
+            out
+        } else {
+            let next = AtomicUsize::new(0);
+            let buckets: CellBuckets<T> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+            {
+                let (next, make_ctx, f) = (&next, &make_ctx, &f);
+                let (steals, trials, trial_ns) = (&steals, &trials, &trial_ns);
+                std::thread::scope(|scope| {
+                    for bucket in &buckets {
+                        scope.spawn(move || {
+                            let mut wspan = obs.span("grid.worker");
+                            let start = obs.now_ns();
+                            let mut ctx: Option<C> = None;
+                            let mut local: Vec<(usize, TrialCell<T>)> = Vec::new();
+                            let (mut n_steals, mut busy) = (0u64, 0u64);
+                            loop {
+                                if budget.is_exceeded() {
+                                    break;
+                                }
+                                let c = next.fetch_add(1, Ordering::Relaxed);
+                                if c >= n_chunks {
+                                    break;
+                                }
+                                n_steals += 1;
+                                for i in c * chunk..((c + 1) * chunk).min(n) {
+                                    let t0 = obs.now_ns();
+                                    local.push((i, eval_cell(&mut ctx, make_ctx, f, budget, i)));
+                                    let dt = obs.now_ns().saturating_sub(t0);
+                                    busy += dt;
+                                    trial_ns.record(dt);
+                                }
+                            }
+                            steals.add(n_steals);
+                            trials.add(local.len() as u64);
+                            wspan.arg("steals", n_steals);
+                            wspan.arg("trials", local.len() as u64);
+                            wspan.arg("busy_ns", busy);
+                            wspan.arg(
+                                "idle_ns",
+                                obs.now_ns().saturating_sub(start).saturating_sub(busy),
+                            );
+                            *unpoison(bucket.lock()) = local;
+                        });
+                    }
+                });
+            }
+            collect_cells(n, buckets)
+        };
+        let n_panics = out.iter().filter(|c| matches!(c, TrialCell::Panicked { .. })).count();
+        let n_skipped = out.iter().filter(|c| matches!(c, TrialCell::Skipped)).count();
+        if n_panics > 0 {
+            obs.counter("grid.panics").add(n_panics as u64);
+        }
+        if n_skipped > 0 {
+            obs.counter("grid.cancelled").add(n_skipped as u64);
+        }
+        run_span.arg("panics", n_panics as u64);
+        run_span.arg("skipped", n_skipped as u64);
+        out
     }
 
     /// Runs the full (case × key) grid on `sim`, one minted runner per
@@ -268,6 +600,10 @@ impl GridExec {
     /// Stealing is **key-chunked**: one steal takes all cases of one key,
     /// so each key is bound exactly once globally and tiny trials don't
     /// contend on the cursor.
+    ///
+    /// Worker bodies are panic-isolated: a trial that panics reports
+    /// [`SimError::WorkerPanic`] in its own slot and the sweep completes
+    /// (this is [`GridExec::grid_budgeted`] with an unlimited budget).
     pub fn grid<S: Simulator>(
         &self,
         sim: &S,
@@ -275,18 +611,39 @@ impl GridExec {
         keys: &[KeyBits],
         opts: &SimOptions,
     ) -> Vec<Vec<Result<SimStats, SimError>>> {
+        self.grid_budgeted(sim, cases, keys, opts, &Budget::unlimited())
+    }
+
+    /// [`GridExec::grid`] under a [`Budget`]: workers drain at the next
+    /// key boundary once the budget is cancelled or expired, and every
+    /// slot still comes back — completed trials bit-identical to an
+    /// unbudgeted run, skipped trials as [`SimError::Cancelled`],
+    /// panicked trials as [`SimError::WorkerPanic`].
+    pub fn grid_budgeted<S: Simulator>(
+        &self,
+        sim: &S,
+        cases: &[TestCase],
+        keys: &[KeyBits],
+        opts: &SimOptions,
+        budget: &Budget,
+    ) -> Vec<Vec<Result<SimStats, SimError>>> {
         let n_cases = cases.len();
         if n_cases == 0 || keys.is_empty() {
             return keys.iter().map(|_| Vec::new()).collect();
         }
-        let flat = self.run_chunked(
+        let flat = self.run_cells(
             keys.len() * n_cases,
             n_cases,
+            budget,
             || sim.new_runner(),
             |runner, i| runner.run_case(&cases[i % n_cases], &keys[i / n_cases], opts),
         );
         let mut rows = Vec::with_capacity(keys.len());
-        let mut it = flat.into_iter();
+        let mut it = flat.into_iter().map(|cell| match cell {
+            TrialCell::Done(r) => r,
+            TrialCell::Panicked { payload } => Err(SimError::WorkerPanic { payload }),
+            TrialCell::Skipped => Err(SimError::Cancelled),
+        });
         for _ in keys {
             rows.push(it.by_ref().take(n_cases).collect());
         }
@@ -294,21 +651,44 @@ impl GridExec {
     }
 }
 
-/// Drains per-worker buckets into index-ordered results.
+/// Drains per-worker buckets into index-ordered results (infallible
+/// paths: every slot is filled unless a worker panic is already
+/// propagating through `thread::scope`, which skips this entirely).
 fn collect_slots<T>(n: usize, buckets: Vec<Mutex<Vec<(usize, T)>>>) -> Vec<T> {
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     for bucket in buckets {
-        for (i, out) in bucket.into_inner().expect("grid bucket poisoned") {
+        for (i, out) in unpoison(bucket.into_inner()) {
             slots[i] = Some(out);
         }
     }
-    slots.into_iter().map(|s| s.expect("every trial evaluated")).collect()
+    slots
+        .into_iter()
+        .map(|s| match s {
+            Some(v) => v,
+            None => unreachable!("every trial evaluated"),
+        })
+        .collect()
+}
+
+/// Drains per-worker cell buckets into index-ordered cells; slots no
+/// worker reached (budget exhausted) stay [`TrialCell::Skipped`].
+fn collect_cells<T>(n: usize, buckets: CellBuckets<T>) -> Vec<TrialCell<T>> {
+    let mut slots: Vec<TrialCell<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || TrialCell::Skipped);
+    for bucket in buckets {
+        for (i, cell) in unpoison(bucket.into_inner()) {
+            slots[i] = cell;
+        }
+    }
+    slots
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::contract::OutputImage;
+    use crate::faultpoint::{sites, FaultPlan};
     use std::sync::atomic::AtomicUsize;
 
     /// Toy backend: `ret = args[0] * 10 + key.bit(0)`, `cycles = args[0]`
@@ -465,6 +845,8 @@ mod tests {
         assert_eq!(o.counter("grid.trials").get(), (cases.len() * keys.len()) as u64);
         assert_eq!(o.counter("grid.steals").get(), keys.len() as u64);
         assert_eq!(o.histogram("grid.trial_ns").count(), (cases.len() * keys.len()) as u64);
+        assert_eq!(o.counter("grid.panics").get(), 0);
+        assert_eq!(o.counter("grid.cancelled").get(), 0);
         // The sequential instrumented path counts identically.
         let o1 = Obs::noop();
         let seq = GridExec::sequential().with_obs(o1.clone()).grid(&sim, &cases, &keys, &opts);
@@ -478,5 +860,155 @@ mod tests {
         assert_eq!(GridExec::new(2).workers_for(100), 2);
         assert!(GridExec::default().workers_for(100) >= 1);
         assert_eq!(GridExec::new(4).workers_for(0), 1);
+    }
+
+    #[test]
+    fn a_panicking_trial_injures_only_its_own_slot() {
+        crate::faultpoint::install_quiet_hook();
+        for threads in [1, 2, 5] {
+            let budget = Budget::unlimited();
+            let cells = GridExec::new(threads).run_cells(
+                10,
+                1,
+                &budget,
+                || (),
+                |_, i| {
+                    assert!(i != 3 && i != 7, "trial {i} dies");
+                    i * 2
+                },
+            );
+            assert_eq!(cells.len(), 10);
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 3 || i == 7 {
+                    assert!(
+                        matches!(cell, TrialCell::Panicked { payload } if payload.contains("dies")),
+                        "threads={threads} slot {i}: {cell:?}"
+                    );
+                } else {
+                    assert_eq!(cell, &TrialCell::Done(i * 2), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_grid_panic_lands_at_its_coordinate_for_every_worker_count() {
+        crate::faultpoint::install_quiet_hook();
+        let plan = FaultPlan::new().panic_at(sites::GRID_TRIAL, 4);
+        for threads in [1, 2, 5] {
+            let budget = Budget::unlimited().with_faults(plan.clone());
+            let cells = GridExec::new(threads).run_cells(8, 1, &budget, || (), |_, i| i + 100);
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 4 {
+                    assert!(matches!(cell, TrialCell::Panicked { .. }), "threads={threads}");
+                } else {
+                    assert_eq!(cell, &TrialCell::Done(i + 100), "threads={threads}");
+                }
+            }
+            assert_eq!(budget.faults_fired(), vec![(sites::GRID_TRIAL.to_string(), 4)]);
+        }
+    }
+
+    #[test]
+    fn cancellation_drains_to_a_prefix_on_one_worker() {
+        let budget =
+            Budget::unlimited().with_faults(FaultPlan::new().cancel_at(sites::GRID_TRIAL, 5));
+        let cells = GridExec::sequential().run_cells(12, 2, &budget, || (), |_, i| i);
+        assert!(budget.is_exceeded());
+        // Chunk-granular drain: the chunk containing trial 5 completes,
+        // everything after is skipped — a strict prefix.
+        let done: Vec<usize> = cells.iter().filter_map(|c| c.as_done().copied()).collect();
+        assert_eq!(done, (0..6).collect::<Vec<_>>());
+        assert!(cells[6..].iter().all(|c| matches!(c, TrialCell::Skipped)));
+    }
+
+    #[test]
+    fn cancelled_sweeps_complete_only_budgeted_slots_and_match_fault_free() {
+        let sim = toy();
+        let cases = [TestCase::args(&[1]), TestCase::args(&[2])];
+        let keys: Vec<KeyBits> = (0..6).map(|i| KeyBits::from_fn(1, || i & 1)).collect();
+        let opts = SimOptions::default();
+        let reference = GridExec::sequential().grid(&sim, &cases, &keys, &opts);
+        for threads in [1, 2, 5] {
+            let budget =
+                Budget::unlimited().with_faults(FaultPlan::new().cancel_at(sites::GRID_TRIAL, 4));
+            let rows = GridExec::new(threads).grid_budgeted(&sim, &cases, &keys, &opts, &budget);
+            assert_eq!(rows.len(), keys.len());
+            let mut completed = 0;
+            for (k, row) in rows.iter().enumerate() {
+                for (c, cell) in row.iter().enumerate() {
+                    match cell {
+                        Err(SimError::Cancelled) => {}
+                        other => {
+                            assert_eq!(other, &reference[k][c], "threads={threads}");
+                            completed += 1;
+                        }
+                    }
+                }
+            }
+            // The cancelling trial's own chunk always completes.
+            assert!(completed >= 2, "threads={threads}: {completed}");
+        }
+    }
+
+    #[test]
+    fn pre_exhausted_budget_skips_everything() {
+        let sim = toy();
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let rows = GridExec::new(3).grid_budgeted(
+            &sim,
+            &[TestCase::args(&[1])],
+            &[KeyBits::zero(1), KeyBits::zero(1)],
+            &SimOptions::default(),
+            &budget,
+        );
+        assert_eq!(rows, vec![vec![Err(SimError::Cancelled)], vec![Err(SimError::Cancelled)]]);
+    }
+
+    #[test]
+    fn instrumented_cells_count_panics_and_skips() {
+        crate::faultpoint::install_quiet_hook();
+        let o = Obs::noop();
+        let budget = Budget::unlimited().with_faults(
+            FaultPlan::new().panic_at(sites::GRID_TRIAL, 1).cancel_at(sites::GRID_TRIAL, 2),
+        );
+        let cells =
+            GridExec::sequential().with_obs(o.clone()).run_cells(6, 1, &budget, || (), |_, i| i);
+        assert_eq!(cells[0], TrialCell::Done(0));
+        assert!(matches!(cells[1], TrialCell::Panicked { .. }));
+        assert_eq!(cells[2], TrialCell::Done(2));
+        assert!(cells[3..].iter().all(|c| matches!(c, TrialCell::Skipped)));
+        assert_eq!(o.counter("grid.panics").get(), 1);
+        assert_eq!(o.counter("grid.cancelled").get(), 3);
+    }
+
+    #[test]
+    fn a_dying_context_factory_injures_only_trials_that_needed_it() {
+        crate::faultpoint::install_quiet_hook();
+        fn dying_factory() {
+            panic!("factory dies")
+        }
+        let budget = Budget::unlimited();
+        let cells = GridExec::sequential().run_cells(3, 1, &budget, dying_factory, |_, i| i);
+        assert!(cells
+            .iter()
+            .all(|c| matches!(c, TrialCell::Panicked { payload } if payload.contains("factory"))));
+    }
+
+    #[test]
+    fn infallible_paths_still_propagate_trial_panics() {
+        crate::faultpoint::install_quiet_hook();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            GridExec::new(2).run(
+                8,
+                || (),
+                |_, i| {
+                    assert!(i != 5, "trial 5 dies");
+                    i
+                },
+            )
+        }));
+        assert!(caught.is_err(), "run() must stay fail-fast");
     }
 }

@@ -17,7 +17,17 @@
 //! - [`grid`]: [`GridExec`], the work-stealing parallel executor that
 //!   shards (case × key) trials over worker threads with **one bound
 //!   runner per worker**. Results land in preallocated slots indexed by
-//!   trial, so the output is bit-identical for any worker count.
+//!   trial, so the output is bit-identical for any worker count. Worker
+//!   bodies are panic-isolated: a dying trial becomes a per-slot
+//!   [`SimError::WorkerPanic`] cell, never a poisoned sweep.
+//! - [`ctrl`]: the cooperative control plane — [`CancelToken`],
+//!   [`Deadline`] and the combined [`Budget`] handle that every
+//!   long-running loop (grid, SAT search, DIP attack, DSE) checks to
+//!   drain gracefully instead of vanishing.
+//! - [`faultpoint`]: the deterministic fault-injection harness — named
+//!   sites that are no-ops unless a seeded [`FaultPlan`] is armed on
+//!   the governing [`Budget`], injecting panics, stalls and spurious
+//!   cancellations under test.
 //!
 //! ## Example
 //!
@@ -62,6 +72,8 @@
 #![warn(missing_docs)]
 
 pub mod contract;
+pub mod ctrl;
+pub mod faultpoint;
 pub mod grid;
 pub mod traits;
 pub mod wave;
@@ -69,6 +81,8 @@ pub mod wave;
 pub use contract::{
     images_equal, OutputImage, SimError, SimOptions, SimResult, SimStats, TestCase,
 };
-pub use grid::GridExec;
+pub use ctrl::{Budget, CancelKind, CancelToken, Deadline};
+pub use faultpoint::{FaultAction, FaultPlan, FaultSpec};
+pub use grid::{GridExec, TrialCell};
 pub use traits::{BatchRunner, Simulator};
 pub use wave::{SignalTrace, Waveform};

@@ -18,6 +18,7 @@
 
 use crate::flow::LockedDesign;
 use attack_sat::{AttackQuery, OracleResponse, SatAttackOptions, SatAttackOutcome};
+pub use attack_sat::{ExhaustCause, IoConstraint, SatAttackStatus};
 use hls_core::{verilog, KeyBits};
 use hls_ir::ArrayId;
 use rtl::{images_equal, CompiledFsmd, OutputImage, SimOptions, TestCase};
@@ -264,6 +265,12 @@ pub struct SatAttackConfig {
     pub max_dips: Option<u64>,
     /// Total solver conflict budget.
     pub conflict_budget: Option<u64>,
+    /// Total solver propagation ("step") budget.
+    pub step_budget: Option<u64>,
+    /// Cooperative cancellation + wall-clock deadline, forwarded into the
+    /// DIP loop and its CDCL solver. A cancelled or expired attack comes
+    /// back `Exhausted` with its partial effort and constraints.
+    pub budget: sim_core::Budget,
     /// Telemetry handle, forwarded into the DIP loop and its CDCL solver
     /// (disabled by default).
     pub obs: obs::Obs,
@@ -276,6 +283,8 @@ impl Default for SatAttackConfig {
             slack: 8,
             max_dips: None,
             conflict_budget: None,
+            step_budget: None,
+            budget: sim_core::Budget::unlimited(),
             obs: obs::Obs::off(),
         }
     }
@@ -388,6 +397,8 @@ pub fn sat_attack_design(
         unroll_cycles: unroll,
         max_dips: cfg.max_dips,
         conflict_budget: cfg.conflict_budget,
+        step_budget: cfg.step_budget,
+        budget: cfg.budget.clone(),
         obs: cfg.obs.clone(),
     };
     let outcome = attack_sat::sat_attack(&sim, &opts, &mut oracle);

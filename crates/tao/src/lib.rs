@@ -49,8 +49,8 @@ pub mod verify;
 
 pub use attack::{
     compare_attacks, oracle_guided_branch_attack, oracle_guided_branch_attack_with,
-    sat_attack_design, sensitize_branch_bits, AttackComparison, BranchAttackOutcome, KeySpace,
-    SatAttackConfig, SatDesignAttack,
+    sat_attack_design, sensitize_branch_bits, AttackComparison, BranchAttackOutcome, ExhaustCause,
+    IoConstraint, KeySpace, SatAttackConfig, SatAttackStatus, SatDesignAttack,
 };
 pub use branches::obfuscate_branches;
 pub use constants::obfuscate_constants;
@@ -59,4 +59,7 @@ pub use keymgmt::{KeyManagement, KeyMgmtError, KeyScheme};
 pub use plan::{KeyPlan, PlanConfig};
 pub use report::ObfuscationReport;
 pub use variants::{obfuscate_dfg_variants, VariantOptions};
-pub use verify::{differential_verify, standard_trials, DifferentialReport, KeyTrial};
+pub use verify::{
+    differential_verify, differential_verify_budgeted, standard_trials, BudgetedDifferential,
+    DifferentialReport, KeyTrial,
+};

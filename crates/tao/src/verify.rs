@@ -24,7 +24,7 @@ use hls_core::{verilog, KeyBits};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtl::{golden_outputs, images_equal, CompiledFsmd, OutputImage, SimOptions, TestCase};
-use sim_core::GridExec;
+use sim_core::{Budget, GridExec, TrialCell};
 use std::fmt;
 use vlog::{VlogError, VlogTape};
 
@@ -193,78 +193,170 @@ pub fn differential_verify_on(
         n_cases.max(1),
         || (ctape.runner(), vtape.runner()),
         |(frun, vrun), i| {
-            let (case, trial) = (&cases[i % n_cases], &trials[i / n_cases]);
-            let r = frun.run_case(case, &trial.working_key, opts);
-            let v = vrun.run_case(case, &trial.working_key, opts, &design.fsmd.mem_of_array);
-            match (&r, &v) {
-                (Ok(rr), Ok(vr)) => {
-                    // Full-state comparison, as the tree backends'
-                    // `SimResult` equality did: scalar outcome, every
-                    // register, every memory image. The images are built
-                    // once per trial (they clone the written external
-                    // memories) and reused for the golden comparison.
-                    let fi = frun.image(rr);
-                    let mismatch = if rr != vr || frun.regs() != vrun.regs().as_slice() {
-                        Some(format!(
-                            "{}: state diverged (fsmd {} cycles ret {:?} vs vlog {} cycles ret {:?})",
-                            trial.label, rr.cycles, rr.ret, vr.cycles, vr.ret
-                        ))
-                    } else if frun.mems() != vrun.mems() || !images_equal(&fi, &vrun.image(vr)) {
-                        Some(format!(
-                            "{}: output images diverged ({:?} vs {:?})",
-                            trial.label,
-                            fi,
-                            vrun.image(vr)
-                        ))
-                    } else {
-                        None
-                    };
-                    TrialOutcome { mismatch, timed_out: rr.timed_out, image: Some(fi) }
-                }
-                (Err(re), Err(ve)) => {
-                    let mismatch = (re != ve).then(|| {
-                        format!("{}: errors diverged (fsmd {re} vs vlog {ve})", trial.label)
-                    });
-                    TrialOutcome { timed_out: mismatch.is_none(), mismatch, image: None }
-                }
-                (Ok(_), Err(e)) => TrialOutcome {
-                    mismatch: Some(format!(
-                        "{}: fsmd completed but vlog failed ({e})",
-                        trial.label
-                    )),
-                    timed_out: false,
-                    image: None,
-                },
-                (Err(e), Ok(_)) => TrialOutcome {
-                    mismatch: Some(format!(
-                        "{}: vlog completed but fsmd failed ({e})",
-                        trial.label
-                    )),
-                    timed_out: false,
-                    image: None,
-                },
-            }
+            compare_pair(frun, vrun, &cases[i % n_cases], &trials[i / n_cases], opts, design)
         },
     );
+    let cells = outcomes.into_iter().map(TrialCell::Done).collect();
+    Ok(fold_outcomes(design, cases, trials, &goldens, cells).report)
+}
 
-    // Deterministic fold in (case-major, trial-minor) order — the same
-    // order the sequential loop reported in.
-    let mut report = DifferentialReport { design: design.top.clone(), ..Default::default() };
+/// [`differential_verify_on`] under a cooperative [`Budget`]: a cancelled
+/// or expired sweep drains at chunk granularity and folds only the
+/// comparisons that completed, and a panicking trial injures only its own
+/// `(case, trial)` cell instead of the whole testbench.
+///
+/// # Errors
+///
+/// Returns [`VlogError`] when the emitted text fails to parse.
+pub fn differential_verify_budgeted(
+    design: &LockedDesign,
+    cases: &[TestCase],
+    trials: &[KeyTrial],
+    opts: &SimOptions,
+    exec: &GridExec,
+    budget: &Budget,
+) -> Result<BudgetedDifferential, VlogError> {
+    let text = verilog::emit(&design.fsmd);
+    let vtape = VlogTape::new(&text)?;
+    let ctape = CompiledFsmd::compile(&design.fsmd);
+    let goldens: Vec<OutputImage> =
+        cases.iter().map(|case| golden_outputs(&design.module, &design.top, case)).collect();
+    let n_cases = cases.len();
+    let n_trials = trials.len();
+    let cells = exec.run_cells(
+        n_cases * n_trials,
+        n_cases.max(1),
+        budget,
+        || (ctape.runner(), vtape.runner()),
+        |(frun, vrun), i| {
+            compare_pair(frun, vrun, &cases[i % n_cases], &trials[i / n_cases], opts, design)
+        },
+    );
+    let mut out = fold_outcomes(design, cases, trials, &goldens, cells);
+    out.was_cancelled = budget.is_exceeded();
+    Ok(out)
+}
+
+/// Runs one `(case, trial)` pair on both RTL layers and compares them.
+fn compare_pair(
+    frun: &mut rtl::FsmdRunner<'_>,
+    vrun: &mut vlog::TapeRunner<'_>,
+    case: &TestCase,
+    trial: &KeyTrial,
+    opts: &SimOptions,
+    design: &LockedDesign,
+) -> TrialOutcome {
+    let r = frun.run_case(case, &trial.working_key, opts);
+    let v = vrun.run_case(case, &trial.working_key, opts, &design.fsmd.mem_of_array);
+    match (&r, &v) {
+        (Ok(rr), Ok(vr)) => {
+            // Full-state comparison, as the tree backends' `SimResult`
+            // equality did: scalar outcome, every register, every memory
+            // image. The images are built once per trial (they clone the
+            // written external memories) and reused for the golden
+            // comparison.
+            let fi = frun.image(rr);
+            let mismatch = if rr != vr || frun.regs() != vrun.regs().as_slice() {
+                Some(format!(
+                    "{}: state diverged (fsmd {} cycles ret {:?} vs vlog {} cycles ret {:?})",
+                    trial.label, rr.cycles, rr.ret, vr.cycles, vr.ret
+                ))
+            } else if frun.mems() != vrun.mems() || !images_equal(&fi, &vrun.image(vr)) {
+                Some(format!(
+                    "{}: output images diverged ({:?} vs {:?})",
+                    trial.label,
+                    fi,
+                    vrun.image(vr)
+                ))
+            } else {
+                None
+            };
+            TrialOutcome { mismatch, timed_out: rr.timed_out, image: Some(fi) }
+        }
+        (Err(re), Err(ve)) => {
+            let mismatch = (re != ve)
+                .then(|| format!("{}: errors diverged (fsmd {re} vs vlog {ve})", trial.label));
+            TrialOutcome { timed_out: mismatch.is_none(), mismatch, image: None }
+        }
+        (Ok(_), Err(e)) => TrialOutcome {
+            mismatch: Some(format!("{}: fsmd completed but vlog failed ({e})", trial.label)),
+            timed_out: false,
+            image: None,
+        },
+        (Err(e), Ok(_)) => TrialOutcome {
+            mismatch: Some(format!("{}: vlog completed but fsmd failed ({e})", trial.label)),
+            timed_out: false,
+            image: None,
+        },
+    }
+}
+
+/// A [`DifferentialReport`] over the comparisons that actually completed,
+/// plus the degradation tallies of a budgeted run.
+#[derive(Debug, Clone, Default)]
+pub struct BudgetedDifferential {
+    /// The fold over every completed `(case, trial)` comparison;
+    /// `comparisons` counts only those.
+    pub report: DifferentialReport,
+    /// Cells skipped because the budget ran out before they were stolen.
+    pub skipped: usize,
+    /// Cells whose worker body panicked; each carries its own label in
+    /// [`BudgetedDifferential::panic_labels`].
+    pub panics: usize,
+    /// `"{trial}/{case}"` coordinates of the panicked cells.
+    pub panic_labels: Vec<String>,
+    /// The governing budget was cancelled or expired during the sweep.
+    pub was_cancelled: bool,
+}
+
+impl BudgetedDifferential {
+    /// `true` when every comparison ran and all layers agreed.
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean() && self.skipped == 0 && self.panics == 0
+    }
+}
+
+/// Deterministic fold in (case-major, trial-minor) order — the same order
+/// the sequential loop reported in. Skipped and panicked cells are
+/// tallied, not folded.
+fn fold_outcomes(
+    design: &LockedDesign,
+    cases: &[TestCase],
+    trials: &[KeyTrial],
+    goldens: &[OutputImage],
+    cells: Vec<TrialCell<TrialOutcome>>,
+) -> BudgetedDifferential {
+    let (n_cases, n_trials) = (cases.len(), trials.len());
+    let mut out = BudgetedDifferential::default();
+    out.report.design = design.top.clone();
     let mut hd_sum = 0.0;
     let mut hd_n = 0usize;
-    let mut outcomes: Vec<Option<TrialOutcome>> = outcomes.into_iter().map(Some).collect();
+    let mut cells: Vec<Option<TrialCell<TrialOutcome>>> = cells.into_iter().map(Some).collect();
     for (c, t) in (0..n_cases).flat_map(|c| (0..n_trials).map(move |t| (c, t))) {
-        let out = outcomes[t * n_cases + c].take().expect("one visit per trial");
+        let cell = cells[t * n_cases + c].take().expect("one visit per trial");
         let (golden, trial) = (&goldens[c], &trials[t]);
+        let outcome = match cell {
+            TrialCell::Done(o) => o,
+            TrialCell::Panicked { .. } => {
+                out.panics += 1;
+                out.panic_labels.push(format!("{}/case-{c}", trial.label));
+                continue;
+            }
+            TrialCell::Skipped => {
+                out.skipped += 1;
+                continue;
+            }
+        };
+        let report = &mut out.report;
         report.comparisons += 1;
-        if let Some(m) = out.mismatch {
+        if let Some(m) = outcome.mismatch {
             report.rtl_vlog_mismatches.push(m);
         }
-        if out.timed_out {
+        if outcome.timed_out {
             report.timeouts += 1;
         }
         if trial.expect_golden {
-            match &out.image {
+            match &outcome.image {
                 Some(img) if images_equal(golden, img) => {}
                 Some(_) => report
                     .golden_failures
@@ -273,7 +365,7 @@ pub fn differential_verify_on(
                     .golden_failures
                     .push(format!("{}: correct key did not terminate", trial.label)),
             }
-        } else if let Some(img) = &out.image {
+        } else if let Some(img) = &outcome.image {
             if images_equal(golden, img) {
                 report.wrong_key_clean += 1;
             } else {
@@ -287,8 +379,8 @@ pub fn differential_verify_on(
             report.wrong_key_corrupted += 1;
         }
     }
-    report.avg_wrong_hd = if hd_n > 0 { hd_sum / hd_n as f64 } else { 0.0 };
-    Ok(report)
+    out.report.avg_wrong_hd = if hd_n > 0 { hd_sum / hd_n as f64 } else { 0.0 };
+    out
 }
 
 #[cfg(test)]
@@ -351,6 +443,45 @@ mod tests {
         assert_eq!(one.wrong_key_corrupted, four.wrong_key_corrupted);
         assert_eq!(one.timeouts, four.timeouts);
         assert_eq!(one.avg_wrong_hd.to_bits(), four.avg_wrong_hd.to_bits());
+    }
+
+    #[test]
+    fn budgeted_differential_with_unlimited_budget_matches_the_plain_run() {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let lk = locking(13);
+        let d = lock(&m, "fir", &lk, &TaoOptions::default()).unwrap();
+        let cases = [TestCase::args(&[2, 7]), TestCase::args(&[0, 1])];
+        let trials = standard_trials(&d, &lk, 4, 0xabc);
+        let opts = SimOptions { max_cycles: 200_000, snapshot_on_timeout: true };
+        let exec = GridExec::new(2);
+        let plain = differential_verify_on(&d, &cases, &trials, &opts, &exec).unwrap();
+        let budgeted =
+            differential_verify_budgeted(&d, &cases, &trials, &opts, &exec, &Budget::unlimited())
+                .unwrap();
+        assert!(budgeted.is_clean(), "{:?}", budgeted);
+        assert!(!budgeted.was_cancelled);
+        assert_eq!(budgeted.report.comparisons, plain.comparisons);
+        assert_eq!(budgeted.report.wrong_key_corrupted, plain.wrong_key_corrupted);
+        assert_eq!(budgeted.report.avg_wrong_hd.to_bits(), plain.avg_wrong_hd.to_bits());
+    }
+
+    #[test]
+    fn a_pre_cancelled_differential_folds_nothing_and_says_so() {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let lk = locking(17);
+        let d = lock(&m, "fir", &lk, &TaoOptions::default()).unwrap();
+        let cases = [TestCase::args(&[3, 4])];
+        let trials = standard_trials(&d, &lk, 2, 0xfee);
+        let opts = SimOptions { max_cycles: 200_000, snapshot_on_timeout: true };
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let out =
+            differential_verify_budgeted(&d, &cases, &trials, &opts, &GridExec::new(2), &budget)
+                .unwrap();
+        assert!(out.was_cancelled);
+        assert_eq!(out.report.comparisons, 0);
+        assert_eq!(out.skipped, cases.len() * trials.len());
+        assert!(!out.is_clean(), "skipped work must not read as a clean verdict");
     }
 
     #[test]

@@ -370,6 +370,27 @@ impl VlogTape {
         sim_core::GridExec::sequential().grid(&self.with_mems(mem_of_array), cases, keys, opts)
     }
 
+    /// [`VlogTape::simulate_many`] under a cooperative
+    /// [`sim_core::Budget`]: a cancelled or expired sweep drains at the
+    /// next key boundary and reports the unvisited slots as
+    /// [`sim_core::SimError::Cancelled`] instead of vanishing.
+    pub fn simulate_many_budgeted(
+        &self,
+        cases: &[TestCase],
+        keys: &[KeyBits],
+        opts: &SimOptions,
+        mem_of_array: &BTreeMap<hls_ir::ArrayId, hls_core::MemIdx>,
+        budget: &sim_core::Budget,
+    ) -> Vec<Vec<Result<SimStats, SimError>>> {
+        sim_core::GridExec::sequential().grid_budgeted(
+            &self.with_mems(mem_of_array),
+            cases,
+            keys,
+            opts,
+            budget,
+        )
+    }
+
     /// Binds this tape to a design's `ArrayId → MemIdx` map, yielding a
     /// [`GridTape`] that implements the shared [`sim_core::Simulator`]
     /// contract. The map is the missing half of the grid interface: test

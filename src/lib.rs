@@ -11,7 +11,7 @@
 //! | [`hls_frontend`] | C-subset front end → IR (paper Fig. 2 "Compiler Steps") |
 //! | [`hls_ir`] | IR, optimization passes, interpreter (the golden model) |
 //! | [`hls_core`] | Allocation, scheduling, binding, FSMD synthesis |
-//! | [`sim_core`] | Shared simulation contract + `Simulator`/`BatchRunner` traits + parallel `GridExec` |
+//! | [`sim_core`] | Shared simulation contract + `Simulator`/`BatchRunner` traits + parallel `GridExec` + `ctrl` control plane (budgets, cancellation, deadlines, fault injection) |
 //! | [`rtl`] | Cycle-accurate simulation (tree + compiled tape backends), area/timing, testbenches |
 //! | [`vlog`] | Verilog-subset parser + simulators for the emitted text (tree + compiled tape) |
 //! | [`tao`] | The three obfuscations, key management, attack analysis, differential verify |
@@ -201,6 +201,56 @@
 //! assert_eq!(par[0][3].as_ref().unwrap().ret, Some(16));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! ## Robustness: budgets, cancellation, and panic isolation
+//!
+//! Every long-running loop — grid sweeps, the CDCL solver, the DIP
+//! attack, the DSE engine — is governed by a [`sim_core::Budget`]: a
+//! cooperative [`sim_core::CancelToken`] plus an optional wall-clock
+//! deadline, checked at loop boundaries. Cancelled work degrades to a
+//! consistent partial result instead of vanishing: the grid finishes
+//! its in-flight chunk and marks the tail [`sim_core::SimError::Cancelled`],
+//! the attack hands back its DIPs/constraints/best-key so far, and DSE
+//! returns the Pareto front over the points it completed. A worker
+//! panic is caught per trial and surfaces as
+//! [`sim_core::SimError::WorkerPanic`] in that slot only — every other
+//! slot stays bit-identical to a fault-free run at any worker count
+//! (the `chaos-smoke` CI gate and `tests/prop_faults.rs` enforce this
+//! under deterministic fault injection via [`sim_core::FaultPlan`]).
+//!
+//! Cancelling a grid sweep from another thread:
+//!
+//! ```
+//! use tao_repro::hls_core::{self, KeyBits};
+//! use tao_repro::rtl::{CompiledFsmd, SimError, SimOptions, TestCase};
+//! use tao_repro::sim_core::{Budget, GridExec};
+//!
+//! let m = tao_repro::hls_frontend::compile("int sq(int x) { return x * x; }", "d")?;
+//! let fsmd = hls_core::synthesize(&m, "sq", &hls_core::HlsOptions::default())?;
+//! let ctape = CompiledFsmd::compile(&fsmd);
+//! let cases: Vec<TestCase> = (1u64..=4).map(|x| TestCase::args(&[x])).collect();
+//! let keys: Vec<KeyBits> = (0..3).map(|_| KeyBits::zero(0)).collect();
+//!
+//! let budget = Budget::unlimited();
+//! let token = budget.token().clone(); // hand this to a watchdog thread…
+//! token.cancel();                     // …which decides to pull the plug
+//!
+//! // The sweep drains gracefully: every slot still reports, as Cancelled.
+//! let rows = GridExec::new(2).grid_budgeted(&ctape, &cases, &keys, &SimOptions::default(), &budget);
+//! assert_eq!(rows.len(), keys.len());
+//! assert!(rows.iter().flatten().all(|r| matches!(r, Err(SimError::Cancelled))));
+//!
+//! // An unlimited budget is the plain grid, bit for bit.
+//! let fresh = Budget::unlimited();
+//! let full = GridExec::new(2).grid_budgeted(&ctape, &cases, &keys, &SimOptions::default(), &fresh);
+//! assert_eq!(full, GridExec::new(2).grid(&ctape, &cases, &keys, &SimOptions::default()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Deadlines compose the same way (`Budget::unlimited()
+//! .with_deadline_after(dur)`), and [`tao::SatAttackConfig`],
+//! [`attack_sat::SatAttackOptions`] and [`hls_dse::DseOptions`] all
+//! carry a `budget` field that forwards into their inner loops.
 //!
 //! ## Observability
 //!
