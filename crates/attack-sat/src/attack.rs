@@ -17,9 +17,10 @@
 //! observes, so oracle answers and CNF constraints speak the same
 //! language by construction.
 
-use crate::encode::{Encoder, KeyLits, Unrolling};
+use crate::bitvec::Bv;
+use crate::encode::{CoiReport, EncInputs, Encoder, KeyLits, UnrollState, Unrolling};
 use hls_core::KeyBits;
-use sat::{Gates, SolveOutcome};
+use sat::{Gates, Lit, SolveOutcome, SolverConfig};
 use sim_core::ctrl::{Budget, CancelKind};
 use sim_core::faultpoint;
 use std::time::{Duration, Instant};
@@ -56,6 +57,18 @@ pub struct SatAttackOptions {
     /// above the oracle's correct-key latency — `latency × margin` — or
     /// the attack recovers a key for a truncated observable.
     pub unroll_cycles: u32,
+    /// Starting depth of the lazy incremental unrolling. The attack
+    /// encodes this many frames up front and grows the unrolling
+    /// (doubling, capped at [`SatAttackOptions::unroll_cycles`]) only
+    /// when a model or an UNSAT collapse proof touches the k-boundary
+    /// frame. Set equal to `unroll_cycles` to recover the eager
+    /// pay-max-latency-upfront encoding.
+    pub initial_unroll: u32,
+    /// Also encode a scratch *unpruned* miter at the final depth so the
+    /// outcome reports CNF size before vs after cone-of-influence
+    /// pruning ([`SatAttackOutcome::miter_cnf`]). Off by default — it
+    /// costs one extra (unsolved) encoding pass.
+    pub measure_full_cnf: bool,
     /// Stop after this many DIPs (`None` = until collapse).
     pub max_dips: Option<u64>,
     /// Total solver conflict budget across all calls (`None` = unbounded).
@@ -83,6 +96,8 @@ impl Default for SatAttackOptions {
     fn default() -> Self {
         SatAttackOptions {
             unroll_cycles: 64,
+            initial_unroll: 8,
+            measure_full_cnf: false,
             max_dips: None,
             conflict_budget: None,
             step_budget: None,
@@ -154,6 +169,22 @@ pub struct IoConstraint {
     pub response: OracleResponse,
 }
 
+/// Miter CNF size at the final unroll depth, with and without
+/// cone-of-influence pruning (both measured on a scratch two-copy miter
+/// at the same depth, so the comparison isolates the encoder win from
+/// accumulated constraint growth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CnfSizes {
+    /// Variables in the COI-pruned miter.
+    pub coi_vars: usize,
+    /// Clauses in the COI-pruned miter.
+    pub coi_clauses: usize,
+    /// Variables in the unpruned (full-netlist) miter.
+    pub full_vars: usize,
+    /// Clauses in the unpruned miter.
+    pub full_clauses: usize,
+}
+
 /// The attack's result and effort counters.
 #[derive(Debug, Clone)]
 pub struct SatAttackOutcome {
@@ -174,6 +205,17 @@ pub struct SatAttackOutcome {
     pub vars: usize,
     /// CNF clauses at the end of the attack.
     pub clauses: usize,
+    /// Final unroll depth k reached by the lazy growth (equals
+    /// [`SatAttackOptions::unroll_cycles`] only when the attack had to
+    /// pay the full bound).
+    pub unroll_final: u32,
+    /// How many times the unrolling grew past its starting depth.
+    pub growths: u64,
+    /// How much of the netlist survived cone-of-influence pruning.
+    pub coi: CoiReport,
+    /// Miter CNF size before vs after COI pruning at the final depth
+    /// (only when [`SatAttackOptions::measure_full_cnf`] was set).
+    pub miter_cnf: Option<CnfSizes>,
     /// Wall-clock time of the whole loop (encoding + solving + oracle).
     pub wall: Duration,
     /// Every (DIP, oracle label) pair accumulated, in discovery order —
@@ -209,161 +251,415 @@ pub fn sat_attack(
     opts: &SatAttackOptions,
     oracle: &mut dyn FnMut(&AttackQuery) -> OracleResponse,
 ) -> SatAttackOutcome {
-    assert!(sim.key_width() > 0, "design has no working key to recover");
     let t0 = Instant::now();
-    let obs = &opts.obs;
+    let obs = opts.obs.clone();
     let mut attack_span = obs.span("attack.sat");
-    let enc = Encoder::new(sim);
-    let mut g = Gates::new();
-    g.solver().set_obs(obs.clone());
-    // The solver observes the same cooperative budget at its own check
-    // cadence, so a cancel or deadline lands mid-solve, not only between
-    // DIPs.
-    g.solver().set_ctrl(opts.budget.clone());
-    let k = opts.unroll_cycles;
+    let mut eng = AttackEngine::new(sim, opts, None);
+    let dip_counter = obs.counter("attack.dips");
+    let mut constraints: Vec<IoConstraint> = Vec::new();
+    let status = loop {
+        match eng.step() {
+            Step::Collapsed => break SatAttackStatus::Recovered,
+            Step::NeedGrow => eng.grow_step(),
+            Step::Dip(query) => {
+                opts.budget.fault_hit(faultpoint::sites::ATTACK_ORACLE, eng.dips());
+                let resp = {
+                    let _oracle_span = obs.span("attack.oracle");
+                    oracle(&query)
+                };
+                eng.apply_dip(&query, &resp);
+                dip_counter.inc();
+                constraints.push(IoConstraint { query, response: resp });
+            }
+            Step::Exhausted(cause) => break SatAttackStatus::Exhausted(cause),
+            // Without a portfolio round the solver's ctrl *is* the
+            // attack budget, so a cancellation here is the budget's.
+            Step::RoundCancelled => break SatAttackStatus::Exhausted(ExhaustCause::Cancelled),
+        }
+    };
+    let key = eng.finish_model();
+    if attack_span.recording() {
+        attack_span.arg("dips", eng.dips());
+        attack_span.arg("conflicts", eng.solver_stats().conflicts);
+        attack_span.arg("unroll_final", u64::from(eng.depth()));
+    }
+    eng.into_outcome(status, key, t0.elapsed(), constraints)
+}
 
-    // The miter: two key copies over shared free inputs.
-    let (inputs, key_a, key_b, act) = {
-        let mut encode_span = obs.span("attack.encode");
+/// One accumulated constraint's growable encodings: the oracle label
+/// plus one pinned-input unrolling per key copy, kept so growth can
+/// re-encode only the new frames and re-assert at the new depth.
+struct ConsEntry {
+    resp: OracleResponse,
+    ua: UnrollState,
+    ub: UnrollState,
+}
+
+/// What one engine step decided.
+pub(crate) enum Step {
+    /// The key space provably collapsed at the full bound (or the
+    /// boundary probe showed the shallow proof already covers it).
+    Collapsed,
+    /// A model or an UNSAT proof touched the k-boundary frame: the
+    /// unrolling must grow before the loop can conclude anything.
+    NeedGrow,
+    /// A genuine distinguishing input — both copies terminate within
+    /// the current depth (or the depth is already the full bound).
+    Dip(AttackQuery),
+    /// A budget ran out or the attack's own `Budget` fired.
+    Exhausted(ExhaustCause),
+    /// The solver's ctrl was cancelled but the attack budget is intact —
+    /// a portfolio round lost the race, not a terminal state.
+    RoundCancelled,
+}
+
+/// The incremental DIP-loop state machine: one CNF, one miter at the
+/// current depth, every accumulated constraint kept growable. Drives
+/// both [`sat_attack`] (single engine) and the portfolio (one engine
+/// per racer, coordinated per step).
+pub(crate) struct AttackEngine<'a> {
+    enc: Encoder<'a>,
+    g: Gates,
+    opts: SatAttackOptions,
+    inputs: EncInputs,
+    key_a: KeyLits,
+    key_b: KeyLits,
+    ua: UnrollState,
+    ub: UnrollState,
+    /// Activation literal of the current depth's miter difference
+    /// clause; permanently released (unit `!act`) when the depth grows.
+    act: Lit,
+    k_max: u32,
+    cons: Vec<ConsEntry>,
+    dips: u64,
+    growths: u64,
+}
+
+impl<'a> AttackEngine<'a> {
+    /// Builds the initial miter at `opts.initial_unroll` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has no key port.
+    pub(crate) fn new(
+        sim: &'a VlogSim,
+        opts: &SatAttackOptions,
+        config: Option<SolverConfig>,
+    ) -> AttackEngine<'a> {
+        assert!(sim.key_width() > 0, "design has no working key to recover");
+        let enc = Encoder::new(sim);
+        let mut g = Gates::new();
+        if let Some(cfg) = config {
+            g.solver().set_config(cfg);
+        }
+        g.solver().set_obs(opts.obs.clone());
+        // The solver observes the same cooperative budget at its own
+        // check cadence, so a cancel or deadline lands mid-solve, not
+        // only between DIPs.
+        g.solver().set_ctrl(opts.budget.clone());
+        let k_max = opts.unroll_cycles.max(1);
+        let k0 = opts.initial_unroll.clamp(1, k_max);
+        let mut encode_span = opts.obs.span("attack.encode");
+        let inputs = enc.fresh_inputs(&mut g);
+        let key_a = KeyLits::fresh(&mut g, sim);
+        let key_b = KeyLits::fresh(&mut g, sim);
+        let mut ua = enc.begin(&mut g, &inputs, &key_a);
+        let mut ub = enc.begin(&mut g, &inputs, &key_b);
+        enc.grow(&mut g, &mut ua, k0);
+        enc.grow(&mut g, &mut ub, k0);
+        let tru = g.tru();
+        let mut eng = AttackEngine {
+            enc,
+            g,
+            opts: opts.clone(),
+            inputs,
+            key_a,
+            key_b,
+            ua,
+            ub,
+            act: tru,
+            k_max,
+            cons: Vec::new(),
+            dips: 0,
+            growths: 0,
+        };
+        eng.refresh_miter();
+        encode_span.arg("unroll", u64::from(k0));
+        encode_span.arg("vars", eng.g.solver_ref().num_vars() as u64);
+        encode_span.arg("clauses", eng.g.solver_ref().num_clauses() as u64);
+        eng
+    }
+
+    /// Current unroll depth.
+    pub(crate) fn depth(&self) -> u32 {
+        self.ua.cycles()
+    }
+
+    /// DIPs applied so far.
+    pub(crate) fn dips(&self) -> u64 {
+        self.dips
+    }
+
+    /// Cumulative solver statistics.
+    pub(crate) fn solver_stats(&self) -> sat::SolverStats {
+        self.g.solver_ref().stats()
+    }
+
+    /// Swaps the solver's cooperative-cancellation handle (portfolio
+    /// rounds hand each racer a fresh child budget per round).
+    pub(crate) fn set_round_ctrl(&mut self, b: Budget) {
+        self.g.solver().set_ctrl(b);
+    }
+
+    /// The racer's solver diversification config.
+    pub(crate) fn solver_config(&self) -> SolverConfig {
+        self.g.solver_ref().config()
+    }
+
+    /// Builds (or rebuilds, after growth) the miter difference clause at
+    /// the current depth under a fresh activation literal.
+    fn refresh_miter(&mut self) {
+        let oa = self.enc.observables(&mut self.g, &self.ua);
+        let ob = self.enc.observables(&mut self.g, &self.ub);
+        let diff = observable_diff(&mut self.g, &oa, &ob);
+        let act = self.g.fresh();
+        self.g.assert_clause(&[!act, diff]);
+        self.act = act;
+    }
+
+    fn set_budget(&mut self) {
+        let stats = self.g.solver_ref().stats();
+        let remaining =
+            self.opts.conflict_budget.map(|total| total.saturating_sub(stats.conflicts));
+        self.g.solver().set_conflict_budget(remaining);
+        let steps_left =
+            self.opts.step_budget.map(|total| total.saturating_sub(stats.propagations));
+        self.g.solver().set_step_budget(steps_left);
+    }
+
+    /// Attributes a solver `Budget` outcome to the resource that ran dry.
+    fn budget_cause(&self) -> ExhaustCause {
+        let conflicts_spent = self.g.solver_ref().stats().conflicts;
+        match self.opts.conflict_budget {
+            Some(total) if conflicts_spent >= total => ExhaustCause::ConflictBudget,
+            _ => ExhaustCause::StepBudget,
+        }
+    }
+
+    /// One decision of the DIP loop: solve the miter at the current
+    /// depth and classify the result.
+    pub(crate) fn step(&mut self) -> Step {
+        if let Some(kind) = self.opts.budget.exceeded() {
+            return Step::Exhausted(match kind {
+                CancelKind::Cancelled => ExhaustCause::Cancelled,
+                CancelKind::DeadlineExpired => ExhaustCause::Deadline,
+            });
+        }
+        if let Some(max) = self.opts.max_dips {
+            if self.dips >= max {
+                return Step::Exhausted(ExhaustCause::DipBudget);
+            }
+        }
+        self.set_budget();
+        let mut dip_span = self.opts.obs.span("attack.dip");
+        let conflicts_before = self.g.solver_ref().stats().conflicts;
+        let act = self.act;
+        let outcome = self.g.solve_assuming(&[act]);
+        if dip_span.recording() {
+            dip_span.arg("dip", self.dips);
+            dip_span.arg("depth", u64::from(self.depth()));
+            dip_span
+                .arg("conflict_delta", self.g.solver_ref().stats().conflicts - conflicts_before);
+            dip_span.arg("vars", self.g.solver_ref().num_vars() as u64);
+            dip_span.arg("clauses", self.g.solver_ref().num_clauses() as u64);
+        }
+        match outcome {
+            SolveOutcome::Sat => {
+                let done_a = self.g.model(self.ua.done());
+                let done_b = self.g.model(self.ub.done());
+                if (done_a && done_b) || self.depth() == self.k_max {
+                    // Both copies terminated within k ≤ k_max, so their
+                    // frozen outputs equal the k_max observable — a
+                    // genuine DIP. (At the full bound every model is.)
+                    Step::Dip(AttackQuery {
+                        args: self.inputs.args.iter().map(|a| a.model_value(&self.g)).collect(),
+                        mems: self
+                            .inputs
+                            .mems
+                            .iter()
+                            .map(|(_, elems)| {
+                                elems.iter().map(|e| e.model_value(&self.g)).collect()
+                            })
+                            .collect(),
+                    })
+                } else {
+                    // The disagreement is about *termination within k*,
+                    // which the full-bound observable may not share — a
+                    // boundary artifact. Deepen instead of querying.
+                    Step::NeedGrow
+                }
+            }
+            SolveOutcome::Unsat => {
+                if self.depth() == self.k_max {
+                    return Step::Collapsed;
+                }
+                // Shallow collapse proof. Sound iff no consistent key
+                // can still be running at the boundary: if some key is
+                // not done within k on some input, the proof leaned on
+                // the truncated frames — grow. If every consistent key
+                // finishes within k on every input, the depth-k
+                // observable equals the full-bound one and the collapse
+                // stands.
+                self.set_budget();
+                let not_done = !self.ua.done();
+                match self.g.solve_assuming(&[not_done]) {
+                    SolveOutcome::Sat => Step::NeedGrow,
+                    SolveOutcome::Unsat => Step::Collapsed,
+                    SolveOutcome::Budget => Step::Exhausted(self.budget_cause()),
+                    SolveOutcome::Cancelled => self.cancelled_step(),
+                }
+            }
+            SolveOutcome::Budget => Step::Exhausted(self.budget_cause()),
+            SolveOutcome::Cancelled => self.cancelled_step(),
+        }
+    }
+
+    /// Distinguishes "the attack budget fired" from "a portfolio round
+    /// was cancelled under this racer".
+    fn cancelled_step(&self) -> Step {
+        match self.opts.budget.exceeded() {
+            Some(CancelKind::DeadlineExpired) => Step::Exhausted(ExhaustCause::Deadline),
+            Some(CancelKind::Cancelled) => Step::Exhausted(ExhaustCause::Cancelled),
+            None => Step::RoundCancelled,
+        }
+    }
+
+    /// Deepens the unrolling (doubling, capped at the full bound):
+    /// retires the old miter clause, grows both miter copies and every
+    /// accumulated constraint by the new frames only, and re-asserts
+    /// each constraint at the new depth.
+    pub(crate) fn grow_step(&mut self) {
+        let k = self.depth();
+        debug_assert!(k < self.k_max);
+        let new_k = k.saturating_mul(2).min(self.k_max);
+        let delta = new_k - k;
+        let mut grow_span = self.opts.obs.span("attack.grow");
+        let act = self.act;
+        self.g.assert_true(!act);
+        self.enc.grow(&mut self.g, &mut self.ua, delta);
+        self.enc.grow(&mut self.g, &mut self.ub, delta);
+        self.refresh_miter();
+        let exact = new_k == self.k_max;
+        for c in &mut self.cons {
+            for u in [&mut c.ua, &mut c.ub] {
+                self.enc.grow(&mut self.g, u, delta);
+                let obs_u = self.enc.observables(&mut self.g, u);
+                constrain_lazy(&mut self.g, &obs_u, &c.resp, exact);
+            }
+        }
+        self.growths += 1;
+        if grow_span.recording() {
+            grow_span.arg("from", u64::from(k));
+            grow_span.arg("to", u64::from(new_k));
+            grow_span.arg("vars", self.g.solver_ref().num_vars() as u64);
+            grow_span.arg("clauses", self.g.solver_ref().num_clauses() as u64);
+        }
+    }
+
+    /// Encodes the oracle's label for a DIP at the current depth: one
+    /// pinned-input growable unrolling per key copy, constrained as an
+    /// implication (`done_k → outputs = label`) so the fact stays sound
+    /// as the depth grows.
+    pub(crate) fn apply_dip(&mut self, query: &AttackQuery, resp: &OracleResponse) {
+        let _pin_span = self.opts.obs.span("attack.constrain");
+        let pinned = self.enc.pinned_inputs(&mut self.g, &query.args, &query.mems);
+        let k = self.depth();
+        let exact = k == self.k_max;
+        let mut states = Vec::with_capacity(2);
+        for key in [&self.key_a, &self.key_b] {
+            let mut u = self.enc.begin(&mut self.g, &pinned, key);
+            self.enc.grow(&mut self.g, &mut u, k);
+            let obs_u = self.enc.observables(&mut self.g, &u);
+            constrain_lazy(&mut self.g, &obs_u, resp, exact);
+            states.push(u);
+        }
+        let ub = states.pop().expect("two key copies");
+        let ua = states.pop().expect("two key copies");
+        self.cons.push(ConsEntry { resp: resp.clone(), ua, ub });
+        self.dips += 1;
+        if self.opts.obs.enabled() {
+            self.opts.obs.sample("attack.vars", self.g.solver_ref().num_vars() as u64);
+            self.opts.obs.sample("attack.clauses", self.g.solver_ref().num_clauses() as u64);
+        }
+    }
+
+    /// Any key consistent with every collected I/O pair (the miter's
+    /// difference clause is released by leaving `act` free). This model
+    /// search runs unbudgeted and un-cancelled: the budgets govern the
+    /// collapse proof, and an exhausted or cancelled attack must still
+    /// hand back a key consistent with its partial constraints (the
+    /// true key always satisfies them, so this is cheap).
+    pub(crate) fn finish_model(&mut self) -> Option<KeyBits> {
+        self.g.solver().set_conflict_budget(None);
+        self.g.solver().set_step_budget(None);
+        self.g.solver().set_ctrl(Budget::unlimited());
+        let _model_span = self.opts.obs.span("attack.model");
+        match self.g.solver().solve() {
+            SolveOutcome::Sat => Some(self.key_a.model_key(&self.g)),
+            _ => None,
+        }
+    }
+
+    /// Packages the terminal state into the public outcome.
+    pub(crate) fn into_outcome(
+        self,
+        status: SatAttackStatus,
+        key: Option<KeyBits>,
+        wall: Duration,
+        constraints: Vec<IoConstraint>,
+    ) -> SatAttackOutcome {
+        let stats = self.g.solver_ref().stats();
+        let miter_cnf = if self.opts.measure_full_cnf {
+            Some(measure_miter_cnf(self.enc.design(), self.depth()))
+        } else {
+            None
+        };
+        SatAttackOutcome {
+            status,
+            key,
+            dips: self.dips,
+            queries: self.dips,
+            conflicts: stats.conflicts,
+            propagations: stats.propagations,
+            vars: self.g.solver_ref().num_vars(),
+            clauses: self.g.solver_ref().num_clauses(),
+            unroll_final: self.depth(),
+            growths: self.growths,
+            coi: self.enc.coi(),
+            miter_cnf,
+            wall,
+            constraints,
+        }
+    }
+}
+
+/// Scratch two-copy miters at depth `k`, COI-pruned and full, for the
+/// before/after encoder comparison. Nothing is solved.
+fn measure_miter_cnf(sim: &VlogSim, k: u32) -> CnfSizes {
+    let size_with = |enc: &Encoder| {
+        let mut g = Gates::new();
         let inputs = enc.fresh_inputs(&mut g);
         let key_a = KeyLits::fresh(&mut g, sim);
         let key_b = KeyLits::fresh(&mut g, sim);
         let ua = enc.unroll(&mut g, k, &inputs, &key_a);
         let ub = enc.unroll(&mut g, k, &inputs, &key_b);
         let diff = observable_diff(&mut g, &ua, &ub);
-        let act = g.fresh();
-        g.assert_clause(&[!act, diff]);
-        encode_span.arg("unroll", u64::from(k));
-        encode_span.arg("vars", g.solver_ref().num_vars() as u64);
-        encode_span.arg("clauses", g.solver_ref().num_clauses() as u64);
-        (inputs, key_a, key_b, act)
+        g.assert_true(diff);
+        (g.solver_ref().num_vars(), g.solver_ref().num_clauses())
     };
-
-    let dip_counter = obs.counter("attack.dips");
-    let mut dips = 0u64;
-    let mut constraints: Vec<IoConstraint> = Vec::new();
-    let free_mem_ids = enc.free_mem_ids();
-    let status = loop {
-        if let Some(kind) = opts.budget.exceeded() {
-            break SatAttackStatus::Exhausted(match kind {
-                CancelKind::Cancelled => ExhaustCause::Cancelled,
-                CancelKind::DeadlineExpired => ExhaustCause::Deadline,
-            });
-        }
-        if let Some(max) = opts.max_dips {
-            if dips >= max {
-                break SatAttackStatus::Exhausted(ExhaustCause::DipBudget);
-            }
-        }
-        set_budget(&mut g, opts);
-        let mut dip_span = obs.span("attack.dip");
-        let conflicts_before = g.solver_ref().stats().conflicts;
-        let outcome = g.solve_assuming(&[act]);
-        if dip_span.recording() {
-            dip_span.arg("dip", dips);
-            dip_span.arg("conflict_delta", g.solver_ref().stats().conflicts - conflicts_before);
-            dip_span.arg("vars", g.solver_ref().num_vars() as u64);
-            dip_span.arg("clauses", g.solver_ref().num_clauses() as u64);
-        }
-        match outcome {
-            SolveOutcome::Unsat => break SatAttackStatus::Recovered,
-            SolveOutcome::Budget => {
-                // The solver reports one `Budget` for both resource
-                // budgets; attribute it to the one that actually ran dry.
-                let conflicts_spent = g.solver_ref().stats().conflicts;
-                let cause = match opts.conflict_budget {
-                    Some(total) if conflicts_spent >= total => ExhaustCause::ConflictBudget,
-                    _ => ExhaustCause::StepBudget,
-                };
-                break SatAttackStatus::Exhausted(cause);
-            }
-            SolveOutcome::Cancelled => {
-                break SatAttackStatus::Exhausted(match opts.budget.exceeded() {
-                    Some(CancelKind::DeadlineExpired) => ExhaustCause::Deadline,
-                    _ => ExhaustCause::Cancelled,
-                });
-            }
-            SolveOutcome::Sat => {
-                // Extract the DIP, label it, constrain both key copies.
-                let query = AttackQuery {
-                    args: inputs.args.iter().map(|a| a.model_value(&g)).collect(),
-                    mems: inputs
-                        .mems
-                        .iter()
-                        .map(|(_, elems)| elems.iter().map(|e| e.model_value(&g)).collect())
-                        .collect(),
-                };
-                debug_assert_eq!(query.mems.len(), free_mem_ids.len());
-                opts.budget.fault_hit(faultpoint::sites::ATTACK_ORACLE, dips);
-                let resp = {
-                    let _oracle_span = obs.span("attack.oracle");
-                    oracle(&query)
-                };
-                dips += 1;
-                dip_counter.inc();
-                {
-                    let _pin_span = obs.span("attack.constrain");
-                    let pinned = enc.pinned_inputs(&mut g, &query.args, &query.mems);
-                    for key in [&key_a, &key_b] {
-                        let u = enc.unroll(&mut g, k, &pinned, key);
-                        constrain_to_response(&mut g, &u, &resp);
-                    }
-                }
-                // Accumulated-constraint growth: two more pinned
-                // unrollings per DIP.
-                if obs.enabled() {
-                    obs.sample("attack.vars", g.solver_ref().num_vars() as u64);
-                    obs.sample("attack.clauses", g.solver_ref().num_clauses() as u64);
-                }
-                constraints.push(IoConstraint { query, response: resp });
-            }
-        }
-    };
-
-    // Any key consistent with every collected I/O pair (the miter's
-    // difference clause is released by leaving `act` free). This model
-    // search runs unbudgeted and un-cancelled: the budgets govern the
-    // collapse proof, and an exhausted or cancelled attack must still
-    // hand back a key consistent with its partial constraints (the true
-    // key always satisfies them, so this is cheap).
-    g.solver().set_conflict_budget(None);
-    g.solver().set_step_budget(None);
-    g.solver().set_ctrl(Budget::unlimited());
-    let key = {
-        let _model_span = obs.span("attack.model");
-        match g.solver().solve() {
-            SolveOutcome::Sat => Some(key_a.model_key(&g)),
-            _ => None,
-        }
-    };
-    if attack_span.recording() {
-        let stats = g.solver_ref().stats();
-        attack_span.arg("dips", dips);
-        attack_span.arg("conflicts", stats.conflicts);
-        attack_span.arg("vars", g.solver_ref().num_vars() as u64);
-        attack_span.arg("clauses", g.solver_ref().num_clauses() as u64);
-    }
-    let stats = g.solver_ref().stats();
-    SatAttackOutcome {
-        status,
-        key,
-        dips,
-        queries: dips,
-        conflicts: stats.conflicts,
-        propagations: stats.propagations,
-        vars: g.solver_ref().num_vars(),
-        clauses: g.solver_ref().num_clauses(),
-        wall: t0.elapsed(),
-        constraints,
-    }
-}
-
-fn set_budget(g: &mut Gates, opts: &SatAttackOptions) {
-    let stats = g.solver_ref().stats();
-    let remaining = opts.conflict_budget.map(|total| total.saturating_sub(stats.conflicts));
-    g.solver().set_conflict_budget(remaining);
-    let steps_left = opts.step_budget.map(|total| total.saturating_sub(stats.propagations));
-    g.solver().set_step_budget(steps_left);
+    let (coi_vars, coi_clauses) = size_with(&Encoder::new(sim));
+    let (full_vars, full_clauses) = size_with(&Encoder::full(sim));
+    CnfSizes { coi_vars, coi_clauses, full_vars, full_clauses }
 }
 
 /// The miter's difference observable: the two copies disagree on
@@ -385,6 +681,42 @@ fn observable_diff(g: &mut Gates, a: &Unrolling, b: &Unrolling) -> sat::Lit {
     let both_done = g.and(a.done, b.done);
     let out_and_done = g.and(both_done, out_diff);
     g.or(done_diff, out_and_done)
+}
+
+/// Constrains one pinned-input unrolling to the oracle's label in a
+/// depth-robust form. At the full bound (`exact`) the label is the
+/// observable itself and is asserted outright. At a shallower depth
+/// only implications are sound: termination within k implies the frozen
+/// outputs are the full-bound image, so `done_k → outputs = label`; and
+/// an oracle that never terminated within the full bound certainly
+/// didn't within k, so `¬done_k` is a unit fact.
+fn constrain_lazy(g: &mut Gates, u: &Unrolling, resp: &OracleResponse, exact: bool) {
+    if exact {
+        constrain_to_response(g, u, resp);
+        return;
+    }
+    if !resp.done {
+        g.assert_true(!u.done);
+        return;
+    }
+    let release = !u.done;
+    if let (Some(rv), Some(want)) = (&u.ret, resp.ret) {
+        pin_under(g, release, rv, want);
+    }
+    for (slot, (_, elems)) in u.out_mems.iter().enumerate() {
+        let Some(want) = resp.mems.get(slot) else { continue };
+        for (j, e) in elems.iter().enumerate() {
+            pin_under(g, release, e, want.get(j).copied().unwrap_or(0));
+        }
+    }
+}
+
+/// `release ∨ (v = want)`, bit by bit — a guarded [`Bv::pin`].
+fn pin_under(g: &mut Gates, release: Lit, v: &Bv, want: u64) {
+    for (i, &bit) in v.0.iter().enumerate() {
+        let want_bit = i < 64 && (want >> i) & 1 == 1;
+        g.assert_clause(&[release, if want_bit { bit } else { !bit }]);
+    }
 }
 
 /// Constrains one pinned-input unrolling to reproduce the oracle's label.

@@ -277,3 +277,124 @@ fn cancelling_the_attack_returns_partial_but_consistent_results() {
         assert_eq!(got, c.response, "partial key violates a returned constraint");
     }
 }
+
+#[test]
+fn lazy_unrolling_collapses_below_the_full_bound() {
+    // A short-latency kernel under a deliberately generous cycle bound:
+    // the lazy loop must finish at its small starting depth (growing at
+    // most once), with the boundary probe certifying the shallow proof —
+    // and still recover the exact key the eager full-k encoding would.
+    let mut fsmd = synth("int f(int a, int b) { return (a ^ 21) + (b ^ 300); }", "f");
+    let key_bits: u32 = fsmd.consts.iter().map(|c| c.storage_width as u32).sum();
+    let key = xorshift_key(key_bits, 0xA11CE);
+    lock_by_hand(&mut fsmd, &key);
+    let out = run_attack(&fsmd, &key, 64);
+    assert_eq!(out.status, SatAttackStatus::Recovered, "dips={}", out.dips);
+    assert_eq!(out.key.as_ref().expect("key recovered"), &key, "exact working key");
+    assert!(out.unroll_final < 64, "lazy growth paid the full bound: k = {}", out.unroll_final);
+    assert!(out.coi.live_sigs <= out.coi.total_sigs);
+}
+
+#[test]
+fn eager_depth_matches_lazy_verdict() {
+    // Forcing initial_unroll = unroll_cycles recovers the old eager
+    // behavior; both modes must agree on status and recovered key.
+    let mut fsmd = synth("int f(int a, int b) { return (a ^ 21) + (b ^ 300); }", "f");
+    let key_bits: u32 = fsmd.consts.iter().map(|c| c.storage_width as u32).sum();
+    let key = xorshift_key(key_bits, 0x1DEA);
+    lock_by_hand(&mut fsmd, &key);
+    let text = verilog::emit(&fsmd);
+    let sim = VlogSim::new(&text).expect("parses");
+    let compiled = CompiledFsmd::compile(&fsmd);
+    let sim_opts = SimOptions { max_cycles: 16, snapshot_on_timeout: false };
+    let run_with = |initial: u32| {
+        let mut runner = compiled.runner();
+        let mut oracle = |q: &AttackQuery| {
+            let case = TestCase { args: q.args.clone(), mem_inputs: Vec::new() };
+            match runner.run_case(&case, &key, &sim_opts) {
+                Ok(stats) => OracleResponse { done: true, ret: stats.ret, mems: Vec::new() },
+                Err(_) => OracleResponse { done: false, ret: None, mems: Vec::new() },
+            }
+        };
+        sat_attack(
+            &sim,
+            &SatAttackOptions { unroll_cycles: 16, initial_unroll: initial, ..Default::default() },
+            &mut oracle,
+        )
+    };
+    let lazy = run_with(2);
+    let eager = run_with(16);
+    assert_eq!(lazy.status, SatAttackStatus::Recovered);
+    assert_eq!(eager.status, SatAttackStatus::Recovered);
+    assert_eq!(lazy.key, eager.key, "lazy and eager disagree on the key");
+    assert_eq!(eager.unroll_final, 16, "eager mode must sit at the full bound");
+    assert_eq!(eager.growths, 0, "eager mode must never grow");
+}
+
+#[test]
+fn measure_full_cnf_reports_the_coi_win() {
+    let mut fsmd = synth("int f(int a, int b) { return (a ^ 21) + (b ^ 300); }", "f");
+    let key_bits: u32 = fsmd.consts.iter().map(|c| c.storage_width as u32).sum();
+    let key = xorshift_key(key_bits, 0xFACE);
+    lock_by_hand(&mut fsmd, &key);
+    let text = verilog::emit(&fsmd);
+    let sim = VlogSim::new(&text).expect("parses");
+    let compiled = CompiledFsmd::compile(&fsmd);
+    let mut runner = compiled.runner();
+    let sim_opts = SimOptions { max_cycles: 16, snapshot_on_timeout: false };
+    let mut oracle = |q: &AttackQuery| {
+        let case = TestCase { args: q.args.clone(), mem_inputs: Vec::new() };
+        match runner.run_case(&case, &key, &sim_opts) {
+            Ok(stats) => OracleResponse { done: true, ret: stats.ret, mems: Vec::new() },
+            Err(_) => OracleResponse { done: false, ret: None, mems: Vec::new() },
+        }
+    };
+    let out = sat_attack(
+        &sim,
+        &SatAttackOptions { unroll_cycles: 16, measure_full_cnf: true, ..Default::default() },
+        &mut oracle,
+    );
+    assert_eq!(out.status, SatAttackStatus::Recovered);
+    let cnf = out.miter_cnf.expect("measure_full_cnf fills miter_cnf");
+    assert!(cnf.coi_vars <= cnf.full_vars, "COI must not add variables");
+    assert!(cnf.coi_clauses <= cnf.full_clauses, "COI must not add clauses");
+}
+
+#[test]
+fn portfolio_recovers_the_exact_key_with_a_deterministic_report() {
+    use attack_sat::{sat_attack_portfolio, PortfolioOptions};
+    let mut fsmd = synth("int f(int a, int b) { return (a ^ 21) + (b ^ 300); }", "f");
+    let key_bits: u32 = fsmd.consts.iter().map(|c| c.storage_width as u32).sum();
+    let key = xorshift_key(key_bits, 0xBEEF);
+    lock_by_hand(&mut fsmd, &key);
+    let text = verilog::emit(&fsmd);
+    let sim = VlogSim::new(&text).expect("parses");
+    let compiled = CompiledFsmd::compile(&fsmd);
+    let mut runner = compiled.runner();
+    let sim_opts = SimOptions { max_cycles: 16, snapshot_on_timeout: false };
+    let mut oracle = |q: &AttackQuery| {
+        let case = TestCase { args: q.args.clone(), mem_inputs: Vec::new() };
+        match runner.run_case(&case, &key, &sim_opts) {
+            Ok(stats) => OracleResponse { done: true, ret: stats.ret, mems: Vec::new() },
+            Err(_) => OracleResponse { done: false, ret: None, mems: Vec::new() },
+        }
+    };
+    let popts = PortfolioOptions { racers: 3, threads: None };
+    let out = sat_attack_portfolio(
+        &sim,
+        &SatAttackOptions { unroll_cycles: 16, ..Default::default() },
+        &popts,
+        &mut oracle,
+    );
+    assert_eq!(out.outcome.status, SatAttackStatus::Recovered);
+    assert_eq!(out.outcome.key.as_ref().expect("key recovered"), &key, "exact working key");
+    assert_eq!(out.racers.len(), 3, "one report per racer");
+    assert!(out.winner < 3);
+    assert_eq!(
+        out.racers.iter().map(|r| r.wins).sum::<u64>(),
+        out.rounds,
+        "every round has exactly one winner"
+    );
+    // The diversification axes actually differ between racers.
+    assert!(out.racers.windows(2).any(|w| w[0].config != w[1].config));
+}

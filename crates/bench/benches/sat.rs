@@ -65,5 +65,78 @@ fn bench_solver_conflicts(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(satbench, bench_attack_effort, bench_solver_conflicts);
+fn bench_binary_propagation(c: &mut Criterion) {
+    // A long binary implication chain with side branches: asserting the
+    // head floods the dedicated binary lists, so elements/sec here is
+    // raw binary-propagation throughput (no long-clause watch work).
+    const CHAIN: usize = 50_000;
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..CHAIN).map(|_| s.new_var()).collect();
+    for w in vars.windows(2) {
+        s.add_clause(&[w[0].neg(), w[1].pos()]);
+    }
+    let head = vars[0];
+    let mut probe = s.clone();
+    probe.add_clause(&[head.pos()]);
+    assert_eq!(probe.solve(), SolveOutcome::Sat);
+    let bin_props = probe.stats().bin_props;
+    assert!(bin_props as usize >= CHAIN - 1);
+
+    let mut g = c.benchmark_group("sat-solver");
+    g.throughput(Throughput::Elements(bin_props));
+    g.bench_function("binary-propagation-throughput", |b| {
+        b.iter(|| {
+            let mut s2 = s.clone();
+            s2.add_clause(&[head.pos()]);
+            assert_eq!(s2.solve(), SolveOutcome::Sat);
+            s2.stats().bin_props
+        });
+    });
+    g.finish();
+}
+
+fn bench_minimization_overhead(c: &mut Criterion) {
+    // Learnt-clause minimization cost: a dense pigeonhole proof learns
+    // thousands of clauses, each run through the recursive redundancy
+    // walk before attach. Elements/sec is minimized (dropped) literals
+    // per second — the walk's useful yield.
+    let run = || {
+        let (pigeons, holes) = (9usize, 8usize);
+        let mut s = Solver::new();
+        let mut x = vec![vec![Var(0); holes]; pigeons];
+        for p in x.iter_mut() {
+            for h in p.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        for row in &x {
+            let cl: Vec<sat::Lit> = row.iter().map(|v| v.pos()).collect();
+            s.add_clause(&cl);
+        }
+        for h in 0..holes {
+            for (p1, row1) in x.iter().enumerate() {
+                for row2 in x.iter().skip(p1 + 1) {
+                    s.add_clause(&[row1[h].neg(), row2[h].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        s.stats().minimized
+    };
+    let minimized = run();
+    assert!(minimized > 0, "proof exercises the minimizer");
+    let mut g = c.benchmark_group("sat-solver");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(minimized));
+    g.bench_function("minimization-overhead", |b| b.iter(run));
+    g.finish();
+}
+
+criterion_group!(
+    satbench,
+    bench_attack_effort,
+    bench_solver_conflicts,
+    bench_binary_propagation,
+    bench_minimization_overhead
+);
 criterion_main!(satbench);

@@ -37,6 +37,7 @@ const KNOWN: &[&str] = &[
     "profile-smoke",
     "sat-attack",
     "sat-smoke",
+    "sat-portfolio-smoke",
     "chaos-smoke",
     "all",
 ];
@@ -161,8 +162,15 @@ fn main() {
                 // attack-kernel corpus under per-technique locks. Grants
                 // the oracle the paper's threat model denies; the point
                 // is a *measured* effort number per technique.
-                let rows = sat_attack_rows();
+                let mut rows = sat_attack_rows();
+                // The paper-scale attempt: viterbi's full lock head-on,
+                // under an explicit effort ceiling — either it recovers
+                // or the exhaustion row records the effort frontier
+                // (cause, depth reached, constraints retained).
+                let (paper_row, frontier) = sat_attack_paper_attempt();
+                rows.push(paper_row);
                 println!("{}", render_sat_attack(&rows));
+                println!("{frontier}\n");
                 // Acceptance: constants+branches locks must be recovered
                 // bit-exact on at least three kernels.
                 let exact_cb = rows
@@ -174,11 +182,24 @@ fn main() {
                     rows.iter().filter(|r| r.recovered()).all(|r| r.cmp.sat.key_functional),
                     "every collapsed key space must yield an unlocking key"
                 );
+                // COI pruning must never *grow* a miter, and the size
+                // must be measured for every attack-kernel row.
+                for r in rows.iter().filter(|r| r.kernel != "viterbi") {
+                    let c = r.cmp.sat.outcome.miter_cnf.expect("cnf sizes measured");
+                    assert!(c.coi_vars <= c.full_vars, "{}: COI grew vars", r.kernel);
+                    assert!(c.coi_clauses <= c.full_clauses, "{}: COI grew clauses", r.kernel);
+                }
             }
             "sat-smoke" => {
                 // CI-sized SAT-attack check: one kernel, tight budgets,
                 // asserts exact working-key recovery.
                 println!("{}", sat_attack_smoke());
+            }
+            "sat-portfolio-smoke" => {
+                // CI-sized portfolio check: ≥ 2 diversified racers on the
+                // grid recover a cb- key bit-exactly, with a
+                // deterministic winner report.
+                println!("{}", sat_portfolio_smoke());
             }
             "vlog-diff" => {
                 // Three-way differential: all five kernels, correct key +

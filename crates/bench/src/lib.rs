@@ -47,8 +47,8 @@ pub use dse::{dse_kernels, dse_sweep, smoke_sweep};
 pub use experiments::*;
 pub use profile::{check_trace, profile_kernel, profile_smoke, ProfileReport, REQUIRED_SPANS};
 pub use satattack::{
-    attack_kernels, attack_plans, render_sat_attack, sat_attack_rows, sat_attack_smoke, sat_probe,
-    AttackKernel, SatAttackRow,
+    attack_kernels, attack_plans, render_sat_attack, sat_attack_paper_attempt, sat_attack_rows,
+    sat_attack_smoke, sat_portfolio_smoke, sat_probe, AttackKernel, SatAttackRow,
 };
 pub use simjson::{
     bench_regressions, check_floor, check_grid_floor, check_spec_floor, diff_sim_bench, grid_smoke,

@@ -162,6 +162,7 @@ pub fn sat_attack_rows() -> Vec<SatAttackRow> {
             let cfg = SatAttackConfig {
                 max_dips: Some(256),
                 conflict_budget: Some(1_000_000),
+                measure_full_cnf: true,
                 ..SatAttackConfig::default()
             };
             let cmp = compare_attacks(&d, &wk, &cases, &oracle, &sim_opts, &cfg)
@@ -211,22 +212,79 @@ pub fn sat_attack_smoke() -> String {
     )
 }
 
-/// Renders the effort table.
+/// CI-sized portfolio check: the `mix` kernel's constants + branches
+/// lock attacked by a grid-raced portfolio of diversified solver
+/// configurations — asserts the exact working key comes back and the
+/// race bookkeeping is consistent (every round was won by somebody, by
+/// the deterministic lowest-index tie-break).
+///
+/// # Panics
+///
+/// Panics when the portfolio fails to collapse the key space, the
+/// recovered key is not the working key, or the per-racer win counts do
+/// not sum to the round count — a race-coordination regression.
+pub fn sat_portfolio_smoke() -> String {
+    let k = attack_kernels().into_iter().find(|k| k.name == "mix").expect("mix exists");
+    let (d, wk) = lock_kernel(&k, PlanConfig::techniques(true, true, false), 0x90f7);
+    let cases: Vec<TestCase> = k.cases.iter().map(|args| TestCase::args(args)).collect();
+    let cfg = SatAttackConfig {
+        max_dips: Some(64),
+        conflict_budget: Some(1_000_000),
+        ..SatAttackConfig::default()
+    };
+    let popts = tao::PortfolioOptions { racers: 3, ..Default::default() };
+    let att = tao::sat_attack_design_portfolio(&d, &wk, &cases, &cfg, &popts).expect("text parses");
+    assert!(
+        att.attack.recovered(),
+        "portfolio key space must collapse: {:?}",
+        att.attack.outcome.status
+    );
+    assert!(att.attack.key_exact, "portfolio key must equal the working key bit for bit");
+    assert!(att.attack.key_functional, "portfolio key must unlock the chip");
+    let wins: u64 = att.racers.iter().map(|r| r.wins).sum();
+    assert_eq!(wins, att.rounds, "every round must have a winner");
+    assert!(att.winner < popts.racers, "winner index in range");
+    let standings: Vec<String> = att
+        .racers
+        .iter()
+        .enumerate()
+        .map(|(i, r)| format!("r{i}:{}w/{}c", r.wins, r.conflicts))
+        .collect();
+    format!(
+        "sat-portfolio-smoke: mix/cb- {} key bits recovered exactly by {} racers in {} \
+         rounds (final winner r{}); standings {}",
+        wk.width(),
+        popts.racers,
+        att.rounds,
+        att.winner,
+        standings.join(" "),
+    )
+}
+
+/// Renders the effort table. `k-fin` is the depth the lazy unrolling
+/// actually reached (≤ the configured `unroll` bound); the `cnf` columns
+/// report the per-kernel miter size in vars/clauses with cone-of-
+/// influence pruning (`coi-cnf`) and without it (`full-cnf`), both
+/// measured at `k-fin`.
 pub fn render_sat_attack(rows: &[SatAttackRow]) -> String {
     let mut out = String::new();
     out.push_str("SAT attack vs branch enumeration (oracle granted; paper's model denies it)\n");
     out.push_str(&format!(
-        "{:<8} {:<5} {:>7} {:>7} {:>6} {:>9} {:>10} {:>8} {:>6} {:>6} {:>12} {:>10}\n",
+        "{:<8} {:<5} {:>7} {:>7} {:>6} {:>6} {:>9} {:>10} {:>8} {:>6} {:>6} \
+         {:>15} {:>15} {:>12} {:>10}\n",
         "kernel",
         "plan",
         "keybits",
         "unroll",
+        "k-fin",
         "dips",
         "conflicts",
         "sat-ms",
         "status",
         "exact",
         "func",
+        "coi-cnf",
+        "full-cnf",
         "branch-q",
         "branch-ms"
     ));
@@ -238,29 +296,41 @@ pub fn render_sat_attack(rows: &[SatAttackRow]) -> String {
             ),
             None => ("-".to_string(), "-".to_string()),
         };
+        let (coi_cnf, full_cnf) = match r.cmp.sat.outcome.miter_cnf {
+            Some(c) => (
+                format!("{}/{}", c.coi_vars, c.coi_clauses),
+                format!("{}/{}", c.full_vars, c.full_clauses),
+            ),
+            None => ("-".to_string(), "-".to_string()),
+        };
         out.push_str(&format!(
-            "{:<8} {:<5} {:>7} {:>7} {:>6} {:>9} {:>10.1} {:>8} {:>6} {:>6} {:>12} {:>10}\n",
+            "{:<8} {:<5} {:>7} {:>7} {:>6} {:>6} {:>9} {:>10.1} {:>8} {:>6} {:>6} \
+             {:>15} {:>15} {:>12} {:>10}\n",
             r.kernel,
             r.plan,
             r.key_bits,
             r.unroll,
+            r.cmp.sat.outcome.unroll_final,
             r.cmp.sat.outcome.dips,
             r.cmp.sat.outcome.conflicts,
             r.cmp.sat.outcome.wall.as_secs_f64() * 1e3,
             render_status(r.cmp.sat.outcome.status),
             if r.cmp.sat.key_exact { "yes" } else { "no" },
             if r.cmp.sat.key_functional { "yes" } else { "no" },
+            coi_cnf,
+            full_cnf,
             bq,
             bms,
         ));
         // An exhausted attack is a *partial* result, not a blank row: say
-        // what stopped it and what it still hands back.
+        // what stopped it, how deep it got, and what it still hands back.
         if let tao::SatAttackStatus::Exhausted(cause) = r.cmp.sat.outcome.status {
             out.push_str(&format!(
-                "{:<8} {:<5} partial: stopped on {cause}; {} I/O constraints retained, \
-                 key {}\n",
+                "{:<8} {:<5} partial: stopped on {cause} at depth {}; {} I/O constraints \
+                 retained, key {}\n",
                 "",
                 "",
+                r.cmp.sat.outcome.unroll_final,
                 r.cmp.sat.outcome.constraints.len(),
                 if r.cmp.sat.outcome.key.is_some() { "consistent-so-far" } else { "none" },
             ));
@@ -290,7 +360,10 @@ fn render_status(status: tao::SatAttackStatus) -> &'static str {
 /// a small window every key times out and the space collapses trivially
 /// — the probe measures the *bounded* attack effort (and proves the
 /// encoder scales to the real designs), not a full key recovery.
-pub fn sat_probe(name: &str, unroll: u32, conflict_budget: u64) -> (u64, u64) {
+/// Returns `(dips, conflicts, wall ms)` — the wall clock is the
+/// `sat_ms` column of `BENCH_sim.json` schema v6, recorded as context
+/// alongside the machine-independent effort counters.
+pub fn sat_probe(name: &str, unroll: u32, conflict_budget: u64) -> (u64, u64, f64) {
     let b = benchmarks::by_name(name).expect("suite kernel");
     let lk = locking_key(0x5a7b);
     let m = b.compile().expect("kernel compiles");
@@ -305,7 +378,62 @@ pub fn sat_probe(name: &str, unroll: u32, conflict_budget: u64) -> (u64, u64) {
     };
     let att = tao::sat_attack_design(&d, &wk, std::slice::from_ref(&case), &cfg)
         .expect("emitted text parses");
-    (att.outcome.dips, att.outcome.conflicts)
+    (att.outcome.dips, att.outcome.conflicts, att.outcome.wall.as_secs_f64() * 1e3)
+}
+
+/// The paper-scale attempt: the `viterbi` benchmark's full multi-
+/// thousand-bit lock attacked head-on with the lazily-unrolled,
+/// COI-pruned miter under an explicit effort ceiling. The design runs
+/// thousands of cycles per invocation, so a full-depth collapse is out
+/// of reach by construction; the value of the row is the measured
+/// *effort frontier* — how deep the lazy unrolling got, what the COI
+/// pruning saved, and what partial result (I/O constraints, consistent
+/// key) the bounded attacker still walks away with.
+pub fn sat_attack_paper_attempt() -> (SatAttackRow, String) {
+    let b = benchmarks::by_name("viterbi").expect("suite kernel");
+    let lk = locking_key(0x7a9e);
+    let m = b.compile().expect("kernel compiles");
+    let d = tao::lock(&m, b.top, &lk, &TaoOptions::default()).expect("lock succeeds");
+    let wk = d.working_key(&lk);
+    let case = crate::experiments::test_case(&b, &d, 33);
+    let cases = std::slice::from_ref(&case);
+    let oracle = vec![golden_outputs(&d.module, b.top, &case)];
+    let sim_opts = SimOptions { max_cycles: 100_000, snapshot_on_timeout: true };
+    let cfg = SatAttackConfig {
+        unroll: Some(64),
+        max_dips: Some(32),
+        conflict_budget: Some(100_000),
+        measure_full_cnf: true,
+        ..SatAttackConfig::default()
+    };
+    let cmp =
+        compare_attacks(&d, &wk, cases, &oracle, &sim_opts, &cfg).expect("emitted text parses");
+    let row = SatAttackRow {
+        kernel: b.name.to_string(),
+        plan: "cbv".to_string(),
+        key_bits: wk.width(),
+        unroll: cmp.sat.unroll,
+        cmp,
+    };
+    let out = &row.cmp.sat.outcome;
+    let frontier = format!(
+        "paper-scale: viterbi carries {} key bits; bounded attacker reached depth \
+         {}/{} ({} growths), spent {} DIPs / {} conflicts, retained {} I/O constraints, \
+         key {}",
+        row.key_bits,
+        out.unroll_final,
+        row.unroll,
+        out.growths,
+        out.dips,
+        out.conflicts,
+        out.constraints.len(),
+        match (out.status == tao::SatAttackStatus::Recovered, out.key.is_some()) {
+            (true, _) => "recovered",
+            (false, true) => "consistent-so-far",
+            (false, false) => "none",
+        },
+    );
+    (row, frontier)
 }
 
 #[cfg(test)]

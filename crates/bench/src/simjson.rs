@@ -99,6 +99,10 @@ pub struct SimBenchRow {
     pub sat_dips: u64,
     /// Solver conflicts the probe spent.
     pub sat_conflicts: u64,
+    /// Wall-clock milliseconds the probe spent (schema v6). Machine-
+    /// dependent, so `bench-diff` carries it as context, never a gate —
+    /// the machine-independent effort counters above do the gating.
+    pub sat_ms: f64,
     /// Grid scaling curve: `(workers, cycles/s)` at the
     /// [`GRID_CURVE_WORKERS`] counts the machine can actually run.
     /// Recorded only on runners with at least
@@ -248,7 +252,8 @@ fn bench_kernel(name: &str, min_ms: u64, sat_budget: u64) -> SimBenchRow {
     // thousands of cycles, so the probe measures the budgeted
     // bounded-window attack — whether any key pair is distinguishable
     // within the window, and what it costs the solver to decide.
-    let (sat_dips, sat_conflicts) = crate::satattack::sat_probe(name, SAT_PROBE_UNROLL, sat_budget);
+    let (sat_dips, sat_conflicts, sat_ms) =
+        crate::satattack::sat_probe(name, SAT_PROBE_UNROLL, sat_budget);
 
     SimBenchRow {
         name: name.to_string(),
@@ -262,6 +267,7 @@ fn bench_kernel(name: &str, min_ms: u64, sat_budget: u64) -> SimBenchRow {
         grid_workers,
         sat_dips,
         sat_conflicts,
+        sat_ms,
         grid_curve,
     }
 }
@@ -280,7 +286,7 @@ pub fn sim_bench_smoke() -> Vec<SimBenchRow> {
 /// Serializes the rows as the `BENCH_sim.json` artifact.
 pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"tao-repro/bench-sim/v5\",\n");
+    out.push_str("  \"schema\": \"tao-repro/bench-sim/v6\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str("  \"unit\": \"cycles_per_second\",\n");
     out.push_str("  \"kernels\": [\n");
@@ -292,7 +298,7 @@ pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
              \"fsmd_tape\": {:.0}, \"spec_cps\": {:.0}, \"vlog_tree\": {:.0}, \
              \"vlog_tape\": {:.0}, \
              \"grid_cps\": {:.0}, \"grid_workers\": {}, {}\
-             \"sat_dips\": {}, \"sat_conflicts\": {}, \
+             \"sat_dips\": {}, \"sat_conflicts\": {}, \"sat_ms\": {:.1}, \
              \"fsmd_speedup\": {:.2}, \"spec_speedup\": {:.2}, \"vlog_speedup\": {:.2}, \
              \"grid_speedup\": {:.2}}}{}\n",
             r.name,
@@ -307,6 +313,7 @@ pub fn sim_bench_json(rows: &[SimBenchRow], mode: &str) -> String {
             curve,
             r.sat_dips,
             r.sat_conflicts,
+            r.sat_ms,
             r.fsmd_speedup(),
             r.spec_speedup(),
             r.vlog_speedup(),
@@ -571,7 +578,7 @@ type MetricGetter = fn(&SimBenchRow) -> f64;
 /// the in-process speedup ratios gate at [`BENCH_DIFF_MAX_DROP`], and
 /// the SAT-attack effort counters — machine-independent measures of how
 /// hard the lock resists — gate at the looser [`SAT_EFFORT_MAX_DROP`].
-const DIFF_METRICS: [(&str, MetricGetter, Option<f64>); 11] = [
+const DIFF_METRICS: [(&str, MetricGetter, Option<f64>); 12] = [
     ("fsmd_tree", |r| r.fsmd_tree_cps, None),
     ("fsmd_tape", |r| r.fsmd_tape_cps, None),
     ("spec_cps", |r| r.spec_cps, None),
@@ -579,6 +586,7 @@ const DIFF_METRICS: [(&str, MetricGetter, Option<f64>); 11] = [
     ("vlog_tape", |r| r.vlog_tape_cps, None),
     ("grid_cps", |r| r.grid_cps, None),
     ("sat_dips", |r| r.sat_dips as f64, Some(SAT_EFFORT_MAX_DROP)),
+    ("sat_ms", |r| r.sat_ms, None),
     ("sat_conflicts", |r| r.sat_conflicts as f64, Some(SAT_EFFORT_MAX_DROP)),
     ("fsmd_speedup", |r| r.fsmd_speedup(), Some(BENCH_DIFF_MAX_DROP)),
     ("spec_speedup", |r| r.spec_speedup(), Some(BENCH_DIFF_MAX_DROP)),
@@ -763,6 +771,7 @@ mod tests {
             grid_workers,
             sat_dips: 2,
             sat_conflicts: 900,
+            sat_ms: 12.5,
             grid_curve: Vec::new(),
         }
     }
@@ -771,9 +780,10 @@ mod tests {
     fn json_shape_and_floor_check() {
         let rows = vec![row("k", 9.0e6, 4)];
         let json = sim_bench_json(&rows, "test");
-        assert!(json.contains("\"schema\": \"tao-repro/bench-sim/v5\""));
+        assert!(json.contains("\"schema\": \"tao-repro/bench-sim/v6\""));
         assert!(json.contains("\"sat_dips\": 2"));
         assert!(json.contains("\"sat_conflicts\": 900"));
+        assert!(json.contains("\"sat_ms\": 12.5"));
         assert!(json.contains("\"vlog_speedup\": 10.00"));
         assert!(json.contains("\"spec_cps\": 6000000"));
         assert!(json.contains("\"spec_speedup\": 2.00"));
@@ -823,7 +833,7 @@ mod tests {
         let mut fresh = baseline_rows.clone();
         fresh[1].vlog_tape_cps = 5.5e6;
         let deltas = diff_sim_bench(&fresh, &parsed);
-        assert_eq!(deltas.len(), 22); // 2 kernels x 11 tracked metrics
+        assert_eq!(deltas.len(), 24); // 2 kernels x 12 tracked metrics
         let regs = bench_regressions(&deltas);
         assert_eq!(regs.len(), 1);
         assert_eq!((regs[0].kernel.as_str(), regs[0].metric.as_str()), ("sobel", "vlog_speedup"));

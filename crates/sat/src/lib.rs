@@ -8,9 +8,12 @@
 //! dependencies:
 //!
 //! - [`Solver`]: conflict-driven clause learning with two-watched-literal
-//!   propagation, VSIDS-style variable activity with phase saving,
-//!   first-UIP clause learning, Luby restarts, learnt-clause reduction,
-//!   conflict budgets, and incremental solving under assumptions;
+//!   propagation plus dedicated binary-clause implication lists, VSIDS
+//!   variable activity with phase saving, first-UIP clause learning with
+//!   recursive learnt-clause minimization, LBD (glue) tracking with
+//!   (glue, activity)-ordered database reduction, Luby restarts,
+//!   conflict budgets, incremental solving under assumptions, and
+//!   diversification knobs ([`SolverConfig`]) for portfolio racing;
 //! - [`Gates`]: a small CNF-building API — Tseitin-encoded `and` / `or` /
 //!   `xor` / `mux` gates with constant folding and structural hashing —
 //!   the layer the `attack-sat` bit-blaster builds word-level circuits on.
@@ -37,4 +40,4 @@ pub mod gates;
 pub mod solver;
 
 pub use gates::Gates;
-pub use solver::{Lit, SolveOutcome, Solver, SolverStats, Var};
+pub use solver::{Lit, SolveOutcome, Solver, SolverConfig, SolverStats, Var};

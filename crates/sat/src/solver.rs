@@ -96,28 +96,146 @@ pub enum SolveOutcome {
 pub struct SolverStats {
     /// Conflicts analyzed.
     pub conflicts: u64,
+    /// Literals enqueued through the dedicated binary implication lists.
+    pub bin_props: u64,
     /// Decisions taken.
     pub decisions: u64,
     /// Literals propagated.
     pub propagations: u64,
     /// Restarts performed.
     pub restarts: u64,
-    /// Learnt clauses currently in the database.
+    /// Long learnt clauses currently in the database (binary learnt
+    /// clauses graduate to the implication lists and are not counted).
     pub learnt: u64,
+    /// Literals removed from learnt clauses by recursive minimization.
+    pub minimized: u64,
+    /// Learnt clauses protected from eviction by glue ≤ 2 across all
+    /// database reductions (cumulative).
+    pub glue_kept: u64,
 }
 
-#[derive(Debug, Clone)]
+/// Tunable search parameters. [`Default`] reproduces the solver's
+/// baseline behavior; the attack portfolio diversifies these knobs
+/// across parallel racers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// VSIDS variable-activity decay (activity increment grows by
+    /// `1/var_decay` per conflict). Default `0.95`.
+    pub var_decay: f64,
+    /// Learnt-clause activity decay. Default `0.999`.
+    pub clause_decay: f64,
+    /// Luby restart unit, in conflicts. Default `128`.
+    pub restart_base: u64,
+    /// Initial saved phase for fresh variables. Default `false`.
+    pub phase_init: bool,
+    /// When nonzero, a deterministic xorshift stream derived from this
+    /// seed picks fresh variables' initial phases and adds a tiny
+    /// activity jitter, diversifying branching order between racers.
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_base: 128,
+            phase_init: false,
+            seed: 0,
+        }
+    }
+}
+
+/// One watch-list entry: the watching clause plus a *blocker* literal —
+/// some other literal of the clause, checked before the clause itself is
+/// touched. When the blocker is already true the clause is satisfied and
+/// the whole arena access is skipped, which is the common case on the
+/// miter instances this solver feeds on.
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    cref: u32,
+    blocker: Lit,
+}
+
+/// Clause header into the flat literal arena. Clause literals live
+/// contiguously in `Solver::lit_arena` at `start..start + len`; keeping
+/// the header `Copy` and the literals out-of-line means watch traversal
+/// walks one cache-friendly array instead of chasing a heap `Vec` per
+/// clause.
+#[derive(Debug, Clone, Copy)]
 struct Clause {
-    lits: Vec<Lit>,
+    start: u32,
+    len: u32,
     learnt: bool,
     activity: f64,
+    /// Literal block distance (glue) at learn time: the number of
+    /// distinct decision levels in the clause. Original clauses carry 0.
+    glue: u32,
+}
+
+impl Clause {
+    #[inline(always)]
+    fn range(&self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
 }
 
 const UNDEF: u8 = 0;
 const TRUE: u8 = 1;
+
+/// Literal truth value against a raw assignment slice — a free function
+/// so `propagate` can keep the clause arena mutably borrowed while it
+/// reads assignments.
+#[inline(always)]
+fn lv(assign: &[u8], l: Lit) -> u8 {
+    match assign[l.var().index()] {
+        UNDEF => UNDEF,
+        TRUE => {
+            if l.is_neg() {
+                FALSE
+            } else {
+                TRUE
+            }
+        }
+        _ => {
+            if l.is_neg() {
+                TRUE
+            } else {
+                FALSE
+            }
+        }
+    }
+}
 const FALSE: u8 = 2;
 
 const NO_REASON: u32 = u32::MAX;
+/// Tag bit marking a reason as a binary implication: the low bits hold
+/// the *other* literal of the binary clause instead of a clause index.
+/// `NO_REASON` (`u32::MAX`) also carries the tag, so always test for it
+/// first where both can occur.
+const BIN_TAG: u32 = 1 << 31;
+
+fn bin_reason(other: Lit) -> u32 {
+    debug_assert_eq!(other.0 & BIN_TAG, 0);
+    BIN_TAG | other.0
+}
+
+/// A propagation conflict: either a long clause in the arena or a
+/// binary clause living in the implication lists.
+#[derive(Debug, Clone, Copy)]
+enum Conflict {
+    Long(u32),
+    Bin(Lit, Lit),
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    let mut x = *s;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *s = x;
+    x
+}
 
 /// The CDCL solver.
 ///
@@ -137,8 +255,20 @@ const NO_REASON: u32 = u32::MAX;
 #[derive(Debug, Clone)]
 pub struct Solver {
     clauses: Vec<Clause>,
-    /// `watches[lit.code()]`: clauses currently watching `lit`.
-    watches: Vec<Vec<u32>>,
+    /// Flat literal storage for every long clause, indexed by the
+    /// `start`/`len` of each [`Clause`] header. Compacted alongside the
+    /// headers in `reduce_db`.
+    lit_arena: Vec<Lit>,
+    /// `watches[lit.code()]`: clauses currently watching `lit`, each
+    /// with a blocker literal that short-circuits satisfied clauses.
+    watches: Vec<Vec<Watch>>,
+    /// `bin_imps[lit.code()]`: literals implied the moment `lit` becomes
+    /// true — every binary clause `(a ∨ b)` lives here as `¬a → b` and
+    /// `¬b → a`, never in the clause arena, and is propagated before any
+    /// long-clause watch traversal.
+    bin_imps: Vec<Vec<Lit>>,
+    /// Number of binary clauses held in `bin_imps`.
+    n_bin: usize,
     assign: Vec<u8>,
     /// Saved polarity per variable (phase saving).
     phase: Vec<bool>,
@@ -162,17 +292,26 @@ pub struct Solver {
     /// conflicts.
     step_budget: Option<u64>,
     /// Cooperative cancellation + wall-clock deadline, checked every
-    /// [`CTRL_CHECK_MASK`]+1 search iterations and carrying the
-    /// `sat.propagate` fault site.
+    /// [`CTRL_CHECK_INTERVAL`] propagated literals (binary implications
+    /// included) and carrying the `sat.propagate` fault site.
     ctrl: sim_core::Budget,
     /// Monotonic count of control checks performed (the fault-site
     /// coordinate), cumulative across restarts and solve calls.
     ctrl_ticks: u64,
+    /// Propagation-count threshold at which the next control check runs.
+    next_ctrl: u64,
     stats: SolverStats,
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
+    /// Scratch stacks for recursive learnt-clause minimization.
+    min_stack: Vec<Lit>,
+    min_clear: Vec<Lit>,
     /// Learnt-clause count that triggers the next database reduction.
     next_reduce: usize,
+    /// Search knobs (decay rates, restart unit, phase/seed init).
+    config: SolverConfig,
+    /// Xorshift state for seeded phase/activity diversification.
+    rng: u64,
     /// Telemetry handle (disabled by default): `sat.solve` spans plus
     /// conflict/propagation/learnt-DB samples at every restart.
     obs: obs::Obs,
@@ -189,7 +328,10 @@ impl Solver {
     pub fn new() -> Solver {
         Solver {
             clauses: Vec::new(),
+            lit_arena: Vec::new(),
             watches: Vec::new(),
+            bin_imps: Vec::new(),
+            n_bin: 0,
             assign: Vec::new(),
             phase: Vec::new(),
             level: Vec::new(),
@@ -207,11 +349,35 @@ impl Solver {
             step_budget: None,
             ctrl: sim_core::Budget::unlimited(),
             ctrl_ticks: 0,
+            next_ctrl: 0,
             stats: SolverStats::default(),
             seen: Vec::new(),
+            min_stack: Vec::new(),
+            min_clear: Vec::new(),
             next_reduce: 4000,
+            config: SolverConfig::default(),
+            rng: 0,
             obs: obs::Obs::off(),
         }
+    }
+
+    /// Replaces the search configuration. Fresh variables created after
+    /// this call pick up the configured phase initialization (and, with a
+    /// nonzero seed, per-variable phase/activity diversification); decay
+    /// rates and the restart unit apply to every subsequent `solve`.
+    pub fn set_config(&mut self, config: SolverConfig) {
+        self.config = config;
+        self.rng = config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        if config.seed != 0 {
+            for ph in &mut self.phase {
+                *ph = xorshift(&mut self.rng) & 1 == 1;
+            }
+        }
+    }
+
+    /// The active search configuration.
+    pub fn config(&self) -> SolverConfig {
+        self.config
     }
 
     /// Attaches a telemetry handle. Enabled, every solve call records a
@@ -227,13 +393,21 @@ impl Solver {
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assign.len() as u32);
+        let (ph, act) = if self.config.seed != 0 {
+            let r = xorshift(&mut self.rng);
+            (r & 1 == 1, (r >> 32) as f64 * 1e-12)
+        } else {
+            (self.config.phase_init, 0.0)
+        };
         self.assign.push(UNDEF);
-        self.phase.push(false);
+        self.phase.push(ph);
         self.level.push(0);
         self.reason.push(NO_REASON);
-        self.activity.push(0.0);
+        self.activity.push(act);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.bin_imps.push(Vec::new());
+        self.bin_imps.push(Vec::new());
         self.seen.push(false);
         self.heap_pos.push(usize::MAX);
         self.heap_insert(v);
@@ -245,9 +419,9 @@ impl Solver {
         self.assign.len()
     }
 
-    /// Number of clauses (original + currently retained learnt).
+    /// Number of clauses (original + binary + currently retained learnt).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.clauses.len() + self.n_bin
     }
 
     /// Search statistics accumulated so far.
@@ -323,8 +497,12 @@ impl Solver {
                 self.ok = self.propagate().is_none();
                 self.ok
             }
+            2 => {
+                self.attach_binary(out[0], out[1]);
+                true
+            }
             _ => {
-                self.attach(out, false);
+                self.attach(out, false, 0);
                 true
             }
         }
@@ -348,7 +526,7 @@ impl Solver {
         let step_end = self.step_budget.map(|b| self.stats.propagations.saturating_add(b));
         let mut restart = 0u64;
         let outcome = loop {
-            let limit = luby(restart) * 128;
+            let limit = luby(restart) * self.config.restart_base;
             match self.search(limit, assumptions, budget_end, step_end) {
                 Search::Sat => {
                     for v in 0..self.num_vars() {
@@ -398,6 +576,9 @@ impl Solver {
             self.obs.counter("sat.decisions").add(d.decisions - before.decisions);
             self.obs.counter("sat.propagations").add(d.propagations - before.propagations);
             self.obs.counter("sat.restarts").add(d.restarts - before.restarts);
+            self.obs.counter("sat.bin_props").add(d.bin_props - before.bin_props);
+            self.obs.counter("sat.minimized_lits").add(d.minimized - before.minimized);
+            self.obs.counter("sat.glue_kept").add(d.glue_kept - before.glue_kept);
             self.obs.gauge("sat.learnt").set(d.learnt);
         }
         outcome
@@ -415,11 +596,14 @@ impl Solver {
 
     // ------------------------------------------------------------ search
 
-    /// Iterations between cooperative-control checks (power of two minus
-    /// one, used as a mask). Frequent enough that a deadline or cancel
-    /// stops a propagation-heavy search within microseconds; rare enough
-    /// that an unlimited budget costs one branch per iteration.
-    const CTRL_CHECK_MASK: u64 = 255;
+    /// Propagated literals (long-clause dequeues *plus* binary-list
+    /// implications) between cooperative-control checks. Frequent enough
+    /// that a deadline or cancel stops a propagation-heavy search within
+    /// microseconds; rare enough that an unlimited budget costs one
+    /// compare per search iteration. Counting binary propagations keeps
+    /// the effective interval honest on binary-heavy instances, where a
+    /// single search iteration can flood thousands of implications.
+    const CTRL_CHECK_INTERVAL: u64 = 256;
 
     fn search(
         &mut self,
@@ -433,22 +617,26 @@ impl Solver {
             // Cooperative control: the step budget is a plain compare
             // every iteration; the deadline/cancel check (which may read
             // the clock) and the `sat.propagate` fault site run every
-            // `CTRL_CHECK_MASK + 1` iterations, with the cumulative
-            // check ordinal as the fault coordinate.
+            // `CTRL_CHECK_INTERVAL` *propagated literals* — binary
+            // implications included — with the cumulative check ordinal
+            // as the fault coordinate. Pacing by propagation work rather
+            // than loop iterations keeps the check interval honest when
+            // one iteration floods a long binary chain.
             if let Some(end) = step_end {
                 if self.stats.propagations >= end {
                     return Search::Budget;
                 }
             }
-            if self.ctrl_ticks & Self::CTRL_CHECK_MASK == 0 {
-                let ord = self.ctrl_ticks >> 8;
+            let work = self.stats.propagations + self.stats.bin_props;
+            if work >= self.next_ctrl {
+                let ord = self.ctrl_ticks;
+                self.ctrl_ticks += 1;
+                self.next_ctrl = work + Self::CTRL_CHECK_INTERVAL;
                 self.ctrl.fault_hit(sim_core::faultpoint::sites::SAT_PROPAGATE, ord);
                 if self.ctrl.is_exceeded() {
-                    self.ctrl_ticks += 1;
                     return Search::Cancelled;
                 }
             }
-            self.ctrl_ticks += 1;
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts += 1;
@@ -456,17 +644,25 @@ impl Solver {
                     self.ok = false;
                     return Search::Unsat;
                 }
-                let (learnt, bt) = self.analyze(confl);
+                let (learnt, bt, glue) = self.analyze(confl);
                 // Never undo assumption decisions past where the learnt
                 // clause asserts; backtracking *through* assumptions is
                 // fine — the decision loop below re-applies them.
                 self.cancel_until(bt);
                 let asserting = learnt[0];
-                if learnt.len() == 1 {
-                    self.enqueue(asserting, NO_REASON);
-                } else {
-                    let cref = self.attach(learnt, true);
-                    self.enqueue(asserting, cref);
+                match learnt.len() {
+                    1 => self.enqueue(asserting, NO_REASON),
+                    2 => {
+                        // Binary learnt clauses graduate straight to the
+                        // implication lists — never reduced, propagated
+                        // before any watch traversal.
+                        self.attach_binary(learnt[0], learnt[1]);
+                        self.enqueue(asserting, bin_reason(learnt[1]));
+                    }
+                    _ => {
+                        let cref = self.attach(learnt, true, glue);
+                        self.enqueue(asserting, cref);
+                    }
                 }
                 self.decay_activities();
                 if self.stats.learnt as usize >= self.next_reduce {
@@ -561,51 +757,87 @@ impl Solver {
         self.qhead = keep;
     }
 
-    fn propagate(&mut self) -> Option<u32> {
+    fn propagate(&mut self) -> Option<Conflict> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            // Binary implications of `p` first: a flat literal list, no
+            // clause-arena indirection, and it seeds the queue before
+            // any long-clause watch traversal touches memory.
+            let nb = self.bin_imps[p.code()].len();
+            for i in 0..nb {
+                let q = self.bin_imps[p.code()][i];
+                match self.lit_value_raw(q) {
+                    TRUE => {}
+                    FALSE => return Some(Conflict::Bin(q, !p)),
+                    _ => {
+                        self.stats.bin_props += 1;
+                        self.enqueue(q, bin_reason(!p));
+                    }
+                }
+            }
             let false_lit = !p;
             // Clauses watching ¬p must find a new watch or propagate.
+            // The loop reads assignments through `lv` on the `assign`
+            // field directly so the clause arena can stay mutably
+            // borrowed across the watch search — one bounds-checked
+            // arena access per clause instead of one per literal.
             let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
             let mut keep = 0usize;
             let mut confl = None;
-            'clauses: for wi in 0..ws.len() {
-                let cref = ws[wi];
-                let c = &mut self.clauses[cref as usize];
-                if c.lits[0] == false_lit {
-                    c.lits.swap(0, 1);
-                }
-                debug_assert_eq!(c.lits[1], false_lit);
-                let first = c.lits[0];
-                if self.lit_value_raw(first) == TRUE {
-                    ws[keep] = cref;
+            let n = ws.len();
+            let mut wi = 0usize;
+            while wi < n {
+                let w = ws[wi];
+                wi += 1;
+                // Blocker check: a satisfied clause costs one array read.
+                if lv(&self.assign, w.blocker) == TRUE {
+                    ws[keep] = w;
                     keep += 1;
                     continue;
                 }
-                for k in 2..self.clauses[cref as usize].lits.len() {
-                    let l = self.clauses[cref as usize].lits[k];
-                    if self.lit_value_raw(l) != FALSE {
-                        let c = &mut self.clauses[cref as usize];
-                        c.lits.swap(1, k);
-                        self.watches[l.code()].push(cref);
-                        continue 'clauses;
+                let h = self.clauses[w.cref as usize];
+                let cl = &mut self.lit_arena[h.range()];
+                if cl[0] == false_lit {
+                    cl.swap(0, 1);
+                }
+                debug_assert_eq!(cl[1], false_lit);
+                let first = cl[0];
+                if first != w.blocker && lv(&self.assign, first) == TRUE {
+                    // Satisfied through the other watch: remember it as
+                    // the blocker for next time.
+                    ws[keep] = Watch { cref: w.cref, blocker: first };
+                    keep += 1;
+                    continue;
+                }
+                let mut moved = None;
+                for k in 2..cl.len() {
+                    let l = cl[k];
+                    if lv(&self.assign, l) != FALSE {
+                        cl.swap(1, k);
+                        moved = Some(l);
+                        break;
                     }
                 }
+                if let Some(l) = moved {
+                    self.watches[l.code()].push(Watch { cref: w.cref, blocker: first });
+                    continue;
+                }
                 // No new watch: unit or conflict.
-                ws[keep] = cref;
+                ws[keep] = w;
                 keep += 1;
-                if self.lit_value_raw(first) == FALSE {
-                    confl = Some(cref);
+                if lv(&self.assign, first) == FALSE {
+                    confl = Some(Conflict::Long(w.cref));
                     // Copy the rest back and stop.
-                    for j in wi + 1..ws.len() {
-                        ws[keep] = ws[j];
+                    while wi < n {
+                        ws[keep] = ws[wi];
                         keep += 1;
+                        wi += 1;
                     }
                     break;
                 }
-                self.enqueue(first, cref);
+                self.enqueue(first, w.cref);
             }
             ws.truncate(keep);
             self.watches[false_lit.code()] = ws;
@@ -617,6 +849,7 @@ impl Solver {
     }
 
     /// `lit_value` without borrowing conflicts inside `propagate`.
+    #[allow(dead_code)]
     fn lit_value_raw(&self, l: Lit) -> u8 {
         match self.assign[l.var().index()] {
             UNDEF => UNDEF,
@@ -638,29 +871,33 @@ impl Solver {
     }
 
     /// First-UIP conflict analysis: returns the learnt clause (asserting
-    /// literal first) and the backtrack level.
-    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+    /// literal first, recursively minimized), the backtrack level, and
+    /// the clause's literal block distance (glue).
+    fn analyze(&mut self, confl: Conflict) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 = asserting lit
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
         let mut idx = self.trail.len();
-        let mut cref = confl;
+        let mut ante = confl;
         loop {
-            self.bump_clause(cref);
-            let nlits = self.clauses[cref as usize].lits.len();
-            for k in 0..nlits {
-                let q = self.clauses[cref as usize].lits[k];
-                if Some(q) == p {
-                    continue; // the pivot: the literal this clause implied
+            match ante {
+                Conflict::Long(cref) => {
+                    self.bump_clause(cref);
+                    let h = self.clauses[cref as usize];
+                    for k in h.range() {
+                        let q = self.lit_arena[k];
+                        if Some(q) == p {
+                            continue; // the pivot: the literal this clause implied
+                        }
+                        self.analyze_mark(q, &mut counter, &mut learnt);
+                    }
                 }
-                let v = q.var().index();
-                if !self.seen[v] && self.level[v] > 0 {
-                    self.seen[v] = true;
-                    self.bump_var(q.var());
-                    if self.level[v] >= self.decision_level() {
-                        counter += 1;
-                    } else {
-                        learnt.push(q);
+                Conflict::Bin(a, b) => {
+                    for q in [a, b] {
+                        if Some(q) == p {
+                            continue;
+                        }
+                        self.analyze_mark(q, &mut counter, &mut learnt);
                     }
                 }
             }
@@ -679,12 +916,46 @@ impl Solver {
                 learnt[0] = !pl;
                 break;
             }
-            cref = self.reason[pl.var().index()];
-            debug_assert_ne!(cref, NO_REASON);
+            let r = self.reason[pl.var().index()];
+            debug_assert_ne!(r, NO_REASON);
+            ante = if r & BIN_TAG != 0 {
+                Conflict::Bin(pl, Lit(r & !BIN_TAG))
+            } else {
+                Conflict::Long(r)
+            };
+        }
+        // Recursive minimization: a learnt literal whose implication-
+        // graph antecedents all resolve into the clause (or level 0) is
+        // redundant — the rest of the clause already subsumes it. The
+        // `seen` marks for all learnt literals stay up during the walk,
+        // which is what makes dropping several literals at once sound.
+        let abstract_levels = learnt[1..]
+            .iter()
+            .fold(0u64, |acc, l| acc | 1u64 << (self.level[l.var().index()] & 63));
+        let mut kept: Vec<Lit> = Vec::with_capacity(learnt.len());
+        kept.push(learnt[0]);
+        for &l in &learnt[1..] {
+            if self.reason[l.var().index()] == NO_REASON || !self.lit_redundant(l, abstract_levels)
+            {
+                kept.push(l);
+            } else {
+                self.stats.minimized += 1;
+            }
         }
         for &l in &learnt[1..] {
             self.seen[l.var().index()] = false;
         }
+        for i in 0..self.min_clear.len() {
+            let v = self.min_clear[i].var().index();
+            self.seen[v] = false;
+        }
+        self.min_clear.clear();
+        let mut learnt = kept;
+        // Glue: distinct decision levels across the minimized clause.
+        let mut levels: Vec<u32> = learnt.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let glue = levels.len() as u32;
         // Backtrack to the second-highest level; move that literal into
         // watch position 1.
         let bt = if learnt.len() == 1 {
@@ -699,64 +970,177 @@ impl Solver {
             learnt.swap(1, max_i);
             self.level[learnt[1].var().index()]
         };
-        (learnt, bt)
+        (learnt, bt, glue)
     }
 
-    fn attach(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
-        debug_assert!(lits.len() >= 2);
+    fn analyze_mark(&mut self, q: Lit, counter: &mut usize, learnt: &mut Vec<Lit>) {
+        let v = q.var().index();
+        if !self.seen[v] && self.level[v] > 0 {
+            self.seen[v] = true;
+            self.bump_var(q.var());
+            if self.level[v] >= self.decision_level() {
+                *counter += 1;
+            } else {
+                learnt.push(q);
+            }
+        }
+    }
+
+    /// The MiniSat `litRedundant` walk: true when `l`'s assignment is
+    /// implied (through the implication graph) by literals already seen —
+    /// i.e. by the rest of the learnt clause. Newly marked literals are
+    /// pushed to `min_clear`; on failure the marks added by *this* walk
+    /// are rolled back so an irredundant subtree isn't cached as seen.
+    fn lit_redundant(&mut self, l: Lit, abstract_levels: u64) -> bool {
+        self.min_stack.clear();
+        self.min_stack.push(l);
+        let top = self.min_clear.len();
+        while let Some(p) = self.min_stack.pop() {
+            let r = self.reason[p.var().index()];
+            debug_assert_ne!(r, NO_REASON);
+            let ok = if r & BIN_TAG != 0 {
+                self.min_check(Lit(r & !BIN_TAG), abstract_levels)
+            } else {
+                let h = self.clauses[r as usize];
+                let mut all = true;
+                // The slot at `start` is the literal this clause
+                // implied — skip it.
+                for k in h.range().skip(1) {
+                    let q = self.lit_arena[k];
+                    if !self.min_check(q, abstract_levels) {
+                        all = false;
+                        break;
+                    }
+                }
+                all
+            };
+            if !ok {
+                for i in top..self.min_clear.len() {
+                    let v = self.min_clear[i].var().index();
+                    self.seen[v] = false;
+                }
+                self.min_clear.truncate(top);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// One antecedent literal of the redundancy walk: already-seen or
+    /// level-0 literals resolve away; an implied literal inside the
+    /// clause's level set recurses; anything else (a decision, or a
+    /// level outside the clause) proves the candidate irredundant.
+    fn min_check(&mut self, q: Lit, abstract_levels: u64) -> bool {
+        let v = q.var().index();
+        if self.seen[v] || self.level[v] == 0 {
+            return true;
+        }
+        if self.reason[v] != NO_REASON && (1u64 << (self.level[v] & 63)) & abstract_levels != 0 {
+            self.seen[v] = true;
+            self.min_stack.push(q);
+            self.min_clear.push(q);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn attach(&mut self, lits: Vec<Lit>, learnt: bool, glue: u32) -> u32 {
+        debug_assert!(lits.len() >= 3);
         let cref = self.clauses.len() as u32;
-        self.watches[lits[0].code()].push(cref);
-        self.watches[lits[1].code()].push(cref);
-        self.clauses.push(Clause { lits, learnt, activity: self.cla_inc });
+        self.watches[lits[0].code()].push(Watch { cref, blocker: lits[1] });
+        self.watches[lits[1].code()].push(Watch { cref, blocker: lits[0] });
+        let start = self.lit_arena.len() as u32;
+        self.lit_arena.extend_from_slice(&lits);
+        self.clauses.push(Clause {
+            start,
+            len: lits.len() as u32,
+            learnt,
+            activity: self.cla_inc,
+            glue,
+        });
         if learnt {
             self.stats.learnt += 1;
         }
         cref
     }
 
-    /// Halves the learnt-clause database, dropping low-activity clauses
-    /// that are neither reasons nor binary, then rebuilds the watch lists
-    /// and reason references around the compacted arena.
+    /// Installs a binary clause `(a ∨ b)` as a pair of implications in
+    /// the dedicated lists. Binary clauses are never evicted.
+    fn attach_binary(&mut self, a: Lit, b: Lit) {
+        self.bin_imps[(!a).code()].push(b);
+        self.bin_imps[(!b).code()].push(a);
+        self.n_bin += 1;
+    }
+
+    /// Halves the learnt-clause database. Eviction order is (glue
+    /// descending, activity ascending): a clause spanning few decision
+    /// levels is structurally valuable regardless of how recently it
+    /// fired, so glue ≤ 2 clauses are kept unconditionally (counted in
+    /// `stats.glue_kept`), as are reason clauses. Binary clauses live in
+    /// the implication lists and never reach this path. The watch lists
+    /// and reason references are rebuilt around the compacted arena.
     fn reduce_db(&mut self) {
-        let mut acts: Vec<f64> = self
-            .clauses
-            .iter()
-            .filter(|c| c.learnt && c.lits.len() > 2)
-            .map(|c| c.activity)
-            .collect();
-        if acts.is_empty() {
-            self.next_reduce += self.next_reduce / 2;
-            return;
-        }
-        acts.sort_by(|a, b| a.partial_cmp(b).expect("activities are finite"));
-        let cutoff = acts[acts.len() / 2];
         let mut locked = vec![false; self.clauses.len()];
         for &r in &self.reason {
-            if r != NO_REASON {
+            // `NO_REASON` carries `BIN_TAG` too, so this skips both
+            // binary reasons and unassigned variables.
+            if r & BIN_TAG == 0 {
                 locked[r as usize] = true;
             }
         }
+        let mut cand: Vec<usize> = Vec::new();
+        let mut protected = 0u64;
+        for (i, c) in self.clauses.iter().enumerate() {
+            if c.learnt && !locked[i] {
+                if c.glue <= 2 {
+                    protected += 1;
+                } else {
+                    cand.push(i);
+                }
+            }
+        }
+        self.stats.glue_kept += protected;
+        if cand.is_empty() {
+            self.next_reduce += self.next_reduce / 2;
+            return;
+        }
+        cand.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
+            cb.glue
+                .cmp(&ca.glue)
+                .then(ca.activity.partial_cmp(&cb.activity).expect("activities are finite"))
+        });
+        let mut dropping = vec![false; self.clauses.len()];
+        for &i in cand.iter().take(cand.len() / 2) {
+            dropping[i] = true;
+        }
         let mut remap: Vec<u32> = vec![NO_REASON; self.clauses.len()];
         let mut kept: Vec<Clause> = Vec::with_capacity(self.clauses.len());
+        let mut arena: Vec<Lit> = Vec::with_capacity(self.lit_arena.len());
         for (i, c) in self.clauses.drain(..).enumerate() {
-            let drop = c.learnt && c.lits.len() > 2 && c.activity < cutoff && !locked[i];
-            if drop {
+            if dropping[i] {
                 self.stats.learnt -= 1;
             } else {
                 remap[i] = kept.len() as u32;
-                kept.push(c);
+                let start = arena.len() as u32;
+                arena.extend_from_slice(&self.lit_arena[c.range()]);
+                kept.push(Clause { start, ..c });
             }
         }
         self.clauses = kept;
+        self.lit_arena = arena;
         for w in &mut self.watches {
             w.clear();
         }
         for (i, c) in self.clauses.iter().enumerate() {
-            self.watches[c.lits[0].code()].push(i as u32);
-            self.watches[c.lits[1].code()].push(i as u32);
+            let cref = i as u32;
+            let (l0, l1) = (self.lit_arena[c.start as usize], self.lit_arena[c.start as usize + 1]);
+            self.watches[l0.code()].push(Watch { cref, blocker: l1 });
+            self.watches[l1.code()].push(Watch { cref, blocker: l0 });
         }
         for r in &mut self.reason {
-            if *r != NO_REASON {
+            if *r & BIN_TAG == 0 {
                 *r = remap[*r as usize];
                 debug_assert_ne!(*r, NO_REASON, "reason clause was dropped");
             }
@@ -791,8 +1175,8 @@ impl Solver {
     }
 
     fn decay_activities(&mut self) {
-        self.var_inc /= 0.95;
-        self.cla_inc /= 0.999;
+        self.var_inc /= self.config.var_decay;
+        self.cla_inc /= self.config.clause_decay;
     }
 
     // -------------------------------------------------- decision heap
@@ -1112,6 +1496,125 @@ mod tests {
         s.set_ctrl(ctrl.clone());
         assert_eq!(s.solve(), SolveOutcome::Cancelled);
         assert_eq!(ctrl.faults_fired(), vec![(sites::SAT_PROPAGATE.to_string(), 0)]);
+    }
+
+    #[test]
+    fn binary_chain_propagates_and_counts() {
+        // x0 pinned true; (¬x_i ∨ x_{i+1}) forces the whole chain true
+        // through the binary implication lists.
+        let n = 500usize;
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        for i in 0..n - 1 {
+            s.add_clause(&[vars[i].neg(), vars[i + 1].pos()]);
+        }
+        s.add_clause(&[vars[0].pos()]);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        for (i, v) in vars.iter().enumerate() {
+            assert!(s.value(*v), "bit {i}");
+        }
+        assert!(s.stats().bin_props as usize >= n - 1, "stats: {:?}", s.stats());
+    }
+
+    /// Several disjoint binary implication chains: each decision floods
+    /// a few hundred binary propagations in a single search iteration.
+    fn binary_chains(chains: usize, len: usize) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..chains {
+            let vars: Vec<Var> = (0..len).map(|_| s.new_var()).collect();
+            for i in 0..len - 1 {
+                // (x_i ∨ ¬x_{i+1}): deciding x_i false (the default
+                // phase) cascades the rest of the chain false.
+                s.add_clause(&[vars[i].pos(), vars[i + 1].neg()]);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn ctrl_cadence_counts_binary_propagations() {
+        // Regression for the check cadence: the instance solves in a
+        // handful of search iterations, but each one floods hundreds of
+        // binary implications. A fault armed at check ordinal 3 only
+        // fires if the cadence is paced by propagation work — the old
+        // per-iteration cadence would need 768+ iterations to get there
+        // and would return Sat without ever hitting the site.
+        use sim_core::faultpoint::{sites, FaultPlan};
+        let ctrl = sim_core::Budget::unlimited()
+            .with_faults(FaultPlan::new().cancel_at(sites::SAT_PROPAGATE, 3));
+        let mut s = binary_chains(8, 400);
+        s.set_ctrl(ctrl.clone());
+        assert_eq!(s.solve(), SolveOutcome::Cancelled);
+        assert_eq!(ctrl.faults_fired(), vec![(sites::SAT_PROPAGATE.to_string(), 3)]);
+        // With a fresh control handle, the same solver finishes.
+        s.set_ctrl(sim_core::Budget::unlimited());
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn tight_deadline_cancels_a_binary_heavy_search() {
+        use sim_core::{Budget, Deadline};
+        let mut s = binary_chains(8, 2000);
+        s.set_ctrl(Budget::with_deadline(Deadline::at(std::time::Instant::now())));
+        assert_eq!(s.solve(), SolveOutcome::Cancelled);
+        s.set_ctrl(Budget::unlimited());
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn minimization_shrinks_learnt_clauses() {
+        let mut s = pigeonhole(8, 7);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        assert!(s.stats().minimized > 0, "stats: {:?}", s.stats());
+    }
+
+    #[test]
+    fn diversified_configs_agree_on_verdicts() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let configs = [
+            SolverConfig::default(),
+            SolverConfig { var_decay: 0.85, restart_base: 64, ..SolverConfig::default() },
+            SolverConfig { phase_init: true, ..SolverConfig::default() },
+            SolverConfig { seed: 0xC0FFEE, var_decay: 0.99, ..SolverConfig::default() },
+        ];
+        for _ in 0..40 {
+            let n = rng.gen_range(4..10usize);
+            let n_clauses = rng.gen_range(4..30usize);
+            let clauses: Vec<Vec<(usize, bool)>> = (0..n_clauses)
+                .map(|_| {
+                    (0..rng.gen_range(1..4usize))
+                        .map(|_| (rng.gen_range(0..n), rng.gen_bool(0.5)))
+                        .collect()
+                })
+                .collect();
+            let mut verdicts = Vec::new();
+            for cfg in configs {
+                let mut s = Solver::new();
+                s.set_config(cfg);
+                let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+                for c in &clauses {
+                    let lits: Vec<Lit> = c
+                        .iter()
+                        .map(|&(v, pos)| if pos { vars[v].pos() } else { vars[v].neg() })
+                        .collect();
+                    s.add_clause(&lits);
+                }
+                let got = s.solve();
+                if got == SolveOutcome::Sat {
+                    for c in &clauses {
+                        assert!(
+                            c.iter().any(|&(v, pos)| s.value(vars[v]) == pos),
+                            "model violates {c:?} under {cfg:?}"
+                        );
+                    }
+                }
+                verdicts.push(got);
+            }
+            assert!(
+                verdicts.windows(2).all(|w| w[0] == w[1]),
+                "configs disagree: {verdicts:?} on {clauses:?}"
+            );
+        }
     }
 
     #[test]

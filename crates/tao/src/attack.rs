@@ -18,7 +18,9 @@
 
 use crate::flow::LockedDesign;
 use attack_sat::{AttackQuery, OracleResponse, SatAttackOptions, SatAttackOutcome};
-pub use attack_sat::{ExhaustCause, IoConstraint, SatAttackStatus};
+pub use attack_sat::{
+    CnfSizes, ExhaustCause, IoConstraint, PortfolioOptions, RacerReport, SatAttackStatus,
+};
 use hls_core::{verilog, KeyBits};
 use hls_ir::ArrayId;
 use rtl::{images_equal, CompiledFsmd, OutputImage, SimOptions, TestCase};
@@ -261,6 +263,15 @@ pub struct SatAttackConfig {
     /// Extra cycles on top of the probed latency (room for wrong keys
     /// whose last distinguishing write lands late).
     pub slack: u32,
+    /// Starting depth of the lazy incremental unrolling (`None` = the
+    /// worst latency the probe measured — any shallower start only
+    /// yields boundary artifacts); the DIP loop grows toward the full
+    /// bound only when a proof touches the k-boundary frame.
+    pub initial_unroll: Option<u32>,
+    /// Measure the miter CNF with and without cone-of-influence pruning
+    /// at the final depth (reported in the outcome; costs one extra
+    /// unsolved encoding pass).
+    pub measure_full_cnf: bool,
     /// Stop after this many DIPs.
     pub max_dips: Option<u64>,
     /// Total solver conflict budget.
@@ -281,6 +292,8 @@ impl Default for SatAttackConfig {
         SatAttackConfig {
             unroll: None,
             slack: 8,
+            initial_unroll: None,
+            measure_full_cnf: false,
             max_dips: None,
             conflict_budget: None,
             step_budget: None,
@@ -341,15 +354,92 @@ pub fn sat_attack_design(
     cases: &[TestCase],
     cfg: &SatAttackConfig,
 ) -> Result<SatDesignAttack, VlogError> {
+    sat_attack_design_with(design, correct_key, cases, cfg, |sim, opts, oracle| {
+        attack_sat::sat_attack(sim, opts, oracle)
+    })
+}
+
+/// [`sat_attack_design`] with the DIP loop run as a portfolio of racing
+/// solver configurations (see [`attack_sat::sat_attack_portfolio`]):
+/// same oracle, same observable, same verification, but each round's
+/// answer comes from whichever diversified racer finishes first.
+///
+/// # Errors
+///
+/// Returns [`VlogError`] when the emitted text fails to parse.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`sat_attack_design`].
+pub fn sat_attack_design_portfolio(
+    design: &LockedDesign,
+    correct_key: &KeyBits,
+    cases: &[TestCase],
+    cfg: &SatAttackConfig,
+    popts: &attack_sat::PortfolioOptions,
+) -> Result<SatPortfolioAttack, VlogError> {
+    let mut race = None;
+    let attack = sat_attack_design_with(design, correct_key, cases, cfg, |sim, opts, oracle| {
+        let p = attack_sat::sat_attack_portfolio(sim, opts, popts, oracle);
+        race = Some((p.winner, p.rounds, p.racers));
+        p.outcome
+    })?;
+    let (winner, rounds, racers) = race.expect("portfolio ran");
+    Ok(SatPortfolioAttack { attack, winner, rounds, racers })
+}
+
+/// Result of [`sat_attack_design_portfolio`]: the verified attack plus
+/// the race report.
+#[derive(Debug, Clone)]
+pub struct SatPortfolioAttack {
+    /// The winning path's outcome and design-house verification.
+    pub attack: SatDesignAttack,
+    /// Racer index whose answer ended the attack.
+    pub winner: usize,
+    /// DIP-loop rounds raced.
+    pub rounds: u64,
+    /// Per-racer configs and effort, in racer-index order.
+    pub racers: Vec<attack_sat::RacerReport>,
+}
+
+/// The shared scaffold of the design-level attacks: emit + parse the
+/// foundry-visible text, probe the latency bound, build the tape-backed
+/// oracle, run `attack`, verify the recovered key against the truth.
+fn sat_attack_design_with(
+    design: &LockedDesign,
+    correct_key: &KeyBits,
+    cases: &[TestCase],
+    cfg: &SatAttackConfig,
+    attack: impl FnOnce(
+        &VlogSim,
+        &SatAttackOptions,
+        &mut dyn FnMut(&AttackQuery) -> OracleResponse,
+    ) -> SatAttackOutcome,
+) -> Result<SatDesignAttack, VlogError> {
     let text = verilog::emit(&design.fsmd);
     let sim = VlogSim::new(&text)?;
     let compiled = CompiledFsmd::compile(&design.fsmd);
 
     // Bound the observable window: the attacker measures the activated
-    // chip's latency on a few stimuli and adds slack.
+    // chip's latency on a few stimuli and adds slack. The same probe
+    // seeds the lazy unrolling — real executions finish within `worst`
+    // cycles, so starting the DIP loop any shallower only yields
+    // boundary artifacts.
     let mut probe = compiled.runner();
-    let unroll = match cfg.unroll {
-        Some(k) => k,
+    let (unroll, probed_worst) = match cfg.unroll {
+        Some(k) => {
+            let probe_opts = SimOptions { max_cycles: u64::from(k), snapshot_on_timeout: false };
+            let worst = cases
+                .iter()
+                .map(|c| match probe.run_case(c, correct_key, &probe_opts) {
+                    Ok(stats) => stats.cycles as u32,
+                    Err(rtl::SimError::CycleLimit) => k,
+                    Err(e) => panic!("latency probe failed: {e}"),
+                })
+                .max()
+                .unwrap_or(k);
+            (k, worst)
+        }
         None => {
             let worst = cases
                 .iter()
@@ -360,8 +450,8 @@ pub fn sat_attack_design(
                         .cycles
                 })
                 .max()
-                .unwrap_or(64);
-            worst as u32 + cfg.slack
+                .unwrap_or(64) as u32;
+            (worst + cfg.slack, worst)
         }
     };
 
@@ -395,13 +485,15 @@ pub fn sat_attack_design(
 
     let opts = SatAttackOptions {
         unroll_cycles: unroll,
+        initial_unroll: cfg.initial_unroll.unwrap_or_else(|| probed_worst.clamp(1, unroll)),
+        measure_full_cnf: cfg.measure_full_cnf,
         max_dips: cfg.max_dips,
         conflict_budget: cfg.conflict_budget,
         step_budget: cfg.step_budget,
         budget: cfg.budget.clone(),
         obs: cfg.obs.clone(),
     };
-    let outcome = attack_sat::sat_attack(&sim, &opts, &mut oracle);
+    let outcome = attack(&sim, &opts, &mut oracle);
 
     // Design-house verification: bit-exactness and functional parity in
     // the attack's own observable — done-within-k plus the output image.
@@ -628,6 +720,24 @@ mod tests {
             got.hamming_distance(&wk)
         });
         assert!(att.key_functional);
+    }
+
+    #[test]
+    fn portfolio_design_attack_recovers_exactly() {
+        let m = hls_frontend::compile(KERNEL, "t").unwrap();
+        let lk = locking(9);
+        let d = lock(&m, "f", &lk, &branch_only()).unwrap();
+        let wk = d.working_key(&lk);
+        let cases: Vec<TestCase> =
+            [(9u64, 3u64), (3, 9)].iter().map(|&(a, b)| TestCase::args(&[a, b])).collect();
+        let popts = attack_sat::PortfolioOptions { racers: 2, threads: None };
+        let out = sat_attack_design_portfolio(&d, &wk, &cases, &SatAttackConfig::default(), &popts)
+            .unwrap();
+        assert!(out.attack.recovered());
+        assert!(out.attack.key_exact, "branch polarities are fully observable");
+        assert_eq!(out.racers.len(), 2);
+        assert_eq!(out.racers.iter().map(|r| r.wins).sum::<u64>(), out.rounds);
+        assert!(out.winner < 2);
     }
 
     #[test]

@@ -170,6 +170,41 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! The same loop runs as a **portfolio**
+//! ([`tao::sat_attack_design_portfolio`]): every DIP round races
+//! diversified solver configurations (VSIDS decay, restart scaling,
+//! phase polarity, seed) on the work-stealing grid; the first racer to
+//! finish answers the round and the rest are cancelled through the
+//! shared `Budget` machinery:
+//!
+//! ```
+//! use tao_repro::hls_core::KeyBits;
+//! use tao_repro::rtl::TestCase;
+//! use tao_repro::tao::{
+//!     lock, sat_attack_design_portfolio, PlanConfig, PortfolioOptions, SatAttackConfig,
+//!     TaoOptions,
+//! };
+//!
+//! let m = tao_repro::hls_frontend::compile(
+//!     "int f(int a, int b) { int r = a ^ 9; if (r > b) r = r + b; return r; }", "d")?;
+//! let locking = KeyBits::from_fn(256, || 0x5eed_cafe_f00d_1234);
+//! let opts = TaoOptions {
+//!     plan: PlanConfig { dfg_variants: false, ..PlanConfig::default() },
+//!     ..TaoOptions::default()
+//! };
+//! let design = lock(&m, "f", &locking, &opts)?;
+//! let wk = design.working_key(&locking);
+//! let cases = [TestCase::args(&[5, 3]), TestCase::args(&[3, 5])];
+//!
+//! let popts = PortfolioOptions { racers: 2, ..PortfolioOptions::default() };
+//! let race =
+//!     sat_attack_design_portfolio(&design, &wk, &cases, &SatAttackConfig::default(), &popts)?;
+//! assert!(race.attack.recovered());
+//! assert_eq!(race.attack.outcome.key.as_ref(), Some(&wk));
+//! assert!(race.winner < popts.racers, "winner is a racer index");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! ## The shared simulation layer and the parallel grid executor
 //!
 //! Every backend speaks the [`sim_core`] contract: the types above

@@ -155,4 +155,182 @@ proptest! {
         g.assert_true(diff);
         prop_assert_eq!(g.solver().solve(), SolveOutcome::Unsat);
     }
+
+    /// COI pruning and staged incremental growth are invisible in the
+    /// observables: for pinned inputs and keys, the full fixed-k
+    /// encoding, the COI-pruned fixed-k encoding, and a COI-pruned
+    /// unrolling grown in uneven stages all fold to the same
+    /// `(done, ret)` constants.
+    #[test]
+    fn coi_and_staged_growth_match_the_full_encoding(seed in any::<u64>()) {
+        let prog = gen_program(seed);
+        let module = hls_frontend::compile(&prog.source, "p").unwrap();
+        let lk = locking_key(seed.rotate_left(17));
+        let design = tao::lock(&module, "f", &lk, &tao::TaoOptions::default())
+            .unwrap_or_else(|e| panic!("lock: {e}\n{}", prog.source));
+        let text = verilog::emit(&design.fsmd);
+        let sim = VlogSim::new(&text).expect("emitted text parses");
+        let full = Encoder::full(&sim);
+        let pruned = Encoder::new(&sim);
+        let coi = pruned.coi();
+        prop_assert!(coi.live_sigs <= coi.total_sigs);
+
+        let wk = design.working_key(&lk);
+        let mut wrong = wk.clone();
+        wrong.set_bit(seed as u32 % wk.width(), !wrong.bit(seed as u32 % wk.width()));
+        let k: u32 = 40;
+        for key in [&wk, &wrong] {
+            for args in arg_sets() {
+                let observe = |enc: &Encoder, stages: &[u32]| {
+                    let mut g = Gates::new();
+                    let inputs = enc.pinned_inputs(&mut g, &args, &[]);
+                    let klits = KeyLits::pinned(&mut g, key);
+                    let mut u = enc.begin(&mut g, &inputs, &klits);
+                    for &d in stages {
+                        enc.grow(&mut g, &mut u, d);
+                    }
+                    let obs = enc.observables(&mut g, &u);
+                    let done = g.const_value(obs.done).expect("pinned unrolling folds");
+                    let ret = obs.ret.map(|rv| rv.const_value(&g).expect("pinned ret folds"));
+                    (done, ret)
+                };
+                let reference = observe(&full, &[k]);
+                let coi_once = observe(&pruned, &[k]);
+                let coi_staged = observe(&pruned, &[3, 5, k - 9, 1]);
+                prop_assert_eq!(
+                    &reference, &coi_once,
+                    "COI changed the observable (args {:?})\n{}", args, &prog.source
+                );
+                prop_assert_eq!(
+                    &reference, &coi_staged,
+                    "staged growth changed the observable (args {:?})\n{}", args, &prog.source
+                );
+            }
+        }
+    }
+}
+
+/// The lazily-grown attack and the eager fixed-k attack agree on
+/// TAO-locked HLS kernels: same collapse verdict, and the recovered
+/// keys are interchangeable in the bounded observable (checked against
+/// the tape on fresh stimuli).
+///
+/// Full DIP loops are far too expensive for arbitrary generated
+/// kernels in this suite (their latencies start around 55 cycles and
+/// free-input unrollings at that depth dominate the runtime), so this
+/// drives the whole flow — compile, lock, emit, tape oracle, attack —
+/// on two small fixed kernels with different key compositions instead.
+#[test]
+fn lazy_attack_agrees_with_eager_fixed_k() {
+    use attack_sat::{sat_attack, AttackQuery, OracleResponse, SatAttackOptions, SatAttackStatus};
+    use tao::PlanConfig;
+
+    // (kernel, lock shape): branch-polarity keys only, then
+    // constant + branch keys. DFG variants are excluded the same way
+    // the in-crate attack tests exclude them — variant mux trees blow
+    // up the miter without changing the lazy-vs-eager contract.
+    let branch_only = tao::TaoOptions {
+        plan: PlanConfig { constants: false, dfg_variants: false, ..PlanConfig::default() },
+        ..tao::TaoOptions::default()
+    };
+    let const_and_branch = tao::TaoOptions {
+        plan: PlanConfig { dfg_variants: false, ..PlanConfig::default() },
+        ..tao::TaoOptions::default()
+    };
+    let kernels: [(&str, &tao::TaoOptions); 2] = [
+        (
+            r#"
+            int f(int a, int b, int c) {
+                int r = a + b;
+                if (r > c) r = r - c;
+                else r = c - r;
+                return r;
+            }
+            "#,
+            &branch_only,
+        ),
+        (
+            r#"
+            int f(int a, int b, int c) {
+                int r = a ^ 21;
+                if (r > b) r = r + b;
+                else r = r - b;
+                return (r + c) ^ 5;
+            }
+            "#,
+            &const_and_branch,
+        ),
+    ];
+
+    for (i, (src, topts)) in kernels.iter().enumerate() {
+        let module = hls_frontend::compile(src, "p").unwrap();
+        let lk = locking_key((i as u64).rotate_right(9) | 1);
+        let design = tao::lock(&module, "f", &lk, topts).unwrap();
+        let text = verilog::emit(&design.fsmd);
+        let sim = VlogSim::new(&text).expect("emitted text parses");
+        let tape = VlogTape::compile(&sim).expect("tape compiles");
+        let wk = design.working_key(&lk);
+
+        // Bound the observable just above the correct-key latency.
+        let mut probe = tape.runner();
+        let latency = arg_sets()
+            .iter()
+            .map(|args| {
+                probe
+                    .run(args, &wk, &[], &rtl::SimOptions::default())
+                    .expect("correct key terminates")
+                    .cycles
+            })
+            .max()
+            .unwrap() as u32;
+        let k = latency + 4;
+
+        let run_mode = |initial: u32| {
+            let mut runner = tape.runner();
+            let opts = rtl::SimOptions { max_cycles: k as u64, snapshot_on_timeout: false };
+            let mut oracle = |q: &AttackQuery| match runner.run(&q.args, &wk, &[], &opts) {
+                Ok(res) => OracleResponse { done: true, ret: res.ret, mems: vec![] },
+                Err(SimError::CycleLimit) => {
+                    OracleResponse { done: false, ret: None, mems: vec![] }
+                }
+                Err(e) => panic!("oracle failed: {e}"),
+            };
+            sat_attack(
+                &sim,
+                &SatAttackOptions {
+                    unroll_cycles: k,
+                    initial_unroll: initial,
+                    ..Default::default()
+                },
+                &mut oracle,
+            )
+        };
+        let lazy = run_mode(2);
+        let eager = run_mode(k);
+        assert_eq!(lazy.status, eager.status, "verdicts diverged (kernel {i})");
+        assert_eq!(lazy.status, SatAttackStatus::Recovered, "kernel {i} not recovered");
+        assert!(lazy.unroll_final <= k);
+        assert_eq!(eager.growths, 0, "eager mode must never grow");
+
+        // Both recovered keys must land in the same observable
+        // equivalence class as the true key.
+        let opts = rtl::SimOptions { max_cycles: k as u64, snapshot_on_timeout: false };
+        let mut check = tape.runner();
+        for key in [lazy.key.as_ref().unwrap(), eager.key.as_ref().unwrap()] {
+            for args in arg_sets() {
+                let want = match check.run(&args, &wk, &[], &opts) {
+                    Ok(res) => Some(res.ret),
+                    Err(_) => None,
+                };
+                let have = match check.run(&args, key, &[], &opts) {
+                    Ok(res) => Some(res.ret),
+                    Err(_) => None,
+                };
+                assert_eq!(
+                    want, have,
+                    "recovered key observable-diverges (kernel {i}, args {args:?})"
+                );
+            }
+        }
+    }
 }
