@@ -90,6 +90,12 @@ pub struct SatAttackOptions {
     /// handle into the CDCL solver, and samples `attack.clauses` /
     /// `attack.vars` after every iteration.
     pub obs: obs::Obs,
+    /// Live progress feed (disabled by default). Enabled, the attack
+    /// announces `max_dips` as its total (when bounded — an unbounded
+    /// DIP loop's length is unknowable up front) under a `"sat-attack"`
+    /// phase and ticks once per distinguishing input, at any racer or
+    /// worker count.
+    pub progress: obs::ProgressTracker,
 }
 
 impl Default for SatAttackOptions {
@@ -103,6 +109,7 @@ impl Default for SatAttackOptions {
             step_budget: None,
             budget: Budget::unlimited(),
             obs: obs::Obs::off(),
+            progress: obs::ProgressTracker::off(),
         }
     }
 }
@@ -256,6 +263,13 @@ pub fn sat_attack(
     let mut attack_span = obs.span("attack.sat");
     let mut eng = AttackEngine::new(sim, opts, None);
     let dip_counter = obs.counter("attack.dips");
+    let progress = opts.progress.clone();
+    if progress.enabled() {
+        progress.set_phase("sat-attack");
+        if let Some(max) = opts.max_dips {
+            progress.add_total(max);
+        }
+    }
     let mut constraints: Vec<IoConstraint> = Vec::new();
     let status = loop {
         match eng.step() {
@@ -269,6 +283,7 @@ pub fn sat_attack(
                 };
                 eng.apply_dip(&query, &resp);
                 dip_counter.inc();
+                progress.tick();
                 constraints.push(IoConstraint { query, response: resp });
             }
             Step::Exhausted(cause) => break SatAttackStatus::Exhausted(cause),

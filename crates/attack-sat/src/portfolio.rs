@@ -142,6 +142,17 @@ pub fn sat_attack_portfolio(
     let grid = GridExec::new(popts.threads.unwrap_or(n)).with_obs(obs.clone());
 
     let dip_counter = obs.counter("attack.dips");
+    // Progress counts DIPs, not racer micro-steps: the per-round fleet
+    // grid stays progress-free (it would announce n per round), and the
+    // feed ticks once per distinguishing input like the single-engine
+    // attack does.
+    let progress = opts.progress.clone();
+    if progress.enabled() {
+        progress.set_phase("sat-attack");
+        if let Some(max) = opts.max_dips {
+            progress.add_total(max);
+        }
+    }
     let mut wins = vec![0u64; n];
     let mut rounds = 0u64;
     let mut winner = 0usize;
@@ -194,6 +205,7 @@ pub fn sat_attack_portfolio(
                 };
                 grid.run(n, || (), |_, i| engines[i].lock().unwrap().apply_dip(&query, &resp));
                 dip_counter.inc();
+                progress.tick();
                 constraints.push(IoConstraint { query, response: resp });
             }
             Step::Exhausted(cause) => break SatAttackStatus::Exhausted(*cause),

@@ -31,6 +31,10 @@ const KNOWN: &[&str] = &[
     "bench-json",
     "bench-json-smoke",
     "bench-diff",
+    "bench-history",
+    "bench-history-smoke",
+    "analyze",
+    "analyze-smoke",
     "grid-smoke",
     "spec-smoke",
     "profile",
@@ -49,11 +53,21 @@ fn main() {
     // default (which used to profile sobel *and* re-dispatch the operand
     // as a bogus experiment).
     let mut profile_kernel_name = String::from("sobel");
+    let mut profile_out_path = String::from("target/trace.json");
     if let Some(i) = args.iter().position(|a| a == "profile") {
         match args.get(i + 1) {
             Some(name) if benchmarks::by_name(name).is_some() => {
                 profile_kernel_name = name.clone();
                 args.remove(i + 1);
+                // Optional second operand: the trace output path
+                // (`profile gsm target/gsm.json`). Any token that is not
+                // another experiment name is the path.
+                if let Some(out) = args.get(i + 1) {
+                    if !KNOWN.contains(&out.as_str()) {
+                        profile_out_path = out.clone();
+                        args.remove(i + 1);
+                    }
+                }
             }
             // Next token is another experiment (or absent): keep default.
             Some(name) if KNOWN.contains(&name.as_str()) => {}
@@ -63,6 +77,17 @@ fn main() {
                 eprintln!("unknown profile kernel `{name}`");
                 eprintln!("known kernels: {}", kernels.join(" "));
                 std::process::exit(2);
+            }
+        }
+    }
+    // `analyze <trace.json>` likewise consumes its operand (default:
+    // where `profile` writes).
+    let mut analyze_path = String::from("target/trace.json");
+    if let Some(i) = args.iter().position(|a| a == "analyze") {
+        if let Some(path) = args.get(i + 1) {
+            if !KNOWN.contains(&path.as_str()) {
+                analyze_path = path.clone();
+                args.remove(i + 1);
             }
         }
     }
@@ -224,6 +249,14 @@ fn main() {
                 std::fs::write(path, sim_bench_json(&rows, "full"))
                     .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
                 println!("wrote {path}");
+                // Every run also feeds the perf trajectory, so
+                // `bench-history` can trend across runs, not just diff
+                // against one baseline.
+                let history = std::path::Path::new("target/bench_history.jsonl");
+                match append_history(history, &rows, "full") {
+                    Ok(()) => println!("appended run to {}", history.display()),
+                    Err(e) => eprintln!("could not append {}: {e}", history.display()),
+                }
                 let mut violations = check_floor(&rows, VLOG_TAPE_FLOOR).err().unwrap_or_default();
                 violations.extend(check_grid_floor(&rows, GRID_FLOOR).err().unwrap_or_default());
                 violations.extend(check_spec_floor(&rows, SPEC_FLOOR).err().unwrap_or_default());
@@ -248,6 +281,15 @@ fn main() {
                 let rows = sim_bench();
                 let deltas = diff_sim_bench(&rows, &baseline);
                 println!("{}", render_bench_diff(&deltas));
+                // On runners that measured a scaling curve, the w4/w1
+                // ratio also gates against the absolute floor (the
+                // baseline-relative ratio gate rides in the deltas).
+                if let Err(vs) = check_grid_curve_floor(&rows, GRID_CURVE_FLOOR) {
+                    for v in &vs {
+                        eprintln!("GRID CURVE VIOLATION: {v}");
+                    }
+                    std::process::exit(1);
+                }
                 let regs = bench_regressions(&deltas);
                 if !regs.is_empty() {
                     for r in &regs {
@@ -277,8 +319,12 @@ fn main() {
                 // obs telemetry layer on, exported as a Chrome trace
                 // (chrome://tracing or ui.perfetto.dev) plus the metric
                 // registry's summary table.
-                let rep = profile_kernel(&profile_kernel_name, false);
-                let path = "target/trace.json";
+                let progress = obs::ProgressTracker::new(obs::StderrTicker::default());
+                let rep = profile_kernel_with(&profile_kernel_name, false, progress);
+                let path = &profile_out_path;
+                if let Some(dir) = std::path::Path::new(path).parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
                 std::fs::write(path, &rep.trace_json)
                     .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
                 println!("{}", rep.summary);
@@ -287,6 +333,75 @@ fn main() {
                     rep.kernel, rep.grid_trials, rep.sat_dips, rep.dse_points
                 );
                 println!("wrote {path} (load in chrome://tracing or ui.perfetto.dev)");
+                // Trace intelligence rides along: attribute the trace we
+                // just wrote instead of making the user re-invoke.
+                match analyze_trace_file(std::path::Path::new(path)) {
+                    Ok(a) => {
+                        println!("{}", a.report);
+                        println!("wrote {} and {}", a.folded_path.display(), a.svg_path.display());
+                    }
+                    Err(e) => eprintln!("trace analysis failed: {e}"),
+                }
+            }
+            "analyze" => {
+                // Trace intelligence: span attribution, critical path,
+                // worker utilization, collapsed stacks + SVG flamegraph
+                // from a recorded `profile` trace.
+                match analyze_trace_file(std::path::Path::new(&analyze_path)) {
+                    Ok(a) => {
+                        println!("{}", a.report);
+                        println!("wrote {} and {}", a.folded_path.display(), a.svg_path.display());
+                    }
+                    Err(e) => {
+                        eprintln!("analyze failed: {e}");
+                        eprintln!("(record a trace first: reproduce -- profile <kernel>)");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "analyze-smoke" => {
+                // CI gate: profile gsm at smoke size, analyze the trace,
+                // assert critical path / utilization / SVG / folded
+                // round-trip.
+                println!("{}", analyze_smoke());
+            }
+            "bench-history" => {
+                // Perf trajectory: trend every (kernel, metric) series
+                // across the runs `bench-json` appended on this
+                // machine+mode; robust slope + last-3-median verdicts.
+                let path = std::path::Path::new("target/bench_history.jsonl");
+                let text = std::fs::read_to_string(path).unwrap_or_default();
+                let runs = parse_history(&text);
+                if runs.is_empty() {
+                    println!(
+                        "no bench history at {} yet (run `reproduce -- bench-json` to \
+                         start one)",
+                        path.display()
+                    );
+                } else {
+                    let trends = history_trends(&runs);
+                    println!("{}", render_history(&trends, runs.len()));
+                    let regressing: Vec<_> =
+                        trends.iter().filter(|t| t.verdict == TrendVerdict::Regressing).collect();
+                    if !regressing.is_empty() {
+                        for t in &regressing {
+                            eprintln!(
+                                "HISTORY REGRESSION: {} {} trending {:+.1}%/run \
+                                 (last-3 median {:+.1}% vs prior)",
+                                t.kernel,
+                                t.metric,
+                                t.slope_per_run * 100.0,
+                                t.shift * 100.0,
+                            );
+                        }
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "bench-history-smoke" => {
+                // CI gate: two synthetic runs appended to a scratch
+                // history, parsed back, trend table rendered.
+                println!("{}", bench_history_smoke());
             }
             "profile-smoke" => {
                 // CI gate: tight-budget profile pass; asserts the trace

@@ -11,11 +11,11 @@
 
 use crate::experiments::{locking_key, test_case};
 use hls_dse::{explore, ConfigSpace, DseOptions, Kernel};
-use obs::{ChromeTraceSink, Obs};
+use obs::{ChromeTraceSink, Obs, ProgressTracker};
 use rtl::{CompiledFsmd, SimOptions, TestCase};
 use sim_core::GridExec;
 use std::sync::Arc;
-use tao::{SatAttackConfig, TaoOptions};
+use tao::{PortfolioOptions, SatAttackConfig, TaoOptions};
 
 /// Everything one profiled pass produces.
 #[derive(Debug, Clone)]
@@ -45,6 +45,17 @@ pub struct ProfileReport {
 /// fails to compile/lock — the suite kernels are fixtures, so that is a
 /// bug, not an input error.
 pub fn profile_kernel(kernel: &str, smoke: bool) -> ProfileReport {
+    profile_kernel_with(kernel, smoke, ProgressTracker::off())
+}
+
+/// [`profile_kernel`] with a live [`ProgressTracker`] threaded through
+/// every stage (grid trials, attack DIPs, DSE points). Pass
+/// [`ProgressTracker::off()`] for the silent variant.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`profile_kernel`].
+pub fn profile_kernel_with(kernel: &str, smoke: bool, progress: ProgressTracker) -> ProfileReport {
     let sink = Arc::new(ChromeTraceSink::new());
     let obs = Obs::new(Arc::clone(&sink));
 
@@ -62,7 +73,8 @@ pub fn profile_kernel(kernel: &str, smoke: bool) -> ProfileReport {
         keys.push(d.working_key(&locking_key(0x6e1d ^ i)));
     }
     let budget = SimOptions { max_cycles: 2_000_000, snapshot_on_timeout: true };
-    let exec = GridExec::default().with_obs(obs.clone());
+    progress.set_phase("profile-grid");
+    let exec = GridExec::default().with_obs(obs.clone()).with_progress(progress.clone());
     let grid = exec.grid(&ctape, std::slice::from_ref(&case), &keys, &budget);
     let grid_trials = grid.iter().flatten().count() as u64;
 
@@ -73,11 +85,20 @@ pub fn profile_kernel(kernel: &str, smoke: bool) -> ProfileReport {
         max_dips: Some(if smoke { 4 } else { 16 }),
         conflict_budget: Some(if smoke { 500 } else { 2_000 }),
         obs: obs.clone(),
+        progress: progress.clone(),
         ..SatAttackConfig::default()
     };
     let att = tao::sat_attack_design(&d, &wk, std::slice::from_ref(&case), &cfg)
         .expect("emitted text parses");
     let sat_dips = att.outcome.dips;
+
+    // Stage 2b — the same bounded attack raced as a solver portfolio,
+    // so the trace also carries `attack.portfolio` round spans and the
+    // per-racer solver spans interleave across worker threads.
+    let popts = PortfolioOptions { racers: 3, ..PortfolioOptions::default() };
+    let _race =
+        tao::sat_attack_design_portfolio(&d, &wk, std::slice::from_ref(&case), &cfg, &popts)
+            .expect("emitted text parses");
 
     // Stage 3 — a smoke-sized DSE sweep over the same kernel, with the
     // handle forwarded through `DseOptions` (per-phase spans, memo
@@ -87,9 +108,12 @@ pub fn profile_kernel(kernel: &str, smoke: bool) -> ProfileReport {
         vec![Kernel::new(b.name, b.source, b.top, stim.args.clone())
             .with_arrays(stim.arrays.clone())];
     let space = ConfigSpace::smoke();
-    let report =
-        explore(&dse_kernels, &space, &DseOptions { obs: obs.clone(), ..Default::default() })
-            .expect("dse sweep");
+    let report = explore(
+        &dse_kernels,
+        &space,
+        &DseOptions { obs: obs.clone(), progress: progress.clone(), ..Default::default() },
+    )
+    .expect("dse sweep");
     let dse_points = report.points.len() as u64;
 
     ProfileReport {
@@ -133,9 +157,17 @@ pub fn check_trace(trace_json: &str) -> Result<Vec<String>, String> {
 }
 
 /// The spans a complete profile trace must cover: one per instrumented
-/// subsystem (grid, SAT solver, attack loop, DSE phases).
-pub const REQUIRED_SPANS: [&str; 6] =
-    ["grid.run", "grid.worker", "sat.solve", "attack.sat", "dse.explore", "dse.point"];
+/// subsystem (grid, SAT solver, single-engine attack loop, portfolio
+/// race, DSE phases).
+pub const REQUIRED_SPANS: [&str; 7] = [
+    "grid.run",
+    "grid.worker",
+    "sat.solve",
+    "attack.sat",
+    "attack.portfolio",
+    "dse.explore",
+    "dse.point",
+];
 
 /// Runs the CI-sized profile pass and asserts the acceptance criteria:
 /// well-formed Chrome trace covering grid, SAT and DSE spans, with

@@ -21,7 +21,11 @@
 //! machine-independent in-process speedup ratio (tape vs tree) drops by
 //! more than 30%. Absolute cycles/s deltas are printed as context only
 //! — the baseline was recorded on a different machine than CI runs on,
-//! so gating them would flag hardware, not code.
+//! so gating them would flag hardware, not code. On runners that
+//! measure a grid scaling curve (≥ [`GRID_FLOOR_MIN_WORKERS`] cores)
+//! the in-process w4/w1 ratio additionally gates: against the
+//! baseline's ratio at [`BENCH_DIFF_MAX_DROP`], and against the
+//! absolute [`GRID_CURVE_FLOOR`].
 
 use crate::experiments::{locking_key, test_case};
 use hls_core::verilog;
@@ -51,6 +55,14 @@ pub const GRID_FLOOR: f64 = 2.0;
 /// The grid floor only applies on runners with this many cores —
 /// below that, perfect scaling could not reach the floor anyway.
 pub const GRID_FLOOR_MIN_WORKERS: usize = 4;
+
+/// Absolute floor on the measured w4/w1 grid scaling-curve ratio
+/// (ROADMAP item 5): on a runner that recorded a curve (≥
+/// [`GRID_FLOOR_MIN_WORKERS`] cores), four workers must deliver at
+/// least this multiple of the one-worker grid measured in the same
+/// process. The ratio is machine-independent, so it gates wherever a
+/// curve exists.
+pub const GRID_CURVE_FLOOR: f64 = 1.5;
 
 /// `bench-diff` fails when a tracked throughput metric drops by more
 /// than this fraction against the checked-in baseline.
@@ -630,8 +642,61 @@ pub fn diff_sim_bench(fresh: &[SimBenchRow], baseline: &[BaselineRow]) -> Vec<Be
                 }
             }
         }
+        // ROADMAP item 5's gate: when both sides measured the curve's
+        // 1- and 4-worker points, the in-process w4/w1 *ratio* is
+        // machine-independent and gates like the other speedup ratios.
+        if let (Some(ratio), Some(bw1), Some(bw4)) =
+            (grid_curve_ratio(row), base.metric("grid_w1"), base.metric("grid_w4"))
+        {
+            if bw1 > 0.0 {
+                deltas.push(BenchDelta {
+                    kernel: row.name.clone(),
+                    metric: "grid_w4_w1".to_string(),
+                    baseline: bw4 / bw1,
+                    fresh: ratio,
+                    max_drop: Some(BENCH_DIFF_MAX_DROP),
+                });
+            }
+        }
     }
     deltas
+}
+
+/// The fresh w4/w1 scaling ratio of a row's grid curve, when the run
+/// measured both points (i.e. the runner had ≥ 4 cores).
+fn grid_curve_ratio(row: &SimBenchRow) -> Option<f64> {
+    let at = |n| row.grid_curve.iter().find(|&&(w, _)| w == n).map(|&(_, cps)| cps);
+    match (at(1), at(4)) {
+        (Some(w1), Some(w4)) if w1 > 0.0 => Some(w4 / w1),
+        _ => None,
+    }
+}
+
+/// `Err` with the offending rows when a kernel that measured a grid
+/// scaling curve (≥ [`GRID_FLOOR_MIN_WORKERS`] cores — smaller runners
+/// pass vacuously) delivers a w4/w1 ratio below `floor`.
+///
+/// # Errors
+///
+/// Returns the list of violations, one line per failing kernel.
+pub fn check_grid_curve_floor(rows: &[SimBenchRow], floor: f64) -> Result<(), Vec<String>> {
+    let violations: Vec<String> = rows
+        .iter()
+        .filter_map(|r| {
+            let ratio = grid_curve_ratio(r)?;
+            (ratio < floor).then(|| {
+                format!(
+                    "{}: grid curve w4/w1 ratio {ratio:.2}x is below the {floor}x scaling floor",
+                    r.name,
+                )
+            })
+        })
+        .collect();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
 }
 
 /// The gating deltas regressing past their own per-metric threshold
@@ -870,14 +935,21 @@ mod tests {
         let parsed = parse_sim_bench_json(&json).unwrap();
         assert_eq!(parsed[0].metric("grid_w2"), Some(5.5e6));
 
-        // A fresh curve half as steep: reported, never gating.
+        // A fresh curve half as steep: the raw points stay context,
+        // but the collapsed w4/w1 ratio gates — and this one (1.07x vs
+        // the baseline's 3.0x) fails it.
         let mut fresh = base.clone();
         fresh.grid_curve = vec![(1, 3.0e6), (2, 3.1e6), (4, 3.2e6)];
         let deltas = diff_sim_bench(&[fresh], &parsed);
-        let curve: Vec<_> = deltas.iter().filter(|d| d.metric.starts_with("grid_w")).collect();
-        assert_eq!(curve.len(), 3);
-        assert!(curve.iter().all(|d| !d.gating()));
-        assert!(bench_regressions(&deltas).is_empty());
+        let points: Vec<_> = deltas
+            .iter()
+            .filter(|d| d.metric.starts_with("grid_w") && d.baseline > 1.0e5)
+            .collect();
+        assert_eq!(points.len(), 3);
+        assert!(points.iter().all(|d| !d.gating()));
+        let regs = bench_regressions(&deltas);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "grid_w4_w1");
 
         // A 1-core fresh run measures no curve: the baseline's points
         // are skipped, not treated as regressions.
@@ -887,6 +959,38 @@ mod tests {
         assert!(deltas.iter().all(|d| !d.metric.starts_with("grid_w")));
         // The scaling line only renders when a curve was measured.
         assert!(render_sim_bench(&[base]).contains("scaling: w1=1.0x"));
+    }
+
+    #[test]
+    fn grid_curve_ratio_gates_and_floors() {
+        // Healthy scaling: 3x at w4 — both the diff gate and the
+        // absolute floor pass.
+        let mut base = row("gsm", 9.0e6, 4);
+        base.grid_curve = vec![(1, 3.0e6), (2, 5.5e6), (4, 9.0e6)];
+        let parsed = parse_sim_bench_json(&sim_bench_json(&[base.clone()], "full")).unwrap();
+        let deltas = diff_sim_bench(&[base.clone()], &parsed);
+        let gate = deltas.iter().find(|d| d.metric == "grid_w4_w1").expect("curve ratio gates");
+        assert!(gate.gating());
+        assert!((gate.ratio() - 1.0).abs() < 1e-9, "identical runs don't regress");
+        assert!(check_grid_curve_floor(&[base.clone()], GRID_CURVE_FLOOR).is_ok());
+
+        // De-scaled executor: fails the absolute floor with a message.
+        let mut flat = base.clone();
+        flat.grid_curve = vec![(1, 3.0e6), (4, 3.3e6)];
+        let err = check_grid_curve_floor(&[flat], GRID_CURVE_FLOOR).unwrap_err();
+        assert!(err[0].contains("1.10x"), "{err:?}");
+
+        // A 30%+ ratio drop against the baseline regresses even above
+        // the absolute floor.
+        let mut slower = base.clone();
+        slower.grid_curve = vec![(1, 3.0e6), (2, 4.0e6), (4, 6.0e6)]; // 2.0x vs 3.0x
+        let regs_metrics: Vec<String> = bench_regressions(&diff_sim_bench(&[slower], &parsed))
+            .iter()
+            .map(|d| d.metric.clone())
+            .collect();
+        assert_eq!(regs_metrics, ["grid_w4_w1"]);
+        // Curve-less rows (1-core runners) pass the floor vacuously.
+        assert!(check_grid_curve_floor(&[row("k", 1.0e6, 1)], GRID_CURVE_FLOOR).is_ok());
     }
 
     #[test]

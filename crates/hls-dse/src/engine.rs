@@ -125,6 +125,12 @@ pub struct DseOptions {
     /// hit/miss counters, and forwards the handle into the grid
     /// executor and the sign-off SAT attack.
     pub obs: obs::Obs,
+    /// Live progress feed (disabled by default). Enabled, the sweep
+    /// announces `kernels × space` design points up front (the total is
+    /// deterministic at any worker count), walks the `dse-frontend` /
+    /// `dse-prepare` / `dse-schedule` / `dse-evaluate` phases, and
+    /// ticks once per evaluated point.
+    pub progress: obs::ProgressTracker,
 }
 
 impl Default for DseOptions {
@@ -136,6 +142,7 @@ impl Default for DseOptions {
             sat_signoff: None,
             budget: Budget::unlimited(),
             obs: obs::Obs::off(),
+            progress: obs::ProgressTracker::off(),
         }
     }
 }
@@ -272,19 +279,28 @@ pub fn explore(
     let memo_hits = obs.counter("dse.memo_hits");
     let memo_misses = obs.counter("dse.memo_misses");
     let total = kernels.len() * space.len();
+    // The feed counts design points: the full lattice is announced up
+    // front (deterministic at any worker count), the phases walk the
+    // label, and each evaluated point ticks.
+    let progress = &opts.progress;
+    progress.add_total(total as u64);
     // Cancellation before any point was evaluated: everything skipped,
     // nothing on the front — a partial report, not an error.
-    let drained = |threads| DseReport {
-        points: Vec::new(),
-        pareto: Vec::new(),
-        threads,
-        was_cancelled: true,
-        skipped: total,
-        panics: 0,
+    let drained = |threads| {
+        progress.add_done(total as u64);
+        DseReport {
+            points: Vec::new(),
+            pareto: Vec::new(),
+            threads,
+            was_cancelled: true,
+            skipped: total,
+            panics: 0,
+        }
     };
 
     // Phase 0 — front end, once per kernel.
     budget.fault_hit(sites::DSE_PHASE, 0);
+    progress.set_phase("dse-frontend");
     if budget.is_exceeded() {
         return Ok(drained(exec.workers_for(total)));
     }
@@ -299,6 +315,7 @@ pub fn explore(
 
     // Phase 1 — prepare once per (kernel, unroll).
     budget.fault_hit(sites::DSE_PHASE, 1);
+    progress.set_phase("dse-prepare");
     if budget.is_exceeded() {
         return Ok(drained(exec.workers_for(total)));
     }
@@ -323,6 +340,7 @@ pub fn explore(
 
     // Phase 2 — schedule/bind once per (kernel, unroll, allocation).
     budget.fault_hit(sites::DSE_PHASE, 2);
+    progress.set_phase("dse-schedule");
     if budget.is_exceeded() {
         return Ok(drained(exec.workers_for(total)));
     }
@@ -353,6 +371,7 @@ pub fn explore(
     // under the cooperative budget: workers drain at chunk granularity
     // once cancelled, and a panicking point injures only its own cell.
     budget.fault_hit(sites::DSE_PHASE, 3);
+    progress.set_phase("dse-evaluate");
     let n_cfg = space.len();
     let mut eval_span = obs.span("dse.evaluate");
     eval_span.arg("points", total as u64);
@@ -417,6 +436,10 @@ pub fn explore(
                             // also stops an in-flight sign-off attack.
                             budget: budget.clone(),
                             obs: obs.clone(),
+                            // The sweep feed counts design points; the
+                            // per-point sign-off attack does not get
+                            // its own DIP-granular channel.
+                            progress: obs::ProgressTracker::off(),
                         },
                     )
                     .map_err(|e| DseError::Tao(TaoError::Internal(e.to_string())))?;
@@ -457,6 +480,7 @@ pub fn explore(
             memo_hits.add(2);
             point_counter.inc();
             point_ns.record(obs.now_ns().saturating_sub(t0));
+            progress.tick();
             Ok(point)
         },
     );
@@ -489,6 +513,9 @@ pub fn explore(
     if let Some(e) = first_err {
         return Err(e);
     }
+    // Panicked and skipped points never ticked but are resolved: count
+    // them so the feed reaches done == total even on a partial sweep.
+    progress.add_done((skipped + panics) as u64);
 
     // Per-kernel Pareto fronts over the points that actually completed —
     // grouped by kernel index, not sliced by position, so a partial

@@ -22,6 +22,12 @@
 //!   whose [`ChromeTraceSink::to_json`] output opens directly in
 //!   `chrome://tracing` / <https://ui.perfetto.dev>.
 //!
+//! The **consumption** side lives in [`analyze`] (span-forest
+//! reconstruction, wall-clock attribution, critical path, worker
+//! utilization, flamegraphs) and [`progress`] (a lock-free live
+//! done/total/phase [`ProgressTracker`] with the same disabled-handle
+//! discipline as [`Obs`]).
+//!
 //! ```
 //! use std::sync::Arc;
 //! let sink = Arc::new(obs::ChromeTraceSink::new());
@@ -43,14 +49,17 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod json;
 mod metrics;
+pub mod progress;
 mod sink;
 
 pub use metrics::{
     bucket_bounds, bucket_index, Counter, Gauge, Histogram, Registry, BUCKETS, LINEAR_BUCKETS,
     SUB_BUCKETS,
 };
+pub use progress::{ProgressBuffer, ProgressSink, ProgressSnapshot, ProgressTracker, StderrTicker};
 pub use sink::{ChromeTraceSink, Event, JsonlSink, NoopSink, Sink};
 
 use std::cell::{Cell, RefCell};

@@ -43,7 +43,7 @@ use crate::ctrl::Budget;
 use crate::faultpoint;
 use crate::traits::{BatchRunner, Simulator};
 use hls_core::KeyBits;
-use obs::Obs;
+use obs::{Obs, ProgressTracker};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -160,24 +160,30 @@ where
 /// (caught trial panics) and `grid.cancelled` (slots skipped by an
 /// exhausted budget). The disabled path is the exact uninstrumented
 /// loop — no clock reads, no atomics beyond the work cursor.
+///
+/// Live progress is likewise off by default; [`GridExec::with_progress`]
+/// attaches an [`obs::ProgressTracker`], after which every fan-out
+/// announces its trial count up front (so `total` is deterministic at
+/// any worker count) and ticks once per resolved slot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GridExec {
     /// Worker threads (0 = one per available core).
     pub threads: usize,
     obs: Obs,
+    progress: ProgressTracker,
 }
 
 impl Default for GridExec {
     /// One worker per available core.
     fn default() -> Self {
-        GridExec { threads: 0, obs: Obs::off() }
+        GridExec { threads: 0, obs: Obs::off(), progress: ProgressTracker::off() }
     }
 }
 
 impl GridExec {
     /// An executor with an explicit worker count.
     pub fn new(threads: usize) -> GridExec {
-        GridExec { threads, obs: Obs::off() }
+        GridExec { threads, ..GridExec::default() }
     }
 
     /// The strictly sequential executor (one worker, run inline on the
@@ -197,6 +203,19 @@ impl GridExec {
     /// The attached telemetry handle (disabled unless set).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Attaches a live progress feed; results are bit-identical with
+    /// any tracker (the instrumented twins are reused, and every obs
+    /// call on a disabled handle is inert).
+    pub fn with_progress(mut self, progress: ProgressTracker) -> GridExec {
+        self.progress = progress;
+        self
+    }
+
+    /// The attached progress feed (disabled unless set).
+    pub fn progress(&self) -> &ProgressTracker {
+        &self.progress
     }
 
     /// Resolves the worker count for `n` work items: the requested thread
@@ -258,7 +277,7 @@ impl GridExec {
         assert!(chunk > 0, "chunk size must be positive");
         let n_chunks = n.div_ceil(chunk);
         let workers = self.workers_for(n_chunks);
-        if self.obs.enabled() {
+        if self.obs.enabled() || self.progress.enabled() {
             return self.run_chunked_obs(n, chunk, n_chunks, workers, make_ctx, f);
         }
         if workers <= 1 {
@@ -313,6 +332,8 @@ impl GridExec {
         F: Fn(&mut C, usize) -> T + Sync,
     {
         let obs = &self.obs;
+        let progress = &self.progress;
+        progress.add_total(n as u64);
         let mut run_span = obs.span("grid.run");
         run_span.arg("trials", n as u64);
         run_span.arg("chunk", chunk as u64);
@@ -335,6 +356,7 @@ impl GridExec {
                     let dt = obs.now_ns().saturating_sub(t0);
                     busy += dt;
                     trial_ns.record(dt);
+                    progress.tick();
                     r
                 })
                 .collect();
@@ -373,6 +395,7 @@ impl GridExec {
                                 busy += dt;
                                 n_trials += 1;
                                 trial_ns.record(dt);
+                                progress.tick();
                             }
                         }
                         steals.add(n_steals);
@@ -430,7 +453,7 @@ impl GridExec {
         assert!(chunk > 0, "chunk size must be positive");
         let n_chunks = n.div_ceil(chunk);
         let workers = self.workers_for(n_chunks);
-        if self.obs.enabled() {
+        if self.obs.enabled() || self.progress.enabled() {
             return self.run_cells_obs(n, chunk, n_chunks, workers, budget, make_ctx, f);
         }
         if workers <= 1 {
@@ -495,6 +518,8 @@ impl GridExec {
         F: Fn(&mut C, usize) -> T + Sync,
     {
         let obs = &self.obs;
+        let progress = &self.progress;
+        progress.add_total(n as u64);
         let mut run_span = obs.span("grid.run");
         run_span.arg("trials", n as u64);
         run_span.arg("chunk", chunk as u64);
@@ -522,6 +547,7 @@ impl GridExec {
                     let dt = obs.now_ns().saturating_sub(t0);
                     busy += dt;
                     trial_ns.record(dt);
+                    progress.tick();
                 }
             }
             steals.add(n_steals);
@@ -561,6 +587,7 @@ impl GridExec {
                                     let dt = obs.now_ns().saturating_sub(t0);
                                     busy += dt;
                                     trial_ns.record(dt);
+                                    progress.tick();
                                 }
                             }
                             steals.add(n_steals);
@@ -586,6 +613,10 @@ impl GridExec {
         }
         if n_skipped > 0 {
             obs.counter("grid.cancelled").add(n_skipped as u64);
+            // Skipped slots are resolved (they will never run): count
+            // them so a cancelled sweep's feed still reaches done ==
+            // total instead of stalling short.
+            progress.add_done(n_skipped as u64);
         }
         run_span.arg("panics", n_panics as u64);
         run_span.arg("skipped", n_skipped as u64);
@@ -852,6 +883,53 @@ mod tests {
         let seq = GridExec::sequential().with_obs(o1.clone()).grid(&sim, &cases, &keys, &opts);
         assert_eq!(seq, plain);
         assert_eq!(o1.counter("grid.trials").get(), (cases.len() * keys.len()) as u64);
+    }
+
+    #[test]
+    fn progress_totals_are_deterministic_at_any_worker_count() {
+        // Progress-on/obs-off routes through the instrumented twins
+        // (every obs call inert) and must stay bit-identical, with the
+        // same done/total at 1, 2 or 5 workers.
+        let sim = toy();
+        let cases: Vec<TestCase> = (1..=5).map(|x| TestCase::args(&[x])).collect();
+        let keys: Vec<KeyBits> = (0..8).map(|i| KeyBits::from_fn(1, || i & 1)).collect();
+        let opts = SimOptions::default();
+        let plain = GridExec::new(4).grid(&sim, &cases, &keys, &opts);
+        let n = (cases.len() * keys.len()) as u64;
+        for threads in [1, 2, 5] {
+            let buf = std::sync::Arc::new(obs::ProgressBuffer::new());
+            let p = ProgressTracker::new(std::sync::Arc::clone(&buf));
+            let exec = GridExec::new(threads).with_progress(p.clone());
+            assert!(!exec.obs().enabled());
+            assert!(exec.progress().enabled());
+            let seen = exec.grid(&sim, &cases, &keys, &opts);
+            assert_eq!(seen, plain, "progress tracking must not change results");
+            let snap = match p.snapshot() {
+                Some(s) => s,
+                None => unreachable!("live tracker snapshots"),
+            };
+            assert_eq!((snap.done, snap.total), (n, n), "threads={threads}");
+            let last = match buf.last() {
+                Some(s) => s,
+                None => unreachable!("fan-out published"),
+            };
+            assert_eq!(last.total, n);
+        }
+    }
+
+    #[test]
+    fn cancelled_sweeps_still_drive_progress_to_total() {
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let p = ProgressTracker::new(obs::ProgressBuffer::new());
+        let cells =
+            GridExec::new(2).with_progress(p.clone()).run_cells(6, 1, &budget, || (), |_, i| i);
+        assert!(cells.iter().all(|c| matches!(c, TrialCell::Skipped)));
+        let snap = match p.snapshot() {
+            Some(s) => s,
+            None => unreachable!("live tracker snapshots"),
+        };
+        assert_eq!((snap.done, snap.total), (6, 6), "skipped slots are resolved");
     }
 
     #[test]

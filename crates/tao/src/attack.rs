@@ -285,6 +285,10 @@ pub struct SatAttackConfig {
     /// Telemetry handle, forwarded into the DIP loop and its CDCL solver
     /// (disabled by default).
     pub obs: obs::Obs,
+    /// Live progress feed, forwarded into the DIP loop (disabled by
+    /// default): ticks once per distinguishing input, with `max_dips`
+    /// announced as the total when bounded.
+    pub progress: obs::ProgressTracker,
 }
 
 impl Default for SatAttackConfig {
@@ -299,6 +303,7 @@ impl Default for SatAttackConfig {
             step_budget: None,
             budget: sim_core::Budget::unlimited(),
             obs: obs::Obs::off(),
+            progress: obs::ProgressTracker::off(),
         }
     }
 }
@@ -492,6 +497,7 @@ fn sat_attack_design_with(
         step_budget: cfg.step_budget,
         budget: cfg.budget.clone(),
         obs: cfg.obs.clone(),
+        progress: cfg.progress.clone(),
     };
     let outcome = attack(&sim, &opts, &mut oracle);
 

@@ -324,6 +324,48 @@
 //! assert_eq!(obs.counter("grid.trials").get(), 4);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! ## Trace intelligence
+//!
+//! Recording a trace is half the story; [`obs::analyze`] consumes it.
+//! It reconstructs the span forest from a Chrome `trace.json`, then
+//! answers the profiling questions directly: per-phase wall-clock
+//! attribution (self vs total), the critical path (greedy longest
+//! root-to-leaf chain), per-worker utilization from `grid.worker`
+//! spans, and flamegraph exports (collapsed stacks + self-contained
+//! SVG). [`obs::progress`] covers the *live* side: a lock-free
+//! [`obs::ProgressTracker`] (done/total/phase/ETA) threaded through the
+//! grid, the SAT attacks and the DSE sweep, with the same
+//! disabled-by-default zero-cost discipline as [`obs::Obs`].
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tao_repro::hls_core::{self, KeyBits};
+//! use tao_repro::obs::analyze::{attribution, critical_path, parse_trace};
+//! use tao_repro::obs::{ChromeTraceSink, Obs};
+//! use tao_repro::rtl::{CompiledFsmd, SimOptions, TestCase};
+//! use tao_repro::sim_core::GridExec;
+//!
+//! let m = tao_repro::hls_frontend::compile("int sq(int x) { return x * x; }", "d")?;
+//! let fsmd = hls_core::synthesize(&m, "sq", &hls_core::HlsOptions::default())?;
+//! let ctape = CompiledFsmd::compile(&fsmd);
+//! let cases: Vec<TestCase> = (1u64..=4).map(|x| TestCase::args(&[x])).collect();
+//! let keys = [KeyBits::zero(0)];
+//!
+//! let sink = Arc::new(ChromeTraceSink::new());
+//! let obs = Obs::new(Arc::clone(&sink));
+//! GridExec::default().with_obs(obs).grid(&ctape, &cases, &keys, &SimOptions::default());
+//!
+//! // Parse the recorded trace back and attribute the wall-clock.
+//! let trace = parse_trace(&sink.to_json())?;
+//! let stats = attribution(&trace);
+//! assert!(stats.iter().any(|s| s.name == "grid.run"));
+//! // Self time never exceeds total time, and the critical path starts
+//! // at the longest root span.
+//! assert!(stats.iter().all(|s| s.self_ns <= s.total_ns));
+//! assert!(!critical_path(&trace).is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,271 @@
+//! Property-based tests of the trace-intelligence layer
+//! (`obs::analyze`): for randomly generated span forests — arbitrary
+//! nesting, multiple roots, interleaved thread lanes — pushed through
+//! the real `ChromeTraceSink` → `parse_trace` pipeline, the
+//! reconstruction must be exact, the wall-clock attribution must
+//! conserve time, the critical path must be the greedy longest
+//! root-to-leaf chain, collapsed stacks must round-trip byte for byte,
+//! and worker utilization must stay inside `[0, 100]`.
+
+use obs::analyze::{
+    attribution, collapsed_stacks, critical_path, parse_collapsed, parse_trace, worker_stats,
+    SpanNode, Trace,
+};
+use obs::{ChromeTraceSink, Event, Sink};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+
+// ------------------------------------------------------------ generator
+
+/// Deterministic xorshift so a failing seed reproduces exactly.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+const NAMES: &[&str] = &["alpha", "beta", "gamma", "delta", "grid.worker"];
+
+/// A generated span: the ground truth the parsed forest must match.
+#[derive(Debug, Clone)]
+struct Node {
+    name: &'static str,
+    tid: u64,
+    start: u64,
+    dur: u64,
+    args: Vec<(&'static str, u64)>,
+    children: Vec<Node>,
+}
+
+/// Generates one span of duration ≥ 2 ns starting at `start`, with
+/// strictly-contained children separated by ≥ 1 ns gaps (so containment
+/// reconstruction is unambiguous and every span keeps self time).
+fn gen_node(rng: &mut Rng, tid: u64, start: u64, max_dur: u64, depth: u32) -> Node {
+    let dur = 2 + rng.below(max_dur.saturating_sub(2).max(1));
+    let end = start + dur;
+    let mut children = Vec::new();
+    let mut cursor = start + 1;
+    while depth < 3 && children.len() < 3 && end.saturating_sub(cursor + 1) >= 4 {
+        if rng.below(3) == 0 {
+            break;
+        }
+        let child = gen_node(rng, tid, cursor, end - 1 - cursor, depth + 1);
+        cursor = child.start + child.dur + 1;
+        children.push(child);
+    }
+    let name = NAMES[rng.below(NAMES.len() as u64) as usize];
+    let args = if name == "grid.worker" {
+        vec![
+            ("trials", rng.below(100)),
+            ("steals", rng.below(10)),
+            ("busy_ns", rng.below(5_000)),
+            ("idle_ns", rng.below(5_000)),
+        ]
+    } else {
+        Vec::new()
+    };
+    Node { name, tid, start, dur, args, children }
+}
+
+/// A forest: 1–3 thread lanes, 1–3 roots per lane, gaps between roots.
+fn gen_forest(seed: u64) -> Vec<Node> {
+    let mut rng = Rng::new(seed);
+    let mut roots = Vec::new();
+    for tid in 0..1 + rng.below(3) {
+        let mut cursor = rng.below(50);
+        for _ in 0..1 + rng.below(3) {
+            let max_dur = 40 + rng.below(400);
+            let root = gen_node(&mut rng, tid, cursor, max_dur, 0);
+            cursor = root.start + root.dur + 1 + rng.below(30);
+            roots.push(root);
+        }
+    }
+    roots
+}
+
+/// Feeds the forest through the real sink as `SpanEnd` events (post
+/// order, like live telemetry closes spans) and parses the JSON back.
+fn round_trip(roots: &[Node]) -> Trace {
+    let sink = ChromeTraceSink::new();
+    let mut id = 0u64;
+    fn emit(sink: &ChromeTraceSink, n: &Node, id: &mut u64) {
+        for c in &n.children {
+            emit(sink, c, id);
+        }
+        *id += 1;
+        sink.event(&Event::SpanEnd {
+            id: *id,
+            name: n.name,
+            tid: n.tid,
+            ts_ns: n.start + n.dur,
+            dur_ns: n.dur,
+            args: &n.args,
+        });
+    }
+    for r in roots {
+        emit(&sink, r, &mut id);
+    }
+    parse_trace(&sink.to_json()).expect("sink output parses")
+}
+
+fn flatten<'a>(nodes: &'a [Node], out: &mut Vec<&'a Node>) {
+    for n in nodes {
+        out.push(n);
+        flatten(&n.children, out);
+    }
+}
+
+/// Finds the generated ground-truth node matching a parsed span (tid +
+/// exact interval is unique by construction: gaps everywhere).
+fn find_truth<'a>(nodes: &'a [Node], span: &SpanNode) -> Option<&'a Node> {
+    let mut all = Vec::new();
+    flatten(nodes, &mut all);
+    all.into_iter().find(|n| n.tid == span.tid && n.start == span.start_ns && n.dur == span.dur_ns)
+}
+
+/// The greedy longest chain recomputed from the parsed forest with the
+/// documented tie-break (max duration, then earliest start).
+fn expected_chain(trace: &Trace) -> Vec<(String, u64, u64)> {
+    let mut out = Vec::new();
+    let mut cur = trace.roots.iter().max_by_key(|r| (r.dur_ns, Reverse(r.start_ns)));
+    while let Some(node) = cur {
+        out.push((node.name.clone(), node.tid, node.dur_ns));
+        cur = node.children.iter().max_by_key(|c| (c.dur_ns, Reverse(c.start_ns)));
+    }
+    out
+}
+
+fn assert_forest_matches(parsed: &[SpanNode], truth: &[Node], ctx: &str) {
+    assert_eq!(parsed.len(), truth.len(), "child count diverged: {ctx}");
+    // Parsed siblings are start-ordered per tid; ground truth is
+    // generated per tid then concatenated, so match by (tid, interval).
+    for p in parsed {
+        let t =
+            find_truth(truth, p).unwrap_or_else(|| panic!("no ground-truth span for {p:?}: {ctx}"));
+        assert_eq!(p.name, t.name, "{ctx}");
+        let mut targs: Vec<(String, u64)> =
+            t.args.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+        targs.sort();
+        let pargs: Vec<(String, u64)> = p.args.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        assert_eq!(pargs, targs, "args diverged on {}: {ctx}", p.name);
+        assert_forest_matches(&p.children, &t.children, ctx);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// The sink → JSON → forest pipeline reconstructs the generated
+    /// forest exactly: same nesting, names, intervals and args.
+    #[test]
+    fn forest_reconstruction_is_exact(seed in any::<u64>()) {
+        let truth = gen_forest(seed);
+        let trace = round_trip(&truth);
+        let parsed_roots: usize = trace.roots.len();
+        prop_assert_eq!(parsed_roots, truth.len(), "root count (seed={})", seed);
+        let mut all = Vec::new();
+        flatten(&truth, &mut all);
+        // Roots arrive sorted by (tid, start); recurse via interval identity.
+        assert_forest_matches(&trace.roots, &truth, &format!("seed={seed}"));
+    }
+
+    /// Attribution conserves time: totals sum to the whole span
+    /// population, self times partition exactly the root wall-clock,
+    /// and counts cover every span.
+    #[test]
+    fn attribution_sums_to_total_span_time(seed in any::<u64>()) {
+        let truth = gen_forest(seed);
+        let trace = round_trip(&truth);
+        let stats = attribution(&trace);
+
+        let mut all = Vec::new();
+        flatten(&truth, &mut all);
+        let span_total: u64 = all.iter().map(|n| n.dur).sum();
+        let root_total: u64 = truth.iter().map(|n| n.dur).sum();
+
+        let sum_total: u64 = stats.iter().map(|s| s.total_ns).sum();
+        let sum_self: u64 = stats.iter().map(|s| s.self_ns).sum();
+        let sum_count: u64 = stats.iter().map(|s| s.count).sum();
+        prop_assert_eq!(sum_total, span_total, "seed={}", seed);
+        prop_assert_eq!(sum_self, root_total, "self must partition root wall-clock (seed={})", seed);
+        prop_assert_eq!(sum_count as usize, all.len(), "seed={}", seed);
+    }
+
+    /// The critical path is the greedy longest root-to-leaf chain: it
+    /// starts at the longest root, each step follows the longest child,
+    /// and it terminates at a leaf (self == total there).
+    #[test]
+    fn critical_path_is_the_longest_chain(seed in any::<u64>()) {
+        let truth = gen_forest(seed);
+        let trace = round_trip(&truth);
+        let path = critical_path(&trace);
+        prop_assert!(!path.is_empty());
+
+        let got: Vec<(String, u64, u64)> =
+            path.iter().map(|s| (s.name.clone(), s.tid, s.dur_ns)).collect();
+        prop_assert_eq!(&got, &expected_chain(&trace), "seed={}", seed);
+
+        let max_root = trace.roots.iter().map(|r| r.dur_ns).max().unwrap_or(0);
+        prop_assert_eq!(path[0].dur_ns, max_root, "starts at the longest root (seed={})", seed);
+        for w in path.windows(2) {
+            prop_assert!(w[1].dur_ns <= w[0].dur_ns, "children fit parents (seed={})", seed);
+        }
+        let last = &path[path.len() - 1];
+        prop_assert_eq!(last.self_ns, last.dur_ns, "ends at a leaf (seed={})", seed);
+    }
+
+    /// Collapsed stacks round-trip byte for byte and conserve self time.
+    #[test]
+    fn collapsed_stacks_round_trip(seed in any::<u64>()) {
+        let truth = gen_forest(seed);
+        let trace = round_trip(&truth);
+        let text = collapsed_stacks(&trace);
+        let rows = parse_collapsed(&text).expect("collapsed output parses");
+
+        let rendered: String =
+            rows.iter().map(|(path, n)| format!("{} {n}\n", path.join(";"))).collect();
+        prop_assert_eq!(&rendered, &text, "seed={}", seed);
+
+        let root_total: u64 = truth.iter().map(|n| n.dur).sum();
+        let count_sum: u64 = rows.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(count_sum, root_total, "flame widths conserve wall-clock (seed={})", seed);
+    }
+
+    /// Worker rows aggregate exactly the generated `grid.worker` args
+    /// and utilization stays inside [0, 100].
+    #[test]
+    fn worker_utilization_is_bounded(seed in any::<u64>()) {
+        let truth = gen_forest(seed);
+        let trace = round_trip(&truth);
+        let workers = worker_stats(&trace);
+
+        let mut all = Vec::new();
+        flatten(&truth, &mut all);
+        let gen_trials: u64 = all
+            .iter()
+            .filter(|n| n.name == "grid.worker")
+            .flat_map(|n| &n.args)
+            .filter(|(k, _)| *k == "trials")
+            .map(|&(_, v)| v)
+            .sum();
+        let agg_trials: u64 = workers.iter().map(|w| w.trials).sum();
+        prop_assert_eq!(agg_trials, gen_trials, "seed={}", seed);
+
+        for w in &workers {
+            let u = w.utilization_pct();
+            prop_assert!((0.0..=100.0).contains(&u), "tid {} util {} (seed={})", w.tid, u, seed);
+            prop_assert!(w.spans > 0);
+        }
+    }
+}
